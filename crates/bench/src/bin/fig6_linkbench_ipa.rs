@@ -1,0 +1,43 @@
+//! Figure 6 — fraction of update I/Os performed as in-place appends in
+//! LinkBench, across buffer sizes and `[N×M]` schemes.
+
+use ipa_bench::{banner, run_workload, save_json, scale, scheme_name, Table};
+use ipa_core::NxM;
+use ipa_workloads::{LinkBench, SystemConfig};
+
+fn main() {
+    banner(
+        "Figure 6 — IPA fraction of update I/Os in LinkBench",
+        "paper Figure 6 / Table 5 black numbers (e.g. [2x125] ~ 35-43%)",
+    );
+    let s = scale();
+    let schemes = [NxM::new(1, 100, 12), NxM::new(2, 100, 12), NxM::new(2, 125, 12), NxM::new(3, 125, 12)];
+    let buffers = [0.20, 0.50, 0.75, 0.90];
+    let txns = 5_000 * s;
+
+    let mut header = vec!["scheme".to_string()];
+    for b in buffers {
+        header.push(format!("buf {:.0}%", b * 100.0));
+    }
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut json = Vec::new();
+    for scheme in schemes {
+        let mut row = vec![scheme_name(&scheme)];
+        for buffer in buffers {
+            let mut cfg = SystemConfig::emulator(scheme, buffer);
+            cfg.page_size = 8192;
+            let mut w = LinkBench::new(2_000 * s, 4);
+            let (report, _) = run_workload(&cfg, &mut w, txns / 5, txns);
+            let f = report.region.ipa_fraction() * 100.0;
+            row.push(format!("{f:.1}%"));
+            json.push(serde_json::json!({
+                "scheme": scheme_name(&scheme), "buffer": buffer, "ipa_pct": f,
+            }));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper shape: the fraction rises with N and M and falls with buffer");
+    println!("size (accumulated updates overflow the delta area).");
+    save_json("fig6_linkbench_ipa", &serde_json::Value::Array(json));
+}

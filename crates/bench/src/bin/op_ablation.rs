@@ -1,0 +1,74 @@
+//! §8.4 ablation — over-provisioning reduction.
+//!
+//! The paper argues IPA "allows decreasing the size of the over-
+//! provisioning area without a loss of performance": fewer out-of-place
+//! writes populate the OP area more slowly, postponing GC. This harness
+//! sweeps the OP ratio for `[0×0]` and `[2×3]` under TPC-C and compares
+//! GC pressure — showing that IPA at a *small* OP matches or beats the
+//! baseline at a *large* OP, compensating the delta-area space cost.
+
+use ipa_bench::{banner, fmt, run_workload, save_json, scale, Table};
+use ipa_core::NxM;
+use ipa_workloads::{SystemConfig, TpcC};
+
+fn main() {
+    banner(
+        "Ablation — over-provisioning vs IPA",
+        "paper §8.4: 'the space overhead due to the delta-record area may be \
+         compensated by lower over-provisioning'",
+    );
+    let s = scale();
+    let ops = [0.05, 0.10, 0.20];
+    let txns = 6_000 * s;
+
+    let mut t = Table::new(&[
+        "over-provisioning",
+        "[0x0] erases/write",
+        "[2x3] erases/write",
+        "[2x3] reduction",
+    ]);
+    let mut json = Vec::new();
+    let mut crossover: Option<(f64, f64)> = None;
+    let mut base_at_20 = None;
+    for &op in &ops {
+        let run = |scheme: NxM| {
+            let mut cfg = SystemConfig::emulator(scheme, 0.25);
+            cfg.over_provisioning = op;
+            let mut w = TpcC::new(1, 3_000 * s, 300);
+            let (report, _) = run_workload(&cfg, &mut w, txns / 5, txns);
+            report.region.erases_per_host_write()
+        };
+        let base = run(NxM::disabled());
+        let ipa = run(NxM::tpcc());
+        if (op - 0.20).abs() < 1e-9 {
+            base_at_20 = Some(base);
+        }
+        if (op - 0.05).abs() < 1e-9 {
+            crossover = Some((base, ipa));
+        }
+        t.row(vec![
+            format!("{:.0}%", op * 100.0),
+            fmt::f4(base),
+            fmt::f4(ipa),
+            format!("{:.0}%", (1.0 - ipa / base.max(1e-12)) * 100.0),
+        ]);
+        json.push(serde_json::json!({
+            "op": op, "erases_per_write_baseline": base, "erases_per_write_ipa": ipa,
+        }));
+    }
+    t.print();
+
+    if let (Some((_, ipa_small_op)), Some(base_large_op)) = (crossover, base_at_20) {
+        println!(
+            "\nIPA at 5% OP: {:.4} erases/write vs baseline at 20% OP: {:.4}",
+            ipa_small_op, base_large_op
+        );
+        if ipa_small_op <= base_large_op {
+            println!("-> IPA with a quarter of the spare space still wears the device less:");
+            println!("   the delta-record area pays for itself in reclaimed over-provisioning.");
+        } else {
+            println!("-> at this scale IPA narrows but does not close the 4x OP gap.");
+        }
+    }
+    save_json("op_ablation", &serde_json::Value::Array(json));
+}

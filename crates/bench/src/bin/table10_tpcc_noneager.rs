@@ -1,0 +1,85 @@
+//! Table 10 — TPC-C with the *non-eager* eviction and log-reclamation
+//! policy: updates accumulate in the buffer, so larger `M` values are
+//! needed ([2×10] at small buffers through [2×40] at large ones).
+
+use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_core::NxM;
+use ipa_workloads::{RunReport, SystemConfig, TpcC};
+
+// Paper Table 10: buffers with their M and the relative % values.
+const CELLS: [(f64, u16); 5] = [(0.10, 10), (0.20, 10), (0.50, 30), (0.75, 40), (0.90, 40)];
+const PAPER: [(&str, [f64; 5]); 6] = [
+    ("GC page migrations", [-55.6, -40.3, -31.0, -20.1, -19.5]),
+    ("GC erases", [-54.0, -46.1, -36.1, -21.6, -19.1]),
+    ("migrations / host write", [-62.9, -50.3, -33.9, -22.8, -22.1]),
+    ("erases / host write", [-61.5, -55.1, -38.8, -24.3, -21.7]),
+    ("READ I/O response [ms]", [-32.1, -19.5, -17.0, -19.3, -11.5]),
+    ("transactional throughput", [15.4, 7.0, 3.3, 1.1, 3.7]),
+];
+const PAPER_IPA_SHARE: [f64; 5] = [59.0, 56.0, 49.0, 37.0, 33.0];
+
+fn metrics(r: &RunReport) -> [f64; 6] {
+    [
+        r.region.gc_page_migrations as f64,
+        r.region.gc_erases as f64,
+        r.region.migrations_per_host_write(),
+        r.region.erases_per_host_write(),
+        r.read_ms,
+        r.tps,
+    ]
+}
+
+fn main() {
+    banner(
+        "Table 10 — TPC-C, non-eager eviction, buffers 10%-90%: [0x0] vs [2xM]",
+        "paper Table 10 (eviction threshold 75%, log reclamation 100%)",
+    );
+    let s = scale();
+
+    let mut measured = Vec::new();
+    for &(buffer, m) in &CELLS {
+        // Non-eager policies defer writes; large-buffer cells need longer
+        // runs before the garbage collector sees any pressure at all.
+        let txns = if buffer < 0.5 { 8_000 * s } else { 30_000 * s };
+        let run = |scheme: NxM| {
+            let mut cfg = SystemConfig::emulator(scheme, buffer);
+            cfg.eager = false;
+            cfg.growth_override = Some(if buffer < 0.5 { 3.0 } else { 8.0 });
+            let mut w = TpcC::new(1, 3_000 * s, 300);
+            let (report, _) = run_workload(&cfg, &mut w, txns / 5, txns);
+            report
+        };
+        let base = run(NxM::disabled());
+        let ipa = run(NxM::new(2, m, 12));
+        measured.push((metrics(&base), metrics(&ipa), ipa.region.ipa_fraction() * 100.0));
+    }
+
+    let mut header = vec!["metric".to_string()];
+    for &(b, m) in &CELLS {
+        header.push(format!("buf {:.0}% [2x{m}] (paper)", b * 100.0));
+    }
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut share = vec!["IPA share of host writes".to_string()];
+    for (i, (_, _, f)) in measured.iter().enumerate() {
+        share.push(format!("{f:.0}% ({:.0}%)", PAPER_IPA_SHARE[i]));
+    }
+    t.row(share);
+    let mut json = Vec::new();
+    for (mi, (name, paper)) in PAPER.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (bi, (b, i, _)) in measured.iter().enumerate() {
+            let r = rel(b[mi], i[mi]);
+            row.push(format!("{} ({:+.0}%)", fmt::pct(r), paper[bi]));
+            json.push(serde_json::json!({
+                "metric": name, "buffer": CELLS[bi].0, "m": CELLS[bi].1,
+                "baseline": b[mi], "rel_pct": r,
+            }));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper shape: with non-eager policies updates accumulate, so the IPA");
+    println!("share falls with buffer size even at M=40 — yet at least ~20-33% of");
+    println!("host writes remain appendable, keeping >20% GC reductions.");
+    save_json("table10_tpcc_noneager", &serde_json::Value::Array(json));
+}

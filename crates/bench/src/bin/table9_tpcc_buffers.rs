@@ -1,0 +1,82 @@
+//! Table 9 — TPC-C with eager eviction across buffer sizes 10%–90%:
+//! `[0×0]` absolute vs `[2×3]` relative.
+//!
+//! The paper's headline nuance lives here: the *throughput* gain fades as
+//! the buffer grows (little read I/O left to save), but the GC metrics
+//! (`migrations / erases per host write`) keep improving by ~29–49% even
+//! at 90% buffers — the longevity benefit is buffer-independent.
+
+use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_core::NxM;
+use ipa_workloads::{RunReport, SystemConfig, TpcC};
+
+// Paper Table 9, [2x3] relative %: rows x buffers (10,20,50,75,90).
+const PAPER: [(&str, [f64; 5]); 6] = [
+    ("GC page migrations", [-38.4, -36.0, -31.7, -29.1, -28.5]),
+    ("GC erases", [-40.8, -39.5, -37.7, -34.8, -33.8]),
+    ("migrations / host write", [-46.8, -45.0, -37.6, -35.4, -28.9]),
+    ("erases / host write", [-48.9, -48.0, -43.0, -40.7, -34.1]),
+    ("READ I/O response [ms]", [-29.1, -31.6, -31.1, -21.3, -2.9]),
+    ("transactional throughput", [15.3, 15.4, 6.3, 1.2, 0.2]),
+];
+
+fn metrics(r: &RunReport) -> [f64; 6] {
+    [
+        r.region.gc_page_migrations as f64,
+        r.region.gc_erases as f64,
+        r.region.migrations_per_host_write(),
+        r.region.erases_per_host_write(),
+        r.read_ms,
+        r.tps,
+    ]
+}
+
+fn main() {
+    banner(
+        "Table 9 — TPC-C, eager eviction, buffers 10%-90%: [0x0] vs [2x3]",
+        "paper Table 9",
+    );
+    let s = scale();
+    let buffers = [0.10, 0.20, 0.50, 0.75, 0.90];
+    let txns = 8_000 * s;
+
+    let mut measured: Vec<([f64; 6], [f64; 6], f64)> = Vec::new();
+    for &buffer in &buffers {
+        let run = |scheme: NxM| {
+            let cfg = SystemConfig::emulator(scheme, buffer);
+            let mut w = TpcC::new(1, 3_000 * s, 300);
+            let (report, _) = run_workload(&cfg, &mut w, txns / 5, txns);
+            report
+        };
+        let base = run(NxM::disabled());
+        let ipa = run(NxM::tpcc());
+        measured.push((metrics(&base), metrics(&ipa), ipa.region.ipa_fraction() * 100.0));
+    }
+
+    let mut header = vec!["metric".to_string()];
+    for b in buffers {
+        header.push(format!("buf {:.0}% rel (paper)", b * 100.0));
+    }
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut ipa_row = vec!["IPA share of host writes".to_string()];
+    for (_, _, f) in &measured {
+        ipa_row.push(format!("{f:.0}% (44-49%)"));
+    }
+    t.row(ipa_row);
+    let mut json = Vec::new();
+    for (mi, (name, paper)) in PAPER.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (bi, (b, i, _)) in measured.iter().enumerate() {
+            let r = rel(b[mi], i[mi]);
+            row.push(format!("{} ({:+.0}%)", fmt::pct(r), paper[bi]));
+            json.push(serde_json::json!({
+                "metric": name, "buffer": buffers[bi], "baseline": b[mi], "rel_pct": r,
+            }));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper shape: GC reductions persist at all buffer sizes (29-49%),");
+    println!("while throughput and read-latency gains fade as the buffer grows.");
+    save_json("table9_tpcc_buffers", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,208 @@
+//! # ipa-bench — harnesses reproducing every table and figure of the paper
+//!
+//! One binary per experiment (`cargo run --release -p ipa-bench --bin
+//! <name>`), each printing the paper-reported values next to the measured
+//! ones so the *shape* of every result can be checked at a glance:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_amplification`  | Figure 1 — layer-by-layer write amplification |
+//! | `table1_update_sizes` | Table 1 — update-size percentiles |
+//! | `table2_ipl_vs_ipa`   | Table 2 — IPA vs In-Page Logging |
+//! | `table3_nxm_sweep`    | Table 3 — N×M sensitivity sweep |
+//! | `table4_wa_reduction` | Table 4 — DB write-amplification reduction |
+//! | `table5_linkbench_wa` | Table 5 — LinkBench space overhead / WA |
+//! | `table6_tpcb_openssd` | Table 6 — TPC-B on OpenSSD (pSLC / odd-MLC) |
+//! | `table7_tpcb_emulator`| Table 7 — TPC-B on the emulator |
+//! | `table8_tpcc_openssd` | Table 8 — TPC-C on OpenSSD (pSLC / odd-MLC) |
+//! | `table9_tpcc_buffers` | Table 9 — TPC-C buffer sweep (eager) |
+//! | `table10_tpcc_noneager`| Table 10 — TPC-C buffer sweep (non-eager) |
+//! | `table11_noneager_sizes`| Table 11 — update sizes, non-eager |
+//! | `fig6_linkbench_ipa`  | Figure 6 — IPA fraction in LinkBench |
+//! | `fig7_10_cdfs`        | Figures 7–10 — update-size CDFs |
+//! | `advisor_ablation`    | §8.4 — IPA advisor + design ablations |
+//!
+//! Scales are simulation-sized (the substrate is a simulator, not the
+//! authors' 50 GB testbed); set `IPA_BENCH_SCALE=2` (or higher) to grow
+//! database sizes and transaction counts proportionally. Every binary
+//! also appends its results as JSON to `bench-results/` for
+//! EXPERIMENTS.md bookkeeping.
+
+use ipa_core::NxM;
+use ipa_engine::Database;
+use ipa_workloads::{RunReport, Runner, SystemConfig, Workload};
+
+/// Scale multiplier from `IPA_BENCH_SCALE` (default 1).
+pub fn scale() -> u64 {
+    std::env::var("IPA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// Standard seed for all harnesses (deterministic runs).
+pub const SEED: u64 = 0x1DA5EED;
+
+/// Run one configured workload end to end: build, load, warm up, measure.
+/// Returns the report and the database (for profile inspection).
+pub fn run_workload(
+    cfg: &SystemConfig,
+    w: &mut dyn Workload,
+    warmup: u64,
+    measured: u64,
+) -> (RunReport, Database) {
+    let mut db = cfg.build_for(w).expect("database builds");
+    let mut runner = Runner::new(SEED);
+    runner.cpu_ns_per_txn = cfg.cpu_ns_per_txn;
+    runner.setup(&mut db, w).expect("workload loads");
+    let report = runner.run(&mut db, w, warmup, measured).expect("workload runs");
+    (report, db)
+}
+
+/// Baseline + IPA pair runner: same workload factory, two schemes.
+pub fn run_pair<W: Workload>(
+    mk: impl Fn() -> W,
+    base_cfg: &SystemConfig,
+    ipa_cfg: &SystemConfig,
+    warmup: u64,
+    measured: u64,
+) -> ((RunReport, Database), (RunReport, Database)) {
+    let mut base_w = mk();
+    let mut ipa_w = mk();
+    (run_workload(base_cfg, &mut base_w, warmup, measured), run_workload(ipa_cfg, &mut ipa_w, warmup, measured))
+}
+
+/// Relative change in percent (negative = reduction), the paper's
+/// `Relative [%]` columns.
+pub fn rel(base: f64, with: f64) -> f64 {
+    RunReport::relative(base, with)
+}
+
+/// Simple fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("| {:>w$} ", c, w = widths[i]));
+            }
+            out.push('|');
+            println!("{out}");
+        };
+        line(&self.header);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format helpers.
+pub mod fmt {
+    /// Format a float with 2 decimals.
+    pub fn f2(x: f64) -> String {
+        format!("{x:.2}")
+    }
+
+    /// Format a float with 4 decimals.
+    pub fn f4(x: f64) -> String {
+        format!("{x:.4}")
+    }
+
+    /// Format a signed percentage with one decimal.
+    pub fn pct(x: f64) -> String {
+        format!("{x:+.1}%")
+    }
+
+    /// Format an `oop/ipa` split like the paper's first table row.
+    pub fn split(oop: f64, ipa: f64) -> String {
+        format!("{:.0}/{:.0}", oop, ipa)
+    }
+}
+
+/// Persist an experiment's measured result as JSON under `bench-results/`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("bench-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(path, s);
+    }
+}
+
+/// The standard per-experiment header.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("\n=== {title} ===");
+    println!("reproduces: {paper_ref}");
+    println!("(absolute values are simulation-scaled; compare shapes, not magnitudes)\n");
+}
+
+/// Scheme shorthand used across harnesses.
+pub fn scheme_name(s: &NxM) -> String {
+    if s.is_enabled() {
+        format!("[{}x{}]", s.n, s.m)
+    } else {
+        "[0x0]".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let mut t = Table::new(&["metric", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-metric-name".into(), "12345".into()]);
+        t.print(); // should not panic
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt::f2(1.234), "1.23");
+        assert_eq!(fmt::pct(-12.34), "-12.3%");
+        assert_eq!(fmt::split(33.3, 66.7), "33/67");
+        assert_eq!(scheme_name(&NxM::tpcc()), "[2x3]");
+        assert_eq!(scheme_name(&NxM::disabled()), "[0x0]");
+    }
+
+    #[test]
+    fn rel_direction() {
+        assert!(rel(100.0, 50.0) < 0.0);
+        assert!(rel(100.0, 150.0) > 0.0);
+    }
+}

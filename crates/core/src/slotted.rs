@@ -1,0 +1,512 @@
+//! Slotted-page (NSM) tuple operations over the revised layout.
+//!
+//! [`DbPage`] manipulates a raw page buffer and routes every byte mutation
+//! through a [`ChangeTracker`], classifying it as a *body* change (tuple
+//! data) or a *metadata* change (header fields, slot table). This is the
+//! byte-level tracking the paper relies on: a fixed-length attribute update
+//! typically changes one to four body bytes plus the PageLSN's
+//! least-significant byte and nothing else.
+
+use crate::delta;
+use crate::error::CoreError;
+use crate::layout::{HeaderView, PageLayout, PAGE_MAGIC, SLOT_SIZE};
+use crate::scheme::NxM;
+use crate::tracking::ChangeTracker;
+use crate::Result;
+
+/// Index into a page's slot table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u16);
+
+/// Length sentinel marking a deleted slot.
+const SLOT_DELETED: u16 = 0xFFFF;
+
+/// One database page: a raw buffer plus its layout.
+///
+/// Free space and the delta-record area are kept at `0xFF` so that the image
+/// programmed to flash leaves those cells erased — the precondition for
+/// later in-place appends.
+#[derive(Debug, Clone)]
+pub struct DbPage {
+    buf: Vec<u8>,
+    layout: PageLayout,
+}
+
+impl DbPage {
+    /// Format a fresh page: erased buffer, initialized header.
+    pub fn format(page_id: u64, layout: PageLayout) -> Self {
+        let mut buf = vec![0xFF; layout.page_size];
+        HeaderView::set_magic(&mut buf);
+        HeaderView::set_page_id(&mut buf, page_id);
+        HeaderView::set_lsn(&mut buf, 0);
+        HeaderView::set_slot_count(&mut buf, 0);
+        HeaderView::set_free_lower(&mut buf, layout.body_start() as u16);
+        HeaderView::set_flags(&mut buf, 0);
+        HeaderView::set_scheme(&mut buf, layout.scheme);
+        DbPage { buf, layout }
+    }
+
+    /// Adopt a buffer read from storage, validating magic and size.
+    pub fn from_bytes(buf: Vec<u8>, layout: PageLayout) -> Result<Self> {
+        if buf.len() != layout.page_size {
+            return Err(CoreError::InvalidPage(format!(
+                "buffer of {} bytes, layout expects {}",
+                buf.len(),
+                layout.page_size
+            )));
+        }
+        if HeaderView::magic(&buf) != PAGE_MAGIC {
+            return Err(CoreError::InvalidPage("bad magic".into()));
+        }
+        Ok(DbPage { buf, layout })
+    }
+
+    /// The page layout.
+    pub fn layout(&self) -> &PageLayout {
+        &self.layout
+    }
+
+    /// The `[N×M]` scheme of this page.
+    pub fn scheme(&self) -> &NxM {
+        &self.layout.scheme
+    }
+
+    /// Raw buffer view.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the page, returning the raw buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Page id from the header.
+    pub fn page_id(&self) -> u64 {
+        HeaderView::page_id(&self.buf)
+    }
+
+    /// PageLSN from the header.
+    pub fn lsn(&self) -> u64 {
+        HeaderView::lsn(&self.buf)
+    }
+
+    /// Update the PageLSN, tracking the changed bytes as metadata. Usually
+    /// only the least-significant byte differs — exactly the paper's
+    /// motivating observation for byte-level metadata tracking.
+    pub fn set_lsn(&mut self, lsn: u64, tracker: &mut ChangeTracker) {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&lsn.to_le_bytes());
+        self.write_meta(crate::layout::LSN_OFFSET, &bytes, tracker);
+    }
+
+    /// Number of slots (including deleted ones).
+    pub fn slot_count(&self) -> u16 {
+        HeaderView::slot_count(&self.buf)
+    }
+
+    /// Contiguous free bytes between the body high-water mark and the slot
+    /// table, assuming one more slot entry will be needed.
+    pub fn free_space_for_insert(&self) -> usize {
+        let lower = HeaderView::free_lower(&self.buf) as usize;
+        let upper = self.layout.footer_start(self.slot_count() + 1);
+        upper.saturating_sub(lower)
+    }
+
+    fn slot_entry(&self, slot: u16) -> (u16, u16) {
+        let r = self.layout.slot_entry_range(slot);
+        let off = u16::from_le_bytes([self.buf[r.start], self.buf[r.start + 1]]);
+        let len = u16::from_le_bytes([self.buf[r.start + 2], self.buf[r.start + 3]]);
+        (off, len)
+    }
+
+    fn write_slot_entry(&mut self, slot: u16, off: u16, len: u16, tracker: &mut ChangeTracker) {
+        let r = self.layout.slot_entry_range(slot);
+        let mut bytes = [0u8; SLOT_SIZE];
+        bytes[0..2].copy_from_slice(&off.to_le_bytes());
+        bytes[2..4].copy_from_slice(&len.to_le_bytes());
+        self.write_meta(r.start, &bytes, tracker);
+    }
+
+    /// Read a tuple.
+    pub fn tuple(&self, slot: SlotId) -> Result<&[u8]> {
+        if slot.0 >= self.slot_count() {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if len == SLOT_DELETED {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        Ok(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Whether a slot refers to a live tuple.
+    pub fn is_live(&self, slot: SlotId) -> bool {
+        slot.0 < self.slot_count() && self.slot_entry(slot.0).1 != SLOT_DELETED
+    }
+
+    /// Insert a tuple, returning its slot.
+    pub fn insert_tuple(&mut self, data: &[u8], tracker: &mut ChangeTracker) -> Result<SlotId> {
+        let available = self.free_space_for_insert();
+        if data.len() > available {
+            return Err(CoreError::PageFull { needed: data.len(), available });
+        }
+        let off = HeaderView::free_lower(&self.buf);
+        let slot = self.slot_count();
+        self.write_body(off as usize, data, tracker);
+        self.write_slot_entry(slot, off, data.len() as u16, tracker);
+        self.set_slot_count(slot + 1, tracker);
+        self.set_free_lower(off + data.len() as u16, tracker);
+        Ok(SlotId(slot))
+    }
+
+    /// Update a tuple.
+    ///
+    /// Same-length updates overwrite in place (the small-update fast path
+    /// that IPA turns into delta records). Shrinking updates overwrite the
+    /// prefix and adjust the slot length. Growing updates move the tuple to
+    /// the free-space frontier — the paper's Figure 1(c) general case,
+    /// which inherently dirties more bytes.
+    pub fn update_tuple(
+        &mut self,
+        slot: SlotId,
+        data: &[u8],
+        tracker: &mut ChangeTracker,
+    ) -> Result<()> {
+        if slot.0 >= self.slot_count() {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if len == SLOT_DELETED {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        let new_len = data.len() as u16;
+        if new_len == len {
+            self.write_body(off as usize, data, tracker);
+            return Ok(());
+        }
+        if new_len < len {
+            self.write_body(off as usize, data, tracker);
+            self.write_slot_entry(slot.0, off, new_len, tracker);
+            return Ok(());
+        }
+        // Growing: relocate to the frontier.
+        let lower = HeaderView::free_lower(&self.buf);
+        let upper = self.layout.footer_start(self.slot_count()) as u16;
+        if lower as usize + data.len() > upper as usize {
+            return Err(CoreError::PageFull {
+                needed: data.len(),
+                available: (upper - lower) as usize,
+            });
+        }
+        self.write_body(lower as usize, data, tracker);
+        self.write_slot_entry(slot.0, lower, new_len, tracker);
+        self.set_free_lower(lower + new_len, tracker);
+        Ok(())
+    }
+
+    /// Restore a previously mark-deleted tuple (recovery undo of a
+    /// delete). The slot's offset is preserved by mark-delete, so the
+    /// original bytes are rewritten in place and the length restored.
+    pub fn undelete_tuple(
+        &mut self,
+        slot: SlotId,
+        data: &[u8],
+        tracker: &mut ChangeTracker,
+    ) -> Result<()> {
+        if slot.0 >= self.slot_count() {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if len != SLOT_DELETED {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        self.write_body(off as usize, data, tracker);
+        self.write_slot_entry(slot.0, off, data.len() as u16, tracker);
+        Ok(())
+    }
+
+    /// Mark a tuple deleted (its space becomes garbage until compaction).
+    pub fn delete_tuple(&mut self, slot: SlotId, tracker: &mut ChangeTracker) -> Result<()> {
+        if slot.0 >= self.slot_count() {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        let (off, len) = self.slot_entry(slot.0);
+        if len == SLOT_DELETED {
+            return Err(CoreError::BadSlot(slot.0));
+        }
+        self.write_slot_entry(slot.0, off, SLOT_DELETED, tracker);
+        Ok(())
+    }
+
+    /// Iterate over live slots.
+    pub fn live_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        (0..self.slot_count()).map(SlotId).filter(move |&s| self.is_live(s))
+    }
+
+    /// Low-level body write with byte-diff tracking.
+    pub fn write_body(&mut self, offset: usize, data: &[u8], tracker: &mut ChangeTracker) {
+        debug_assert!(
+            offset >= self.layout.body_start(),
+            "body write at {offset} inside header/delta area"
+        );
+        for (i, &new) in data.iter().enumerate() {
+            let old = self.buf[offset + i];
+            if old != new {
+                tracker.record_body((offset + i) as u16);
+                self.buf[offset + i] = new;
+            }
+        }
+    }
+
+    /// Low-level metadata write with byte-diff tracking.
+    pub fn write_meta(&mut self, offset: usize, data: &[u8], tracker: &mut ChangeTracker) {
+        for (i, &new) in data.iter().enumerate() {
+            let old = self.buf[offset + i];
+            if old != new {
+                tracker.record_meta((offset + i) as u16);
+                self.buf[offset + i] = new;
+            }
+        }
+    }
+
+    fn set_slot_count(&mut self, count: u16, tracker: &mut ChangeTracker) {
+        let mut tmp = [0u8; 2];
+        tmp.copy_from_slice(&count.to_le_bytes());
+        self.write_meta(18, &tmp, tracker);
+    }
+
+    fn set_free_lower(&mut self, off: u16, tracker: &mut ChangeTracker) {
+        let mut tmp = [0u8; 2];
+        tmp.copy_from_slice(&off.to_le_bytes());
+        self.write_meta(20, &tmp, tracker);
+    }
+
+    /// Number of delta records currently encoded in the delta area.
+    pub fn delta_record_count(&self) -> Result<u16> {
+        let start = self.layout.delta_area_start();
+        delta::count_records(
+            &self.buf[start..start + self.layout.scheme.delta_area_size()],
+            &self.layout.scheme,
+        )
+    }
+
+    /// Apply all resident delta records to the page image (the fetch path).
+    /// Returns how many records were applied (`N_E`).
+    pub fn apply_deltas(&mut self) -> Result<u16> {
+        delta::apply_all(&mut self.buf, self.layout.delta_area_start(), &self.layout.scheme)
+    }
+
+    /// Append an encoded delta record into the next free slot of the
+    /// buffer's delta area, returning `(slot_index, absolute_offset)` for
+    /// the matching `write_delta` device command.
+    pub fn append_delta_record(&mut self, record: &crate::delta::DeltaRecord) -> Result<(u16, usize, Vec<u8>)> {
+        let n_existing = self.delta_record_count()?;
+        if n_existing >= self.layout.scheme.n {
+            return Err(CoreError::TooManyDeltas {
+                found: n_existing as u32 + 1,
+                max: self.layout.scheme.n as u32,
+            });
+        }
+        let encoded = record.encode(&self.layout.scheme)?;
+        let abs = self.layout.delta_slot_offset(n_existing);
+        self.buf[abs..abs + encoded.len()].copy_from_slice(&encoded);
+        Ok((n_existing, abs, encoded))
+    }
+
+    /// Reset the delta area to the erased state — done before every
+    /// out-of-place write (§6.2: "we reset the delta-record area and write
+    /// the up-to-date page from the buffer to a new location").
+    pub fn reset_delta_area(&mut self) {
+        let start = self.layout.delta_area_start();
+        let end = self.layout.delta_area_end();
+        self.buf[start..end].fill(0xFF);
+    }
+
+    /// Bytes of live tuple data (diagnostics).
+    pub fn live_bytes(&self) -> usize {
+        self.live_slots().map(|s| self.tuple(s).map(<[u8]>::len).unwrap_or(0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracking::ChangeTracker;
+
+    fn layout() -> PageLayout {
+        PageLayout::new(4096, NxM::tpcc()).unwrap()
+    }
+
+    fn fresh() -> (DbPage, ChangeTracker) {
+        let l = layout();
+        (DbPage::format(4711, l), ChangeTracker::new(l.scheme, 0, false))
+    }
+
+    #[test]
+    fn format_initializes_header_and_erased_areas() {
+        let (p, _) = fresh();
+        assert_eq!(p.page_id(), 4711);
+        assert_eq!(p.lsn(), 0);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.delta_record_count().unwrap(), 0);
+        // Delta area and free space erased.
+        let l = p.layout();
+        assert!(p.bytes()[l.delta_area_start()..l.delta_area_end()].iter().all(|&b| b == 0xFF));
+        assert!(p.bytes()[l.body_start()..].iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn from_bytes_validates() {
+        let l = layout();
+        assert!(matches!(
+            DbPage::from_bytes(vec![0u8; 100], l),
+            Err(CoreError::InvalidPage(_))
+        ));
+        assert!(matches!(
+            DbPage::from_bytes(vec![0u8; 4096], l),
+            Err(CoreError::InvalidPage(_))
+        ));
+        let good = DbPage::format(1, l).into_bytes();
+        assert!(DbPage::from_bytes(good, l).is_ok());
+    }
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let (mut p, mut t) = fresh();
+        let s1 = p.insert_tuple(b"hello", &mut t).unwrap();
+        let s2 = p.insert_tuple(b"world!", &mut t).unwrap();
+        assert_eq!(p.tuple(s1).unwrap(), b"hello");
+        assert_eq!(p.tuple(s2).unwrap(), b"world!");
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.live_bytes(), 11);
+    }
+
+    #[test]
+    fn same_length_update_overwrites_in_place() {
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(&[9u8, 7, 7, 7], &mut t).unwrap();
+        let mut t2 = ChangeTracker::new(*p.scheme(), 0, true);
+        p.update_tuple(s, &[3u8, 7, 7, 7], &mut t2).unwrap();
+        assert_eq!(p.tuple(s).unwrap(), &[3, 7, 7, 7]);
+        // Exactly one body byte changed, zero metadata so far.
+        assert_eq!(t2.body_changed(), 1);
+        assert_eq!(t2.meta_changed(), 0);
+    }
+
+    #[test]
+    fn growing_update_relocates() {
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(b"ab", &mut t).unwrap();
+        let before_free = HeaderView::free_lower(p.bytes());
+        p.update_tuple(s, b"abcdef", &mut t).unwrap();
+        assert_eq!(p.tuple(s).unwrap(), b"abcdef");
+        assert!(HeaderView::free_lower(p.bytes()) > before_free);
+    }
+
+    #[test]
+    fn shrinking_update_keeps_offset() {
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(b"abcdef", &mut t).unwrap();
+        p.update_tuple(s, b"ab", &mut t).unwrap();
+        assert_eq!(p.tuple(s).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn delete_makes_slot_dead() {
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(b"abc", &mut t).unwrap();
+        p.delete_tuple(s, &mut t).unwrap();
+        assert!(!p.is_live(s));
+        assert!(matches!(p.tuple(s), Err(CoreError::BadSlot(_))));
+        assert!(matches!(p.delete_tuple(s, &mut t), Err(CoreError::BadSlot(_))));
+        assert_eq!(p.live_slots().count(), 0);
+    }
+
+    #[test]
+    fn undelete_restores_tuple() {
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(b"abc", &mut t).unwrap();
+        p.delete_tuple(s, &mut t).unwrap();
+        assert!(!p.is_live(s));
+        p.undelete_tuple(s, b"abc", &mut t).unwrap();
+        assert!(p.is_live(s));
+        assert_eq!(p.tuple(s).unwrap(), b"abc");
+        // Undelete of a live slot is rejected.
+        assert!(matches!(p.undelete_tuple(s, b"abc", &mut t), Err(CoreError::BadSlot(_))));
+    }
+
+    #[test]
+    fn page_full_reported() {
+        let (mut p, mut t) = fresh();
+        let big = vec![0u8; 2000];
+        p.insert_tuple(&big, &mut t).unwrap();
+        let err = p.insert_tuple(&big, &mut t).unwrap_err();
+        assert!(matches!(err, CoreError::PageFull { .. }));
+    }
+
+    #[test]
+    fn bad_slots_rejected() {
+        let (mut p, mut t) = fresh();
+        assert!(matches!(p.tuple(SlotId(0)), Err(CoreError::BadSlot(0))));
+        assert!(matches!(p.update_tuple(SlotId(3), b"x", &mut t), Err(CoreError::BadSlot(3))));
+    }
+
+    #[test]
+    fn append_delta_record_fills_slots_in_order() {
+        use crate::delta::{ChangePair, DeltaRecord};
+        let (mut p, mut t) = fresh();
+        let body_off = p.layout().body_start() as u16;
+        p.insert_tuple(&[1, 2, 3], &mut t).unwrap();
+        let r = DeltaRecord::new(vec![ChangePair { offset: body_off, value: 9 }], vec![]);
+        let (i0, off0, bytes0) = p.append_delta_record(&r).unwrap();
+        assert_eq!(i0, 0);
+        assert_eq!(off0, p.layout().delta_slot_offset(0));
+        assert_eq!(bytes0.len(), p.scheme().delta_record_size());
+        let (i1, _, _) = p.append_delta_record(&r).unwrap();
+        assert_eq!(i1, 1);
+        assert_eq!(p.delta_record_count().unwrap(), 2);
+        assert!(matches!(p.append_delta_record(&r), Err(CoreError::TooManyDeltas { .. })));
+    }
+
+    #[test]
+    fn apply_deltas_updates_body() {
+        use crate::delta::{ChangePair, DeltaRecord};
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(&[9u8, 7], &mut t).unwrap();
+        let off = {
+            let (o, _) = (p.layout().body_start() as u16, 0);
+            o
+        };
+        let r = DeltaRecord::new(vec![ChangePair { offset: off, value: 3 }], vec![]);
+        p.append_delta_record(&r).unwrap();
+        let n = p.apply_deltas().unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(p.tuple(s).unwrap(), &[3, 7]);
+    }
+
+    #[test]
+    fn reset_delta_area_erases() {
+        use crate::delta::{ChangePair, DeltaRecord};
+        let (mut p, mut t) = fresh();
+        p.insert_tuple(&[1], &mut t).unwrap();
+        let r = DeltaRecord::new(
+            vec![ChangePair { offset: p.layout().body_start() as u16, value: 0 }],
+            vec![],
+        );
+        p.append_delta_record(&r).unwrap();
+        assert_eq!(p.delta_record_count().unwrap(), 1);
+        p.reset_delta_area();
+        assert_eq!(p.delta_record_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn lsn_update_tracks_minimal_meta_bytes() {
+        let (mut p, _) = fresh();
+        let mut t = ChangeTracker::new(*p.scheme(), 0, true);
+        p.set_lsn(1, &mut t);
+        assert_eq!(p.lsn(), 1);
+        // 0 -> 1 changes exactly one byte of the 8-byte LSN.
+        assert_eq!(t.meta_changed(), 1);
+    }
+}

@@ -1,0 +1,764 @@
+//! The database core: pager, buffer pool, WAL discipline, background
+//! cleaner and log-space reclamation — with the IPA decision wired into
+//! every dirty-page flush.
+
+use ipa_core::{ecc, ChangeTracker, DbPage, FlushDecision, NxM, PageLayout, UpdateSizeProfile};
+use ipa_flash::OpOrigin;
+use ipa_noftl::{Lba, NoFtl, NoFtlConfig, RegionId};
+
+use crate::buffer::{BufferPool, Frame};
+use crate::error::EngineError;
+use crate::heap::HeapFile;
+use crate::lock::LockManager;
+use crate::stats::{EngineStats, TraceEvent};
+use crate::txn::TxnTable;
+use crate::wal::{LogPayload, Lsn, Wal};
+use crate::Result;
+
+/// Engine-global page identifier: region + logical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Region index.
+    pub region: usize,
+    /// Logical page within the region.
+    pub lba: Lba,
+}
+
+impl PageId {
+    /// Construct from raw parts.
+    pub fn new(region: usize, lba: u64) -> Self {
+        PageId { region, lba: Lba(lba) }
+    }
+}
+
+/// Engine configuration: buffer size and the eager/non-eager policies the
+/// paper contrasts in Tables 9 and 10.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer pool capacity in frames.
+    pub buffer_frames: usize,
+    /// Cleaner trigger: flush dirty pages once this fraction of the pool
+    /// is dirty (Shore-MT hardcodes 12.5%; the paper's non-eager
+    /// experiments raise it to 75%).
+    pub cleaner_dirty_threshold: f64,
+    /// Pages flushed per cleaner round.
+    pub cleaner_batch: usize,
+    /// Log capacity budget in bytes.
+    pub log_capacity_bytes: usize,
+    /// Log reclamation trigger as a fraction of capacity (25–50% eager in
+    /// Shore-MT; 100% non-eager).
+    pub log_reclaim_threshold: f64,
+    /// Verify per-section ECC codes on every fetch.
+    pub verify_ecc: bool,
+}
+
+impl DbConfig {
+    /// Shore-MT-like eager policies (default in the paper's Tables 6–9).
+    pub fn eager(buffer_frames: usize) -> Self {
+        DbConfig {
+            buffer_frames,
+            cleaner_dirty_threshold: 0.125,
+            cleaner_batch: 64,
+            log_capacity_bytes: 64 << 20,
+            log_reclaim_threshold: 0.375,
+            verify_ecc: false,
+        }
+    }
+
+    /// Non-eager policies (Table 10): thresholds pushed to the extreme
+    /// values 75% / 100% so updates accumulate in the buffer.
+    pub fn non_eager(buffer_frames: usize) -> Self {
+        DbConfig {
+            buffer_frames,
+            cleaner_dirty_threshold: 0.75,
+            cleaner_batch: 64,
+            log_capacity_bytes: 64 << 20,
+            log_reclaim_threshold: 1.0,
+            verify_ecc: false,
+        }
+    }
+}
+
+/// Per-region page allocator (bump pointer + free list from drops).
+#[derive(Debug, Default)]
+struct PageAllocator {
+    next: u64,
+    free: Vec<u64>,
+    capacity: u64,
+}
+
+/// The storage engine.
+pub struct Database {
+    pub(crate) ftl: NoFtl,
+    pub(crate) layouts: Vec<PageLayout>,
+    oob_layouts: Vec<Option<ecc::ipa_oob::OobLayout>>,
+    pub(crate) pool: BufferPool,
+    pub(crate) wal: Wal,
+    pub(crate) txns: TxnTable,
+    pub(crate) locks: LockManager,
+    allocators: Vec<PageAllocator>,
+    pub(crate) heaps: Vec<HeapFile>,
+    pub(crate) indexes: Vec<crate::btree::BTree>,
+    profiles: Vec<UpdateSizeProfile>,
+    pub(crate) stats: EngineStats,
+    pub(crate) config: DbConfig,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("regions", &self.layouts.len())
+            .field("buffered", &self.pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Database {
+    /// Open a database over a NoFTL device. `schemes[i]` is the `[N×M]`
+    /// configuration of region `i` (use [`NxM::disabled`] for the `[0×0]`
+    /// baseline).
+    pub fn open(ftl_config: NoFtlConfig, schemes: &[NxM], config: DbConfig) -> Result<Self> {
+        if schemes.len() != ftl_config.regions.len() {
+            return Err(EngineError::Core(ipa_core::CoreError::InvalidPage(format!(
+                "{} schemes for {} regions",
+                schemes.len(),
+                ftl_config.regions.len()
+            ))));
+        }
+        let page_size = ftl_config.flash.geometry.page_size;
+        let oob_size = ftl_config.flash.geometry.oob_size;
+        let layouts = schemes
+            .iter()
+            .map(|&s| PageLayout::new(page_size, s).map_err(EngineError::Core))
+            .collect::<Result<Vec<_>>>()?;
+        let oob_layouts = schemes
+            .iter()
+            .map(|&s| ecc::ipa_oob::OobLayout::standard(oob_size, s.n as u32))
+            .collect();
+        let ftl = NoFtl::new(ftl_config)?;
+        let allocators = (0..schemes.len())
+            .map(|i| {
+                Ok(PageAllocator {
+                    next: 0,
+                    free: Vec::new(),
+                    capacity: ftl.capacity(RegionId(i))?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let profiles = schemes.iter().map(|_| UpdateSizeProfile::default()).collect();
+        Ok(Database {
+            ftl,
+            layouts,
+            oob_layouts,
+            pool: BufferPool::new(config.buffer_frames),
+            wal: Wal::new(config.log_capacity_bytes),
+            txns: TxnTable::new(),
+            locks: LockManager::new(),
+            allocators,
+            heaps: Vec::new(),
+            indexes: Vec::new(),
+            profiles,
+            stats: EngineStats::default(),
+            config,
+            trace: None,
+        })
+    }
+
+    /// Start recording fetch/evict trace events (for baseline replay).
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stop recording and take the trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// The page layout of a region.
+    pub fn layout(&self, region: usize) -> &PageLayout {
+        &self.layouts[region]
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Region statistics from the flash-management layer.
+    pub fn region_stats(&self, region: usize) -> Result<&ipa_noftl::RegionStats> {
+        Ok(self.ftl.region_stats(RegionId(region))?)
+    }
+
+    /// The underlying NoFTL device (read access for harnesses).
+    pub fn ftl(&self) -> &NoFtl {
+        &self.ftl
+    }
+
+    /// Mutable access to the NoFTL device for diagnostics and physical
+    /// inspection (e.g. reading a page's raw flash image in tests).
+    /// Bypassing the buffer pool with writes through this handle will
+    /// desynchronize buffered pages from flash — read-only use intended.
+    pub fn ftl_mut(&mut self) -> &mut NoFtl {
+        &mut self.ftl
+    }
+
+    /// Run static wear leveling on a region (relocates cold blocks whose
+    /// erase lag exceeds `threshold`). Returns relocated block count.
+    pub fn wear_level(&mut self, region: usize, threshold: u64) -> Result<u32> {
+        Ok(self.ftl.wear_level(RegionId(region), threshold)?)
+    }
+
+    /// Update-size profile collected for a region (feeds the IPA advisor
+    /// and the paper's CDF figures).
+    pub fn profile(&self, region: usize) -> &UpdateSizeProfile {
+        &self.profiles[region]
+    }
+
+    /// Reset engine + device statistics (after warm-up). Profiles are kept.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.ftl.reset_stats();
+    }
+
+    /// Advance the simulated clock by transaction CPU/think time.
+    pub fn advance_clock(&mut self, delta_ns: u64) {
+        self.ftl.advance_clock(delta_ns);
+    }
+
+    /// Allocate a fresh logical page in a region and materialize it in the
+    /// buffer as a formatted, dirty, not-yet-on-flash page.
+    pub fn new_page(&mut self, region: usize) -> Result<PageId> {
+        let alloc = &mut self.allocators[region];
+        let lba = match alloc.free.pop() {
+            Some(l) => l,
+            None => {
+                if alloc.next >= alloc.capacity {
+                    return Err(EngineError::NoFtl(ipa_noftl::NoFtlError::DeviceFull {
+                        region: format!("region {region}"),
+                    }));
+                }
+                let l = alloc.next;
+                alloc.next += 1;
+                l
+            }
+        };
+        let pid = PageId::new(region, lba);
+        let layout = self.layouts[region];
+        self.ensure_free_frame()?;
+        let frame = Frame {
+            page_id: pid,
+            page: DbPage::format(lba, layout),
+            tracker: ChangeTracker::new(layout.scheme, 0, false),
+            pins: 0,
+            referenced: true,
+            rec_lsn: Lsn::NULL,
+        };
+        // A fresh page is dirty by construction (must reach flash at least
+        // once); mark it so the tracker reports dirty.
+        let idx = self.pool.insert(frame);
+        let f = self.pool.frame_mut(idx).expect("just inserted");
+        f.tracker.mark_out_of_place();
+        Ok(pid)
+    }
+
+    /// Drop a page: trim on flash, forget in the buffer, recycle the LBA.
+    pub fn free_page(&mut self, pid: PageId) -> Result<()> {
+        if let Some(idx) = self.pool.index_of(pid) {
+            self.pool.remove(idx);
+        }
+        if self.ftl.is_mapped(RegionId(pid.region), pid.lba) {
+            self.ftl.trim(RegionId(pid.region), pid.lba)?;
+        }
+        self.allocators[pid.region].free.push(pid.lba.0);
+        Ok(())
+    }
+
+    /// Make sure at least one frame is free, evicting (and flushing) a
+    /// CLOCK victim if necessary. Eviction-path writes are synchronous —
+    /// the fetching transaction waits for them (steal policy).
+    fn ensure_free_frame(&mut self) -> Result<()> {
+        if self.pool.has_free_slot() {
+            return Ok(());
+        }
+        let victim = self.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
+        self.flush_frame(victim, OpOrigin::Host)?;
+        self.pool.remove(victim);
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Fetch a page into the buffer, returning its frame index.
+    pub(crate) fn fetch(&mut self, pid: PageId) -> Result<usize> {
+        self.stats.fetches += 1;
+        if let Some(idx) = self.pool.index_of(pid) {
+            self.stats.hits += 1;
+            if let Some(f) = self.pool.frame_mut(idx) {
+                f.referenced = true;
+            }
+            return Ok(idx);
+        }
+        self.ensure_free_frame()?;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Fetch { page: pid.lba.0 });
+        }
+        let layout = self.layouts[pid.region];
+        let (bytes, _) = self.ftl.read_page(RegionId(pid.region), pid.lba)?;
+        if self.config.verify_ecc {
+            if let Some(oob_layout) = &self.oob_layouts[pid.region] {
+                let oob = self.ftl.read_oob(RegionId(pid.region), pid.lba)?;
+                ecc::verify_page(&bytes, &layout, &layout.scheme, &oob, oob_layout)?;
+                self.stats.ecc_verified += 1;
+            }
+        }
+        let mut page = DbPage::from_bytes(bytes, layout)?;
+        // The fetch path of §6.2: apply resident delta records in forward
+        // order to reconstruct the current page version.
+        let n_existing = page.apply_deltas()?;
+        let frame = Frame {
+            page_id: pid,
+            page,
+            tracker: ChangeTracker::new(layout.scheme, n_existing, true),
+            pins: 0,
+            referenced: true,
+            rec_lsn: Lsn::NULL,
+        };
+        Ok(self.pool.insert(frame))
+    }
+
+    /// Run `f` against a buffered page and its tracker. The page is pinned
+    /// for the duration of `f`.
+    pub fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut DbPage, &mut ChangeTracker) -> Result<R>,
+    ) -> Result<R> {
+        let idx = self.fetch(pid)?;
+        let frame = self.pool.frame_mut(idx).expect("fetched frame");
+        frame.pins += 1;
+        let was_clean = !frame.tracker.is_dirty();
+        let result = f(&mut frame.page, &mut frame.tracker);
+        frame.pins -= 1;
+        if was_clean && frame.tracker.is_dirty() {
+            frame.rec_lsn = Lsn(self.wal.head().0 + 1);
+        }
+        result
+    }
+
+    /// Read-only page access.
+    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&DbPage) -> R) -> Result<R> {
+        let idx = self.fetch(pid)?;
+        let frame = self.pool.frame_mut(idx).expect("fetched frame");
+        Ok(f(&frame.page))
+    }
+
+    /// Flush one frame if dirty. This is where IPA happens: the tracker
+    /// decides between appending delta records to the original flash page
+    /// (`write_delta`) and a traditional out-of-place page write.
+    pub(crate) fn flush_frame(&mut self, idx: usize, origin: OpOrigin) -> Result<()> {
+        let frame = match self.pool.frame_mut(idx) {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        let pid = frame.page_id;
+        let decision = frame.tracker.decide(frame.page.bytes());
+        if decision == FlushDecision::Clean {
+            return Ok(());
+        }
+        // WAL rule: the log must be durable up to the page's LSN.
+        let page_lsn = Lsn(frame.page.lsn());
+        self.wal.flush_to(page_lsn);
+        // Workload statistics: true per-eviction update size.
+        let (body, meta) = (frame.tracker.body_changed(), frame.tracker.meta_changed());
+        // Update-size statistics cover only *updates to existing pages*;
+        // the paper's Appendix A excludes appends to new pages from its
+        // distributions ("due to the clear dominance of update I/Os").
+        let is_update = frame.tracker.on_flash();
+        if is_update {
+            self.profiles[pid.region].record(body as u32, meta as u32);
+        }
+        self.stats.net_changed_bytes += (body + meta) as u64;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Evict {
+                page: pid.lba.0,
+                changed_bytes: (body + meta) as u32,
+                fresh: !is_update,
+            });
+        }
+
+        let rid = RegionId(pid.region);
+        let use_ipa = matches!(decision, FlushDecision::Ipa(_)) && self.ftl.can_append(rid, pid.lba);
+        if use_ipa {
+            let FlushDecision::Ipa(records) = decision else { unreachable!() };
+            let frame = self.pool.frame_mut(idx).expect("frame present");
+            let mut staged = Vec::with_capacity(records.len());
+            for rec in &records {
+                staged.push(frame.page.append_delta_record(rec)?);
+            }
+            let appended = staged.len() as u16;
+            for (slot_idx, offset, encoded) in staged {
+                self.ftl.write_delta_with(rid, pid.lba, offset, &encoded, origin)?;
+                self.stats.gross_written_bytes += encoded.len() as u64;
+                self.stats.delta_records_written += 1;
+                if self.config.verify_ecc {
+                    if let Some(oob_layout) = &self.oob_layouts[pid.region] {
+                        if let Some(range) =
+                            oob_layout.range(ecc::ipa_oob::Section::EccDelta(slot_idx as u32))
+                        {
+                            let code = ecc::delta_code(&encoded);
+                            self.ftl.write_oob(rid, pid.lba, range.start, &code)?;
+                        }
+                    }
+                }
+            }
+            let frame = self.pool.frame_mut(idx).expect("frame present");
+            frame.tracker = frame.tracker.after_ipa_flush(appended);
+            frame.rec_lsn = Lsn::NULL;
+            self.stats.ipa_flushes += 1;
+        } else {
+            let frame = self.pool.frame_mut(idx).expect("frame present");
+            frame.page.reset_delta_area();
+            let image = frame.page.bytes().to_vec();
+            let layout = self.layouts[pid.region];
+            self.ftl.write_page_with(rid, pid.lba, &image, origin)?;
+            self.stats.gross_written_bytes += image.len() as u64;
+            if self.config.verify_ecc {
+                if let Some(oob_layout) = &self.oob_layouts[pid.region] {
+                    let code = ecc::initial_code(&image, &layout);
+                    let range = oob_layout
+                        .range(ecc::ipa_oob::Section::EccInitial)
+                        .expect("initial slot always present");
+                    self.ftl.write_oob(rid, pid.lba, range.start, &code)?;
+                }
+            }
+            let frame = self.pool.frame_mut(idx).expect("frame present");
+            frame.tracker = frame.tracker.after_out_of_place_flush();
+            frame.rec_lsn = Lsn::NULL;
+            self.stats.oop_flushes += 1;
+        }
+        Ok(())
+    }
+
+    /// Flush a specific page (test/checkpoint aid).
+    pub fn flush_page(&mut self, pid: PageId) -> Result<()> {
+        if let Some(idx) = self.pool.index_of(pid) {
+            self.flush_frame(idx, OpOrigin::Host)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page (shutdown / quiesce).
+    pub fn flush_all(&mut self) -> Result<()> {
+        for idx in self.pool.dirty_indices() {
+            self.flush_frame(idx, OpOrigin::Host)?;
+        }
+        Ok(())
+    }
+
+    /// One round of background work: the eager page cleaner and eager
+    /// log-space reclamation (§8.4). Benchmark drivers call this between
+    /// transactions, standing in for Shore-MT's background threads.
+    pub fn background_work(&mut self) -> Result<()> {
+        if self.pool.dirty_fraction() >= self.config.cleaner_dirty_threshold {
+            // Flush coldest-first, but only *down to* the threshold: hot
+            // pages stay buffered and keep accumulating updates (Shore-MT
+            // cleaners behave the same way — they chase the threshold, not
+            // an empty pool).
+            let target = (self.config.cleaner_dirty_threshold * self.pool.capacity() as f64)
+                .floor() as usize;
+            let mut dirty = self.pool.dirty_count();
+            for idx in self.pool.dirty_indices().into_iter().take(self.config.cleaner_batch) {
+                if dirty <= target {
+                    break;
+                }
+                self.flush_frame(idx, OpOrigin::HostAsync)?;
+                self.stats.cleaner_flushes += 1;
+                dirty -= 1;
+            }
+        }
+        if self.wal.used_fraction() >= self.config.log_reclaim_threshold {
+            self.reclaim_log_space()?;
+        }
+        Ok(())
+    }
+
+    /// Eager log-space reclamation: flush all dirty pages (their changes
+    /// become durable on flash), checkpoint, and truncate the log up to
+    /// the oldest record still needed for active-transaction undo.
+    pub(crate) fn reclaim_log_space(&mut self) -> Result<()> {
+        for idx in self.pool.dirty_indices() {
+            self.flush_frame(idx, OpOrigin::HostAsync)?;
+        }
+        self.checkpoint()?;
+        let keep = self
+            .txns
+            .snapshot()
+            .iter()
+            .filter_map(|(tx, _)| {
+                let first = self.first_lsn_of(*tx);
+                if first.is_null() {
+                    None
+                } else {
+                    Some(first)
+                }
+            })
+            .min()
+            .unwrap_or(Lsn(self.wal.head().0));
+        // Keep the checkpoint pair itself.
+        let ckpt_begin = Lsn(self.wal.last_checkpoint().map_or(1, |l| l.0.saturating_sub(1)));
+        self.wal.truncate_to(keep.min(ckpt_begin));
+        self.stats.log_reclaims += 1;
+        Ok(())
+    }
+
+    fn first_lsn_of(&self, tx: crate::txn::TxId) -> Lsn {
+        // Walk the undo chain to its head.
+        let mut lsn = self.txns.last_lsn(tx);
+        let mut first = lsn;
+        while let Some(rec) = self.wal.get(lsn) {
+            first = rec.lsn;
+            if rec.prev.is_null() {
+                break;
+            }
+            lsn = rec.prev;
+        }
+        first
+    }
+
+    /// Force the entire log to stable storage (group flush).
+    pub fn force_log(&mut self) {
+        let head = self.wal.head();
+        self.wal.flush_to(head);
+    }
+
+    /// Take a fuzzy checkpoint.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
+        let dirty: Vec<(PageId, Lsn)> = self
+            .pool
+            .dirty_indices()
+            .into_iter()
+            .filter_map(|i| {
+                let f = self.pool.frame_mut(i)?;
+                Some((f.page_id, f.rec_lsn))
+            })
+            .collect();
+        let active = self.txns.snapshot();
+        let end = self.wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active, dirty });
+        self.wal.flush_to(end);
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Append a log record on behalf of a transaction, maintaining the
+    /// per-transaction chain.
+    pub(crate) fn log_for_tx(&mut self, tx: crate::txn::TxId, payload: LogPayload) -> Result<Lsn> {
+        if !self.txns.is_active(tx) {
+            return Err(EngineError::UnknownTx(tx));
+        }
+        if self.wal.used_fraction() >= 1.0 {
+            self.reclaim_log_space()?;
+            if self.wal.used_fraction() >= 1.0 {
+                return Err(EngineError::LogFull);
+            }
+        }
+        let prev = self.txns.last_lsn(tx);
+        let lsn = self.wal.append(prev, payload);
+        self.txns.set_last_lsn(tx, lsn);
+        Ok(lsn)
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> crate::txn::TxId {
+        let tx = self.txns.begin();
+        let lsn = self.wal.append(Lsn::NULL, LogPayload::Begin { tx });
+        self.txns.set_last_lsn(tx, lsn);
+        tx
+    }
+
+    /// Commit: force the log, release locks.
+    pub fn commit(&mut self, tx: crate::txn::TxId) -> Result<()> {
+        let lsn = self.log_for_tx(tx, LogPayload::Commit { tx })?;
+        self.wal.flush_to(lsn);
+        self.locks.release_all(tx);
+        self.txns.finish(tx);
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Abort: roll back via the undo chain, write CLRs, release locks.
+    pub fn abort(&mut self, tx: crate::txn::TxId) -> Result<()> {
+        if !self.txns.is_active(tx) {
+            return Err(EngineError::UnknownTx(tx));
+        }
+        crate::recovery::rollback(self, tx)?;
+        let lsn = self.log_for_tx(tx, LogPayload::Abort { tx })?;
+        self.wal.flush_to(lsn);
+        self.locks.release_all(tx);
+        self.txns.finish(tx);
+        self.stats.aborts += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use ipa_flash::FlashConfig;
+    use ipa_noftl::IpaMode;
+
+    pub(crate) fn test_db(scheme: NxM, frames: usize) -> Database {
+        let mut flash = FlashConfig::small_slc();
+        flash.geometry.blocks_per_chip = 64;
+        flash.geometry.pages_per_block = 16;
+        flash.geometry.page_size = 1024;
+        let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
+        Database::open(cfg, &[scheme], DbConfig::eager(frames)).unwrap()
+    }
+
+    #[test]
+    fn new_page_flushes_out_of_place_first() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let pid = db.new_page(0).unwrap();
+        db.flush_page(pid).unwrap();
+        assert_eq!(db.stats().oop_flushes, 1);
+        assert_eq!(db.stats().ipa_flushes, 0);
+        assert!(db.ftl().is_mapped(RegionId(0), pid.lba));
+    }
+
+    #[test]
+    fn small_update_flushes_as_ipa() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let pid = db.new_page(0).unwrap();
+        let slot = db
+            .with_page_mut(pid, |page, tracker| Ok(page.insert_tuple(&[9u8, 7, 5, 3], tracker)?))
+            .unwrap();
+        db.flush_page(pid).unwrap();
+        // Small in-place change now.
+        db.with_page_mut(pid, |page, tracker| {
+            page.update_tuple(slot, &[3u8, 7, 5, 3], tracker)?;
+            page.set_lsn(42, tracker);
+            Ok(())
+        })
+        .unwrap();
+        db.flush_page(pid).unwrap();
+        assert_eq!(db.stats().ipa_flushes, 1);
+        assert_eq!(db.region_stats(0).unwrap().host_delta_writes, 1);
+    }
+
+    #[test]
+    fn fetch_reconstructs_from_deltas() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let pid = db.new_page(0).unwrap();
+        let slot = db
+            .with_page_mut(pid, |page, tracker| Ok(page.insert_tuple(&[9u8, 7], tracker)?))
+            .unwrap();
+        db.flush_page(pid).unwrap();
+        db.with_page_mut(pid, |page, tracker| {
+            page.update_tuple(slot, &[3u8, 7], tracker)?;
+            Ok(())
+        })
+        .unwrap();
+        db.flush_page(pid).unwrap();
+        assert_eq!(db.stats().ipa_flushes, 1);
+        // Drop the buffered copy and re-fetch from flash: the delta must
+        // be applied on the way in.
+        let idx = db.pool.index_of(pid).unwrap();
+        db.pool.remove(idx);
+        let tuple = db.with_page(pid, |page| page.tuple(slot).unwrap().to_vec()).unwrap();
+        assert_eq!(tuple, vec![3, 7]);
+    }
+
+    #[test]
+    fn large_update_falls_back_out_of_place() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let pid = db.new_page(0).unwrap();
+        let slot = db
+            .with_page_mut(pid, |page, tracker| Ok(page.insert_tuple(&[0u8; 100], tracker)?))
+            .unwrap();
+        db.flush_page(pid).unwrap();
+        db.with_page_mut(pid, |page, tracker| {
+            page.update_tuple(slot, &[1u8; 100], tracker)?;
+            Ok(())
+        })
+        .unwrap();
+        db.flush_page(pid).unwrap();
+        assert_eq!(db.stats().ipa_flushes, 0);
+        assert_eq!(db.stats().oop_flushes, 2);
+    }
+
+    #[test]
+    fn eviction_under_buffer_pressure() {
+        let mut db = test_db(NxM::tpcc(), 4);
+        let mut pids = Vec::new();
+        for _ in 0..12 {
+            pids.push(db.new_page(0).unwrap());
+        }
+        assert!(db.stats().evictions > 0);
+        // All pages still reachable.
+        for pid in pids {
+            db.with_page(pid, |p| assert_eq!(p.page_id(), pid.lba.0)).unwrap();
+        }
+    }
+
+    #[test]
+    fn cleaner_respects_threshold() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        // Dirty 1 page: below 12.5% of 16 = 2 frames.
+        let pid = db.new_page(0).unwrap();
+        db.flush_page(pid).unwrap();
+        db.with_page_mut(pid, |page, t| {
+            page.set_lsn(1, t);
+            Ok(())
+        })
+        .unwrap();
+        db.background_work().unwrap();
+        assert_eq!(db.stats().cleaner_flushes, 0);
+        // Dirty more pages to cross the threshold.
+        for _ in 0..4 {
+            db.new_page(0).unwrap();
+        }
+        db.background_work().unwrap();
+        assert!(db.stats().cleaner_flushes > 0);
+    }
+
+    #[test]
+    fn commit_forces_log() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let tx = db.begin();
+        let lsn = db.log_for_tx(tx, LogPayload::Commit { tx }).unwrap();
+        db.wal.flush_to(lsn);
+        assert_eq!(db.wal.flushed(), lsn);
+    }
+
+    #[test]
+    fn free_page_recycles_lba() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let a = db.new_page(0).unwrap();
+        db.flush_page(a).unwrap();
+        db.free_page(a).unwrap();
+        let b = db.new_page(0).unwrap();
+        assert_eq!(a.lba, b.lba, "freed lba is reused");
+    }
+
+    #[test]
+    fn write_amplification_accounting() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        let pid = db.new_page(0).unwrap();
+        let slot = db
+            .with_page_mut(pid, |page, t| Ok(page.insert_tuple(&[5u8, 5], t)?))
+            .unwrap();
+        db.flush_page(pid).unwrap();
+        db.reset_stats();
+        db.with_page_mut(pid, |page, t| {
+            page.update_tuple(slot, &[6u8, 5], t)?;
+            Ok(())
+        })
+        .unwrap();
+        db.flush_page(pid).unwrap();
+        // One changed byte, one 46-byte delta record ([2x3], V=12).
+        assert_eq!(db.stats().net_changed_bytes, 1);
+        assert_eq!(db.stats().gross_written_bytes, 46);
+        assert!((db.stats().write_amplification() - 46.0).abs() < 1e-9);
+    }
+}

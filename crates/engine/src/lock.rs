@@ -1,0 +1,165 @@
+//! Row-level lock manager (S/X, no-wait).
+//!
+//! The benchmark drivers execute transactions serially (the simulated
+//! clock, not thread concurrency, models parallel hardware), so conflicts
+//! are rare; the lock table still enforces correct S/X semantics with a
+//! no-wait policy — a conflicting request fails immediately and the caller
+//! aborts, which doubles as trivial deadlock avoidance.
+
+use std::collections::HashMap;
+
+use crate::error::EngineError;
+use crate::txn::TxId;
+use crate::Result;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read).
+    Shared,
+    /// Exclusive (write).
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    mode: LockMode,
+    holders: Vec<TxId>,
+}
+
+/// Lock keys are `(space, row)` pairs — e.g. `(table_id, primary_key)`.
+pub type LockKey = (u64, u64);
+
+/// The lock table.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<LockKey, LockEntry>,
+    /// Reverse index for fast release-all at commit/abort.
+    by_tx: HashMap<TxId, Vec<LockKey>>,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Acquire a lock, upgrading S→X when the requester is the sole holder.
+    pub fn lock(&mut self, tx: TxId, key: LockKey, mode: LockMode) -> Result<()> {
+        match self.table.get_mut(&key) {
+            None => {
+                self.table.insert(key, LockEntry { mode, holders: vec![tx] });
+                self.by_tx.entry(tx).or_default().push(key);
+                Ok(())
+            }
+            Some(entry) => {
+                if entry.holders.contains(&tx) {
+                    // Re-entrant; possibly upgrade.
+                    if mode == LockMode::Exclusive && entry.mode == LockMode::Shared {
+                        if entry.holders.len() == 1 {
+                            entry.mode = LockMode::Exclusive;
+                            return Ok(());
+                        }
+                        return Err(EngineError::LockConflict {
+                            tx,
+                            holder: *entry.holders.iter().find(|&&h| h != tx).expect("other holder"),
+                            key,
+                        });
+                    }
+                    return Ok(());
+                }
+                if entry.mode == LockMode::Shared && mode == LockMode::Shared {
+                    entry.holders.push(tx);
+                    self.by_tx.entry(tx).or_default().push(key);
+                    return Ok(());
+                }
+                Err(EngineError::LockConflict { tx, holder: entry.holders[0], key })
+            }
+        }
+    }
+
+    /// Release every lock of a transaction (commit/abort).
+    pub fn release_all(&mut self, tx: TxId) {
+        let Some(keys) = self.by_tx.remove(&tx) else { return };
+        for key in keys {
+            if let Some(entry) = self.table.get_mut(&key) {
+                entry.holders.retain(|&h| h != tx);
+                if entry.holders.is_empty() {
+                    self.table.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Locks currently held (diagnostics).
+    pub fn held_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: LockKey = (1, 42);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(1), K, LockMode::Shared).unwrap();
+        lm.lock(TxId(2), K, LockMode::Shared).unwrap();
+        assert_eq!(lm.held_count(), 1);
+    }
+
+    #[test]
+    fn exclusive_conflicts() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(1), K, LockMode::Exclusive).unwrap();
+        assert!(matches!(
+            lm.lock(TxId(2), K, LockMode::Shared),
+            Err(EngineError::LockConflict { holder: TxId(1), .. })
+        ));
+        assert!(lm.lock(TxId(2), (1, 43), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(1), K, LockMode::Shared).unwrap();
+        lm.lock(TxId(1), K, LockMode::Shared).unwrap();
+        lm.lock(TxId(1), K, LockMode::Exclusive).unwrap(); // sole holder upgrade
+        assert!(lm.lock(TxId(2), K, LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_sharer() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(1), K, LockMode::Shared).unwrap();
+        lm.lock(TxId(2), K, LockMode::Shared).unwrap();
+        assert!(matches!(
+            lm.lock(TxId(1), K, LockMode::Exclusive),
+            Err(EngineError::LockConflict { holder: TxId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(1), K, LockMode::Exclusive).unwrap();
+        lm.lock(TxId(1), (1, 43), LockMode::Shared).unwrap();
+        lm.release_all(TxId(1));
+        assert_eq!(lm.held_count(), 0);
+        lm.lock(TxId(2), K, LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn shared_release_keeps_other_holder() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(1), K, LockMode::Shared).unwrap();
+        lm.lock(TxId(2), K, LockMode::Shared).unwrap();
+        lm.release_all(TxId(1));
+        assert_eq!(lm.held_count(), 1);
+        // Tx2 can now upgrade.
+        lm.lock(TxId(2), K, LockMode::Exclusive).unwrap();
+    }
+}

@@ -1,0 +1,453 @@
+//! ARIES-style rollback and restart recovery.
+//!
+//! Restart runs the classic three passes over the WAL:
+//!
+//! 1. **Analysis** — rebuild the active-transaction table from Begin /
+//!    Commit / Abort records (starting at the log tail, which eager
+//!    log-space reclamation keeps short).
+//! 2. **Redo** — repeat history: every page action whose LSN exceeds the
+//!    on-flash PageLSN is re-applied. Pages are fetched from flash, which
+//!    *applies resident delta records first* — this is the §6.2 interplay
+//!    the paper describes: a page's last flushed state may live partly in
+//!    ISPP-appended delta records, and recovery builds on exactly that
+//!    reconstructed state.
+//! 3. **Undo** — roll back loser transactions, writing compensation
+//!    records whose redo actions make them crash-safe in turn.
+//!
+//! Index logging is physiological: node changes redo *physically* via
+//! [`LogPayload::PageWrite`] records, while undo is *logical* — rolling
+//! back an `IndexInsert` deletes the key from the current (possibly
+//! restructured) tree, emitting fresh physical records of its own.
+
+use crate::db::{Database, PageId};
+use crate::error::EngineError;
+use crate::txn::TxId;
+use crate::wal::{LogPayload, Lsn};
+use crate::Result;
+
+/// Roll back one active transaction (normal abort path and restart undo).
+pub(crate) fn rollback(db: &mut Database, tx: TxId) -> Result<()> {
+    let mut cursor = db.txns.last_lsn(tx);
+    while !cursor.is_null() {
+        let Some(rec) = db.wal.get(cursor).cloned() else { break };
+        match rec.payload {
+            LogPayload::Clr { undo_next, .. } => {
+                cursor = undo_next;
+            }
+            LogPayload::Begin { .. } => break,
+            LogPayload::Commit { .. } | LogPayload::Abort { .. } => break,
+            payload => {
+                if let Some(action) = invert(&payload) {
+                    let clr_lsn = db.log_for_tx(
+                        tx,
+                        LogPayload::Clr {
+                            tx,
+                            undone: rec.lsn,
+                            undo_next: rec.prev,
+                            action: Box::new(action.clone()),
+                        },
+                    )?;
+                    apply_action(db, clr_lsn, &action, false)?;
+                }
+                cursor = rec.prev;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The logical/physical inverse of a loggable action (None for records
+/// that need no undo).
+fn invert(payload: &LogPayload) -> Option<LogPayload> {
+    match payload {
+        LogPayload::Update { tx, page, slot, before, after } => Some(LogPayload::Update {
+            tx: *tx,
+            page: *page,
+            slot: *slot,
+            before: after.clone(),
+            after: before.clone(),
+        }),
+        LogPayload::Insert { tx, page, slot, tuple } => Some(LogPayload::Delete {
+            tx: *tx,
+            page: *page,
+            slot: *slot,
+            before: tuple.clone(),
+        }),
+        LogPayload::Delete { tx, page, slot, before } => Some(LogPayload::Undelete {
+            tx: *tx,
+            page: *page,
+            slot: *slot,
+            tuple: before.clone(),
+        }),
+        LogPayload::Undelete { tx, page, slot, tuple } => Some(LogPayload::Delete {
+            tx: *tx,
+            page: *page,
+            slot: *slot,
+            before: tuple.clone(),
+        }),
+        LogPayload::IndexInsert { tx, index, key, value } => Some(LogPayload::IndexDelete {
+            tx: *tx,
+            index: *index,
+            key: *key,
+            value: *value,
+        }),
+        LogPayload::IndexDelete { tx, index, key, value } => Some(LogPayload::IndexInsert {
+            tx: *tx,
+            index: *index,
+            key: *key,
+            value: *value,
+        }),
+        _ => None,
+    }
+}
+
+/// Fetch a page for redo; a page that never reached flash and is not
+/// buffered is re-materialized as a freshly formatted page (its entire
+/// content will be rebuilt by redo).
+fn ensure_page(db: &mut Database, pid: PageId) -> Result<()> {
+    if db.pool.contains(pid) || db.ftl.is_mapped(ipa_noftl::RegionId(pid.region), pid.lba) {
+        return Ok(());
+    }
+    let layout = db.layouts[pid.region];
+    let frame = crate::buffer::Frame {
+        page_id: pid,
+        page: ipa_core::DbPage::format(pid.lba.0, layout),
+        tracker: ipa_core::ChangeTracker::new(layout.scheme, 0, false),
+        pins: 0,
+        referenced: true,
+        rec_lsn: Lsn::NULL,
+    };
+    // Make room first.
+    if !db.pool.has_free_slot() {
+        let victim = db.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
+        db.flush_frame(victim, ipa_flash::OpOrigin::Host)?;
+        db.pool.remove(victim);
+    }
+    let idx = db.pool.insert(frame);
+    db.pool.frame_mut(idx).expect("inserted").tracker.mark_out_of_place();
+    Ok(())
+}
+
+/// Apply one action physically. During redo (`check_lsn = true`) the
+/// action is skipped when the page already reflects it.
+fn apply_action(db: &mut Database, lsn: Lsn, action: &LogPayload, check_lsn: bool) -> Result<()> {
+    match action {
+        LogPayload::Update { page, slot, after, .. } => {
+            ensure_page(db, *page)?;
+            db.with_page_mut(*page, |p, t| {
+                if check_lsn && p.lsn() >= lsn.0 {
+                    return Ok(());
+                }
+                p.update_tuple(*slot, after, t)?;
+                p.set_lsn(lsn.0, t);
+                Ok(())
+            })
+        }
+        LogPayload::Insert { page, slot, tuple, .. } => {
+            ensure_page(db, *page)?;
+            db.with_page_mut(*page, |p, t| {
+                if check_lsn && p.lsn() >= lsn.0 {
+                    return Ok(());
+                }
+                let got = p.insert_tuple(tuple, t)?;
+                debug_assert_eq!(got, *slot, "deterministic slot assignment on redo");
+                p.set_lsn(lsn.0, t);
+                Ok(())
+            })
+        }
+        LogPayload::Delete { page, slot, .. } => {
+            ensure_page(db, *page)?;
+            db.with_page_mut(*page, |p, t| {
+                if check_lsn && p.lsn() >= lsn.0 {
+                    return Ok(());
+                }
+                p.delete_tuple(*slot, t)?;
+                p.set_lsn(lsn.0, t);
+                Ok(())
+            })
+        }
+        LogPayload::Undelete { page, slot, tuple, .. } => {
+            ensure_page(db, *page)?;
+            db.with_page_mut(*page, |p, t| {
+                if check_lsn && p.lsn() >= lsn.0 {
+                    return Ok(());
+                }
+                p.undelete_tuple(*slot, tuple, t)?;
+                p.set_lsn(lsn.0, t);
+                Ok(())
+            })
+        }
+        LogPayload::IndexInsert { tx, index, key, value } => {
+            // Logical compensation (undo of an IndexDelete): re-insert,
+            // logging the node changes physically under the same tx.
+            if db.index_lookup(*index, *key)?.is_none() {
+                db.index_insert_physical(Some(*tx), *index, *key, *value)?;
+            }
+            Ok(())
+        }
+        LogPayload::IndexDelete { tx, index, key, .. } => {
+            db.index_delete_physical(Some(*tx), *index, *key)?;
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+impl Database {
+    /// Simulate a crash: the buffer pool vanishes, the unflushed log
+    /// suffix is lost, locks and the transaction table evaporate. Flash
+    /// contents (including ISPP-appended delta records) survive.
+    pub fn simulate_crash(&mut self) {
+        self.pool.clear();
+        self.wal.lose_unflushed();
+        self.locks = crate::lock::LockManager::new();
+        // Active transactions are rediscovered by analysis.
+        let active: Vec<TxId> = self.txns.snapshot().into_iter().map(|(t, _)| t).collect();
+        for tx in active {
+            self.txns.finish(tx);
+        }
+    }
+
+    /// ARIES restart: analysis, redo, undo.
+    pub fn recover(&mut self) -> Result<()> {
+        // --- Analysis ---
+        let start = self.wal.tail();
+        let mut losers: std::collections::HashMap<TxId, Lsn> = std::collections::HashMap::new();
+        let records: Vec<_> = self.wal.iter_from(start).cloned().collect();
+        for rec in &records {
+            match &rec.payload {
+                LogPayload::Commit { tx } | LogPayload::Abort { tx } => {
+                    losers.remove(tx);
+                }
+                LogPayload::EndCheckpoint { active, .. } => {
+                    for (tx, last) in active {
+                        losers.entry(*tx).or_insert(*last);
+                    }
+                }
+                other => {
+                    if let Some(tx) = other.tx() {
+                        losers.insert(tx, rec.lsn);
+                    }
+                }
+            }
+        }
+        // --- Redo: repeat history ---
+        for rec in &records {
+            match &rec.payload {
+                // CLRs redo their compensation — but only page-level
+                // actions; index compensations were already logged as
+                // physical PageWrite records of their own.
+                LogPayload::Clr { action, .. } => if let a @ (LogPayload::Update { .. }
+                    | LogPayload::Insert { .. }
+                    | LogPayload::Delete { .. }
+                    | LogPayload::Undelete { .. }) = action.as_ref() { apply_action(self, rec.lsn, a, true)? },
+                payload @ (LogPayload::Update { .. }
+                | LogPayload::Insert { .. }
+                | LogPayload::Delete { .. }
+                | LogPayload::Undelete { .. }) => apply_action(self, rec.lsn, payload, true)?,
+                LogPayload::PageWrite { page, offset, after, .. } => {
+                    ensure_page(self, *page)?;
+                    let lsn = rec.lsn;
+                    let (offset, after) = (*offset as usize, after.clone());
+                    self.with_page_mut(*page, |p, t| {
+                        if p.lsn() >= lsn.0 {
+                            return Ok(());
+                        }
+                        p.write_body(offset, &after, t);
+                        p.set_lsn(lsn.0, t);
+                        Ok(())
+                    })?;
+                }
+                LogPayload::RootChange { index, new_root, .. } => {
+                    self.indexes[*index as usize].root = *new_root;
+                }
+                // Logical index records are undo-only.
+                LogPayload::IndexInsert { .. } | LogPayload::IndexDelete { .. } => {}
+                _ => {}
+            }
+        }
+        // --- Undo losers ---
+        let mut losers: Vec<(TxId, Lsn)> = losers.into_iter().collect();
+        losers.sort_by_key(|(t, _)| std::cmp::Reverse(t.0));
+        for (tx, last) in losers {
+            self.txns.register_recovered(tx, last);
+            rollback(self, tx)?;
+            let lsn = self.log_for_tx(tx, LogPayload::Abort { tx })?;
+            self.wal.flush_to(lsn);
+            self.txns.finish(tx);
+            self.stats.aborts += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::tests::test_db;
+    use crate::error::EngineError;
+    use ipa_core::NxM;
+
+    #[test]
+    fn abort_rolls_back_update() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, &[1u8, 2, 3]).unwrap();
+        db.commit(tx).unwrap();
+
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, &[9u8, 9, 9]).unwrap();
+        db.abort(tx).unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1, 2, 3]);
+        assert_eq!(db.stats().aborts, 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_insert_and_delete() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let keep = db.heap_insert(tx, heap, b"keep").unwrap();
+        db.commit(tx).unwrap();
+
+        let tx = db.begin();
+        let gone = db.heap_insert(tx, heap, b"gone").unwrap();
+        db.heap_delete(tx, heap, keep).unwrap();
+        db.abort(tx).unwrap();
+        assert!(matches!(db.heap_read_unlocked(gone), Err(EngineError::BadRid(_))));
+        assert_eq!(db.heap_read_unlocked(keep).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn crash_recovery_redoes_committed_work() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, &[1u8, 1, 1, 1]).unwrap();
+        db.commit(tx).unwrap();
+        db.flush_all().unwrap();
+
+        // Committed update that never reached flash as a page write.
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, &[2u8, 1, 1, 1]).unwrap();
+        db.commit(tx).unwrap();
+
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn crash_recovery_undoes_loser() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, &[5u8, 5]).unwrap();
+        db.commit(tx).unwrap();
+        db.flush_all().unwrap();
+
+        // Loser: updates, log flushed (so the update survives the crash in
+        // the log), page flushed too (steal) — undo must revert it.
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, &[7u8, 5]).unwrap();
+        db.flush_all().unwrap(); // steal: dirty page reaches flash
+        db.wal.flush_to(db.wal.head());
+
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![5, 5]);
+        assert!(db.stats().aborts >= 1);
+    }
+
+    #[test]
+    fn recovery_over_delta_records_on_flash() {
+        // The §6.2 scenario: the page's latest flushed state lives partly
+        // in ISPP-appended delta records; recovery must reconstruct from
+        // them before redo.
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, &[9u8, 7, 7, 7]).unwrap();
+        db.commit(tx).unwrap();
+        db.flush_all().unwrap(); // out-of-place (fresh page)
+
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, &[3u8, 7, 7, 7]).unwrap();
+        db.commit(tx).unwrap();
+        db.flush_all().unwrap(); // IPA append
+        assert!(db.stats().ipa_flushes >= 1);
+
+        // Another committed update, in the log only.
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, &[4u8, 7, 7, 7]).unwrap();
+        db.commit(tx).unwrap();
+
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![4, 7, 7, 7]);
+    }
+
+    #[test]
+    fn uncommitted_unflushed_work_simply_vanishes() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, b"base").unwrap();
+        db.commit(tx).unwrap();
+        db.flush_all().unwrap();
+        db.wal.flush_to(db.wal.head());
+
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, b"temp").unwrap();
+        // Neither the log suffix nor the page flushed.
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), b"base");
+    }
+
+    #[test]
+    fn index_ops_rollback_on_abort() {
+        let mut db = test_db(NxM::disabled(), 32);
+        let idx = db.create_index(0).unwrap();
+        let tx = db.begin();
+        db.index_insert(tx, idx, 10, 100).unwrap();
+        db.commit(tx).unwrap();
+
+        let tx = db.begin();
+        db.index_insert(tx, idx, 20, 200).unwrap();
+        db.index_delete(tx, idx, 10).unwrap();
+        db.abort(tx).unwrap();
+        assert_eq!(db.index_lookup(idx, 20).unwrap(), None);
+        assert_eq!(db.index_lookup(idx, 10).unwrap(), Some(100));
+    }
+
+    #[test]
+    fn index_recovery_after_crash() {
+        let mut db = test_db(NxM::disabled(), 32);
+        let idx = db.create_index(0).unwrap();
+        let tx = db.begin();
+        for k in 0..50u64 {
+            db.index_insert(tx, idx, k, k).unwrap();
+        }
+        db.commit(tx).unwrap();
+        db.simulate_crash();
+        db.recover().unwrap();
+        for k in 0..50u64 {
+            assert_eq!(db.index_lookup(idx, k).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn double_crash_is_idempotent() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, &[1u8]).unwrap();
+        db.commit(tx).unwrap();
+        db.simulate_crash();
+        db.recover().unwrap();
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Transaction table.
+
+use std::collections::HashMap;
+
+use crate::wal::Lsn;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u64);
+
+/// State of one active transaction.
+#[derive(Debug, Clone)]
+pub struct TxInfo {
+    /// Most recent log record of this transaction (head of the undo chain).
+    pub last_lsn: Lsn,
+}
+
+/// The active-transaction table.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    next: u64,
+    active: HashMap<TxId, TxInfo>,
+}
+
+impl TxnTable {
+    /// An empty table; transaction ids start at 1.
+    pub fn new() -> Self {
+        TxnTable { next: 1, active: HashMap::new() }
+    }
+
+    /// Start a transaction.
+    pub fn begin(&mut self) -> TxId {
+        let tx = TxId(self.next);
+        self.next += 1;
+        self.active.insert(tx, TxInfo { last_lsn: Lsn::NULL });
+        tx
+    }
+
+    /// Whether a transaction is active.
+    pub fn is_active(&self, tx: TxId) -> bool {
+        self.active.contains_key(&tx)
+    }
+
+    /// Last LSN of an active transaction (null if unknown).
+    pub fn last_lsn(&self, tx: TxId) -> Lsn {
+        self.active.get(&tx).map_or(Lsn::NULL, |i| i.last_lsn)
+    }
+
+    /// Update the undo-chain head after appending a log record.
+    pub fn set_last_lsn(&mut self, tx: TxId, lsn: Lsn) {
+        if let Some(info) = self.active.get_mut(&tx) {
+            info.last_lsn = lsn;
+        }
+    }
+
+    /// Remove a finished transaction.
+    pub fn finish(&mut self, tx: TxId) {
+        self.active.remove(&tx);
+    }
+
+    /// Snapshot of active transactions (for checkpoints).
+    pub fn snapshot(&self) -> Vec<(TxId, Lsn)> {
+        let mut v: Vec<_> = self.active.iter().map(|(&t, i)| (t, i.last_lsn)).collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Re-register a transaction discovered during recovery analysis.
+    pub fn register_recovered(&mut self, tx: TxId, last_lsn: Lsn) {
+        self.next = self.next.max(tx.0 + 1);
+        self.active.insert(tx, TxInfo { last_lsn });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = TxnTable::new();
+        let a = t.begin();
+        let b = t.begin();
+        assert_ne!(a, b);
+        assert!(t.is_active(a));
+        t.set_last_lsn(a, Lsn(5));
+        assert_eq!(t.last_lsn(a), Lsn(5));
+        assert_eq!(t.last_lsn(b), Lsn::NULL);
+        t.finish(a);
+        assert!(!t.is_active(a));
+        assert_eq!(t.active_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut t = TxnTable::new();
+        let a = t.begin();
+        let b = t.begin();
+        t.set_last_lsn(b, Lsn(9));
+        let snap = t.snapshot();
+        assert_eq!(snap, vec![(a, Lsn::NULL), (b, Lsn(9))]);
+    }
+
+    #[test]
+    fn recovered_tx_bumps_next_id() {
+        let mut t = TxnTable::new();
+        t.register_recovered(TxId(100), Lsn(7));
+        let fresh = t.begin();
+        assert!(fresh.0 > 100);
+        assert_eq!(t.last_lsn(TxId(100)), Lsn(7));
+    }
+}

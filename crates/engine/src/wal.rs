@@ -1,0 +1,430 @@
+//! ARIES-style write-ahead log.
+//!
+//! Physical REDO/UNDO records at tuple granularity plus logical index
+//! records, with per-transaction backward chains, compensation records
+//! (CLRs) and fuzzy checkpoints. The log device itself is not simulated:
+//! Shore-MT in the paper's testbed logs to a separate device, so log I/O
+//! does not compete with the flash under test — only its *space* matters,
+//! because eager log-space reclamation forces dirty-page flushes (§8.4,
+//! "Why does the DBMS write even with 90% buffer size?").
+
+use crate::db::PageId;
+use crate::txn::TxId;
+use ipa_core::SlotId;
+
+/// Log sequence number. `Lsn(0)` is the null LSN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN (no record).
+    pub const NULL: Lsn = Lsn(0);
+
+    /// Whether this is a real record reference.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The body of one log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogPayload {
+    /// Transaction start.
+    Begin {
+        /// Transaction id.
+        tx: TxId,
+    },
+    /// Tuple update (physical before/after images).
+    Update {
+        /// Transaction id.
+        tx: TxId,
+        /// Affected page.
+        page: PageId,
+        /// Affected slot.
+        slot: SlotId,
+        /// Before image.
+        before: Vec<u8>,
+        /// After image.
+        after: Vec<u8>,
+    },
+    /// Tuple insert.
+    Insert {
+        /// Transaction id.
+        tx: TxId,
+        /// Affected page.
+        page: PageId,
+        /// Slot the tuple landed in.
+        slot: SlotId,
+        /// Tuple image.
+        tuple: Vec<u8>,
+    },
+    /// Tuple delete (mark-delete; before image kept for undo).
+    Delete {
+        /// Transaction id.
+        tx: TxId,
+        /// Affected page.
+        page: PageId,
+        /// Affected slot.
+        slot: SlotId,
+        /// Before image.
+        before: Vec<u8>,
+    },
+    /// Logical index insert (redo re-inserts if absent).
+    IndexInsert {
+        /// Transaction id.
+        tx: TxId,
+        /// Index identifier (catalog-scoped).
+        index: u32,
+        /// Key.
+        key: u64,
+        /// Value (encoded RID).
+        value: u64,
+    },
+    /// Logical index delete.
+    IndexDelete {
+        /// Transaction id.
+        tx: TxId,
+        /// Index identifier.
+        index: u32,
+        /// Key.
+        key: u64,
+        /// Value (encoded RID).
+        value: u64,
+    },
+    /// Physical redo-only page write (physiological logging for B+-tree
+    /// node changes: physical REDO here, logical UNDO via
+    /// [`LogPayload::IndexInsert`]/[`LogPayload::IndexDelete`]). Never
+    /// undone — rollback skips it.
+    PageWrite {
+        /// Transaction id.
+        tx: TxId,
+        /// Affected page.
+        page: PageId,
+        /// Absolute byte offset of the written range.
+        offset: u32,
+        /// Bytes written.
+        after: Vec<u8>,
+    },
+    /// Redo-only root-pointer change of an index (tree growth). Never
+    /// undone: a one-level-deeper tree remains correct after logical undo.
+    RootChange {
+        /// Transaction id.
+        tx: TxId,
+        /// Index identifier.
+        index: u32,
+        /// New root page.
+        new_root: PageId,
+    },
+    /// Undo of a delete: the tuple reappears in its original slot (the
+    /// slot offset survives mark-delete). Appears only inside CLR actions.
+    Undelete {
+        /// Transaction id.
+        tx: TxId,
+        /// Affected page.
+        page: PageId,
+        /// Affected slot.
+        slot: SlotId,
+        /// Restored tuple image.
+        tuple: Vec<u8>,
+    },
+    /// Compensation record: `undone` has been rolled back by applying
+    /// `action`; on restart-undo continue at `undo_next`. Carrying the
+    /// compensation's redo action makes CLRs redo-able (ARIES).
+    Clr {
+        /// Transaction id.
+        tx: TxId,
+        /// LSN of the record this CLR compensates.
+        undone: Lsn,
+        /// Next record to undo for this transaction.
+        undo_next: Lsn,
+        /// The physical/logical effect of the compensation.
+        action: Box<LogPayload>,
+    },
+    /// Transaction commit.
+    Commit {
+        /// Transaction id.
+        tx: TxId,
+    },
+    /// Transaction abort completed (all changes rolled back).
+    Abort {
+        /// Transaction id.
+        tx: TxId,
+    },
+    /// Fuzzy checkpoint begin.
+    BeginCheckpoint,
+    /// Fuzzy checkpoint end: active transactions and the dirty page table.
+    EndCheckpoint {
+        /// Active transactions with their last LSN.
+        active: Vec<(TxId, Lsn)>,
+        /// Dirty pages with their recovery LSN.
+        dirty: Vec<(PageId, Lsn)>,
+    },
+}
+
+impl LogPayload {
+    /// Transaction this record belongs to, if any.
+    pub fn tx(&self) -> Option<TxId> {
+        match self {
+            LogPayload::Begin { tx }
+            | LogPayload::Update { tx, .. }
+            | LogPayload::Insert { tx, .. }
+            | LogPayload::Delete { tx, .. }
+            | LogPayload::Undelete { tx, .. }
+            | LogPayload::PageWrite { tx, .. }
+            | LogPayload::RootChange { tx, .. }
+            | LogPayload::IndexInsert { tx, .. }
+            | LogPayload::IndexDelete { tx, .. }
+            | LogPayload::Clr { tx, .. }
+            | LogPayload::Commit { tx }
+            | LogPayload::Abort { tx } => Some(*tx),
+            LogPayload::BeginCheckpoint | LogPayload::EndCheckpoint { .. } => None,
+        }
+    }
+
+    /// Approximate on-disk size of the record, used for log-space
+    /// accounting.
+    pub fn size_bytes(&self) -> usize {
+        let body = match self {
+            LogPayload::Update { before, after, .. } => before.len() + after.len(),
+            LogPayload::Insert { tuple, .. } | LogPayload::Undelete { tuple, .. } => tuple.len(),
+            LogPayload::Delete { before, .. } => before.len(),
+            LogPayload::PageWrite { after, .. } => after.len(),
+            LogPayload::Clr { action, .. } => action.size_bytes(),
+            LogPayload::EndCheckpoint { active, dirty } => active.len() * 16 + dirty.len() * 24,
+            _ => 0,
+        };
+        32 + body
+    }
+}
+
+/// One log record: LSN, backward same-transaction chain, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// This record's LSN.
+    pub lsn: Lsn,
+    /// Previous record of the same transaction (null for the first).
+    pub prev: Lsn,
+    /// Body.
+    pub payload: LogPayload,
+}
+
+/// The write-ahead log: an append-only record store with space accounting,
+/// group flush and truncation.
+#[derive(Debug)]
+pub struct Wal {
+    records: Vec<LogRecord>,
+    /// LSN of the first retained record (everything below is truncated).
+    tail: Lsn,
+    next: u64,
+    flushed: Lsn,
+    used_bytes: usize,
+    capacity_bytes: usize,
+    last_checkpoint: Option<Lsn>,
+}
+
+impl Wal {
+    /// A log with the given capacity budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Wal {
+            records: Vec::new(),
+            tail: Lsn(1),
+            next: 1,
+            flushed: Lsn::NULL,
+            used_bytes: 0,
+            capacity_bytes,
+            last_checkpoint: None,
+        }
+    }
+
+    /// Append a record, returning its LSN.
+    pub fn append(&mut self, prev: Lsn, payload: LogPayload) -> Lsn {
+        let lsn = Lsn(self.next);
+        self.next += 1;
+        self.used_bytes += payload.size_bytes();
+        if matches!(payload, LogPayload::EndCheckpoint { .. }) {
+            self.last_checkpoint = Some(lsn);
+        }
+        self.records.push(LogRecord { lsn, prev, payload });
+        lsn
+    }
+
+    /// Durably flush the log up to `lsn` (the WAL rule: call before writing
+    /// a page whose PageLSN is `lsn`).
+    pub fn flush_to(&mut self, lsn: Lsn) {
+        self.flushed = self.flushed.max(lsn);
+    }
+
+    /// Highest durably flushed LSN.
+    pub fn flushed(&self) -> Lsn {
+        self.flushed
+    }
+
+    /// Highest assigned LSN.
+    pub fn head(&self) -> Lsn {
+        Lsn(self.next - 1)
+    }
+
+    /// First retained LSN.
+    pub fn tail(&self) -> Lsn {
+        self.tail
+    }
+
+    /// Fraction of the capacity budget in use.
+    pub fn used_fraction(&self) -> f64 {
+        self.used_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Bytes currently retained.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// LSN of the most recent completed checkpoint, if retained.
+    pub fn last_checkpoint(&self) -> Option<Lsn> {
+        self.last_checkpoint
+    }
+
+    /// Fetch a record by LSN (`None` if truncated or not yet written).
+    pub fn get(&self, lsn: Lsn) -> Option<&LogRecord> {
+        if lsn.is_null() || lsn < self.tail || lsn.0 >= self.next {
+            return None;
+        }
+        let idx = (lsn.0 - self.tail.0) as usize;
+        self.records.get(idx)
+    }
+
+    /// Iterate records with `lsn >= from` in LSN order.
+    pub fn iter_from(&self, from: Lsn) -> impl Iterator<Item = &LogRecord> {
+        let start = from.max(self.tail);
+        let idx = (start.0.saturating_sub(self.tail.0)) as usize;
+        self.records[idx.min(self.records.len())..].iter()
+    }
+
+    /// Drop all records below `lsn` (log-space reclamation after the dirty
+    /// pages they cover have been flushed).
+    pub fn truncate_to(&mut self, lsn: Lsn) {
+        if lsn <= self.tail {
+            return;
+        }
+        let keep_from = (lsn.0 - self.tail.0).min(self.records.len() as u64) as usize;
+        let dropped: usize = self.records[..keep_from].iter().map(|r| r.payload.size_bytes()).sum();
+        self.records.drain(..keep_from);
+        self.used_bytes -= dropped;
+        self.tail = lsn;
+        if self.last_checkpoint.is_some_and(|c| c < lsn) {
+            self.last_checkpoint = None;
+        }
+    }
+
+    /// Simulate losing the unflushed log suffix in a crash: every record
+    /// above [`Wal::flushed`] disappears.
+    pub fn lose_unflushed(&mut self) {
+        let keep = self
+            .records
+            .iter()
+            .position(|r| r.lsn > self.flushed)
+            .unwrap_or(self.records.len());
+        let lost: usize = self.records[keep..].iter().map(|r| r.payload.size_bytes()).sum();
+        self.records.truncate(keep);
+        self.used_bytes -= lost;
+        self.next = self.flushed.0.max(self.tail.0.saturating_sub(1)) + 1;
+        if self.last_checkpoint.is_some_and(|c| c > self.flushed) {
+            self.last_checkpoint = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(tx: u64) -> LogPayload {
+        LogPayload::Update {
+            tx: TxId(tx),
+            page: PageId::new(0, 0),
+            slot: SlotId(0),
+            before: vec![1, 2],
+            after: vec![3, 4],
+        }
+    }
+
+    #[test]
+    fn append_assigns_monotone_lsns() {
+        let mut wal = Wal::new(1 << 20);
+        let a = wal.append(Lsn::NULL, LogPayload::Begin { tx: TxId(1) });
+        let b = wal.append(a, upd(1));
+        assert!(b > a);
+        assert_eq!(wal.head(), b);
+        assert_eq!(wal.get(b).unwrap().prev, a);
+    }
+
+    #[test]
+    fn flush_tracks_high_water_mark() {
+        let mut wal = Wal::new(1 << 20);
+        let a = wal.append(Lsn::NULL, upd(1));
+        wal.flush_to(a);
+        wal.flush_to(Lsn(0));
+        assert_eq!(wal.flushed(), a);
+    }
+
+    #[test]
+    fn space_accounting_and_truncation() {
+        let mut wal = Wal::new(1000);
+        for _ in 0..10 {
+            wal.append(Lsn::NULL, upd(1));
+        }
+        let used = wal.used_bytes();
+        assert_eq!(used, 10 * (32 + 4));
+        assert!(wal.used_fraction() > 0.3);
+        wal.truncate_to(Lsn(6));
+        assert_eq!(wal.used_bytes(), 5 * 36);
+        assert_eq!(wal.tail(), Lsn(6));
+        assert!(wal.get(Lsn(3)).is_none());
+        assert!(wal.get(Lsn(6)).is_some());
+    }
+
+    #[test]
+    fn iter_from_respects_truncation() {
+        let mut wal = Wal::new(1 << 20);
+        for _ in 0..10 {
+            wal.append(Lsn::NULL, upd(1));
+        }
+        wal.truncate_to(Lsn(4));
+        let lsns: Vec<u64> = wal.iter_from(Lsn(1)).map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, (4..=10).collect::<Vec<_>>());
+        let lsns: Vec<u64> = wal.iter_from(Lsn(8)).map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn checkpoint_lsn_tracked() {
+        let mut wal = Wal::new(1 << 20);
+        wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
+        let end = wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active: vec![], dirty: vec![] });
+        assert_eq!(wal.last_checkpoint(), Some(end));
+        wal.truncate_to(Lsn(end.0 + 1));
+        assert_eq!(wal.last_checkpoint(), None);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_suffix() {
+        let mut wal = Wal::new(1 << 20);
+        let a = wal.append(Lsn::NULL, upd(1));
+        let _b = wal.append(a, upd(1));
+        let _c = wal.append(Lsn::NULL, upd(2));
+        wal.flush_to(a);
+        wal.lose_unflushed();
+        assert_eq!(wal.head(), a);
+        assert!(wal.get(Lsn(2)).is_none());
+        assert!(wal.get(a).is_some());
+        // New appends continue after the surviving prefix.
+        let d = wal.append(a, upd(1));
+        assert_eq!(d, Lsn(2));
+    }
+
+    #[test]
+    fn payload_tx_extraction() {
+        assert_eq!(upd(7).tx(), Some(TxId(7)));
+        assert_eq!(LogPayload::BeginCheckpoint.tx(), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! The flash block: the erase unit.
+
+use crate::error::FlashError;
+use crate::page::PageData;
+
+/// Coarse state of a block, tracked for the management layer's benefit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// All pages erased.
+    Free,
+    /// At least one page programmed.
+    InUse,
+    /// Endurance limit reached; further erases fail.
+    WornOut,
+}
+
+/// One erase unit: a run of pages sharing bitlines (paper §3).
+#[derive(Debug, Clone)]
+pub struct Block {
+    pages: Vec<PageData>,
+    erase_count: u64,
+    state: BlockState,
+}
+
+impl Block {
+    /// A fresh block with `pages_per_block` erased pages.
+    pub fn new(pages_per_block: u32, page_size: usize, oob_size: usize) -> Self {
+        Block {
+            pages: (0..pages_per_block).map(|_| PageData::erased(page_size, oob_size)).collect(),
+            erase_count: 0,
+            state: BlockState::Free,
+        }
+    }
+
+    /// Erase cycles performed on this block so far.
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Current coarse state.
+    pub fn state(&self) -> BlockState {
+        self.state
+    }
+
+    /// Immutable access to a page (panics on out-of-range index; callers
+    /// validate against the geometry first).
+    pub fn page(&self, page: u32) -> &PageData {
+        &self.pages[page as usize]
+    }
+
+    /// Mutable access to a page for the device's program paths.
+    pub(crate) fn page_mut(&mut self, page: u32) -> &mut PageData {
+        self.state = BlockState::InUse;
+        &mut self.pages[page as usize]
+    }
+
+    /// Erase the whole block, resetting every page. Fails once the endurance
+    /// limit is reached; the failing erase is counted as the wearing-out
+    /// cycle.
+    pub(crate) fn erase(&mut self, chip: u32, block: u32, endurance: u64) -> Result<(), FlashError> {
+        if self.erase_count >= endurance {
+            self.state = BlockState::WornOut;
+            return Err(FlashError::BlockWornOut { chip, block, cycles: self.erase_count });
+        }
+        for p in &mut self.pages {
+            p.erase();
+        }
+        self.erase_count += 1;
+        self.state = BlockState::Free;
+        Ok(())
+    }
+
+    /// Number of pages currently programmed in this block.
+    pub fn programmed_pages(&self) -> u32 {
+        self.pages.iter().filter(|p| p.state().is_programmed()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Ppa;
+    use crate::page::PageState;
+
+    #[test]
+    fn new_block_is_free_with_erased_pages() {
+        let b = Block::new(4, 128, 8);
+        assert_eq!(b.state(), BlockState::Free);
+        assert_eq!(b.erase_count(), 0);
+        assert_eq!(b.programmed_pages(), 0);
+        for p in 0..4 {
+            assert_eq!(b.page(p).state(), PageState::Erased);
+        }
+    }
+
+    #[test]
+    fn programming_marks_in_use_and_erase_resets() {
+        let mut b = Block::new(4, 128, 8);
+        b.page_mut(1).program(Ppa::new(0, 0, 1), &[0u8; 128]).unwrap();
+        assert_eq!(b.state(), BlockState::InUse);
+        assert_eq!(b.programmed_pages(), 1);
+        b.erase(0, 0, 100).unwrap();
+        assert_eq!(b.state(), BlockState::Free);
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.programmed_pages(), 0);
+    }
+
+    #[test]
+    fn erase_respects_endurance() {
+        let mut b = Block::new(1, 16, 4);
+        b.erase(0, 0, 2).unwrap();
+        b.erase(0, 0, 2).unwrap();
+        let err = b.erase(0, 7, 2).unwrap_err();
+        assert_eq!(err, FlashError::BlockWornOut { chip: 0, block: 7, cycles: 2 });
+        assert_eq!(b.state(), BlockState::WornOut);
+    }
+
+}

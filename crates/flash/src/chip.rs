@@ -1,0 +1,82 @@
+//! One flash chip: an array of blocks plus wear bookkeeping.
+
+use crate::block::Block;
+use crate::geometry::FlashGeometry;
+
+/// A single flash chip (the unit of I/O parallelism).
+#[derive(Debug)]
+pub struct Chip {
+    blocks: Vec<Block>,
+}
+
+impl Chip {
+    /// A chip with all blocks erased per the geometry.
+    pub fn new(geometry: &FlashGeometry) -> Self {
+        Chip {
+            blocks: (0..geometry.blocks_per_chip)
+                .map(|_| Block::new(geometry.pages_per_block, geometry.page_size, geometry.oob_size))
+                .collect(),
+        }
+    }
+
+    /// Immutable block access.
+    pub fn block(&self, block: u32) -> &Block {
+        &self.blocks[block as usize]
+    }
+
+    /// Mutable block access for the device.
+    pub(crate) fn block_mut(&mut self, block: u32) -> &mut Block {
+        &mut self.blocks[block as usize]
+    }
+
+    /// Total erase cycles performed across all blocks of the chip.
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(Block::erase_count).sum()
+    }
+
+    /// Highest per-block erase count (wear-leveling metric).
+    pub fn max_erase_count(&self) -> u64 {
+        self.blocks.iter().map(Block::erase_count).max().unwrap_or(0)
+    }
+
+    /// Lowest per-block erase count (wear-leveling metric).
+    pub fn min_erase_count(&self) -> u64 {
+        self.blocks.iter().map(Block::erase_count).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CellType;
+
+    fn geom() -> FlashGeometry {
+        FlashGeometry {
+            chips: 1,
+            blocks_per_chip: 3,
+            pages_per_block: 4,
+            page_size: 64,
+            oob_size: 16,
+            cell_type: CellType::Slc,
+        }
+    }
+
+    #[test]
+    fn fresh_chip_has_no_wear() {
+        let c = Chip::new(&geom());
+        assert_eq!(c.total_erases(), 0);
+        assert_eq!(c.max_erase_count(), 0);
+        assert_eq!(c.min_erase_count(), 0);
+    }
+
+    #[test]
+    fn wear_metrics_track_erases() {
+        let mut c = Chip::new(&geom());
+        c.block_mut(0).erase(0, 0, 1000).unwrap();
+        c.block_mut(0).erase(0, 0, 1000).unwrap();
+        c.block_mut(2).erase(0, 2, 1000).unwrap();
+        assert_eq!(c.total_erases(), 3);
+        assert_eq!(c.max_erase_count(), 2);
+        assert_eq!(c.min_erase_count(), 0);
+    }
+}

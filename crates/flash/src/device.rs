@@ -1,0 +1,749 @@
+//! The flash device: chips behind a command interface with timing, wear,
+//! reliability and statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::chip::Chip;
+use crate::error::FlashError;
+use crate::geometry::{CellType, FlashGeometry, PageKind, Ppa};
+use crate::page::PageState;
+use crate::reliability::{BitError, ErrorKind, ErrorLedger, ReadOutcome, ReliabilityConfig};
+use crate::stats::FlashStats;
+use crate::timing::{ChipSchedule, FlashTiming, HostProfile, SimClock, NANOS_PER_MILLI};
+use crate::Result;
+
+/// Whether an operation is issued on behalf of the host or by the flash
+/// management layer (GC, wear leveling, cleaners). The origin decides both
+/// the statistics bucket and the scheduling policy: host operations are
+/// synchronous (they advance the simulated host clock by their full waiting
+/// + execution time), background operations only occupy chip time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOrigin {
+    /// Host-issued synchronous I/O (a DBMS read, or a blocking eviction
+    /// write): waits for the chip and advances the host clock.
+    Host,
+    /// Host-issued asynchronous I/O (background cleaner / checkpoint
+    /// writes under a steal/no-force policy): counted as host work and
+    /// latency-tracked, but only occupies chip time — the host clock does
+    /// not block on it.
+    HostAsync,
+    /// Internal (garbage collection migration, wear leveling, refresh).
+    Background,
+}
+
+/// Timing outcome of a single flash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult {
+    /// Host-visible latency in nanoseconds (wait + execution).
+    pub latency_ns: u64,
+    /// Absolute simulated completion time.
+    pub completed_at_ns: u64,
+    /// ECC outcome for reads; `ReadOutcome::Clean` for non-read operations.
+    pub read_outcome: ReadOutcome,
+}
+
+/// Full configuration of a simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashConfig {
+    /// Physical organization.
+    pub geometry: FlashGeometry,
+    /// Operation latencies.
+    pub timing: FlashTiming,
+    /// Host dispatch profile.
+    pub host_profile: HostProfile,
+    /// Bit-error model.
+    pub reliability: ReliabilityConfig,
+    /// Override of the per-page append budget (defaults to the cell type's
+    /// [`CellType::max_appends`]).
+    pub max_appends: Option<u32>,
+    /// Override of the per-block endurance limit (defaults to the cell
+    /// type's [`CellType::endurance_limit`]); benchmarks shrink it to reach
+    /// wear-out quickly.
+    pub endurance_limit: Option<u64>,
+    /// Back-pressure bound: background and asynchronous host operations may
+    /// run at most this far ahead of the host clock. A saturated device
+    /// stalls its submitters (bounded queue depth), transferring overload
+    /// into simulated time — without this, background work would race
+    /// arbitrarily far ahead and every foreground read would appear to wait
+    /// behind an unbounded queue.
+    pub backpressure_ns: u64,
+}
+
+impl FlashConfig {
+    /// A small SLC device for unit tests and examples: 1 chip, 64 blocks of
+    /// 64 × 4 KiB pages (16 MiB).
+    pub fn small_slc() -> Self {
+        FlashConfig {
+            geometry: FlashGeometry {
+                chips: 1,
+                blocks_per_chip: 64,
+                pages_per_block: 64,
+                page_size: 4096,
+                oob_size: 128,
+                cell_type: CellType::Slc,
+            },
+            timing: FlashTiming::slc(),
+            host_profile: HostProfile::Emulator,
+            reliability: ReliabilityConfig::default(),
+            max_appends: None,
+            endurance_limit: None,
+            backpressure_ns: 5 * NANOS_PER_MILLI,
+        }
+    }
+
+    /// The paper's real-time Flash emulator profile (§8.1): 16 SLC chips,
+    /// page-parallel host dispatch. Block/page counts are parameters so
+    /// experiments can scale the device to their database size.
+    pub fn emulator_slc(blocks_per_chip: u32, pages_per_block: u32, page_size: usize) -> Self {
+        FlashConfig {
+            geometry: FlashGeometry {
+                chips: 16,
+                blocks_per_chip,
+                pages_per_block,
+                page_size,
+                oob_size: 128,
+                cell_type: CellType::Slc,
+            },
+            timing: FlashTiming::slc(),
+            host_profile: HostProfile::Emulator,
+            reliability: ReliabilityConfig::default(),
+            max_appends: None,
+            endurance_limit: None,
+            backpressure_ns: 5 * NANOS_PER_MILLI,
+        }
+    }
+
+    /// The OpenSSD Jasmine profile (Appendix D): MLC flash, 8 dual-die
+    /// packages modelled as 8 chips, but host-visible parallelism of one
+    /// (no NCQ).
+    pub fn openssd_mlc(blocks_per_chip: u32, pages_per_block: u32, page_size: usize) -> Self {
+        FlashConfig {
+            geometry: FlashGeometry {
+                chips: 8,
+                blocks_per_chip,
+                pages_per_block,
+                page_size,
+                oob_size: 128,
+                cell_type: CellType::Mlc,
+            },
+            timing: FlashTiming::mlc(),
+            host_profile: HostProfile::OpenSsd,
+            reliability: ReliabilityConfig::default(),
+            max_appends: None,
+            endurance_limit: None,
+            backpressure_ns: 5 * NANOS_PER_MILLI,
+        }
+    }
+
+    /// Effective per-page append budget.
+    pub fn max_appends(&self) -> u32 {
+        self.max_appends.unwrap_or_else(|| self.geometry.cell_type.max_appends())
+    }
+
+    /// Effective per-block endurance limit.
+    pub fn endurance_limit(&self) -> u64 {
+        self.endurance_limit.unwrap_or_else(|| self.geometry.cell_type.endurance_limit())
+    }
+}
+
+/// Erase-count distribution across all blocks of a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearHistogram {
+    /// Lowest per-block erase count.
+    pub min: u64,
+    /// Highest per-block erase count.
+    pub max: u64,
+    /// Mean per-block erase count.
+    pub mean: f64,
+    /// Eight equal-width buckets over `[min, max]`.
+    pub buckets: [u64; 8],
+}
+
+/// The simulated flash device.
+///
+/// All operations validate addresses against the geometry, enforce the
+/// monotone-charge rule, account wear, inject/correct bit errors per the
+/// reliability model and produce latencies from the timing model.
+pub struct FlashDevice {
+    config: FlashConfig,
+    chips: Vec<Chip>,
+    schedule: ChipSchedule,
+    clock: SimClock,
+    stats: FlashStats,
+    ledger: ErrorLedger,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for FlashDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlashDevice")
+            .field("geometry", &self.config.geometry)
+            .field("now_ns", &self.clock.now_ns())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlashDevice {
+    /// Create a device with a fixed RNG seed (deterministic reliability
+    /// model).
+    pub fn with_seed(config: FlashConfig, seed: u64) -> Self {
+        let chips = (0..config.geometry.chips).map(|_| Chip::new(&config.geometry)).collect();
+        let schedule = ChipSchedule::new(config.geometry.chips, config.host_profile);
+        FlashDevice {
+            chips,
+            schedule,
+            clock: SimClock::new(),
+            stats: FlashStats::default(),
+            ledger: ErrorLedger::default(),
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Create a device with the default seed.
+    pub fn new(config: FlashConfig) -> Self {
+        FlashDevice::with_seed(config, 0x1AA7)
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &FlashConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Reset statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Advance the simulated host clock by non-I/O work (transaction CPU
+    /// time, think time).
+    pub fn advance_clock(&mut self, delta_ns: u64) {
+        self.clock.advance(delta_ns);
+    }
+
+    fn check(&self, ppa: Ppa) -> Result<()> {
+        if self.config.geometry.contains(ppa) {
+            Ok(())
+        } else {
+            Err(FlashError::AddressOutOfRange(ppa))
+        }
+    }
+
+    fn dispatch(&mut self, chip: u32, origin: OpOrigin, duration_ns: u64) -> OpResult {
+        let now = self.clock.now_ns();
+        let (_, done) = match origin {
+            OpOrigin::Host => self.schedule.schedule_host(chip, now, duration_ns),
+            OpOrigin::HostAsync | OpOrigin::Background => {
+                self.schedule.schedule_background(chip, now, duration_ns)
+            }
+        };
+        if origin == OpOrigin::Host {
+            self.clock.advance_to(done);
+        } else if done.saturating_sub(now) > self.config.backpressure_ns {
+            // The device is saturated: the submitter stalls until the
+            // backlog drops back under the bound.
+            self.clock.advance_to(done - self.config.backpressure_ns);
+        }
+        OpResult { latency_ns: done - now, completed_at_ns: done, read_outcome: ReadOutcome::Clean }
+    }
+
+    /// Current lifecycle state of a page.
+    pub fn page_state(&self, ppa: Ppa) -> Result<PageState> {
+        self.check(ppa)?;
+        Ok(self.chips[ppa.chip as usize].block(ppa.block).page(ppa.page).state())
+    }
+
+    /// LSB/MSB kind of a page per the geometry.
+    pub fn page_kind(&self, ppa: Ppa) -> PageKind {
+        self.config.geometry.page_kind(ppa.page)
+    }
+
+    /// Zero-copy view of a page's main area (diagnostics/tests; bypasses
+    /// timing, statistics and the error model).
+    pub fn peek(&self, ppa: Ppa) -> Result<&[u8]> {
+        self.check(ppa)?;
+        Ok(self.chips[ppa.chip as usize].block(ppa.block).page(ppa.page).main())
+    }
+
+    /// Zero-copy view of a page's OOB area (bypasses timing/stats).
+    pub fn peek_oob(&self, ppa: Ppa) -> Result<&[u8]> {
+        self.check(ppa)?;
+        Ok(self.chips[ppa.chip as usize].block(ppa.block).page(ppa.page).oob())
+    }
+
+    /// Read a page's main area.
+    ///
+    /// Applies the ECC model: raw bit errors within the code's capability
+    /// are corrected (and counted); beyond it the read fails with
+    /// [`FlashError::UncorrectableEcc`].
+    pub fn read(&mut self, ppa: Ppa, origin: OpOrigin) -> Result<(Vec<u8>, OpResult)> {
+        self.check(ppa)?;
+        let page = self.chips[ppa.chip as usize].block(ppa.block).page(ppa.page);
+        if page.state() == PageState::Erased {
+            return Err(FlashError::ReadOfErasedPage(ppa));
+        }
+        let data = page.main().to_vec();
+        let outcome = self
+            .ledger
+            .classify_read(ppa, self.config.reliability.ecc_correctable_bits)
+            .map_err(|raw| FlashError::UncorrectableEcc {
+                ppa,
+                bit_errors: raw,
+                correctable: self.config.reliability.ecc_correctable_bits,
+            })?;
+        if let ReadOutcome::Corrected { corrected } = outcome {
+            self.stats.corrected_bit_errors += corrected as u64;
+        }
+        match origin {
+            OpOrigin::Host | OpOrigin::HostAsync => self.stats.host_reads += 1,
+            OpOrigin::Background => self.stats.gc_reads += 1,
+        }
+        let latency = self.config.timing.read_latency(data.len());
+        let mut op = self.dispatch(ppa.chip, origin, latency);
+        op.read_outcome = outcome;
+        if origin == OpOrigin::Host {
+            self.stats.read_latency.record(op.latency_ns);
+        }
+        Ok((data, op))
+    }
+
+    /// Read a page's OOB area. Real controllers fetch OOB together with the
+    /// main area, so this carries no additional latency or statistics.
+    pub fn read_oob(&self, ppa: Ppa) -> Result<Vec<u8>> {
+        self.check(ppa)?;
+        Ok(self.chips[ppa.chip as usize].block(ppa.block).page(ppa.page).oob().to_vec())
+    }
+
+    /// Full-page program (out-of-place write target). The page must be
+    /// erased. Bytes left `0xFF` remain unprogrammed and can absorb later
+    /// in-place appends.
+    pub fn program(&mut self, ppa: Ppa, data: &[u8], origin: OpOrigin) -> Result<OpResult> {
+        self.check(ppa)?;
+        let msb = self.page_kind(ppa) == PageKind::Msb;
+        self.chips[ppa.chip as usize].block_mut(ppa.block).page_mut(ppa.page).program(ppa, data)?;
+        // A fresh program defines new cell contents; stale error bookkeeping
+        // for the previous residency is gone.
+        self.ledger.clear(ppa);
+        match origin {
+            OpOrigin::Host | OpOrigin::HostAsync => self.stats.host_programs += 1,
+            OpOrigin::Background => self.stats.gc_programs += 1,
+        }
+        self.apply_interference(ppa);
+        let latency = self.config.timing.program_latency(data.len(), msb);
+        let op = self.dispatch(ppa.chip, origin, latency);
+        if matches!(origin, OpOrigin::Host | OpOrigin::HostAsync) {
+            self.stats.write_latency.record(op.latency_ns);
+        }
+        Ok(op)
+    }
+
+    /// ISPP partial program — the physical backend of the paper's
+    /// `write_delta` command (§7). Appends `data` at `offset` within an
+    /// already-programmed page, enforcing the monotone-charge rule and the
+    /// per-page append budget.
+    pub fn program_partial(
+        &mut self,
+        ppa: Ppa,
+        offset: usize,
+        data: &[u8],
+        origin: OpOrigin,
+    ) -> Result<OpResult> {
+        self.check(ppa)?;
+        let max = self.config.max_appends();
+        self.chips[ppa.chip as usize]
+            .block_mut(ppa.block)
+            .page_mut(ppa.page)
+            .program_partial(ppa, offset, data, max)
+            .inspect_err(|e| {
+                if matches!(e, FlashError::IsppViolation { .. }) {
+                    self.stats.ispp_violations += 1;
+                }
+            })?;
+        match origin {
+            OpOrigin::Host | OpOrigin::HostAsync => {
+                self.stats.host_delta_programs += 1;
+                self.stats.delta_bytes += data.len() as u64;
+            }
+            OpOrigin::Background => self.stats.gc_programs += 1,
+        }
+        self.apply_interference(ppa);
+        let latency = self.config.timing.delta_latency(data.len());
+        let op = self.dispatch(ppa.chip, origin, latency);
+        if matches!(origin, OpOrigin::Host | OpOrigin::HostAsync) {
+            self.stats.write_latency.record(op.latency_ns);
+        }
+        Ok(op)
+    }
+
+    /// ISPP program into the OOB area (per-delta ECC codes). Piggybacks on
+    /// the corresponding main-area operation: no latency, no statistics.
+    pub fn program_oob(&mut self, ppa: Ppa, offset: usize, data: &[u8]) -> Result<()> {
+        self.check(ppa)?;
+        self.chips[ppa.chip as usize]
+            .block_mut(ppa.block)
+            .page_mut(ppa.page)
+            .program_oob(ppa, offset, data)
+    }
+
+    /// Erase a block. Counts wear and fails once the endurance limit is
+    /// reached.
+    pub fn erase(&mut self, chip: u32, block: u32) -> Result<OpResult> {
+        let probe = Ppa::new(chip, block, 0);
+        self.check(probe)?;
+        let endurance = self.config.endurance_limit();
+        self.chips[chip as usize].block_mut(block).erase(chip, block, endurance)?;
+        for page in 0..self.config.geometry.pages_per_block {
+            self.ledger.clear(Ppa::new(chip, block, page));
+        }
+        self.stats.erases += 1;
+        Ok(self.dispatch(chip, OpOrigin::Background, self.config.timing.erase_ns))
+    }
+
+    /// Correct-and-Refresh (Cai et al., paper ref \[35\]): read the page, correct bit errors via ECC
+    /// and re-program the corrected image in place. Retention errors are
+    /// repaired (charge restored); interference errors persist.
+    pub fn refresh(&mut self, ppa: Ppa) -> Result<OpResult> {
+        self.check(ppa)?;
+        let state = self.page_state(ppa)?;
+        if state == PageState::Erased {
+            return Err(FlashError::ReadOfErasedPage(ppa));
+        }
+        let raw = self.ledger.raw_errors(ppa);
+        if raw > self.config.reliability.ecc_correctable_bits {
+            return Err(FlashError::UncorrectableEcc {
+                ppa,
+                bit_errors: raw,
+                correctable: self.config.reliability.ecc_correctable_bits,
+            });
+        }
+        let repaired = self.ledger.refresh(ppa);
+        self.stats.corrected_bit_errors += repaired as u64;
+        // Refresh programs the same values back: identical re-program is
+        // ISPP-legal and does not consume the append budget on real parts.
+        let latency = self.config.timing.program_latency(self.config.geometry.page_size, false);
+        Ok(self.dispatch(ppa.chip, OpOrigin::Background, latency))
+    }
+
+    /// Inject retention errors into a programmed page directly (test and
+    /// experiment hook for the reliability model).
+    pub fn inject_retention(&mut self, ppa: Ppa, bits: &[usize]) -> Result<()> {
+        self.check(ppa)?;
+        for &bit in bits {
+            self.ledger.inject(ppa, BitError { bit, kind: ErrorKind::Retention });
+            self.stats.injected_bit_errors += 1;
+        }
+        Ok(())
+    }
+
+    /// Raw (pre-ECC) bit-error count currently affecting a page.
+    pub fn raw_bit_errors(&self, ppa: Ppa) -> u32 {
+        self.ledger.raw_errors(ppa)
+    }
+
+    /// Program-interference model: each (re-)program may disturb erased
+    /// cells on neighbouring wordlines. Only MSB neighbours can surface the
+    /// disturbance as bit errors (Appendix C.2).
+    fn apply_interference(&mut self, ppa: Ppa) {
+        let prob = self.config.reliability.interference_bit_prob;
+        if prob <= 0.0 {
+            return;
+        }
+        let page_bits = self.config.geometry.page_size * 8;
+        let neighbours = self.config.geometry.neighbour_pages(ppa.page);
+        for n in neighbours {
+            if self.rng.gen::<f64>() >= prob {
+                continue;
+            }
+            let nppa = Ppa::new(ppa.chip, ppa.block, n);
+            let bit = self.rng.gen_range(0..page_bits);
+            let kind = self.config.geometry.page_kind(n);
+            // The physical charge shift happens regardless; it becomes a
+            // *logical* error only where the read thresholds expose it.
+            if crate::reliability::ErrorLedger::interference_visible(kind) {
+                self.ledger.inject(nppa, BitError { bit, kind: ErrorKind::Interference });
+                self.stats.injected_bit_errors += 1;
+            }
+        }
+    }
+
+    /// Total erase cycles across the device.
+    pub fn total_erases(&self) -> u64 {
+        self.chips.iter().map(Chip::total_erases).sum()
+    }
+
+    /// Erase count of one block.
+    pub fn block_erase_count(&self, chip: u32, block: u32) -> Result<u64> {
+        self.check(Ppa::new(chip, block, 0))?;
+        Ok(self.chips[chip as usize].block(chip_block(self, chip, block)).erase_count())
+    }
+
+    /// Erase-count histogram across all blocks: `(min, max, mean)` plus
+    /// bucketed counts — the wear-leveling quality picture.
+    pub fn wear_histogram(&self) -> WearHistogram {
+        let mut counts = Vec::new();
+        for (ci, chip) in self.chips.iter().enumerate() {
+            for b in 0..self.config.geometry.blocks_per_chip {
+                counts.push(chip.block(b).erase_count());
+                let _ = ci;
+            }
+        }
+        let min = counts.iter().copied().min().unwrap_or(0);
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mean = if counts.is_empty() {
+            0.0
+        } else {
+            counts.iter().sum::<u64>() as f64 / counts.len() as f64
+        };
+        let mut buckets = [0u64; 8];
+        let span = (max - min).max(1);
+        for c in &counts {
+            let idx = (((c - min) * 8) / (span + 1)).min(7) as usize;
+            buckets[idx] += 1;
+        }
+        WearHistogram { min, max, mean, buckets }
+    }
+
+    /// Per-chip (max − min) erase-count spread, the wear-leveling quality
+    /// metric.
+    pub fn wear_spread(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|c| c.max_erase_count().saturating_sub(c.min_erase_count()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of programmed pages in a block (GC victim selection input).
+    pub fn programmed_pages(&self, chip: u32, block: u32) -> Result<u32> {
+        self.check(Ppa::new(chip, block, 0))?;
+        Ok(self.chips[chip as usize].block(block).programmed_pages())
+    }
+}
+
+// Small helper kept outside the impl to avoid borrow juggling in
+// `block_erase_count`.
+fn chip_block(_dev: &FlashDevice, _chip: u32, block: u32) -> u32 {
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(FlashConfig::small_slc())
+    }
+
+    fn full(dev: &FlashDevice, byte: u8) -> Vec<u8> {
+        vec![byte; dev.config().geometry.page_size]
+    }
+
+    #[test]
+    fn program_then_read_roundtrip() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 1, 2);
+        let data = full(&d, 0x3C);
+        d.program(ppa, &data, OpOrigin::Host).unwrap();
+        let (read, op) = d.read(ppa, OpOrigin::Host).unwrap();
+        assert_eq!(read, data);
+        assert!(op.latency_ns > 0);
+        assert_eq!(d.stats().host_reads, 1);
+        assert_eq!(d.stats().host_programs, 1);
+    }
+
+    #[test]
+    fn read_of_erased_page_flagged() {
+        let mut d = dev();
+        assert!(matches!(
+            d.read(Ppa::new(0, 0, 0), OpOrigin::Host),
+            Err(FlashError::ReadOfErasedPage(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected_everywhere() {
+        let mut d = dev();
+        let bad = Ppa::new(99, 0, 0);
+        assert!(matches!(d.read(bad, OpOrigin::Host), Err(FlashError::AddressOutOfRange(_))));
+        assert!(matches!(
+            d.program(bad, &[0u8; 4096], OpOrigin::Host),
+            Err(FlashError::AddressOutOfRange(_))
+        ));
+        assert!(matches!(d.erase(99, 0), Err(FlashError::AddressOutOfRange(_))));
+    }
+
+    #[test]
+    fn delta_append_counts_and_costs_less() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        let mut data = full(&d, 0xFF);
+        data[..100].fill(0x11);
+        d.program(ppa, &data, OpOrigin::Host).unwrap();
+        let w_full = d.stats().write_latency.mean_ns();
+        d.reset_stats();
+        let op = d.program_partial(ppa, 4000, &[0x22; 46], OpOrigin::Host).unwrap();
+        assert_eq!(d.stats().host_delta_programs, 1);
+        assert_eq!(d.stats().delta_bytes, 46);
+        assert!(op.latency_ns < w_full / 2, "delta {} vs full {}", op.latency_ns, w_full);
+    }
+
+    #[test]
+    fn ispp_violation_counted() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &full(&d, 0x00), OpOrigin::Host).unwrap();
+        let err = d.program_partial(ppa, 0, &[0x01], OpOrigin::Host).unwrap_err();
+        assert!(matches!(err, FlashError::IsppViolation { .. }));
+        assert_eq!(d.stats().ispp_violations, 1);
+    }
+
+    #[test]
+    fn erase_enables_rewrite_and_counts_wear() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 5, 0);
+        d.program(ppa, &full(&d, 0xAA), OpOrigin::Host).unwrap();
+        assert!(matches!(
+            d.program(ppa, &full(&d, 0xBB), OpOrigin::Host),
+            Err(FlashError::ProgramNotErased(_))
+        ));
+        d.erase(0, 5).unwrap();
+        d.program(ppa, &full(&d, 0xBB), OpOrigin::Host).unwrap();
+        assert_eq!(d.stats().erases, 1);
+        assert_eq!(d.total_erases(), 1);
+    }
+
+    #[test]
+    fn endurance_limit_override() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.endurance_limit = Some(1);
+        let mut d = FlashDevice::new(cfg);
+        d.erase(0, 0).unwrap();
+        assert!(matches!(d.erase(0, 0), Err(FlashError::BlockWornOut { .. })));
+    }
+
+    #[test]
+    fn gc_origin_uses_gc_buckets_and_keeps_host_clock() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &full(&d, 0x01), OpOrigin::Host).unwrap();
+        let t = d.clock().now_ns();
+        d.read(ppa, OpOrigin::Background).unwrap();
+        d.program(Ppa::new(0, 0, 1), &full(&d, 0x01), OpOrigin::Background).unwrap();
+        assert_eq!(d.clock().now_ns(), t, "background ops must not advance host clock");
+        assert_eq!(d.stats().gc_reads, 1);
+        assert_eq!(d.stats().gc_programs, 1);
+        assert_eq!(d.stats().host_reads, 0);
+    }
+
+    #[test]
+    fn host_clock_advances_with_host_io() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        let t0 = d.clock().now_ns();
+        d.program(ppa, &full(&d, 0x01), OpOrigin::Host).unwrap();
+        assert!(d.clock().now_ns() > t0);
+    }
+
+    #[test]
+    fn ecc_corrects_within_capability() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.reliability.ecc_correctable_bits = 2;
+        let mut d = FlashDevice::new(cfg);
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &full(&d, 0x0F), OpOrigin::Host).unwrap();
+        d.inject_retention(ppa, &[3, 700]).unwrap();
+        let (_, op) = d.read(ppa, OpOrigin::Host).unwrap();
+        assert_eq!(op.read_outcome, ReadOutcome::Corrected { corrected: 2 });
+        assert_eq!(d.stats().corrected_bit_errors, 2);
+        d.inject_retention(ppa, &[900]).unwrap();
+        assert!(matches!(d.read(ppa, OpOrigin::Host), Err(FlashError::UncorrectableEcc { .. })));
+    }
+
+    #[test]
+    fn refresh_repairs_retention_errors() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &full(&d, 0x0F), OpOrigin::Host).unwrap();
+        d.inject_retention(ppa, &[1, 2, 3]).unwrap();
+        assert_eq!(d.raw_bit_errors(ppa), 3);
+        d.refresh(ppa).unwrap();
+        assert_eq!(d.raw_bit_errors(ppa), 0);
+    }
+
+    #[test]
+    fn erase_clears_error_ledger() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 2, 0);
+        d.program(ppa, &full(&d, 0x0F), OpOrigin::Host).unwrap();
+        d.inject_retention(ppa, &[1]).unwrap();
+        d.erase(0, 2).unwrap();
+        assert_eq!(d.raw_bit_errors(ppa), 0);
+    }
+
+    #[test]
+    fn interference_hits_only_msb_neighbours() {
+        let mut cfg = FlashConfig::openssd_mlc(8, 16, 4096);
+        cfg.reliability.interference_bit_prob = 1.0; // always disturb
+        let mut d = FlashDevice::with_seed(cfg, 7);
+        let lsb = Ppa::new(0, 0, 2); // wordline 1
+        d.program(lsb, &vec![0xFF; 4096], OpOrigin::Host).unwrap();
+        d.program_partial(lsb, 0, &[0x00; 8], OpOrigin::Host).unwrap();
+        // Neighbour wordlines 0 and 2 -> MSB pages 1 and 5 collect errors,
+        // LSB pages 0 and 4 stay clean.
+        assert_eq!(d.raw_bit_errors(Ppa::new(0, 0, 0)), 0);
+        assert_eq!(d.raw_bit_errors(Ppa::new(0, 0, 4)), 0);
+        let msb_errors =
+            d.raw_bit_errors(Ppa::new(0, 0, 1)) + d.raw_bit_errors(Ppa::new(0, 0, 5));
+        assert!(msb_errors > 0);
+        assert!(d.stats().injected_bit_errors > 0);
+    }
+
+    #[test]
+    fn append_budget_from_cell_type() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.max_appends = Some(1);
+        let mut d = FlashDevice::new(cfg);
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &vec![0xFF; 4096], OpOrigin::Host).unwrap();
+        d.program_partial(ppa, 0, &[0xF0], OpOrigin::Host).unwrap();
+        assert!(matches!(
+            d.program_partial(ppa, 1, &[0xF0], OpOrigin::Host),
+            Err(FlashError::AppendBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn oob_program_and_read() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &vec![0xFF; 4096], OpOrigin::Host).unwrap();
+        d.program_oob(ppa, 16, &[0xDE, 0xAD]).unwrap();
+        let oob = d.read_oob(ppa).unwrap();
+        assert_eq!(&oob[16..18], &[0xDE, 0xAD]);
+        assert_eq!(d.peek_oob(ppa).unwrap()[16], 0xDE);
+    }
+
+    #[test]
+    fn openssd_profile_serializes_host_io() {
+        let mut cfg = FlashConfig::openssd_mlc(8, 16, 4096);
+        cfg.host_profile = HostProfile::OpenSsd;
+        let mut d = FlashDevice::new(cfg);
+        // Two programs on different chips: under OpenSSD dispatch the second
+        // must wait for the first.
+        let a = d.program(Ppa::new(0, 0, 0), &vec![0x00; 4096], OpOrigin::Host).unwrap();
+        let b = d.program(Ppa::new(1, 0, 0), &vec![0x00; 4096], OpOrigin::Host).unwrap();
+        assert!(b.completed_at_ns > a.completed_at_ns);
+    }
+}

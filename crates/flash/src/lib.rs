@@ -1,0 +1,84 @@
+//! # ipa-flash — a bit-accurate NAND flash simulator
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *"From In-Place Updates to In-Place Appends: Revisiting Out-of-Place
+//! Updates on Flash"* (SIGMOD 2017). It models NAND flash at the level the
+//! paper's argument depends on:
+//!
+//! * **Monotone-charge programming (ISPP).** A flash cell's charge can only
+//!   be *increased* by Incremental Step Pulse Programming; only a block erase
+//!   resets it. In the standard SLC bit convention an erased cell reads as
+//!   logical `1` and a charged cell as logical `0`, so a (re-)program of a
+//!   page is physically possible iff every bit transition is `1 → 0`.
+//!   [`FlashDevice::program_partial`] enforces exactly this rule, which is
+//!   what makes the paper's *in-place appends* legal: the delta-record area
+//!   of a database page is left erased (`0xFF`) by the initial program and
+//!   can therefore absorb later appends without an erase.
+//! * **SLC / MLC organization.** MLC wordlines carry an LSB (fast) and an MSB
+//!   (slow) page. The paper's *pSLC* mode uses only LSB pages at half
+//!   capacity; *odd-MLC* uses full capacity but only allows appends on LSB
+//!   pages. The simulator exposes [`PageKind`] and asymmetric program
+//!   latencies so those modes can be built on top (see `ipa-noftl`).
+//! * **Timing.** Per-chip busy intervals and a simulated host clock produce
+//!   read/program/erase latencies under contention, with an *emulator*
+//!   profile (16-way chip parallelism, as in the paper's Flash emulator) and
+//!   an *OpenSSD* profile (host I/O serialized through a single queue, as on
+//!   the OpenSSD Jasmine board without NCQ).
+//! * **Wear.** Per-block program/erase counters with endurance limits
+//!   (100k / 10k / 4k cycles for SLC / MLC / TLC).
+//! * **Reliability.** Optional retention and program-interference error
+//!   injection plus an out-of-band (OOB) area per page for ECC bookkeeping,
+//!   mirroring the paper's §6.2 discussion (`ECC_initial` + per-delta codes,
+//!   Correct-and-Refresh).
+//!
+//! The simulator deliberately stops at the chip interface: logical-to-
+//! physical mapping, garbage collection and wear leveling live in
+//! `ipa-noftl`, and the database page layout in `ipa-core`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ipa_flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
+//!
+//! let mut dev = FlashDevice::new(FlashConfig::small_slc());
+//! let ppa = Ppa::new(0, 0, 0);
+//! let page_size = dev.config().geometry.page_size;
+//!
+//! // Initial program leaves the tail of the page erased (0xFF).
+//! let mut data = vec![0xFF; page_size];
+//! data[..64].copy_from_slice(&[0xAB; 64]);
+//! dev.program(ppa, &data, OpOrigin::Host).unwrap();
+//!
+//! // A later in-place append into the erased tail succeeds without erase...
+//! dev.program_partial(ppa, page_size - 16, &[0x12; 16], OpOrigin::Host).unwrap();
+//!
+//! // ...but rewriting already-programmed cells with arbitrary data fails.
+//! assert!(dev.program_partial(ppa, 0, &[0xFF; 8], OpOrigin::Host).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+mod block;
+mod chip;
+mod device;
+mod error;
+mod geometry;
+mod oob;
+mod page;
+mod reliability;
+mod stats;
+mod timing;
+
+pub use block::{Block, BlockState};
+pub use chip::Chip;
+pub use device::{FlashConfig, FlashDevice, OpOrigin, OpResult, WearHistogram};
+pub use error::FlashError;
+pub use geometry::{CellType, FlashGeometry, PageKind, Ppa};
+pub use oob::{OobArea, OobLayout, Section};
+pub use page::{PageData, PageState};
+pub use reliability::{ReadOutcome, ReliabilityConfig};
+pub use stats::{FlashStats, LatencyHistogram};
+pub use timing::{ChipSchedule, FlashTiming, HostProfile, SimClock, NANOS_PER_MILLI};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FlashError>;

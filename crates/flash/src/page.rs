@@ -1,0 +1,281 @@
+//! The physical flash page: byte storage with monotone-charge semantics.
+//!
+//! A page is the program/read unit. Erased cells read as `0xFF`; programming
+//! (ISPP) can only pull bits from `1` to `0` — the physical fact the paper's
+//! in-place appends exploit (§3, §4). [`PageData`] owns the main area and the
+//! OOB (spare) area of one page and enforces that rule on every program.
+
+use crate::error::FlashError;
+use crate::geometry::Ppa;
+
+/// Lifecycle state of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// All cells uncharged (`0xFF`); never programmed since the last erase.
+    Erased,
+    /// Initial full-page program performed; `appends` partial programs
+    /// (in-place appends) have followed it.
+    Programmed {
+        /// Number of partial programs performed after the initial program.
+        appends: u32,
+    },
+}
+
+impl PageState {
+    /// Whether the page holds programmed data.
+    pub fn is_programmed(self) -> bool {
+        matches!(self, PageState::Programmed { .. })
+    }
+}
+
+/// Check the monotone-charge (ISPP) rule for one byte.
+///
+/// Allowed bit transitions are `1→1`, `1→0` and `0→0`; a `0→1` transition
+/// would require removing charge from a cell, which only a block erase can
+/// do. Returns `true` when `new` is programmable over `old`.
+#[inline]
+pub(crate) fn ispp_allows(old: u8, new: u8) -> bool {
+    new & !old == 0
+}
+
+/// One physical page: main area + OOB area + state.
+#[derive(Debug, Clone)]
+pub struct PageData {
+    main: Box<[u8]>,
+    oob: Box<[u8]>,
+    state: PageState,
+}
+
+impl PageData {
+    /// A freshly erased page of the given main/OOB sizes.
+    pub fn erased(page_size: usize, oob_size: usize) -> Self {
+        PageData {
+            main: vec![0xFF; page_size].into_boxed_slice(),
+            oob: vec![0xFF; oob_size].into_boxed_slice(),
+            state: PageState::Erased,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> PageState {
+        self.state
+    }
+
+    /// Read-only view of the main area.
+    pub fn main(&self) -> &[u8] {
+        &self.main
+    }
+
+    /// Read-only view of the OOB area.
+    pub fn oob(&self) -> &[u8] {
+        &self.oob
+    }
+
+    /// Reset the page to the erased state (invoked by block erase).
+    pub(crate) fn erase(&mut self) {
+        self.main.fill(0xFF);
+        self.oob.fill(0xFF);
+        self.state = PageState::Erased;
+    }
+
+    /// Initial full-page program. The page must be erased; the data may
+    /// contain `0xFF` bytes (cells intentionally left unprogrammed — this is
+    /// how the delta-record area stays appendable).
+    pub(crate) fn program(&mut self, ppa: Ppa, data: &[u8]) -> Result<(), FlashError> {
+        if data.len() != self.main.len() {
+            return Err(FlashError::RangeOutOfPage {
+                ppa,
+                offset: 0,
+                len: data.len(),
+                area: self.main.len(),
+            });
+        }
+        if self.state.is_programmed() {
+            return Err(FlashError::ProgramNotErased(ppa));
+        }
+        self.main.copy_from_slice(data);
+        self.state = PageState::Programmed { appends: 0 };
+        Ok(())
+    }
+
+    /// ISPP partial program (in-place append) of `data` at `offset` within
+    /// the main area.
+    ///
+    /// Fails with [`FlashError::IsppViolation`] if any affected bit would
+    /// have to transition `0→1`, and with
+    /// [`FlashError::AppendBudgetExceeded`] once `max_appends` partial
+    /// programs have already been performed. The check is performed *before*
+    /// any cell is modified, so a failed append leaves the page unchanged
+    /// (mirroring a controller that validates the program pattern first).
+    pub(crate) fn program_partial(
+        &mut self,
+        ppa: Ppa,
+        offset: usize,
+        data: &[u8],
+        max_appends: u32,
+    ) -> Result<(), FlashError> {
+        let appends = match self.state {
+            // Hardware would happily program an erased page partially, but a
+            // sane management layer always writes the initial image first;
+            // we allow it and treat it as the initial program of the range.
+            PageState::Erased => None,
+            PageState::Programmed { appends } => Some(appends),
+        };
+        if offset.checked_add(data.len()).is_none_or(|end| end > self.main.len()) {
+            return Err(FlashError::RangeOutOfPage { ppa, offset, len: data.len(), area: self.main.len() });
+        }
+        if let Some(appends) = appends {
+            if appends >= max_appends {
+                return Err(FlashError::AppendBudgetExceeded { ppa, performed: appends, max: max_appends });
+            }
+        }
+        for (i, (&old, &new)) in self.main[offset..offset + data.len()].iter().zip(data).enumerate() {
+            if !ispp_allows(old, new) {
+                return Err(FlashError::IsppViolation { ppa, offset: offset + i, old, new });
+            }
+        }
+        self.main[offset..offset + data.len()].copy_from_slice(data);
+        self.state = PageState::Programmed { appends: appends.map_or(0, |a| a + 1) };
+        Ok(())
+    }
+
+    /// ISPP partial program into the OOB area (used for per-delta ECC codes,
+    /// paper §6.2 "Flash ECC and Page OOB Area"). Subject to the same
+    /// monotone-charge rule but not counted against the append budget: on
+    /// real parts the OOB cells are programmed in the same operation as the
+    /// main-area append.
+    pub(crate) fn program_oob(
+        &mut self,
+        ppa: Ppa,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), FlashError> {
+        if offset.checked_add(data.len()).is_none_or(|end| end > self.oob.len()) {
+            return Err(FlashError::RangeOutOfPage { ppa, offset, len: data.len(), area: self.oob.len() });
+        }
+        for (i, (&old, &new)) in self.oob[offset..offset + data.len()].iter().zip(data).enumerate() {
+            if !ispp_allows(old, new) {
+                return Err(FlashError::IsppViolation { ppa, offset: offset + i, old, new });
+            }
+        }
+        self.oob[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PPA: Ppa = Ppa { chip: 0, block: 0, page: 0 };
+
+    fn page() -> PageData {
+        PageData::erased(64, 16)
+    }
+
+    #[test]
+    fn erased_page_reads_all_ones() {
+        let p = page();
+        assert!(p.main().iter().all(|&b| b == 0xFF));
+        assert!(p.oob().iter().all(|&b| b == 0xFF));
+        assert_eq!(p.state(), PageState::Erased);
+    }
+
+    #[test]
+    fn ispp_rule_single_bytes() {
+        assert!(ispp_allows(0xFF, 0x00)); // program everything
+        assert!(ispp_allows(0xFF, 0xAB)); // program arbitrary value over erased
+        assert!(ispp_allows(0xAB, 0xAB)); // identical re-program
+        assert!(ispp_allows(0b1010, 0b1000)); // clear a bit
+        assert!(!ispp_allows(0b1010, 0b1011)); // set a bit: forbidden
+        assert!(!ispp_allows(0x00, 0xFF)); // un-program: forbidden
+    }
+
+    #[test]
+    fn full_program_requires_erased() {
+        let mut p = page();
+        let data = vec![0x55; 64];
+        p.program(PPA, &data).unwrap();
+        assert_eq!(p.state(), PageState::Programmed { appends: 0 });
+        assert_eq!(p.program(PPA, &data), Err(FlashError::ProgramNotErased(PPA)));
+    }
+
+    #[test]
+    fn full_program_wrong_length_rejected() {
+        let mut p = page();
+        let err = p.program(PPA, &[0u8; 10]).unwrap_err();
+        assert!(matches!(err, FlashError::RangeOutOfPage { .. }));
+    }
+
+    #[test]
+    fn append_into_erased_tail_succeeds() {
+        let mut p = page();
+        let mut data = vec![0xFF; 64];
+        data[..32].fill(0x13);
+        p.program(PPA, &data).unwrap();
+        p.program_partial(PPA, 48, &[0x77; 8], 4).unwrap();
+        assert_eq!(&p.main()[48..56], &[0x77; 8]);
+        assert_eq!(p.state(), PageState::Programmed { appends: 1 });
+    }
+
+    #[test]
+    fn append_over_programmed_cells_fails_atomically() {
+        let mut p = page();
+        let mut data = vec![0xFF; 64];
+        data[..32].fill(0x0F);
+        p.program(PPA, &data).unwrap();
+        // Bytes 30..34: first two are programmed (0x0F), 0xF0 needs 0->1.
+        let err = p.program_partial(PPA, 30, &[0xF0; 4], 4).unwrap_err();
+        assert!(matches!(err, FlashError::IsppViolation { offset: 30, .. }));
+        // Page unchanged, including the erased part of the range.
+        assert_eq!(&p.main()[30..34], &[0x0F, 0x0F, 0xFF, 0xFF]);
+        assert_eq!(p.state(), PageState::Programmed { appends: 0 });
+    }
+
+    #[test]
+    fn append_budget_enforced() {
+        let mut p = page();
+        p.program(PPA, &[0xFF; 64]).unwrap();
+        p.program_partial(PPA, 0, &[0xFE], 2).unwrap();
+        p.program_partial(PPA, 1, &[0xFE], 2).unwrap();
+        let err = p.program_partial(PPA, 2, &[0xFE], 2).unwrap_err();
+        assert_eq!(err, FlashError::AppendBudgetExceeded { ppa: PPA, performed: 2, max: 2 });
+    }
+
+    #[test]
+    fn append_out_of_range_rejected() {
+        let mut p = page();
+        p.program(PPA, &[0xFF; 64]).unwrap();
+        let err = p.program_partial(PPA, 60, &[0u8; 8], 4).unwrap_err();
+        assert!(matches!(err, FlashError::RangeOutOfPage { offset: 60, len: 8, .. }));
+        // Overflow-safe.
+        let err = p.program_partial(PPA, usize::MAX, &[0u8; 2], 4).unwrap_err();
+        assert!(matches!(err, FlashError::RangeOutOfPage { .. }));
+    }
+
+    #[test]
+    fn erase_resets_everything() {
+        let mut p = page();
+        p.program(PPA, &[0x00; 64]).unwrap();
+        p.program_oob(PPA, 0, &[0x12, 0x34]).unwrap();
+        p.erase();
+        assert_eq!(p.state(), PageState::Erased);
+        assert!(p.main().iter().all(|&b| b == 0xFF));
+        assert!(p.oob().iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn oob_program_monotone_and_bounded() {
+        let mut p = page();
+        p.program_oob(PPA, 0, &[0xA0]).unwrap();
+        // Clearing further bits is fine.
+        p.program_oob(PPA, 0, &[0x80]).unwrap();
+        // Setting bits back is not.
+        let err = p.program_oob(PPA, 0, &[0xA0]).unwrap_err();
+        assert!(matches!(err, FlashError::IsppViolation { .. }));
+        let err = p.program_oob(PPA, 15, &[0u8; 2]).unwrap_err();
+        assert!(matches!(err, FlashError::RangeOutOfPage { .. }));
+    }
+
+}

@@ -1,0 +1,185 @@
+//! Region and device configuration — the programmatic form of the paper's
+//! `CREATE REGION` DDL (Figure 3).
+
+use ipa_flash::{CellType, FlashConfig};
+use serde::{Deserialize, Serialize};
+
+/// How in-place appends map onto the region's cell technology (§4, §5,
+/// Appendix C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IpaMode {
+    /// IPA disabled: every write is out-of-place (the `[0×0]` baseline).
+    None,
+    /// Native SLC (or TLC-as-SLC): appends allowed on every page.
+    Slc,
+    /// Pseudo-SLC on MLC flash: only LSB pages are used — half the
+    /// capacity, fast programs, appends on every used page.
+    PSlc,
+    /// Odd-MLC: full MLC capacity; appends only while a logical page
+    /// resides on an LSB (even-index) physical page, MSB residencies write
+    /// out-of-place.
+    OddMlc,
+}
+
+impl IpaMode {
+    /// Whether the mode permits any in-place appends at all.
+    pub fn appends_possible(self) -> bool {
+        !matches!(self, IpaMode::None)
+    }
+
+    /// Whether the mode restricts usable pages to LSB pages only.
+    pub fn lsb_only_allocation(self) -> bool {
+        matches!(self, IpaMode::PSlc)
+    }
+
+    /// Validate the mode against a cell type.
+    pub fn compatible_with(self, cell: CellType) -> bool {
+        match self {
+            IpaMode::None => true,
+            IpaMode::Slc => matches!(cell, CellType::Slc | CellType::Tlc),
+            IpaMode::PSlc | IpaMode::OddMlc => cell == CellType::Mlc,
+        }
+    }
+}
+
+/// One region: a named set of chips with an IPA mode and an
+/// over-provisioning ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region name (e.g. `rgIPA`).
+    pub name: String,
+    /// Chip indices assigned exclusively to this region (`MAX_CHIPS` /
+    /// `MAX_CHANNELS` in the DDL collapse to an explicit chip list here).
+    pub chips: Vec<u32>,
+    /// IPA mode.
+    pub ipa_mode: IpaMode,
+    /// Fraction of usable pages withheld as over-provisioning for the
+    /// garbage collector (the paper's experiments use 10%).
+    pub over_provisioning: f64,
+}
+
+impl RegionSpec {
+    /// A region over a chip range with 10% over-provisioning.
+    pub fn new(name: impl Into<String>, chips: impl IntoIterator<Item = u32>, ipa_mode: IpaMode) -> Self {
+        RegionSpec {
+            name: name.into(),
+            chips: chips.into_iter().collect(),
+            ipa_mode,
+            over_provisioning: 0.10,
+        }
+    }
+
+    /// Builder-style over-provisioning override.
+    pub fn with_over_provisioning(mut self, op: f64) -> Self {
+        self.over_provisioning = op;
+        self
+    }
+}
+
+/// Full NoFTL configuration: the flash device plus its regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoFtlConfig {
+    /// The underlying flash device.
+    pub flash: FlashConfig,
+    /// Disjoint regions over the device's chips.
+    pub regions: Vec<RegionSpec>,
+    /// Garbage collection is triggered when a chip's free-block count drops
+    /// below this watermark.
+    pub gc_low_watermark: usize,
+}
+
+impl NoFtlConfig {
+    /// A single-region configuration spanning every chip of the device.
+    pub fn single_region(flash: FlashConfig, ipa_mode: IpaMode, over_provisioning: f64) -> Self {
+        let chips = 0..flash.geometry.chips;
+        NoFtlConfig {
+            flash,
+            regions: vec![RegionSpec::new("default", chips, ipa_mode)
+                .with_over_provisioning(over_provisioning)],
+            gc_low_watermark: 2,
+        }
+    }
+
+    /// Validate chip assignments and mode compatibility.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        if self.regions.is_empty() {
+            return Err("no regions configured".into());
+        }
+        if self.gc_low_watermark < 1 {
+            return Err("gc_low_watermark must be >= 1".into());
+        }
+        for r in &self.regions {
+            if r.chips.is_empty() {
+                return Err(format!("region '{}' has no chips", r.name));
+            }
+            if !(0.0..0.9).contains(&r.over_provisioning) {
+                return Err(format!("region '{}': over-provisioning {} out of [0, 0.9)", r.name, r.over_provisioning));
+            }
+            if !r.ipa_mode.compatible_with(self.flash.geometry.cell_type) {
+                return Err(format!(
+                    "region '{}': mode {:?} incompatible with {:?} flash",
+                    r.name, r.ipa_mode, self.flash.geometry.cell_type
+                ));
+            }
+            for &c in &r.chips {
+                if c >= self.flash.geometry.chips {
+                    return Err(format!("region '{}': chip {c} out of range", r.name));
+                }
+                if !seen.insert(c) {
+                    return Err(format!("chip {c} assigned to multiple regions"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_compatibility_matrix() {
+        assert!(IpaMode::Slc.compatible_with(CellType::Slc));
+        assert!(IpaMode::Slc.compatible_with(CellType::Tlc));
+        assert!(!IpaMode::Slc.compatible_with(CellType::Mlc));
+        assert!(IpaMode::PSlc.compatible_with(CellType::Mlc));
+        assert!(!IpaMode::PSlc.compatible_with(CellType::Slc));
+        assert!(IpaMode::OddMlc.compatible_with(CellType::Mlc));
+        assert!(IpaMode::None.compatible_with(CellType::Slc));
+        assert!(IpaMode::None.compatible_with(CellType::Mlc));
+    }
+
+    #[test]
+    fn single_region_validates() {
+        let cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::Slc, 0.1);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn overlapping_chips_rejected() {
+        let mut cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::Slc, 0.1);
+        cfg.regions.push(RegionSpec::new("dup", [0], IpaMode::Slc));
+        assert!(cfg.validate().unwrap_err().contains("multiple regions"));
+    }
+
+    #[test]
+    fn wrong_mode_for_cell_type_rejected() {
+        let cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::PSlc, 0.1);
+        assert!(cfg.validate().unwrap_err().contains("incompatible"));
+    }
+
+    #[test]
+    fn out_of_range_chip_rejected() {
+        let mut cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::Slc, 0.1);
+        cfg.regions[0].chips = vec![99];
+        assert!(cfg.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::Slc, 0.95);
+        assert!(cfg.validate().is_err());
+    }
+}

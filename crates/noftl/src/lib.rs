@@ -1,0 +1,49 @@
+//! # ipa-noftl — NoFTL-style flash management inside the DBMS
+//!
+//! The paper implements In-Place Appends under **NoFTL** [16, 19]: instead
+//! of hiding flash behind an on-device FTL, the DBMS manages raw flash
+//! directly — logical-to-physical mapping, garbage collection, wear
+//! leveling and data placement all live in the database's storage layer,
+//! configured through **regions** (§5, Figure 3):
+//!
+//! ```text
+//! CREATE REGION rgIPA (MAX_CHIPS=8, MAX_SIZE=512M, IPA_MODE = pSLC);
+//! CREATE TABLESPACE tsIPA (REGION=rgIPA, ...);
+//! ```
+//!
+//! This crate provides exactly that layer over [`ipa_flash::FlashDevice`]:
+//!
+//! * [`RegionSpec`] / [`IpaMode`] — bind a set of chips to an address space
+//!   and select how appends map onto the cell type: `Slc` (native), `PSlc`
+//!   (MLC at half capacity, LSB pages only), `OddMlc` (full capacity,
+//!   appends only when the page currently resides on an LSB page), or
+//!   `None` (IPA disabled — the paper's `[0×0]` baseline).
+//! * [`NoFtl`] — the device manager: `read_page`, `write_page`
+//!   (out-of-place + invalidation), **`write_delta(lba, offset, bytes)`**
+//!   (§7 — the new first-class I/O command backing in-place appends),
+//!   `trim`, plus OOB access for the ECC scheme.
+//! * Greedy garbage collection (fewest-valid-pages victim), free-block
+//!   allocation preferring least-worn blocks (dynamic wear leveling) and an
+//!   explicit static wear-leveling pass.
+//! * [`RegionStats`] — per-region counters matching the rows of the paper's
+//!   Tables 6–10 (host reads/writes, delta writes, GC page migrations, GC
+//!   erases and the per-host-write ratios).
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+pub mod hybrid;
+mod manager;
+mod region;
+mod stats;
+
+pub use config::{IpaMode, NoFtlConfig, RegionSpec};
+pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
+pub use error::NoFtlError;
+pub use manager::{NoFtl, RegionId};
+pub use region::Lba;
+pub use stats::RegionStats;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NoFtlError>;

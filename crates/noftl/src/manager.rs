@@ -1,0 +1,265 @@
+//! The public NoFTL facade: a flash device plus its regions.
+
+use ipa_flash::{FlashDevice, OpOrigin, OpResult};
+
+use crate::config::NoFtlConfig;
+use crate::error::NoFtlError;
+use crate::region::{Lba, Region};
+use crate::stats::RegionStats;
+use crate::Result;
+
+/// Handle to a region within a [`NoFtl`] device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub usize);
+
+/// DBMS-side flash management: regions over a raw flash device.
+///
+/// All I/O goes through logical page addresses scoped to a region; the
+/// mapping, garbage collection and wear leveling are invisible to callers
+/// except through [`RegionStats`].
+#[derive(Debug)]
+pub struct NoFtl {
+    dev: FlashDevice,
+    regions: Vec<Region>,
+}
+
+impl NoFtl {
+    /// Build a device from a validated configuration.
+    pub fn new(config: NoFtlConfig) -> Result<Self> {
+        config.validate().map_err(NoFtlError::BadConfig)?;
+        let dev = FlashDevice::new(config.flash.clone());
+        let regions = config
+            .regions
+            .iter()
+            .map(|spec| Region::new(spec.clone(), &dev, config.gc_low_watermark))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NoFtl { dev, regions })
+    }
+
+    fn region(&self, rid: RegionId) -> Result<&Region> {
+        self.regions.get(rid.0).ok_or(NoFtlError::BadRegion(rid.0))
+    }
+
+    fn region_mut(&mut self, rid: RegionId) -> Result<&mut Region> {
+        self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))
+    }
+
+    /// Find a region by name (the DDL handle, e.g. `"rgIPA"`).
+    pub fn region_by_name(&self, name: &str) -> Option<RegionId> {
+        self.regions.iter().position(|r| r.spec().name == name).map(RegionId)
+    }
+
+    /// Number of configured regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Exported logical capacity of a region, in pages.
+    pub fn capacity(&self, rid: RegionId) -> Result<u64> {
+        Ok(self.region(rid)?.capacity())
+    }
+
+    /// Read a logical page synchronously.
+    pub fn read_page(&mut self, rid: RegionId, lba: Lba) -> Result<(Vec<u8>, OpResult)> {
+        self.read_page_with(rid, lba, OpOrigin::Host)
+    }
+
+    /// Read a logical page with an explicit origin.
+    pub fn read_page_with(
+        &mut self,
+        rid: RegionId,
+        lba: Lba,
+        origin: OpOrigin,
+    ) -> Result<(Vec<u8>, OpResult)> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.read(&mut self.dev, lba, origin)
+    }
+
+    /// Out-of-place write of a full logical page (synchronous).
+    pub fn write_page(&mut self, rid: RegionId, lba: Lba, data: &[u8]) -> Result<OpResult> {
+        self.write_page_with(rid, lba, data, OpOrigin::Host)
+    }
+
+    /// Out-of-place write with an explicit origin (`HostAsync` for
+    /// background cleaner / checkpoint writes under steal/no-force).
+    pub fn write_page_with(
+        &mut self,
+        rid: RegionId,
+        lba: Lba,
+        data: &[u8],
+        origin: OpOrigin,
+    ) -> Result<OpResult> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.write(&mut self.dev, lba, data, origin)
+    }
+
+    /// The `write_delta` command (§7): ISPP-append `data` at `offset`
+    /// within the logical page's current physical residency.
+    pub fn write_delta(
+        &mut self,
+        rid: RegionId,
+        lba: Lba,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<OpResult> {
+        self.write_delta_with(rid, lba, offset, data, OpOrigin::Host)
+    }
+
+    /// `write_delta` with an explicit origin.
+    pub fn write_delta_with(
+        &mut self,
+        rid: RegionId,
+        lba: Lba,
+        offset: usize,
+        data: &[u8],
+        origin: OpOrigin,
+    ) -> Result<OpResult> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.write_delta(&mut self.dev, lba, offset, data, origin)
+    }
+
+    /// Whether `write_delta` is currently possible for a logical page.
+    pub fn can_append(&self, rid: RegionId, lba: Lba) -> bool {
+        self.region(rid).map(|r| r.can_append(&self.dev, lba)).unwrap_or(false)
+    }
+
+    /// Whether a logical page is mapped (has been written).
+    pub fn is_mapped(&self, rid: RegionId, lba: Lba) -> bool {
+        self.region(rid).map(|r| r.is_mapped(lba)).unwrap_or(false)
+    }
+
+    /// Drop a logical page.
+    pub fn trim(&mut self, rid: RegionId, lba: Lba) -> Result<()> {
+        self.region_mut(rid)?.trim(lba)
+    }
+
+    /// Write into the OOB area of a logical page's residency.
+    pub fn write_oob(&mut self, rid: RegionId, lba: Lba, offset: usize, data: &[u8]) -> Result<()> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.write_oob(&mut self.dev, lba, offset, data)
+    }
+
+    /// Read the OOB area of a logical page's residency.
+    pub fn read_oob(&self, rid: RegionId, lba: Lba) -> Result<Vec<u8>> {
+        self.region(rid)?.read_oob(&self.dev, lba)
+    }
+
+    /// Run static wear leveling on a region.
+    pub fn wear_level(&mut self, rid: RegionId, threshold: u64) -> Result<u32> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.wear_level(&mut self.dev, threshold)
+    }
+
+    /// Region statistics.
+    pub fn region_stats(&self, rid: RegionId) -> Result<&RegionStats> {
+        Ok(&self.region(rid)?.stats)
+    }
+
+    /// Reset all statistics (region counters and device histograms).
+    pub fn reset_stats(&mut self) {
+        for r in &mut self.regions {
+            r.stats.reset();
+        }
+        self.dev.reset_stats();
+    }
+
+    /// The underlying device (read-only view: stats, clock, geometry).
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    /// Advance the simulated host clock by non-I/O work (transaction CPU
+    /// time), letting background chip activity drain.
+    pub fn advance_clock(&mut self, delta_ns: u64) {
+        self.dev.advance_clock(delta_ns);
+    }
+
+    /// Free blocks across a region (diagnostics).
+    pub fn free_blocks(&self, rid: RegionId) -> Result<usize> {
+        Ok(self.region(rid)?.free_blocks())
+    }
+
+    /// Mapped logical pages of a region (diagnostics).
+    pub fn mapped_pages(&self, rid: RegionId) -> Result<u64> {
+        Ok(self.region(rid)?.mapped_pages())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IpaMode, RegionSpec};
+    use ipa_flash::{CellType, FlashConfig};
+
+    fn two_region_config() -> NoFtlConfig {
+        let mut flash = FlashConfig::openssd_mlc(16, 8, 512);
+        flash.geometry.chips = 4;
+        flash.geometry.cell_type = CellType::Mlc;
+        NoFtlConfig {
+            flash,
+            regions: vec![
+                RegionSpec::new("rgIPA", [0, 1], IpaMode::PSlc).with_over_provisioning(0.3),
+                RegionSpec::new("rgPlain", [2, 3], IpaMode::None).with_over_provisioning(0.3),
+            ],
+            gc_low_watermark: 2,
+        }
+    }
+
+    #[test]
+    fn regions_are_isolated() {
+        let mut ftl = NoFtl::new(two_region_config()).unwrap();
+        let ipa = ftl.region_by_name("rgIPA").unwrap();
+        let plain = ftl.region_by_name("rgPlain").unwrap();
+        let data = vec![0xAB; 512];
+        ftl.write_page(ipa, Lba(0), &data).unwrap();
+        ftl.write_page(plain, Lba(0), &data).unwrap();
+        // Same LBA, different regions, independent content and stats.
+        assert_eq!(ftl.region_stats(ipa).unwrap().host_page_writes, 1);
+        assert_eq!(ftl.region_stats(plain).unwrap().host_page_writes, 1);
+        assert!(ftl.can_append(ipa, Lba(0)));
+        assert!(!ftl.can_append(plain, Lba(0)));
+    }
+
+    #[test]
+    fn selective_ipa_per_region() {
+        // The paper's claim II: IPA applies only to chosen objects; other
+        // regions are untouched.
+        let mut ftl = NoFtl::new(two_region_config()).unwrap();
+        let ipa = ftl.region_by_name("rgIPA").unwrap();
+        let plain = ftl.region_by_name("rgPlain").unwrap();
+        let mut data = vec![0xFF; 512];
+        data[..100].fill(0x01);
+        ftl.write_page(ipa, Lba(1), &data).unwrap();
+        ftl.write_page(plain, Lba(1), &data).unwrap();
+        ftl.write_delta(ipa, Lba(1), 500, &[0x77]).unwrap();
+        assert!(matches!(
+            ftl.write_delta(plain, Lba(1), 500, &[0x77]),
+            Err(NoFtlError::AppendNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_region_ids_rejected() {
+        let mut ftl = NoFtl::new(two_region_config()).unwrap();
+        assert!(matches!(ftl.read_page(RegionId(9), Lba(0)), Err(NoFtlError::BadRegion(9))));
+        assert!(ftl.region_by_name("nope").is_none());
+        assert!(!ftl.can_append(RegionId(9), Lba(0)));
+    }
+
+    #[test]
+    fn reset_stats_clears_everything() {
+        let mut ftl = NoFtl::new(two_region_config()).unwrap();
+        let ipa = ftl.region_by_name("rgIPA").unwrap();
+        ftl.write_page(ipa, Lba(0), &vec![0u8; 512]).unwrap();
+        ftl.reset_stats();
+        assert_eq!(ftl.region_stats(ipa).unwrap().host_page_writes, 0);
+        assert_eq!(ftl.device().stats().host_programs, 0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = two_region_config();
+        cfg.regions[1].chips = vec![0]; // overlap
+        assert!(matches!(NoFtl::new(cfg), Err(NoFtlError::BadConfig(_))));
+    }
+}

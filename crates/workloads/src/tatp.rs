@@ -1,0 +1,241 @@
+//! TATP: the telecom application transaction processing benchmark.
+//!
+//! Used for the IPA-vs-IPL trace comparison (paper Table 2). The mix is
+//! read-heavy (80% reads) and its writes are tiny: `UPDATE_LOCATION`
+//! changes one 4-byte `VLR_LOCATION`, `UPDATE_SUBSCRIBER_DATA` one bit
+//! field plus one byte of access-info data.
+
+use ipa_engine::{Database, Result, Rid};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::driver::Workload;
+use crate::util::{uniform, Record};
+
+const SUBSCRIBER_REC: usize = 100;
+const ACCESS_INFO_REC: usize = 50;
+const CALL_FWD_REC: usize = 40;
+
+const S_BIT_1: usize = 8;
+const S_VLR_LOCATION: usize = 12;
+const AI_DATA1: usize = 10;
+
+/// TATP workload state.
+pub struct Tatp {
+    /// Number of subscribers.
+    pub subscribers: u64,
+    heap_subscriber: u32,
+    heap_access_info: u32,
+    heap_call_fwd: u32,
+    sub_index: u32,
+    ai_index: u32,
+    cf_index: u32,
+    /// Call-forwarding population counter for unique keys.
+    next_cf: u64,
+}
+
+impl Tatp {
+    /// A TATP instance with the given subscriber count.
+    pub fn new(subscribers: u64) -> Self {
+        Tatp {
+            subscribers,
+            heap_subscriber: 0,
+            heap_access_info: 0,
+            heap_call_fwd: 0,
+            sub_index: 0,
+            ai_index: 0,
+            cf_index: 0,
+            next_cf: 0,
+        }
+    }
+
+    fn ai_key(sub: u64, ai: u64) -> u64 {
+        sub * 4 + ai
+    }
+
+    fn cf_key(sub: u64, sf: u64, start: u64) -> u64 {
+        sub * 32 + sf * 8 + start
+    }
+}
+
+impl Workload for Tatp {
+    fn growth_factor(&self) -> f64 {
+        1.3
+    }
+
+    fn name(&self) -> &'static str {
+        "TATP"
+    }
+
+    fn estimated_pages(&self, page_size: usize) -> u64 {
+        let usable = (page_size - 160) as u64;
+        let heap = |count: u64, rec: u64| count / (usable / (rec + 4)).max(1) + 1;
+        let subs = heap(self.subscribers, SUBSCRIBER_REC as u64);
+        let ai = heap(self.subscribers * 2, ACCESS_INFO_REC as u64);
+        let index = (self.subscribers * 3) * 16 / (usable * 2 / 3) + 3;
+        subs + ai + index + 4
+    }
+
+    fn setup(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
+        self.heap_subscriber = db.create_heap(0);
+        self.heap_access_info = db.create_heap(0);
+        self.heap_call_fwd = db.create_heap(0);
+        self.sub_index = db.create_index(0)?;
+        self.ai_index = db.create_index(0)?;
+        self.cf_index = db.create_index(0)?;
+
+        let mut sid = 0u64;
+        while sid < self.subscribers {
+            let tx = db.begin();
+            for _ in 0..500.min(self.subscribers - sid) {
+                let mut rec = Record::new(SUBSCRIBER_REC);
+                rec.put_u64(0, sid).put_u32(S_VLR_LOCATION, rng.gen());
+                let rid = db.heap_insert(tx, self.heap_subscriber, &rec.0)?;
+                db.index_insert(tx, self.sub_index, sid, rid.encode())?;
+                // 1–4 access-info rows per subscriber (avg 2.5 per spec;
+                // fixed 2 here).
+                for ai in 0..2u64 {
+                    let mut rec = Record::new(ACCESS_INFO_REC);
+                    rec.put_u64(0, Self::ai_key(sid, ai));
+                    let rid = db.heap_insert(tx, self.heap_access_info, &rec.0)?;
+                    db.index_insert(tx, self.ai_index, Self::ai_key(sid, ai), rid.encode())?;
+                }
+                sid += 1;
+            }
+            db.commit(tx)?;
+        }
+        Ok(())
+    }
+
+    fn transaction(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
+        let sid = uniform(rng, 0, self.subscribers - 1);
+        match rng.gen_range(0..100u32) {
+            // GET_SUBSCRIBER_DATA 35%
+            0..=34 => {
+                let tx = db.begin();
+                if let Some(enc) = db.index_lookup(self.sub_index, sid)? {
+                    let _ = db.heap_read(tx, self.heap_subscriber, Rid::decode(0, enc))?;
+                }
+                db.commit(tx)
+            }
+            // GET_NEW_DESTINATION 10% (read call forwarding)
+            35..=44 => {
+                let tx = db.begin();
+                let sf = uniform(rng, 0, 3);
+                let start = uniform(rng, 0, 7);
+                if let Some(enc) = db.index_lookup(self.cf_index, Self::cf_key(sid, sf, start))? {
+                    let _ = db.heap_read(tx, self.heap_call_fwd, Rid::decode(0, enc))?;
+                }
+                db.commit(tx)
+            }
+            // GET_ACCESS_DATA 35%
+            45..=79 => {
+                let tx = db.begin();
+                let ai = uniform(rng, 0, 1);
+                if let Some(enc) = db.index_lookup(self.ai_index, Self::ai_key(sid, ai))? {
+                    let _ = db.heap_read(tx, self.heap_access_info, Rid::decode(0, enc))?;
+                }
+                db.commit(tx)
+            }
+            // UPDATE_SUBSCRIBER_DATA 2%: 1 bit + 1 data byte.
+            80..=81 => {
+                let tx = db.begin();
+                if let Some(enc) = db.index_lookup(self.sub_index, sid)? {
+                    let rid = Rid::decode(0, enc);
+                    let mut sub = db.heap_read(tx, self.heap_subscriber, rid)?;
+                    sub[S_BIT_1] ^= 1;
+                    db.heap_update(tx, self.heap_subscriber, rid, &sub)?;
+                }
+                let ai = uniform(rng, 0, 1);
+                if let Some(enc) = db.index_lookup(self.ai_index, Self::ai_key(sid, ai))? {
+                    let rid = Rid::decode(0, enc);
+                    let mut info = db.heap_read(tx, self.heap_access_info, rid)?;
+                    info[AI_DATA1] = rng.gen();
+                    db.heap_update(tx, self.heap_access_info, rid, &info)?;
+                }
+                db.commit(tx)
+            }
+            // UPDATE_LOCATION 14%: one 4-byte field.
+            82..=95 => {
+                let tx = db.begin();
+                if let Some(enc) = db.index_lookup(self.sub_index, sid)? {
+                    let rid = Rid::decode(0, enc);
+                    let mut sub = db.heap_read(tx, self.heap_subscriber, rid)?;
+                    let mut rec = Record(sub.clone());
+                    rec.put_u32(S_VLR_LOCATION, rng.gen());
+                    sub = rec.0;
+                    db.heap_update(tx, self.heap_subscriber, rid, &sub)?;
+                }
+                db.commit(tx)
+            }
+            // INSERT_CALL_FORWARDING 2%
+            96..=97 => {
+                let tx = db.begin();
+                let key = Self::cf_key(sid, self.next_cf % 4, (self.next_cf / 4) % 8);
+                self.next_cf += 1;
+                if db.index_lookup(self.cf_index, key)?.is_none() {
+                    let mut rec = Record::new(CALL_FWD_REC);
+                    rec.put_u64(0, key);
+                    let rid = db.heap_insert(tx, self.heap_call_fwd, &rec.0)?;
+                    db.index_insert(tx, self.cf_index, key, rid.encode())?;
+                }
+                db.commit(tx)
+            }
+            // DELETE_CALL_FORWARDING 2%
+            _ => {
+                let tx = db.begin();
+                let sf = uniform(rng, 0, 3);
+                let start = uniform(rng, 0, 7);
+                let key = Self::cf_key(sid, sf, start);
+                if let Some(enc) = db.index_lookup(self.cf_index, key)? {
+                    db.heap_delete(tx, self.heap_call_fwd, Rid::decode(0, enc))?;
+                    db.index_delete(tx, self.cf_index, key)?;
+                }
+                db.commit(tx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{Runner, SystemConfig};
+    use ipa_core::NxM;
+
+    #[test]
+    fn read_heavy_mix_with_tiny_updates() {
+        let mut w = Tatp::new(1_000);
+        let cfg = SystemConfig::emulator(NxM::new(2, 4, 12), 0.3);
+        let mut db = cfg.build(w.estimated_pages(4096)).unwrap();
+        let runner = Runner::new(21);
+        runner.setup(&mut db, &mut w).unwrap();
+        let report = runner.run(&mut db, &mut w, 200, 1000).unwrap();
+        assert_eq!(report.commits, 1000);
+        // Read-dominated: far more host reads than writes.
+        assert!(
+            report.region.host_reads > report.region.host_writes(),
+            "reads {} vs writes {}",
+            report.region.host_reads,
+            report.region.host_writes()
+        );
+        // Updates are tiny: the dominant writes are 1-4 byte field
+        // updates; the tail contains call-forwarding tuple inserts and
+        // index-leaf entry inserts (~16-40 bytes each).
+        let p50 = db.profile(0).body_percentile(50.0);
+        let p90 = db.profile(0).body_percentile(90.0);
+        assert!(p50 <= 8, "p50 update size {p50}");
+        assert!(p90 <= 64, "p90 update size {p90}");
+    }
+
+    #[test]
+    fn call_forwarding_insert_delete_cycle() {
+        let mut w = Tatp::new(200);
+        let cfg = SystemConfig::emulator(NxM::new(2, 4, 12), 0.5);
+        let mut db = cfg.build(w.estimated_pages(4096)).unwrap();
+        let runner = Runner::new(9);
+        runner.setup(&mut db, &mut w).unwrap();
+        let report = runner.run(&mut db, &mut w, 0, 2000).unwrap();
+        assert_eq!(report.commits, 2000);
+    }
+}

@@ -1,0 +1,87 @@
+//! A social-graph store on flash: LinkBench with large-M schemes and the
+//! IPA advisor.
+//!
+//! Social-graph updates are bigger than TPC updates (~100 gross bytes),
+//! so the advisor must pick a much larger M — this example profiles a
+//! live run, asks the advisor for recommendations under all three goals,
+//! then validates the recommendation against hand-picked schemes.
+//!
+//! Run with `cargo run --release --example linkbench_social`.
+
+use ipa::core::{AdvisorGoal, IpaAdvisor, NxM};
+use ipa::workloads::{LinkBench, Runner, SystemConfig, Workload};
+
+fn run(scheme: NxM, txns: u64) -> (f64, f64, ipa::workloads::RunReport) {
+    let mut cfg = SystemConfig::emulator(scheme, 0.4);
+    cfg.page_size = 8192;
+    let mut w = LinkBench::new(3_000, 4);
+    let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+    let runner = Runner::new(23);
+    runner.setup(&mut db, &mut w).unwrap();
+    let report = runner.run(&mut db, &mut w, 1_000, txns).unwrap();
+    (report.region.ipa_fraction(), report.engine.write_amplification(), report)
+}
+
+fn main() {
+    // --- profile with IPA off, then consult the advisor ---
+    println!("profiling a LinkBench run (IPA disabled) ...");
+    let mut cfg = SystemConfig::emulator(NxM::disabled(), 0.4);
+    cfg.page_size = 8192;
+    let mut w = LinkBench::new(3_000, 4);
+    let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+    let runner = Runner::new(23);
+    runner.setup(&mut db, &mut w).unwrap();
+    let base = runner.run(&mut db, &mut w, 1_000, 5_000).unwrap();
+    let profile = db.profile(0);
+    println!(
+        "observed {} update I/Os; p50 = {}B, p70 = {}B, p90 = {}B gross",
+        profile.observations(),
+        profile.body_percentile(50.0),
+        profile.body_percentile(70.0),
+        profile.body_percentile(90.0)
+    );
+
+    let advisor = IpaAdvisor::new(8192, 8);
+    println!("\nadvisor recommendations:");
+    let mut recommended = NxM::linkbench();
+    for (name, goal) in [
+        ("performance", AdvisorGoal::Performance),
+        ("longevity", AdvisorGoal::Longevity),
+        ("space", AdvisorGoal::Space),
+    ] {
+        let rec = advisor.recommend(profile, goal);
+        println!(
+            "  {name:<12} -> [{}x{}] V={} (predicted IPA {:.0}%, space {:.1}%)",
+            rec.scheme.n,
+            rec.scheme.m,
+            rec.scheme.v,
+            rec.predicted_ipa_fraction * 100.0,
+            rec.space_overhead * 100.0
+        );
+        if matches!(goal, AdvisorGoal::Performance) {
+            recommended = rec.scheme;
+        }
+    }
+
+    // --- validate: recommended scheme vs a too-small scheme ---
+    println!("\nvalidating (5k transactions each):");
+    for (label, scheme) in [
+        ("too small [2x10]", NxM::new(2, 10, 12)),
+        ("paper-ish [2x125]", NxM::linkbench()),
+        ("advisor pick", recommended),
+    ] {
+        let (ipa_frac, wa, report) = run(scheme, 5_000);
+        println!(
+            "  {label:<18} IPA {:>4.0}%  WA {:>5.1}x  erases/write {:>6.4}  (baseline {:.4})",
+            ipa_frac * 100.0,
+            wa,
+            report.region.erases_per_host_write(),
+            base.region.erases_per_host_write()
+        );
+    }
+    println!(
+        "\nbaseline [0x0] WA: {:.1}x — large-M schemes capture the graph's",
+        base.engine.write_amplification()
+    );
+    println!("~100-byte updates that a TPC-sized M would miss.");
+}

@@ -1,0 +1,65 @@
+//! A night of TPC-C, twice: the same order-entry workload on the same
+//! emulated flash, once without IPA (`[0×0]`) and once with the paper's
+//! `[2×3]` scheme — then a side-by-side of everything that matters to a
+//! flash device's owner.
+//!
+//! Run with `cargo run --release --example tpcc_night`.
+
+use ipa::core::NxM;
+use ipa::workloads::{Runner, SystemConfig, TpcC, Workload};
+
+fn main() {
+    let txns = 6_000;
+    println!("running {txns} TPC-C transactions, [0x0] vs [2x3] ...\n");
+
+    let mut results = Vec::new();
+    for scheme in [NxM::disabled(), NxM::tpcc()] {
+        let cfg = SystemConfig::emulator(scheme, 0.25);
+        let mut w = TpcC::new(1, 3_000, 300);
+        let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+        let runner = Runner::new(7);
+        runner.setup(&mut db, &mut w).unwrap();
+        let report = runner.run(&mut db, &mut w, 1_000, txns).unwrap();
+        results.push(report);
+    }
+    let (base, ipa) = (&results[0], &results[1]);
+
+    let rel = |b: f64, i: f64| if b == 0.0 { 0.0 } else { (i - b) / b * 100.0 };
+    let rows: [(&str, f64, f64); 8] = [
+        ("host reads", base.region.host_reads as f64, ipa.region.host_reads as f64),
+        ("host writes", base.region.host_writes() as f64, ipa.region.host_writes() as f64),
+        (
+            "  of which in-place appends",
+            base.region.host_delta_writes as f64,
+            ipa.region.host_delta_writes as f64,
+        ),
+        (
+            "GC page migrations",
+            base.region.gc_page_migrations as f64,
+            ipa.region.gc_page_migrations as f64,
+        ),
+        ("GC erases", base.region.gc_erases as f64, ipa.region.gc_erases as f64),
+        ("read latency [ms]", base.read_ms, ipa.read_ms),
+        ("write latency [ms]", base.write_ms, ipa.write_ms),
+        ("throughput [tps]", base.tps, ipa.tps),
+    ];
+    println!("{:<30} {:>12} {:>12} {:>9}", "metric", "[0x0]", "[2x3]", "change");
+    for (name, b, i) in rows {
+        println!("{name:<30} {b:>12.2} {i:>12.2} {:>8.1}%", rel(b, i));
+    }
+
+    println!(
+        "\nerases per host write: {:.4} -> {:.4} ({:+.0}%)",
+        base.region.erases_per_host_write(),
+        ipa.region.erases_per_host_write(),
+        rel(base.region.erases_per_host_write(), ipa.region.erases_per_host_write())
+    );
+    println!(
+        "DB write amplification: {:.1}x -> {:.1}x ({:.2}x reduction)",
+        base.engine.write_amplification(),
+        ipa.engine.write_amplification(),
+        base.engine.write_amplification() / ipa.engine.write_amplification()
+    );
+    let (oop, ipaf) = ipa.oop_vs_ipa();
+    println!("write split with IPA: {oop:.0}% out-of-place / {ipaf:.0}% in-place appends");
+}

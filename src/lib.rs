@@ -1,0 +1,25 @@
+//! # ipa — facade over the In-Place Appends reproduction stack
+//!
+//! Re-exports the crates that reproduce *"From In-Place Updates to In-Place
+//! Appends: Revisiting Out-of-Place Updates on Flash"* (SIGMOD 2017):
+//!
+//! * [`flash`] — bit-accurate NAND flash simulator (ISPP monotone-charge
+//!   programming, SLC/MLC, timing, wear, reliability).
+//! * [`noftl`] — NoFTL-style flash management: regions, page-level mapping,
+//!   garbage collection, wear leveling and the `write_delta` command.
+//! * [`core`] — the paper's contribution: NSM page layout with a
+//!   delta-record area, the [N×M] scheme, byte-level change tracking and the
+//!   IPA advisor.
+//! * [`engine`] — a Shore-MT-style storage engine: buffer pool, ARIES WAL,
+//!   transactions, recovery, heap files and B+-trees.
+//! * [`ipl`] — the In-Page Logging baseline (Lee & Moon, SIGMOD 2007).
+//! * [`workloads`] — TPC-B, TPC-C, TATP and LinkBench-style generators.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ipa_core as core;
+pub use ipa_engine as engine;
+pub use ipa_flash as flash;
+pub use ipa_ipl as ipl;
+pub use ipa_noftl as noftl;
+pub use ipa_workloads as workloads;

@@ -1,0 +1,112 @@
+//! Model-based property test of the paged B+-tree against a BTreeMap,
+//! including flush/refetch cycles so node images round-trip through the
+//! flash layer.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ipa::core::NxM;
+use ipa::engine::{Database, DbConfig};
+use ipa::flash::FlashConfig;
+use ipa::noftl::{IpaMode, NoFtlConfig};
+
+fn db() -> Database {
+    let mut flash = FlashConfig::small_slc();
+    flash.geometry.page_size = 1024;
+    let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
+    Database::open(cfg, &[NxM::new(2, 16, 12)], DbConfig::eager(48)).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Lookup(u64),
+    Range(u64, u64),
+    FlushAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..2000, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0u64..2000).prop_map(Op::Delete),
+        2 => (0u64..2000).prop_map(Op::Lookup),
+        1 => (0u64..2000, 0u64..200).prop_map(|(lo, w)| Op::Range(lo, lo + w)),
+        1 => Just(Op::FlushAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut d = db();
+        let idx = d.create_index(0).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let tx = d.begin();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let r = d.index_insert(tx, idx, k, v);
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                        r.unwrap();
+                        e.insert(v);
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate {k} must be rejected");
+                    }
+                }
+                Op::Delete(k) => {
+                    let got = d.index_delete(tx, idx, k).unwrap();
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                Op::Lookup(k) => {
+                    prop_assert_eq!(d.index_lookup(idx, k).unwrap(), model.get(&k).copied());
+                }
+                Op::Range(lo, hi) => {
+                    let got = d.index_range(idx, lo, hi).unwrap();
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::FlushAll => {
+                    d.flush_all().unwrap();
+                }
+            }
+        }
+        // Final full-range equivalence.
+        let got = d.index_range(idx, u64::MIN, u64::MAX).unwrap();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn btree_survives_flush_evict_cycles_with_many_keys() {
+    let mut d = db();
+    let idx = d.create_index(0).unwrap();
+    let tx = d.begin();
+    let mut model = BTreeMap::new();
+    for i in 0..3_000u64 {
+        let k = i.wrapping_mul(0x9E37_79B9).rotate_left(11) % 1_000_000;
+        if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+            e.insert(i);
+            d.index_insert(tx, idx, k, i).unwrap();
+        }
+        if i % 500 == 0 {
+            d.flush_all().unwrap();
+        }
+    }
+    d.commit(tx).unwrap();
+    d.flush_all().unwrap();
+    // Evict everything; lookups must come back from flash.
+    for _ in 0..48 {
+        d.new_page(0).unwrap();
+    }
+    for (k, _) in model.iter().take(300) {
+        assert!(d.index_lookup(idx, *k).unwrap().is_some(), "key {k}");
+    }
+    let total = d.index_count(idx).unwrap();
+    assert_eq!(total as usize, model.len());
+}

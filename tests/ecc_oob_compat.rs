@@ -1,0 +1,38 @@
+//! Keeps `ipa_core::ecc::ipa_oob` (the dependency-free mirror used by the
+//! ECC scheme) structurally identical to `ipa_flash::OobLayout` — the two
+//! crates must agree on byte offsets or ECC codes would land in the wrong
+//! OOB slots.
+
+use ipa::core::ecc::ipa_oob;
+use ipa::flash::{OobLayout, Section};
+
+#[test]
+fn layouts_agree_for_all_reasonable_configs() {
+    for oob_size in [64usize, 128, 224, 256] {
+        for max_deltas in 0u32..6 {
+            let a = OobLayout::standard(oob_size, max_deltas);
+            let b = ipa_oob::OobLayout::standard(oob_size, max_deltas);
+            assert_eq!(a.is_some(), b.is_some(), "oob={oob_size} n={max_deltas}");
+            let (Some(a), Some(b)) = (a, b) else { continue };
+            assert_eq!(a.range(Section::Meta), b.range(ipa_oob::Section::Meta));
+            assert_eq!(a.range(Section::EccInitial), b.range(ipa_oob::Section::EccInitial));
+            for i in 0..max_deltas + 2 {
+                assert_eq!(
+                    a.range(Section::EccDelta(i)),
+                    b.range(ipa_oob::Section::EccDelta(i)),
+                    "delta slot {i}, oob={oob_size}, n={max_deltas}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ecc_slot_size_matches_layout_slots() {
+    // The codes `ipa_core::ecc` produces must fit the slots the layouts
+    // reserve.
+    let layout = OobLayout::standard(128, 3).unwrap();
+    assert_eq!(layout.ecc_slot_size, ipa::core::ecc::ECC_SLOT_SIZE);
+    let code = ipa::core::ecc::encode_slot(b"anything");
+    assert_eq!(code.len(), layout.ecc_slot_size);
+}

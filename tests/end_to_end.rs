@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the full stack from workload driver down
+//! to simulated flash cells.
+
+use ipa::core::NxM;
+use ipa::engine::{Database, DbConfig};
+use ipa::flash::FlashConfig;
+use ipa::noftl::{IpaMode, NoFtlConfig, RegionId};
+use ipa::workloads::{Runner, SystemConfig, Tatp, TpcB, TpcC, Workload};
+
+fn small_db(scheme: NxM) -> Database {
+    let mut flash = FlashConfig::small_slc();
+    flash.geometry.page_size = 1024;
+    flash.geometry.pages_per_block = 16;
+    let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
+    Database::open(cfg, &[scheme], DbConfig::eager(32)).unwrap()
+}
+
+#[test]
+fn ipa_reduces_erases_across_workloads() {
+    // The paper's core claim, checked end-to-end on two workloads.
+    for (name, mk, scheme, txns) in [
+        (
+            "tpcb",
+            Box::new(|| -> Box<dyn Workload> { Box::new(TpcB::new(2, 800)) })
+                as Box<dyn Fn() -> Box<dyn Workload>>,
+            NxM::tpcb(),
+            2500u64,
+        ),
+        (
+            "tpcc",
+            Box::new(|| -> Box<dyn Workload> { Box::new(TpcC::new(1, 500, 60)) }),
+            NxM::tpcc(),
+            2000u64,
+        ),
+    ] {
+        let run = |s: NxM| {
+            let cfg = SystemConfig::emulator(s, 0.2);
+            let mut w = mk();
+            let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+            let runner = Runner::new(3);
+            runner.setup(&mut db, w.as_mut()).unwrap();
+            runner.run(&mut db, w.as_mut(), 400, txns).unwrap()
+        };
+        let base = run(NxM::disabled());
+        let ipa = run(scheme);
+        assert!(
+            ipa.region.erases_per_host_write() < base.region.erases_per_host_write(),
+            "{name}: erases/write {} !< {}",
+            ipa.region.erases_per_host_write(),
+            base.region.erases_per_host_write()
+        );
+        assert!(
+            ipa.region.migrations_per_host_write() < base.region.migrations_per_host_write(),
+            "{name}: migrations/write must drop"
+        );
+        assert!(ipa.region.ipa_fraction() > 0.2, "{name}: ipa fraction too low");
+        // The baseline never appends.
+        assert_eq!(base.region.host_delta_writes, 0);
+    }
+}
+
+#[test]
+fn durability_through_heavy_churn_with_gc() {
+    // Flash-level GC relocations + IPA appends + buffer evictions must
+    // never lose a committed write.
+    let mut db = small_db(NxM::new(2, 8, 12));
+    let heap = db.create_heap(0);
+    let mut rids = Vec::new();
+    let tx = db.begin();
+    for i in 0..400u32 {
+        let mut rec = [0u8; 40];
+        rec[..4].copy_from_slice(&i.to_le_bytes());
+        rec[4..8].copy_from_slice(&i.to_le_bytes()); // value field starts at i
+        rids.push(db.heap_insert(tx, heap, &rec).unwrap());
+    }
+    db.commit(tx).unwrap();
+    db.flush_all().unwrap();
+
+    // Many rounds of small updates to pseudo-random tuples.
+    let mut expected: Vec<u32> = (0..400).collect();
+    for round in 1..=40u32 {
+        let tx = db.begin();
+        for k in 0..40u32 {
+            let i = (k.wrapping_mul(2_654_435_761).wrapping_add(round * 97) % 400) as usize;
+            let mut rec = db.heap_read_unlocked(rids[i]).unwrap();
+            let v = expected[i].wrapping_add(round);
+            rec[4..8].copy_from_slice(&v.to_le_bytes());
+            expected[i] = v;
+            // Keep bytes 0..4 as the identity.
+            let new_rid = db.heap_update(tx, heap, rids[i], &rec).unwrap();
+            rids[i] = new_rid;
+        }
+        db.commit(tx).unwrap();
+        db.background_work().unwrap();
+    }
+    db.flush_all().unwrap();
+    let stats = db.region_stats(0).unwrap();
+    assert!(stats.host_delta_writes > 0, "IPA must have been exercised");
+
+    for (i, rid) in rids.iter().enumerate() {
+        let rec = db.heap_read_unlocked(*rid).unwrap();
+        let id = u32::from_le_bytes(rec[..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        assert_eq!(id, i as u32, "identity of tuple {i}");
+        assert_eq!(v, expected[i], "value of tuple {i}");
+    }
+}
+
+#[test]
+fn crash_recovery_at_workload_scale() {
+    let cfg = SystemConfig::emulator(NxM::tpcb(), 0.3);
+    let mut w = TpcB::new(1, 300);
+    let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+    let runner = Runner::new(5);
+    runner.setup(&mut db, &mut w).unwrap();
+    runner.run(&mut db, &mut w, 0, 500).unwrap();
+    // Force the log so all committed work survives; crash mid-flight.
+    db.force_log();
+    db.simulate_crash();
+    db.recover().unwrap();
+    // The workload must be able to continue after restart.
+    runner.run(&mut db, &mut w, 0, 200).unwrap();
+}
+
+#[test]
+fn odd_mlc_mixes_appends_and_out_of_place() {
+    let cfg = SystemConfig::openssd(NxM::tpcb(), false);
+    let mut w = TpcB::new(1, 400);
+    let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+    let runner = Runner::new(11);
+    runner.setup(&mut db, &mut w).unwrap();
+    let report = runner.run(&mut db, &mut w, 200, 1500).unwrap();
+    let f = report.region.ipa_fraction();
+    // odd-MLC can only append on LSB residencies: the fraction must be
+    // meaningfully above zero but clearly below the pSLC ceiling.
+    assert!(f > 0.05, "fraction {f}");
+    assert!(f < 0.9, "fraction {f}");
+
+    let pslc_cfg = SystemConfig::openssd(NxM::tpcb(), true);
+    let mut w2 = TpcB::new(1, 400);
+    let mut db2 = pslc_cfg.build(w2.estimated_pages(pslc_cfg.page_size)).unwrap();
+    runner.setup(&mut db2, &mut w2).unwrap();
+    let pslc = runner.run(&mut db2, &mut w2, 200, 1500).unwrap();
+    assert!(
+        pslc.region.ipa_fraction() > f,
+        "pSLC {} must capture more appends than odd-MLC {f}",
+        pslc.region.ipa_fraction()
+    );
+}
+
+#[test]
+fn ecc_verification_full_stack() {
+    // Run with ECC verification enabled: every fetch checks ECC_initial +
+    // per-delta codes written through the OOB path.
+    let mut flash = FlashConfig::small_slc();
+    flash.geometry.page_size = 1024;
+    let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
+    let mut db_cfg = DbConfig::eager(16);
+    db_cfg.verify_ecc = true;
+    let mut db = Database::open(cfg, &[NxM::tpcc()], db_cfg).unwrap();
+    let heap = db.create_heap(0);
+    let tx = db.begin();
+    let rid = db.heap_insert(tx, heap, &[1u8, 2, 3, 4]).unwrap();
+    db.commit(tx).unwrap();
+    db.flush_all().unwrap();
+    let tx = db.begin();
+    db.heap_update(tx, heap, rid, &[9u8, 2, 3, 4]).unwrap();
+    db.commit(tx).unwrap();
+    db.flush_all().unwrap();
+    assert!(db.stats().ipa_flushes >= 1);
+    // Evict everything and re-read: ECC paths must verify.
+    for _ in 0..16 {
+        db.new_page(0).unwrap();
+    }
+    assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![9, 2, 3, 4]);
+    assert!(db.stats().ecc_verified > 0);
+}
+
+#[test]
+fn tatp_read_heavy_profile_holds_end_to_end() {
+    let cfg = SystemConfig::emulator(NxM::tpcb(), 0.3);
+    let mut w = Tatp::new(2_000);
+    let mut db = cfg.build(w.estimated_pages(cfg.page_size)).unwrap();
+    let runner = Runner::new(17);
+    runner.setup(&mut db, &mut w).unwrap();
+    let report = runner.run(&mut db, &mut w, 300, 2_000).unwrap();
+    assert!(report.region.host_reads > report.region.host_writes());
+    assert_eq!(report.commits, 2_000);
+}
+
+#[test]
+fn region_capacity_is_respected_end_to_end() {
+    let mut db = small_db(NxM::disabled());
+    let cap = db.ftl().capacity(RegionId(0)).unwrap();
+    // Allocate every page; the next allocation must fail cleanly.
+    for _ in 0..cap {
+        db.new_page(0).unwrap();
+        // Flush as we go so the pool doesn't exhaust.
+        db.flush_all().unwrap();
+    }
+    assert!(db.new_page(0).is_err());
+}

@@ -1,0 +1,205 @@
+//! Property-based tests over the core invariants of the stack.
+
+use proptest::prelude::*;
+
+use ipa::core::{delta, ChangePair, ChangeTracker, DbPage, DeltaRecord, FlushDecision, NxM, PageLayout};
+use ipa::flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ISPP invariant: any sequence of partial programs either fails or
+    /// leaves every bit monotonically non-increasing (1 -> 0 only).
+    #[test]
+    fn flash_charge_is_monotone(
+        writes in prop::collection::vec(
+            (0usize..4096, prop::collection::vec(any::<u8>(), 1..32)),
+            1..20,
+        )
+    ) {
+        let mut dev = FlashDevice::new(FlashConfig::small_slc());
+        let ppa = Ppa::new(0, 0, 0);
+        dev.program(ppa, &vec![0xFF; 4096], OpOrigin::Host).unwrap();
+        let mut shadow = vec![0xFFu8; 4096];
+        for (off, data) in writes {
+            if off + data.len() > 4096 {
+                continue;
+            }
+            let before = dev.peek(ppa).unwrap().to_vec();
+            match dev.program_partial(ppa, off, &data, OpOrigin::Host) {
+                Ok(_) => {
+                    for (i, &b) in data.iter().enumerate() {
+                        shadow[off + i] = b;
+                    }
+                }
+                Err(_) => {
+                    // Failed programs must leave the page untouched.
+                    prop_assert_eq!(dev.peek(ppa).unwrap(), &before[..]);
+                }
+            }
+            // Every accepted state matches the shadow, and transitions were
+            // monotone: new & !old == 0 for each accepted write.
+            let now = dev.peek(ppa).unwrap();
+            for i in 0..4096 {
+                prop_assert_eq!(now[i], shadow[i]);
+                prop_assert_eq!(now[i] & !before[i] & !now[i], 0);
+            }
+        }
+    }
+
+    /// Delta records survive encode/decode for any in-budget pair sets.
+    #[test]
+    fn delta_record_roundtrip(
+        n in 1u16..4,
+        m in 1u16..20,
+        v in 0u16..16,
+        body_seed in prop::collection::vec((0u16..4000, any::<u8>()), 0..20),
+        meta_seed in prop::collection::vec((0u16..32, any::<u8>()), 0..16),
+    ) {
+        let scheme = NxM::new(n, m, v);
+        let mut body: Vec<ChangePair> = body_seed
+            .into_iter()
+            .take(m as usize)
+            .map(|(offset, value)| ChangePair { offset, value })
+            .collect();
+        body.dedup_by_key(|p| p.offset);
+        let mut meta: Vec<ChangePair> = meta_seed
+            .into_iter()
+            .take(v as usize)
+            .map(|(offset, value)| ChangePair { offset, value })
+            .collect();
+        meta.dedup_by_key(|p| p.offset);
+        let rec = DeltaRecord::new(body, meta);
+        let encoded = rec.encode(&scheme).unwrap();
+        prop_assert_eq!(encoded.len(), scheme.delta_record_size());
+        let decoded = DeltaRecord::decode(&encoded, &scheme).unwrap().unwrap();
+        prop_assert_eq!(decoded, rec);
+    }
+
+    /// Applying delta records to a page is exactly byte substitution:
+    /// every pair lands, nothing else changes.
+    #[test]
+    fn delta_apply_is_exact(
+        pairs in prop::collection::vec((100u16..2000, any::<u8>()), 1..30),
+    ) {
+        let mut unique = std::collections::BTreeMap::new();
+        for (off, val) in pairs {
+            unique.insert(off, val);
+        }
+        let rec = DeltaRecord::new(
+            unique.iter().map(|(&offset, &value)| ChangePair { offset, value }).collect(),
+            vec![],
+        );
+        let mut page = vec![0xEEu8; 4096];
+        rec.apply(&mut page).unwrap();
+        for (i, &b) in page.iter().enumerate() {
+            match unique.get(&(i as u16)) {
+                Some(&v) => prop_assert_eq!(b, v),
+                None => prop_assert_eq!(b, 0xEE),
+            }
+        }
+    }
+
+    /// Slotted-page operations keep tuples readable and never corrupt
+    /// unrelated slots.
+    #[test]
+    fn slotted_page_model_check(
+        ops in prop::collection::vec((0u8..3, 0usize..8, 1usize..60), 1..40),
+    ) {
+        let layout = PageLayout::new(2048, NxM::tpcc()).unwrap();
+        let mut page = DbPage::format(7, layout);
+        let mut tracker = ChangeTracker::new(*page.scheme(), 0, false);
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for (op, target, len) in ops {
+            match op {
+                // insert
+                0 => {
+                    let data = vec![(len % 251) as u8; len];
+                    if let Ok(slot) = page.insert_tuple(&data, &mut tracker) {
+                        prop_assert_eq!(slot.0 as usize, model.len());
+                        model.push(Some(data));
+                    }
+                }
+                // update (same length -> in place)
+                1 => {
+                    if let Some(Some(existing)) = model.get(target) {
+                        let data = vec![0x5A; existing.len()];
+                        page.update_tuple(ipa::core::SlotId(target as u16), &data, &mut tracker)
+                            .unwrap();
+                        model[target] = Some(data);
+                    }
+                }
+                // delete
+                _ => {
+                    if let Some(Some(_)) = model.get(target) {
+                        page.delete_tuple(ipa::core::SlotId(target as u16), &mut tracker).unwrap();
+                        model[target] = None;
+                    }
+                }
+            }
+            // Model equivalence after every step.
+            for (i, expect) in model.iter().enumerate() {
+                let slot = ipa::core::SlotId(i as u16);
+                match expect {
+                    Some(data) => prop_assert_eq!(page.tuple(slot).unwrap(), &data[..]),
+                    None => prop_assert!(page.tuple(slot).is_err()),
+                }
+            }
+        }
+    }
+
+    /// The flush decision respects the [NxM] capacity exactly: IPA iff the
+    /// accumulated distinct body bytes fit C_p and metadata fits V.
+    #[test]
+    fn flush_decision_matches_capacity(
+        n in 1u16..4,
+        m in 1u16..10,
+        n_existing in 0u16..4,
+        body_offsets in prop::collection::vec(200u16..4000, 0..40),
+        meta_count in 0u16..20,
+    ) {
+        let scheme = NxM::new(n, m, 12);
+        let mut t = ChangeTracker::new(scheme, n_existing.min(n), true);
+        let mut distinct = std::collections::BTreeSet::new();
+        for off in &body_offsets {
+            t.record_body(*off);
+            distinct.insert(*off);
+        }
+        for i in 0..meta_count.min(12) {
+            t.record_meta(i);
+        }
+        let page = vec![0u8; 4096];
+        let u = distinct.len();
+        let cp = scheme.remaining_capacity(n_existing.min(n));
+        let fits = u <= cp
+            && (meta_count.min(12) as usize) <= scheme.v as usize
+            && scheme.records_needed(u) <= (scheme.n - n_existing.min(n)) as usize;
+        match t.decide(&page) {
+            FlushDecision::Clean => prop_assert!(u == 0 && meta_count == 0),
+            FlushDecision::Ipa(records) => {
+                prop_assert!(fits, "IPA allowed with U={u}, Cp={cp}");
+                let total: usize = records.iter().map(|r| r.body.len()).sum();
+                prop_assert_eq!(total, u);
+                for r in &records {
+                    prop_assert!(r.body.len() <= m as usize);
+                }
+            }
+            FlushDecision::OutOfPlace => prop_assert!(!fits || u == 0),
+        }
+    }
+
+    /// count_records over any sequence of appended records is exact.
+    #[test]
+    fn delta_area_count_is_exact(k in 0u16..4) {
+        let scheme = NxM::new(4, 3, 4);
+        let size = scheme.delta_record_size();
+        let mut area = vec![0xFF; scheme.delta_area_size()];
+        for i in 0..k {
+            let rec = DeltaRecord::new(vec![ChangePair { offset: 100 + i, value: 1 }], vec![]);
+            let enc = rec.encode(&scheme).unwrap();
+            area[i as usize * size..(i as usize + 1) * size].copy_from_slice(&enc);
+        }
+        prop_assert_eq!(delta::count_records(&area, &scheme).unwrap(), k);
+        prop_assert_eq!(delta::decode_all(&area, &scheme).unwrap().len(), k as usize);
+    }
+}
