@@ -35,8 +35,13 @@ fn bench_flash_ops(c: &mut Criterion) {
                 dev
             },
             |mut dev| {
-                dev.program_partial(Ppa::new(0, 0, 0), 4000, black_box(&[0x13; 46]), OpOrigin::Host)
-                    .unwrap();
+                dev.program_partial(
+                    Ppa::new(0, 0, 0),
+                    4000,
+                    black_box(&[0x13; 46]),
+                    OpOrigin::Host,
+                )
+                .unwrap();
                 dev
             },
             BatchSize::SmallInput,
@@ -116,7 +121,8 @@ fn bench_page_ops(c: &mut Criterion) {
         pg.insert_tuple(&[9u8; 16], &mut t).unwrap();
         let body = layout.body_start() as u16;
         for i in 0..2 {
-            let rec = DeltaRecord::new(vec![ChangePair { offset: body + i, value: i as u8 }], vec![]);
+            let rec =
+                DeltaRecord::new(vec![ChangePair { offset: body + i, value: i as u8 }], vec![]);
             pg.append_delta_record(&rec).unwrap();
         }
         let raw = pg.bytes().to_vec();

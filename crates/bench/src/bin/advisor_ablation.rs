@@ -9,7 +9,7 @@
 //! 3. **write_delta vs page write cost**: the device-level latency gap
 //!    that makes appends worthwhile.
 
-use ipa_bench::{banner, fmt, run_workload, save_json, scale, scheme_name, Table};
+use ipa_bench::{banner, fmt, run_workload, scale, scheme_name, ExperimentReport, Table};
 use ipa_core::{AdvisorGoal, IpaAdvisor, NxM};
 use ipa_flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
 use ipa_workloads::{SystemConfig, TpcC};
@@ -20,6 +20,7 @@ fn main() {
         "paper §8.4 (advisor), §6.1 (byte-level metadata, 49% claim), §4 (append cost)",
     );
     let s = scale();
+    let mut report = ExperimentReport::new("advisor_ablation");
 
     // --- 1. Advisor over a live TPC-C profile ---
     let cfg = SystemConfig::emulator(NxM::disabled(), 0.5);
@@ -52,7 +53,7 @@ fn main() {
             }),
         );
     }
-    t.print();
+    report.print_table(&t);
     println!("paper: the natural TPC-C choice is M=3 (50-75% of updates change <= 3 net bytes)\n");
 
     // --- 2. Byte-level vs full-metadata delta records ---
@@ -75,9 +76,7 @@ fn main() {
     let mut image = vec![0xFF; page_size];
     image[..1024].fill(0x42);
     let full = dev.program(ppa, &image, OpOrigin::Host).unwrap();
-    let delta = dev
-        .program_partial(ppa, page_size - 92, &[0x13; 46], OpOrigin::Host)
-        .unwrap();
+    let delta = dev.program_partial(ppa, page_size - 92, &[0x13; 46], OpOrigin::Host).unwrap();
     println!(
         "device latency: full 4KB program {} us, 46B delta append {} us ({}x cheaper)",
         full.latency_ns / 1000,
@@ -95,5 +94,6 @@ fn main() {
             "delta_append_ns": delta.latency_ns,
         }),
     );
-    save_json("advisor_ablation", &serde_json::Value::Object(json));
+    report.set_payload(serde_json::Value::Object(json));
+    report.save();
 }

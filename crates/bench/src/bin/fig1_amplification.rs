@@ -6,7 +6,7 @@
 //! measures each layer on a live TPC-B run without IPA, then shows the
 //! same chain with the `[2×4]` scheme.
 
-use ipa_bench::{banner, fmt, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{SystemConfig, TpcB};
 
@@ -17,6 +17,7 @@ fn main() {
     );
     let s = scale();
     let measured = 6_000 * s;
+    let mut out = ExperimentReport::new("fig1_amplification");
 
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
@@ -68,7 +69,7 @@ fn main() {
             fmt::f2(*wa2),
         ]);
     }
-    t.print();
+    out.print_table(&t);
 
     let base_wa = rows[0].5;
     let ipa_wa = rows[1].5;
@@ -79,5 +80,6 @@ fn main() {
         ipa_wa,
         base_wa / ipa_wa
     );
-    save_json("fig1_amplification", &serde_json::Value::Object(json));
+    out.set_payload(serde_json::Value::Object(json));
+    out.save();
 }

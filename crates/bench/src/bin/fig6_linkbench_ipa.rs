@@ -1,7 +1,7 @@
 //! Figure 6 — fraction of update I/Os performed as in-place appends in
 //! LinkBench, across buffer sizes and `[N×M]` schemes.
 
-use ipa_bench::{banner, run_workload, save_json, scale, scheme_name, Table};
+use ipa_bench::{banner, run_workload, scale, scheme_name, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig};
 
@@ -11,7 +11,8 @@ fn main() {
         "paper Figure 6 / Table 5 black numbers (e.g. [2x125] ~ 35-43%)",
     );
     let s = scale();
-    let schemes = [NxM::new(1, 100, 12), NxM::new(2, 100, 12), NxM::new(2, 125, 12), NxM::new(3, 125, 12)];
+    let schemes =
+        [NxM::new(1, 100, 12), NxM::new(2, 100, 12), NxM::new(2, 125, 12), NxM::new(3, 125, 12)];
     let buffers = [0.20, 0.50, 0.75, 0.90];
     let txns = 5_000 * s;
 
@@ -36,8 +37,10 @@ fn main() {
         }
         t.row(row);
     }
-    t.print();
+    let mut out = ExperimentReport::new("fig6_linkbench_ipa");
+    out.print_table(&t);
     println!("\npaper shape: the fraction rises with N and M and falls with buffer");
     println!("size (accumulated updates overflow the delta area).");
-    save_json("fig6_linkbench_ipa", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

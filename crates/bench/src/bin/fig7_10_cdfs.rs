@@ -5,7 +5,7 @@
 //! LinkBench (Fig 10) at several buffer sizes, as ASCII tables plus
 //! sparkline-style bars.
 
-use ipa_bench::{banner, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcB, TpcC, Workload};
 
@@ -23,6 +23,7 @@ fn bar(pct: f64) -> String {
 }
 
 fn print_figure(
+    out: &mut ExperimentReport,
     name: &str,
     shape_note: &str,
     buffers: &[f64],
@@ -51,7 +52,7 @@ fn print_figure(
         row.push(bar(curves.last().unwrap()[pi]));
         t.row(row);
     }
-    t.print();
+    out.print_table(&t);
     println!("paper shape: {shape_note}");
     serde_json::json!({ "points": POINTS, "buffers": buffers, "curves": curves })
 }
@@ -59,8 +60,10 @@ fn print_figure(
 fn main() {
     banner("Figures 7-10 — update-size CDFs", "paper Appendix A figures");
     let s = scale();
+    let mut out = ExperimentReport::new("fig7_10_cdfs");
 
     let fig7 = print_figure(
+        &mut out,
         "Figure 7: TPC-B (net data, eager)",
         "step at 4 bytes (one numeric attribute); 80%+ below 8 bytes",
         &[0.25, 0.75],
@@ -69,6 +72,7 @@ fn main() {
         10_000 * s,
     );
     let fig8 = print_figure(
+        &mut out,
         "Figure 8: TPC-C (net data, eager)",
         "~70% below 6 bytes; dominated by 3-byte STOCK updates",
         &[0.25, 0.75],
@@ -77,6 +81,7 @@ fn main() {
         8_000 * s,
     );
     let fig9 = print_figure(
+        &mut out,
         "Figure 9: TPC-C (net data, non-eager)",
         "mass shifts right with buffer size (update accumulation)",
         &[0.10, 0.75],
@@ -89,6 +94,7 @@ fn main() {
         8_000 * s,
     );
     let fig10 = print_figure(
+        &mut out,
         "Figure 10: LinkBench (gross data)",
         "larger sizes than TPC: ~70% below ~100-200 bytes",
         &[0.20, 0.75],
@@ -101,8 +107,8 @@ fn main() {
         6_000 * s,
     );
 
-    save_json(
-        "fig7_10_cdfs",
-        &serde_json::json!({ "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10 }),
+    out.set_payload(
+        serde_json::json!({ "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10 }),
     );
+    out.save();
 }

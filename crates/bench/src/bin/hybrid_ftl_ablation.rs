@@ -7,7 +7,7 @@
 //! the engine and replays it through the FAST-style [`HybridFtl`] with and
 //! without an `[2×3]`-equivalent append rule, on identical hardware.
 
-use ipa_bench::{banner, fmt, save_json, scale, Table, SEED};
+use ipa_bench::{banner, fmt, scale, ExperimentReport, Table, SEED};
 use ipa_core::NxM;
 use ipa_engine::TraceEvent;
 use ipa_flash::FlashConfig;
@@ -35,9 +35,7 @@ fn main() {
         .take_trace()
         .into_iter()
         .filter_map(|e| match e {
-            TraceEvent::Evict { page, changed_bytes, fresh } => {
-                Some((page, changed_bytes, fresh))
-            }
+            TraceEvent::Evict { page, changed_bytes, fresh } => Some((page, changed_bytes, fresh)),
             TraceEvent::Fetch { .. } => None,
         })
         .collect();
@@ -84,7 +82,8 @@ fn main() {
         ]);
         results.push((label, st));
     }
-    t.print();
+    let mut out = ExperimentReport::new("hybrid_ftl_ablation");
+    out.print_table(&t);
 
     let conv = &results[0].1;
     let ipa = &results[1].1;
@@ -107,10 +106,18 @@ fn main() {
         );
         println!("the paper's over-provisioning argument, on hybrid hardware.");
     }
-    save_json(
-        "hybrid_ftl_ablation",
-        &serde_json::json!({
-            "conventional": results[0].1, "ipa": results[1].1, "ipa_half_op": results[2].1,
-        }),
-    );
+    let stats_json = |st: &ipa_noftl::HybridStats| {
+        serde_json::json!({
+            "host_writes": st.host_writes, "ipa_appends": st.ipa_appends,
+            "log_writes": st.log_writes, "data_writes": st.data_writes,
+            "merges": st.merges, "merge_page_writes": st.merge_page_writes,
+            "erases": st.erases,
+        })
+    };
+    out.set_payload(serde_json::json!({
+        "conventional": stats_json(&results[0].1),
+        "ipa": stats_json(&results[1].1),
+        "ipa_half_op": stats_json(&results[2].1),
+    }));
+    out.save();
 }

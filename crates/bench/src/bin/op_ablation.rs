@@ -7,7 +7,7 @@
 //! GC pressure — showing that IPA at a *small* OP matches or beats the
 //! baseline at a *large* OP, compensating the delta-area space cost.
 
-use ipa_bench::{banner, fmt, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{SystemConfig, TpcC};
 
@@ -56,7 +56,8 @@ fn main() {
             "op": op, "erases_per_write_baseline": base, "erases_per_write_ipa": ipa,
         }));
     }
-    t.print();
+    let mut out = ExperimentReport::new("op_ablation");
+    out.print_table(&t);
 
     if let (Some((_, ipa_small_op)), Some(base_large_op)) = (crossover, base_at_20) {
         println!(
@@ -70,5 +71,6 @@ fn main() {
             println!("-> at this scale IPA narrows but does not close the 4x OP gap.");
         }
     }
-    save_json("op_ablation", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

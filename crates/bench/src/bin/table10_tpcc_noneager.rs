@@ -2,7 +2,7 @@
 //! policy: updates accumulate in the buffer, so larger `M` values are
 //! needed ([2×10] at small buffers through [2×40] at large ones).
 
-use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcC};
 
@@ -77,9 +77,11 @@ fn main() {
         }
         t.row(row);
     }
-    t.print();
+    let mut out = ExperimentReport::new("table10_tpcc_noneager");
+    out.print_table(&t);
     println!("\npaper shape: with non-eager policies updates accumulate, so the IPA");
     println!("share falls with buffer size even at M=40 — yet at least ~20-33% of");
     println!("host writes remain appendable, keeping >20% GC reductions.");
-    save_json("table10_tpcc_noneager", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

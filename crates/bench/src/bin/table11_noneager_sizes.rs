@@ -4,7 +4,7 @@
 //! ≤ 6 bytes, but with a 90% buffer almost none do — pages absorb many
 //! transactions before being flushed.
 
-use ipa_bench::{banner, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{SystemConfig, TpcC};
 
@@ -34,9 +34,7 @@ fn main() {
         let mut w = TpcC::new(1, 3_000 * s, 300);
         let (_, db) = run_workload(&cfg, &mut w, txns / 5, txns);
         let profile = db.profile(0);
-        cdfs.push(
-            THRESHOLDS.iter().map(|&b| profile.body_cdf(b) * 100.0).collect::<Vec<f64>>(),
-        );
+        cdfs.push(THRESHOLDS.iter().map(|&b| profile.body_cdf(b) * 100.0).collect::<Vec<f64>>());
     }
 
     let mut header = vec!["<= bytes".to_string()];
@@ -51,11 +49,12 @@ fn main() {
         }
         t.row(row);
     }
-    t.print();
+    let mut out = ExperimentReport::new("table11_noneager_sizes");
+    out.print_table(&t);
     println!("\npaper shape: small buffers keep updates tiny; at 50%+ buffers the mass");
     println!("moves to tens of bytes (accumulation) — hence Table 10's larger M values.");
-    save_json(
-        "table11_noneager_sizes",
-        &serde_json::json!({ "thresholds": THRESHOLDS, "buffers": buffers, "cdfs": cdfs }),
+    out.set_payload(
+        serde_json::json!({ "thresholds": THRESHOLDS, "buffers": buffers, "cdfs": cdfs }),
     );
+    out.save();
 }

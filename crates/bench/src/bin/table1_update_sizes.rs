@@ -3,7 +3,7 @@
 //! Paper: the percentile of update I/Os changing at most 3 / 7 / 20 / 100 /
 //! 125 bytes, for TPC-B and TPC-C (net data) and LinkBench (gross data).
 
-use ipa_bench::{banner, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcB, TpcC, Workload};
 
@@ -28,10 +28,12 @@ fn main() {
     let s = scale();
 
     let mut tpcb = TpcB::new(4, 4_000 * s);
-    let tpcb_cdf = measure("TPC-B", &SystemConfig::emulator(NxM::tpcb(), 0.75), &mut tpcb, 10_000 * s);
+    let tpcb_cdf =
+        measure("TPC-B", &SystemConfig::emulator(NxM::tpcb(), 0.75), &mut tpcb, 10_000 * s);
 
     let mut tpcc = TpcC::new(2, 4_000 * s, 300);
-    let tpcc_cdf = measure("TPC-C", &SystemConfig::emulator(NxM::tpcc(), 0.75), &mut tpcc, 8_000 * s);
+    let tpcc_cdf =
+        measure("TPC-C", &SystemConfig::emulator(NxM::tpcc(), 0.75), &mut tpcc, 8_000 * s);
 
     let mut lb_cfg = SystemConfig::emulator(NxM::linkbench(), 0.75);
     lb_cfg.page_size = 8192;
@@ -58,15 +60,14 @@ fn main() {
             format!("{:.0}th", lb_cdf[i]),
         ]);
     }
-    t.print();
+    let mut out = ExperimentReport::new("table1_update_sizes");
+    out.print_table(&t);
     println!("\nshape check: TPC percentiles front-loaded (small updates dominate),");
     println!("LinkBench shifted to larger sizes with mass below ~125B.");
 
-    save_json(
-        "table1_update_sizes",
-        &serde_json::json!({
-            "thresholds": THRESHOLDS,
-            "tpcb": tpcb_cdf, "tpcc": tpcc_cdf, "linkbench": lb_cdf,
-        }),
-    );
+    out.set_payload(serde_json::json!({
+        "thresholds": THRESHOLDS,
+        "tpcb": tpcb_cdf, "tpcc": tpcc_cdf, "linkbench": lb_cdf,
+    }));
+    out.save();
 }

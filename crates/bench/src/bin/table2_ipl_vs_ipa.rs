@@ -6,7 +6,7 @@
 //! Appendix B formula sets. The runs use 8 KiB logical pages matching the
 //! original IPL configuration (4 × 2 KiB physical pages, `ppl = 4`).
 
-use ipa_bench::{banner, fmt, save_json, scale, Table, SEED};
+use ipa_bench::{banner, fmt, scale, ExperimentReport, Table, SEED};
 use ipa_core::NxM;
 use ipa_ipl::{Amplification, IplConfig, IplSimulator};
 use ipa_workloads::{Runner, SystemConfig, Tatp, TpcB, TpcC, Workload};
@@ -110,7 +110,8 @@ fn main() {
             }),
         );
     }
-    t.print();
+    let mut out = ExperimentReport::new("table2_ipl_vs_ipa");
+    out.print_table(&t);
     println!("\npaper shape: IPA performs 51-60% fewer reads, 23-62% fewer writes,");
     println!("29-74% fewer erases than IPL across these workloads.");
     for row in &rows {
@@ -126,5 +127,6 @@ fn main() {
             },
         );
     }
-    save_json("table2_ipl_vs_ipa", &serde_json::Value::Object(json));
+    out.set_payload(serde_json::Value::Object(json));
+    out.save();
 }

@@ -5,11 +5,12 @@
 //! erases per host write versus the `[0×0]` baseline (blue). TPC-C on
 //! 4 KiB pages and LinkBench on 8 KiB pages, 75% buffers.
 
-use ipa_bench::{banner, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcC, Workload};
 
 fn sweep(
+    out: &mut ExperimentReport,
     title: &str,
     page_size: usize,
     ns: &[u16],
@@ -52,7 +53,7 @@ fn sweep(
         }
         t.row(cells);
     }
-    t.print();
+    out.print_table(&t);
     serde_json::Value::Array(json_rows)
 }
 
@@ -62,8 +63,10 @@ fn main() {
         "paper Table 3: IPA fraction (black), space overhead (red), erase reduction (blue)",
     );
     let s = scale();
+    let mut out = ExperimentReport::new("table3_nxm_sweep");
 
     let tpcc = sweep(
+        &mut out,
         "TPC-C (75% buffer, 4KB pages, M = net bytes)",
         4096,
         &[1, 2, 3, 4],
@@ -72,6 +75,7 @@ fn main() {
         5_000 * s,
     );
     let lb = sweep(
+        &mut out,
         "LinkBench (75% buffer, 8KB pages, M = gross bytes)",
         8192,
         &[1, 2, 3],
@@ -82,5 +86,6 @@ fn main() {
 
     println!("\npaper shape: IPA fraction grows with both N and M and saturates;");
     println!("space overhead grows linearly with N*M; erase reduction tracks IPA fraction.");
-    save_json("table3_nxm_sweep", &serde_json::json!({ "tpcc": tpcc, "linkbench": lb }));
+    out.set_payload(serde_json::json!({ "tpcc": tpcc, "linkbench": lb }));
+    out.save();
 }

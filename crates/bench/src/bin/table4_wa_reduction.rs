@@ -5,7 +5,7 @@
 //! baseline for TPC-B (M=4), TPC-C (M=3) and LinkBench (M=125) at 75% and
 //! 90% buffers.
 
-use ipa_bench::{banner, fmt, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcB, TpcC, Workload};
 
@@ -30,7 +30,13 @@ fn main() {
     type Bench = (&'static str, usize, u64, Box<dyn Fn() -> Box<dyn Workload>>, u16);
     let benches: Vec<Bench> = vec![
         ("TPC-B (M=4)", 4096, 10_000 * s, Box::new(move || Box::new(TpcB::new(4, 4_000 * s))), 4),
-        ("TPC-C (M=3)", 4096, 6_000 * s, Box::new(move || Box::new(TpcC::new(1, 3_000 * s, 300))), 3),
+        (
+            "TPC-C (M=3)",
+            4096,
+            6_000 * s,
+            Box::new(move || Box::new(TpcC::new(1, 3_000 * s, 300))),
+            3,
+        ),
         (
             "LinkBench (M=125)",
             8192,
@@ -40,12 +46,7 @@ fn main() {
         ),
     ];
 
-    let mut t = Table::new(&[
-        "benchmark",
-        "buf",
-        "[2xM] meas (paper)",
-        "[3xM] meas (paper)",
-    ]);
+    let mut t = Table::new(&["benchmark", "buf", "[2xM] meas (paper)", "[3xM] meas (paper)"]);
     let mut json = Vec::new();
     for (bi, (name, page_size, txns, mk, m)) in benches.iter().enumerate() {
         for (ci, buffer) in [0.75, 0.90].into_iter().enumerate() {
@@ -73,8 +74,10 @@ fn main() {
             }));
         }
     }
-    t.print();
+    let mut out = ExperimentReport::new("table4_wa_reduction");
+    out.print_table(&t);
     println!("\npaper shape: ~2x reduction with [2xM], up to ~2.8x with [3xM];");
     println!("LinkBench reductions smaller (larger updates), [3xM] > [2xM] everywhere.");
-    save_json("table4_wa_reduction", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

@@ -1,7 +1,7 @@
 //! Table 5 — LinkBench: space overhead and DBMS write-amplification
 //! reduction across `[N×M]` schemes and buffer sizes.
 
-use ipa_bench::{banner, run_workload, save_json, scale, scheme_name, Table};
+use ipa_bench::{banner, run_workload, scale, scheme_name, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, Workload};
 
@@ -52,8 +52,10 @@ fn main() {
         }
         t.row(row);
     }
-    t.print();
+    let mut out = ExperimentReport::new("table5_linkbench_wa");
+    out.print_table(&t);
     println!("\npaper shape: reduction grows with N and M (up to 2.65x at 20% buffer)");
     println!("and shrinks with buffer size (updates accumulate before eviction).");
-    save_json("table5_linkbench_wa", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

@@ -5,7 +5,7 @@
 //! 1.5% buffer — the configuration under which the paper reports its
 //! largest relative gains.
 
-use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcB};
 
@@ -25,10 +25,7 @@ fn run(cfg: &SystemConfig, s: u64) -> RunReport {
 }
 
 fn main() {
-    banner(
-        "Table 6 — TPC-B on OpenSSD: [0x0] vs [2x4] pSLC / odd-MLC",
-        "paper Table 6",
-    );
+    banner("Table 6 — TPC-B on OpenSSD: [0x0] vs [2x4] pSLC / odd-MLC", "paper Table 6");
     let s = scale();
     let base = run(&SystemConfig::openssd(NxM::disabled(), false), s);
     let pslc = run(&SystemConfig::openssd(NxM::tpcb(), true), s);
@@ -53,12 +50,7 @@ fn main() {
         fmt::split(oopo, ipao)
     );
 
-    let mut t = Table::new(&[
-        "metric",
-        "[0x0] abs",
-        "pSLC rel (paper)",
-        "odd-MLC rel (paper)",
-    ]);
+    let mut t = Table::new(&["metric", "[0x0] abs", "pSLC rel (paper)", "odd-MLC rel (paper)"]);
     let mut json = Vec::new();
     for i in 0..5 {
         let (name, ppaper, opaper) = PAPER_REL[i];
@@ -74,8 +66,10 @@ fn main() {
             "metric": name, "baseline": b[i], "pslc_rel_pct": prel, "oddmlc_rel_pct": orel,
         }));
     }
-    t.print();
+    let mut out = ExperimentReport::new("table6_tpcb_openssd");
+    out.print_table(&t);
     println!("\npaper shape: large GC reductions in both modes, pSLC > odd-MLC");
     println!("(odd-MLC can only append on LSB residencies); throughput up in both.");
-    save_json("table6_tpcb_openssd", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

@@ -1,7 +1,15 @@
 //! Table 7 — TPC-B on the flash emulator: buffers 10% and 20%, schemes
 //! `[2×4]` and `[3×4]` relative to `[0×0]`.
+//!
+//! Pass `--trace` to additionally stream every flash/engine event to
+//! `bench-results/table7_tpcb_emulator.trace.jsonl` and embed a sampled
+//! metrics time series in the result JSON (the final cumulative point of
+//! each run equals the end-of-run counters behind the table).
 
-use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_bench::{
+    banner, fmt, rel, run_workload, run_workload_observed, scale, ExperimentReport, JsonlSink,
+    Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcB};
 
@@ -33,21 +41,54 @@ fn main() {
         "Table 7 — TPC-B on the flash emulator: [0x0] vs [2x4] and [3x4]",
         "paper Table 7 (buffers 10% / 20%)",
     );
+    let trace = std::env::args().any(|a| a == "--trace");
     let s = scale();
     let txns = 12_000 * s;
 
+    let sink = if trace {
+        match JsonlSink::file("bench-results/table7_tpcb_emulator.trace.jsonl") {
+            Ok(sink) => {
+                println!("tracing to bench-results/table7_tpcb_emulator.trace.jsonl");
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open trace file: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut report = ExperimentReport::new("table7_tpcb_emulator");
     let mut json = Vec::new();
+    let mut series = Vec::new();
     for (bi, buffer) in [0.10, 0.20].into_iter().enumerate() {
         println!("\n--- buffer {:.0}% ---", buffer * 100.0);
-        let run = |scheme: NxM| {
+        let mut run = |scheme: NxM, label: &str| {
             let cfg = SystemConfig::emulator(scheme, buffer);
             let mut w = TpcB::new(8, 8_000 * s);
-            let (report, _) = run_workload(&cfg, &mut w, txns / 5, txns);
-            report
+            match &sink {
+                Some(sink) => {
+                    let (r, _, points) = run_workload_observed(
+                        &cfg,
+                        &mut w,
+                        txns / 5,
+                        txns,
+                        Some(sink.observer()),
+                        (txns / 20).max(1),
+                    );
+                    series.push(serde_json::json!({
+                        "run": label, "buffer": buffer, "points": points,
+                    }));
+                    r
+                }
+                None => run_workload(&cfg, &mut w, txns / 5, txns).0,
+            }
         };
-        let base = run(NxM::disabled());
-        let two = run(NxM::tpcb());
-        let three = run(NxM::new(3, 4, 12));
+        let base = run(NxM::disabled(), "0x0");
+        let two = run(NxM::tpcb(), "2x4");
+        let three = run(NxM::new(3, 4, 12), "3x4");
         let (b, t2, t3) = (metrics(&base), metrics(&two), metrics(&three));
 
         let (o2, i2) = two.oop_vs_ipa();
@@ -74,9 +115,16 @@ fn main() {
                 "rel_2x4_pct": r2, "rel_3x4_pct": r3,
             }));
         }
-        t.print();
+        report.print_table(&t);
     }
     println!("\npaper shape: GC work and I/O latencies fall sharply, throughput rises;");
     println!("[3x4] beats [2x4] on every GC metric.");
-    save_json("table7_tpcb_emulator", &serde_json::Value::Array(json));
+    report.set_payload(serde_json::Value::Array(json));
+    for run_series in series {
+        report.push_timeseries(run_series);
+    }
+    report.save();
+    if let Some(sink) = sink {
+        let _ = sink.flush();
+    }
 }

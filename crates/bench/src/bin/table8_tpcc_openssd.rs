@@ -1,7 +1,7 @@
 //! Table 8 — TPC-C on the OpenSSD profile: `[0×0]` vs `[2×3]` in pSLC and
 //! odd-MLC modes.
 
-use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcC};
 
@@ -21,10 +21,7 @@ fn run(cfg: &SystemConfig, s: u64) -> RunReport {
 }
 
 fn main() {
-    banner(
-        "Table 8 — TPC-C on OpenSSD: [0x0] vs [2x3] pSLC / odd-MLC",
-        "paper Table 8",
-    );
+    banner("Table 8 — TPC-C on OpenSSD: [0x0] vs [2x3] pSLC / odd-MLC", "paper Table 8");
     let s = scale();
     let base = run(&SystemConfig::openssd(NxM::disabled(), false), s);
     let pslc = run(&SystemConfig::openssd(NxM::tpcc(), true), s);
@@ -49,12 +46,7 @@ fn main() {
         fmt::split(oopo, ipao)
     );
 
-    let mut t = Table::new(&[
-        "metric",
-        "[0x0] abs",
-        "pSLC rel (paper)",
-        "odd-MLC rel (paper)",
-    ]);
+    let mut t = Table::new(&["metric", "[0x0] abs", "pSLC rel (paper)", "odd-MLC rel (paper)"]);
     let mut json = Vec::new();
     for i in 0..5 {
         let (name, ppaper, opaper) = PAPER_REL[i];
@@ -70,8 +62,10 @@ fn main() {
             "metric": name, "baseline": b[i], "pslc_rel_pct": prel, "oddmlc_rel_pct": orel,
         }));
     }
-    t.print();
+    let mut out = ExperimentReport::new("table8_tpcc_openssd");
+    out.print_table(&t);
     println!("\npaper shape: same as Table 6 but with TPC-C's lower IPA fraction;");
     println!("odd-MLC captures roughly half the appends pSLC does.");
-    save_json("table8_tpcc_openssd", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

@@ -6,7 +6,7 @@
 //! (`migrations / erases per host write`) keep improving by ~29–49% even
 //! at 90% buffers — the longevity benefit is buffer-independent.
 
-use ipa_bench::{banner, fmt, rel, run_workload, save_json, scale, Table};
+use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcC};
 
@@ -32,10 +32,7 @@ fn metrics(r: &RunReport) -> [f64; 6] {
 }
 
 fn main() {
-    banner(
-        "Table 9 — TPC-C, eager eviction, buffers 10%-90%: [0x0] vs [2x3]",
-        "paper Table 9",
-    );
+    banner("Table 9 — TPC-C, eager eviction, buffers 10%-90%: [0x0] vs [2x3]", "paper Table 9");
     let s = scale();
     let buffers = [0.10, 0.20, 0.50, 0.75, 0.90];
     let txns = 8_000 * s;
@@ -75,8 +72,10 @@ fn main() {
         }
         t.row(row);
     }
-    t.print();
+    let mut out = ExperimentReport::new("table9_tpcc_buffers");
+    out.print_table(&t);
     println!("\npaper shape: GC reductions persist at all buffer sizes (29-49%),");
     println!("while throughput and read-latency gains fade as the buffer grows.");
-    save_json("table9_tpcc_buffers", &serde_json::Value::Array(json));
+    out.set_payload(serde_json::Value::Array(json));
+    out.save();
 }

@@ -30,7 +30,10 @@
 
 use ipa_core::NxM;
 use ipa_engine::Database;
+use ipa_obs::{MetricsRegistry, Observer, Snapshot};
 use ipa_workloads::{RunReport, Runner, SystemConfig, Workload};
+
+pub use ipa_obs::{ExperimentReport, JsonlSink, Table, TraceHandle};
 
 /// Scale multiplier from `IPA_BENCH_SCALE` (default 1).
 pub fn scale() -> u64 {
@@ -66,58 +69,50 @@ pub fn run_pair<W: Workload>(
 ) -> ((RunReport, Database), (RunReport, Database)) {
     let mut base_w = mk();
     let mut ipa_w = mk();
-    (run_workload(base_cfg, &mut base_w, warmup, measured), run_workload(ipa_cfg, &mut ipa_w, warmup, measured))
+    (
+        run_workload(base_cfg, &mut base_w, warmup, measured),
+        run_workload(ipa_cfg, &mut ipa_w, warmup, measured),
+    )
+}
+
+/// Run one configured workload like [`run_workload`], with observability:
+/// an optional trace [`Observer`] is attached for the duration of the run
+/// and a metrics time series is sampled every `sample_every` measured
+/// transactions (plus the zero point and the final state). Returns the
+/// report, the database and the `timeseries` JSON array — the final
+/// cumulative point equals the end-of-run counters exactly.
+pub fn run_workload_observed(
+    cfg: &SystemConfig,
+    w: &mut dyn Workload,
+    warmup: u64,
+    measured: u64,
+    observer: Option<Box<dyn Observer>>,
+    sample_every: u64,
+) -> (RunReport, Database, serde_json::Value) {
+    let mut db = cfg.build_for(w).expect("database builds");
+    let mut runner = Runner::new(SEED);
+    runner.cpu_ns_per_txn = cfg.cpu_ns_per_txn;
+    runner.setup(&mut db, w).expect("workload loads");
+    if let Some(obs) = observer {
+        db.attach_observer(obs);
+    }
+    let every = sample_every.max(1);
+    let mut registry = MetricsRegistry::new();
+    let report = runner
+        .run_with(&mut db, w, warmup, measured, &mut |db, n| {
+            if n % every == 0 || n == measured {
+                registry.sample(n, Snapshot::capture(db));
+            }
+        })
+        .expect("workload runs");
+    db.detach_observer();
+    (report, db, registry.to_json())
 }
 
 /// Relative change in percent (negative = reduction), the paper's
 /// `Relative [%]` columns.
 pub fn rel(base: f64, with: f64) -> f64 {
     RunReport::relative(base, with)
-}
-
-/// Simple fixed-width table printer.
-#[derive(Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// A table with the given column headers.
-    pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
-    }
-
-    /// Append a row (must match the header width).
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells);
-        self
-    }
-
-    /// Render to stdout.
-    pub fn print(&self) {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let line = |cells: &[String]| {
-            let mut out = String::new();
-            for (i, c) in cells.iter().enumerate() {
-                out.push_str(&format!("| {:>w$} ", c, w = widths[i]));
-            }
-            out.push('|');
-            println!("{out}");
-        };
-        line(&self.header);
-        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        line(&sep);
-        for row in &self.rows {
-            line(row);
-        }
-    }
 }
 
 /// Format helpers.
@@ -143,18 +138,6 @@ pub mod fmt {
     }
 }
 
-/// Persist an experiment's measured result as JSON under `bench-results/`.
-pub fn save_json(name: &str, value: &serde_json::Value) {
-    let dir = std::path::Path::new("bench-results");
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(path, s);
-    }
-}
-
 /// The standard per-experiment header.
 pub fn banner(title: &str, paper_ref: &str) {
     println!("\n=== {title} ===");
@@ -176,19 +159,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_rendering_is_aligned() {
+    fn table_reexport_works() {
+        // Table now lives in ipa-obs; the re-export keeps harness code terse.
         let mut t = Table::new(&["metric", "value"]);
         t.row(vec!["a".into(), "1".into()]);
-        t.row(vec!["long-metric-name".into(), "12345".into()]);
-        t.print(); // should not panic
-        assert_eq!(t.rows.len(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn row_width_checked() {
-        let mut t = Table::new(&["a", "b"]);
-        t.row(vec!["only-one".into()]);
+        assert_eq!(t.rows().len(), 1);
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl UpdateSizeProfile {
     /// A profile with a bounded reservoir.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0);
-        UpdateSizeProfile { samples: Vec::new(), total: 0, capacity, rng_state: 0x9E37_79B9_7F4A_7C15 }
+        UpdateSizeProfile {
+            samples: Vec::new(),
+            total: 0,
+            capacity,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     fn next_rand(&mut self) -> u64 {

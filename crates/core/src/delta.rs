@@ -106,9 +106,7 @@ impl DeltaRecord {
         match slot[0] {
             0xFF => return Ok(None),
             CTRL_PRESENT => {}
-            other => {
-                return Err(CoreError::CorruptDelta(format!("bad control byte {other:#04x}")))
-            }
+            other => return Err(CoreError::CorruptDelta(format!("bad control byte {other:#04x}"))),
         }
         let mut rec = DeltaRecord::default();
         for i in 0..scheme.m as usize {
@@ -263,10 +261,7 @@ mod tests {
         let s = scheme();
         let mut slot = vec![0xFF; s.delta_record_size()];
         slot[0] = 0x12;
-        assert!(matches!(
-            DeltaRecord::decode(&slot, &s),
-            Err(CoreError::CorruptDelta(_))
-        ));
+        assert!(matches!(DeltaRecord::decode(&slot, &s), Err(CoreError::CorruptDelta(_))));
     }
 
     #[test]

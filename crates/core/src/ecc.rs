@@ -258,8 +258,7 @@ mod tests {
         );
         let (idx, _, encoded) = page.append_delta_record(&rec).unwrap();
         let dc = delta_code(&encoded);
-        oob[oob_layout.range(ipa_oob::Section::EccDelta(idx as u32)).unwrap()]
-            .copy_from_slice(&dc);
+        oob[oob_layout.range(ipa_oob::Section::EccDelta(idx as u32)).unwrap()].copy_from_slice(&dc);
 
         let n = verify_page(page.bytes(), &layout, &layout.scheme, &oob, &oob_layout).unwrap();
         assert_eq!(n, 1);
@@ -269,8 +268,7 @@ mod tests {
         let mut raw = page.bytes().to_vec();
         let slot_off = layout.delta_slot_offset(0);
         raw[slot_off + 2] ^= 0x01;
-        let err =
-            verify_page(&raw, &layout, &layout.scheme, &oob, &oob_layout).unwrap_err();
+        let err = verify_page(&raw, &layout, &layout.scheme, &oob, &oob_layout).unwrap_err();
         assert_eq!(err, CoreError::EccMismatch { section: 1 });
     }
 }

@@ -51,10 +51,9 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::InvalidPage(msg) => write!(f, "invalid page: {msg}"),
-            CoreError::SchemeDoesNotFit { page_size, delta_area } => write!(
-                f,
-                "delta area of {delta_area} bytes does not fit a {page_size}-byte page"
-            ),
+            CoreError::SchemeDoesNotFit { page_size, delta_area } => {
+                write!(f, "delta area of {delta_area} bytes does not fit a {page_size}-byte page")
+            }
             CoreError::PageFull { needed, available } => {
                 write!(f, "page full: need {needed} bytes, {available} available")
             }

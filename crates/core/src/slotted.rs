@@ -300,7 +300,10 @@ impl DbPage {
     /// Append an encoded delta record into the next free slot of the
     /// buffer's delta area, returning `(slot_index, absolute_offset)` for
     /// the matching `write_delta` device command.
-    pub fn append_delta_record(&mut self, record: &crate::delta::DeltaRecord) -> Result<(u16, usize, Vec<u8>)> {
+    pub fn append_delta_record(
+        &mut self,
+        record: &crate::delta::DeltaRecord,
+    ) -> Result<(u16, usize, Vec<u8>)> {
         let n_existing = self.delta_record_count()?;
         if n_existing >= self.layout.scheme.n {
             return Err(CoreError::TooManyDeltas {
@@ -359,14 +362,8 @@ mod tests {
     #[test]
     fn from_bytes_validates() {
         let l = layout();
-        assert!(matches!(
-            DbPage::from_bytes(vec![0u8; 100], l),
-            Err(CoreError::InvalidPage(_))
-        ));
-        assert!(matches!(
-            DbPage::from_bytes(vec![0u8; 4096], l),
-            Err(CoreError::InvalidPage(_))
-        ));
+        assert!(matches!(DbPage::from_bytes(vec![0u8; 100], l), Err(CoreError::InvalidPage(_))));
+        assert!(matches!(DbPage::from_bytes(vec![0u8; 4096], l), Err(CoreError::InvalidPage(_))));
         let good = DbPage::format(1, l).into_bytes();
         assert!(DbPage::from_bytes(good, l).is_ok());
     }

@@ -58,7 +58,14 @@ impl ChangeTracker {
     /// never applicable (§6.1 example: "it is written out-of-place since
     /// IPA is not applicable for newly allocated pages").
     pub fn new(scheme: NxM, n_existing: u16, on_flash: bool) -> Self {
-        ChangeTracker { scheme, n_existing, on_flash, body: BTreeSet::new(), meta: BTreeSet::new(), exceeded: false }
+        ChangeTracker {
+            scheme,
+            n_existing,
+            on_flash,
+            body: BTreeSet::new(),
+            meta: BTreeSet::new(),
+            exceeded: false,
+        }
     }
 
     /// The scheme this tracker enforces.
@@ -180,10 +187,7 @@ impl ChangeTracker {
         }
         // Metadata pairs ride in the last record: applied forward, the
         // final metadata state wins.
-        records
-            .last_mut()
-            .expect("at least one record when dirty")
-            .meta = meta;
+        records.last_mut().expect("at least one record when dirty").meta = meta;
         records
     }
 

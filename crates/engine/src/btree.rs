@@ -296,10 +296,7 @@ impl Database {
                 store_node(self, tx, new_root, &node)?;
                 self.indexes[index as usize].root = new_root;
                 if let Some(tx) = tx {
-                    self.log_for_tx(
-                        tx,
-                        LogPayload::RootChange { tx, index, new_root },
-                    )?;
+                    self.log_for_tx(tx, LogPayload::RootChange { tx, index, new_root })?;
                 }
                 Ok(())
             }
@@ -373,10 +370,7 @@ mod tests {
         let idx = db.create_index(0).unwrap();
         let tx = db.begin();
         db.index_insert(tx, idx, 1, 10).unwrap();
-        assert!(matches!(
-            db.index_insert(tx, idx, 1, 20),
-            Err(EngineError::IndexError(_))
-        ));
+        assert!(matches!(db.index_insert(tx, idx, 1, 20), Err(EngineError::IndexError(_))));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use std::collections::HashMap;
 
 use ipa_core::{ChangeTracker, DbPage};
+use serde::{Deserialize, Serialize};
 
 use crate::db::PageId;
 use crate::wal::Lsn;
@@ -35,6 +36,29 @@ impl Frame {
     }
 }
 
+/// Cumulative CLOCK-sweep counters: how hard the replacement algorithm is
+/// working (a rising `frames_scanned`-per-victim ratio signals thrash).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Occupied frames probed by the CLOCK hand.
+    pub frames_scanned: u64,
+    /// Reference bits cleared (second-chance grants).
+    pub ref_bits_cleared: u64,
+    /// Victims found.
+    pub victims: u64,
+}
+
+impl SweepStats {
+    /// Interval counters `self - earlier`.
+    pub fn delta_since(&self, earlier: &SweepStats) -> SweepStats {
+        SweepStats {
+            frames_scanned: self.frames_scanned.saturating_sub(earlier.frames_scanned),
+            ref_bits_cleared: self.ref_bits_cleared.saturating_sub(earlier.ref_bits_cleared),
+            victims: self.victims.saturating_sub(earlier.victims),
+        }
+    }
+}
+
 /// Fixed-capacity buffer pool with CLOCK replacement.
 #[derive(Debug)]
 pub struct BufferPool {
@@ -42,6 +66,7 @@ pub struct BufferPool {
     map: HashMap<PageId, usize>,
     hand: usize,
     capacity: usize,
+    sweep: SweepStats,
 }
 
 impl BufferPool {
@@ -53,7 +78,18 @@ impl BufferPool {
             map: HashMap::with_capacity(capacity),
             hand: 0,
             capacity,
+            sweep: SweepStats::default(),
         }
+    }
+
+    /// Cumulative CLOCK-sweep counters.
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.sweep
+    }
+
+    /// Reset the sweep counters (warm-up boundary).
+    pub(crate) fn reset_sweep_stats(&mut self) {
+        self.sweep = SweepStats::default();
     }
 
     /// Number of frames.
@@ -133,12 +169,15 @@ impl BufferPool {
             let idx = self.hand;
             self.hand = (self.hand + 1) % self.capacity;
             if let Some(frame) = &mut self.frames[idx] {
+                self.sweep.frames_scanned += 1;
                 if frame.pins > 0 {
                     continue;
                 }
                 if frame.referenced {
                     frame.referenced = false;
+                    self.sweep.ref_bits_cleared += 1;
                 } else {
+                    self.sweep.victims += 1;
                     return Some(idx);
                 }
             }
@@ -233,8 +272,8 @@ mod tests {
         pool.get_mut(pid(2));
         pool.get_mut(pid(1));
         pool.get_mut(pid(2)); // 2 hot
-        // Both referenced: first sweep clears bits; victim is frame 0 (pid 1)
-        // unless re-referenced.
+                              // Both referenced: first sweep clears bits; victim is frame 0 (pid 1)
+                              // unless re-referenced.
         let v = pool.pick_victim().unwrap();
         let vpid = pool.frames[v].as_ref().unwrap().page_id;
         assert!(vpid == pid(1) || vpid == pid(2));
@@ -274,6 +313,24 @@ mod tests {
         pool.clear();
         assert!(pool.is_empty());
         assert!(!pool.contains(pid(1)));
+    }
+
+    #[test]
+    fn sweep_stats_count_scans_clears_and_victims() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(frame(pid(1)));
+        pool.insert(frame(pid(2)));
+        // Both referenced: the sweep clears two bits and then finds a victim.
+        let v = pool.pick_victim();
+        assert!(v.is_some());
+        let s = pool.sweep_stats();
+        assert_eq!(s.victims, 1);
+        assert_eq!(s.ref_bits_cleared, 2);
+        assert!(s.frames_scanned >= 3);
+        let d = s.delta_since(&s);
+        assert_eq!(d, SweepStats::default());
+        pool.reset_sweep_stats();
+        assert_eq!(pool.sweep_stats(), SweepStats::default());
     }
 
     #[test]

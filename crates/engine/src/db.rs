@@ -3,10 +3,10 @@
 //! every dirty-page flush.
 
 use ipa_core::{ecc, ChangeTracker, DbPage, FlushDecision, NxM, PageLayout, UpdateSizeProfile};
-use ipa_flash::OpOrigin;
+use ipa_flash::{EventKind, Observer, OpOrigin};
 use ipa_noftl::{Lba, NoFtl, NoFtlConfig, RegionId};
 
-use crate::buffer::{BufferPool, Frame};
+use crate::buffer::{BufferPool, Frame, SweepStats};
 use crate::error::EngineError;
 use crate::heap::HeapFile;
 use crate::lock::LockManager;
@@ -218,7 +218,25 @@ impl Database {
     /// Reset engine + device statistics (after warm-up). Profiles are kept.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        self.pool.reset_sweep_stats();
         self.ftl.reset_stats();
+    }
+
+    /// Cumulative CLOCK-sweep counters of the buffer pool.
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.pool.sweep_stats()
+    }
+
+    /// Attach a trace observer to the flash device below the engine. The
+    /// engine's logical flush/evict decisions are emitted through the same
+    /// sequence counter as the physical events they trigger.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.ftl.attach_observer(observer);
+    }
+
+    /// Detach the trace observer, returning it.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.ftl.detach_observer()
     }
 
     /// Advance the simulated clock by transaction CPU/think time.
@@ -282,9 +300,15 @@ impl Database {
             return Ok(());
         }
         let victim = self.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
+        let vpid = self.pool.frame_mut(victim).map(|f| f.page_id);
         self.flush_frame(victim, OpOrigin::Host)?;
         self.pool.remove(victim);
         self.stats.evictions += 1;
+        if self.ftl.observing() {
+            if let Some(pid) = vpid {
+                self.ftl.emit(EventKind::Evict, Some(pid.region as u32), Some(pid.lba.0));
+            }
+        }
         Ok(())
     }
 
@@ -387,7 +411,8 @@ impl Database {
         }
 
         let rid = RegionId(pid.region);
-        let use_ipa = matches!(decision, FlushDecision::Ipa(_)) && self.ftl.can_append(rid, pid.lba);
+        let use_ipa =
+            matches!(decision, FlushDecision::Ipa(_)) && self.ftl.can_append(rid, pid.lba);
         if use_ipa {
             let FlushDecision::Ipa(records) = decision else { unreachable!() };
             let frame = self.pool.frame_mut(idx).expect("frame present");
@@ -396,6 +421,13 @@ impl Database {
                 staged.push(frame.page.append_delta_record(rec)?);
             }
             let appended = staged.len() as u16;
+            if self.ftl.observing() {
+                self.ftl.emit(
+                    EventKind::FlushIpa { records: appended },
+                    Some(pid.region as u32),
+                    Some(pid.lba.0),
+                );
+            }
             for (slot_idx, offset, encoded) in staged {
                 self.ftl.write_delta_with(rid, pid.lba, offset, &encoded, origin)?;
                 self.stats.gross_written_bytes += encoded.len() as u64;
@@ -420,6 +452,9 @@ impl Database {
             frame.page.reset_delta_area();
             let image = frame.page.bytes().to_vec();
             let layout = self.layouts[pid.region];
+            if self.ftl.observing() {
+                self.ftl.emit(EventKind::FlushOop, Some(pid.region as u32), Some(pid.lba.0));
+            }
             self.ftl.write_page_with(rid, pid.lba, &image, origin)?;
             self.stats.gross_written_bytes += image.len() as u64;
             if self.config.verify_ecc {
@@ -464,8 +499,8 @@ impl Database {
             // pages stay buffered and keep accumulating updates (Shore-MT
             // cleaners behave the same way — they chase the threshold, not
             // an empty pool).
-            let target = (self.config.cleaner_dirty_threshold * self.pool.capacity() as f64)
-                .floor() as usize;
+            let target = (self.config.cleaner_dirty_threshold * self.pool.capacity() as f64).floor()
+                as usize;
             let mut dirty = self.pool.dirty_count();
             for idx in self.pool.dirty_indices().into_iter().take(self.config.cleaner_batch) {
                 if dirty <= target {
@@ -745,9 +780,7 @@ pub(crate) mod tests {
     fn write_amplification_accounting() {
         let mut db = test_db(NxM::tpcc(), 8);
         let pid = db.new_page(0).unwrap();
-        let slot = db
-            .with_page_mut(pid, |page, t| Ok(page.insert_tuple(&[5u8, 5], t)?))
-            .unwrap();
+        let slot = db.with_page_mut(pid, |page, t| Ok(page.insert_tuple(&[5u8, 5], t)?)).unwrap();
         db.flush_page(pid).unwrap();
         db.reset_stats();
         db.with_page_mut(pid, |page, t| {

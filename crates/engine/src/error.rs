@@ -81,8 +81,7 @@ mod tests {
     fn conversions_and_display() {
         let e: EngineError = CoreError::BadSlot(3).into();
         assert!(e.to_string().contains("core:"));
-        let e: EngineError =
-            NoFtlError::Unmapped(ipa_noftl::Lba(1)).into();
+        let e: EngineError = NoFtlError::Unmapped(ipa_noftl::Lba(1)).into();
         assert!(e.to_string().contains("noftl:"));
         assert!(EngineError::PoolExhausted.to_string().contains("pinned"));
     }

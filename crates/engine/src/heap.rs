@@ -89,13 +89,12 @@ impl Database {
             None => self.grow_heap(heap, region, tuple.len())?,
         };
         // Apply, then log with the assigned slot, then stamp the PageLSN.
-        let slot = self.with_page_mut(pid, |page, tracker| Ok(page.insert_tuple(tuple, tracker)?))?;
+        let slot =
+            self.with_page_mut(pid, |page, tracker| Ok(page.insert_tuple(tuple, tracker)?))?;
         let rid = Rid { page: pid, slot };
         self.lock_rid(tx, heap, rid, LockMode::Exclusive)?;
-        let lsn = self.log_for_tx(
-            tx,
-            LogPayload::Insert { tx, page: pid, slot, tuple: tuple.to_vec() },
-        )?;
+        let lsn =
+            self.log_for_tx(tx, LogPayload::Insert { tx, page: pid, slot, tuple: tuple.to_vec() })?;
         self.stamp_lsn(pid, lsn)?;
         Ok(rid)
     }
@@ -169,10 +168,8 @@ impl Database {
             page.delete_tuple(rid.slot, tracker)?;
             Ok(())
         })?;
-        let lsn = self.log_for_tx(
-            tx,
-            LogPayload::Delete { tx, page: rid.page, slot: rid.slot, before },
-        )?;
+        let lsn =
+            self.log_for_tx(tx, LogPayload::Delete { tx, page: rid.page, slot: rid.slot, before })?;
         self.stamp_lsn(rid.page, lsn)?;
         self.heap_insert(tx, heap, new)
     }
@@ -185,20 +182,14 @@ impl Database {
             page.delete_tuple(rid.slot, tracker)?;
             Ok(())
         })?;
-        let lsn = self.log_for_tx(
-            tx,
-            LogPayload::Delete { tx, page: rid.page, slot: rid.slot, before },
-        )?;
+        let lsn =
+            self.log_for_tx(tx, LogPayload::Delete { tx, page: rid.page, slot: rid.slot, before })?;
         self.stamp_lsn(rid.page, lsn)?;
         Ok(())
     }
 
     /// Scan all live tuples of a heap, invoking `f(rid, tuple)`.
-    pub fn heap_scan(
-        &mut self,
-        heap: u32,
-        mut f: impl FnMut(Rid, &[u8]),
-    ) -> Result<()> {
+    pub fn heap_scan(&mut self, heap: u32, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
         let pages = self.heaps[heap as usize].pages.clone();
         for pid in pages {
             self.with_page(pid, |page| {

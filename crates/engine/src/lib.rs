@@ -40,7 +40,7 @@ mod txn;
 mod wal;
 
 pub use btree::BTree;
-pub use buffer::{BufferPool, Frame};
+pub use buffer::{BufferPool, Frame, SweepStats};
 pub use db::{Database, DbConfig, PageId};
 pub use error::EngineError;
 pub use heap::{HeapFile, Rid};

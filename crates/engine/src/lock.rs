@@ -62,7 +62,11 @@ impl LockManager {
                         }
                         return Err(EngineError::LockConflict {
                             tx,
-                            holder: *entry.holders.iter().find(|&&h| h != tx).expect("other holder"),
+                            holder: *entry
+                                .holders
+                                .iter()
+                                .find(|&&h| h != tx)
+                                .expect("other holder"),
                             key,
                         });
                     }

@@ -67,36 +67,21 @@ fn invert(payload: &LogPayload) -> Option<LogPayload> {
             before: after.clone(),
             after: before.clone(),
         }),
-        LogPayload::Insert { tx, page, slot, tuple } => Some(LogPayload::Delete {
-            tx: *tx,
-            page: *page,
-            slot: *slot,
-            before: tuple.clone(),
-        }),
-        LogPayload::Delete { tx, page, slot, before } => Some(LogPayload::Undelete {
-            tx: *tx,
-            page: *page,
-            slot: *slot,
-            tuple: before.clone(),
-        }),
-        LogPayload::Undelete { tx, page, slot, tuple } => Some(LogPayload::Delete {
-            tx: *tx,
-            page: *page,
-            slot: *slot,
-            before: tuple.clone(),
-        }),
-        LogPayload::IndexInsert { tx, index, key, value } => Some(LogPayload::IndexDelete {
-            tx: *tx,
-            index: *index,
-            key: *key,
-            value: *value,
-        }),
-        LogPayload::IndexDelete { tx, index, key, value } => Some(LogPayload::IndexInsert {
-            tx: *tx,
-            index: *index,
-            key: *key,
-            value: *value,
-        }),
+        LogPayload::Insert { tx, page, slot, tuple } => {
+            Some(LogPayload::Delete { tx: *tx, page: *page, slot: *slot, before: tuple.clone() })
+        }
+        LogPayload::Delete { tx, page, slot, before } => {
+            Some(LogPayload::Undelete { tx: *tx, page: *page, slot: *slot, tuple: before.clone() })
+        }
+        LogPayload::Undelete { tx, page, slot, tuple } => {
+            Some(LogPayload::Delete { tx: *tx, page: *page, slot: *slot, before: tuple.clone() })
+        }
+        LogPayload::IndexInsert { tx, index, key, value } => {
+            Some(LogPayload::IndexDelete { tx: *tx, index: *index, key: *key, value: *value })
+        }
+        LogPayload::IndexDelete { tx, index, key, value } => {
+            Some(LogPayload::IndexInsert { tx: *tx, index: *index, key: *key, value: *value })
+        }
         _ => None,
     }
 }
@@ -237,10 +222,15 @@ impl Database {
                 // CLRs redo their compensation — but only page-level
                 // actions; index compensations were already logged as
                 // physical PageWrite records of their own.
-                LogPayload::Clr { action, .. } => if let a @ (LogPayload::Update { .. }
+                LogPayload::Clr { action, .. } => {
+                    if let a @ (LogPayload::Update { .. }
                     | LogPayload::Insert { .. }
                     | LogPayload::Delete { .. }
-                    | LogPayload::Undelete { .. }) = action.as_ref() { apply_action(self, rec.lsn, a, true)? },
+                    | LogPayload::Undelete { .. }) = action.as_ref()
+                    {
+                        apply_action(self, rec.lsn, a, true)?
+                    }
+                }
                 payload @ (LogPayload::Update { .. }
                 | LogPayload::Insert { .. }
                 | LogPayload::Delete { .. }

@@ -96,6 +96,30 @@ impl EngineStats {
     pub fn reset(&mut self) {
         *self = EngineStats::default();
     }
+
+    /// Interval counters `self - earlier` (both cumulative).
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            fetches: self.fetches.saturating_sub(earlier.fetches),
+            hits: self.hits.saturating_sub(earlier.hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            ipa_flushes: self.ipa_flushes.saturating_sub(earlier.ipa_flushes),
+            oop_flushes: self.oop_flushes.saturating_sub(earlier.oop_flushes),
+            delta_records_written: self
+                .delta_records_written
+                .saturating_sub(earlier.delta_records_written),
+            cleaner_flushes: self.cleaner_flushes.saturating_sub(earlier.cleaner_flushes),
+            log_reclaims: self.log_reclaims.saturating_sub(earlier.log_reclaims),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            net_changed_bytes: self.net_changed_bytes.saturating_sub(earlier.net_changed_bytes),
+            gross_written_bytes: self
+                .gross_written_bytes
+                .saturating_sub(earlier.gross_written_bytes),
+            ecc_verified: self.ecc_verified.saturating_sub(earlier.ecc_verified),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +148,18 @@ mod tests {
         assert_eq!(s.hit_ratio(), 0.0);
         assert_eq!(s.ipa_flush_fraction(), 0.0);
         assert_eq!(s.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_field_wise() {
+        let a = EngineStats { fetches: 10, commits: 3, ..EngineStats::default() };
+        let b = EngineStats { fetches: 25, commits: 3, aborts: 1, ..EngineStats::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.fetches, 15);
+        assert_eq!(d.commits, 0);
+        assert_eq!(d.aborts, 1);
+        let z = b.delta_since(&b);
+        assert_eq!(z.fetches, 0);
+        assert_eq!(z.aborts, 0);
     }
 }

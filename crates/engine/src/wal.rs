@@ -319,11 +319,8 @@ impl Wal {
     /// Simulate losing the unflushed log suffix in a crash: every record
     /// above [`Wal::flushed`] disappears.
     pub fn lose_unflushed(&mut self) {
-        let keep = self
-            .records
-            .iter()
-            .position(|r| r.lsn > self.flushed)
-            .unwrap_or(self.records.len());
+        let keep =
+            self.records.iter().position(|r| r.lsn > self.flushed).unwrap_or(self.records.len());
         let lost: usize = self.records[keep..].iter().map(|r| r.payload.size_bytes()).sum();
         self.records.truncate(keep);
         self.used_bytes -= lost;
@@ -400,7 +397,8 @@ mod tests {
     fn checkpoint_lsn_tracked() {
         let mut wal = Wal::new(1 << 20);
         wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
-        let end = wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active: vec![], dirty: vec![] });
+        let end =
+            wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active: vec![], dirty: vec![] });
         assert_eq!(wal.last_checkpoint(), Some(end));
         wal.truncate_to(Lsn(end.0 + 1));
         assert_eq!(wal.last_checkpoint(), None);

@@ -57,7 +57,12 @@ impl Block {
     /// Erase the whole block, resetting every page. Fails once the endurance
     /// limit is reached; the failing erase is counted as the wearing-out
     /// cycle.
-    pub(crate) fn erase(&mut self, chip: u32, block: u32, endurance: u64) -> Result<(), FlashError> {
+    pub(crate) fn erase(
+        &mut self,
+        chip: u32,
+        block: u32,
+        endurance: u64,
+    ) -> Result<(), FlashError> {
         if self.erase_count >= endurance {
             self.state = BlockState::WornOut;
             return Err(FlashError::BlockWornOut { chip, block, cycles: self.erase_count });
@@ -114,5 +119,4 @@ mod tests {
         assert_eq!(err, FlashError::BlockWornOut { chip: 0, block: 7, cycles: 2 });
         assert_eq!(b.state(), BlockState::WornOut);
     }
-
 }

@@ -1,12 +1,39 @@
 //! One flash chip: an array of blocks plus wear bookkeeping.
 
+use serde::{Deserialize, Serialize};
+
 use crate::block::Block;
 use crate::geometry::FlashGeometry;
+
+/// Cumulative per-chip operation counters — the raw material of the
+/// chip-parallelism breakdown in the observability snapshots (skewed
+/// per-chip loads show up directly here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipCounters {
+    /// Page reads dispatched to this chip.
+    pub reads: u64,
+    /// Page programs (full and partial) dispatched to this chip.
+    pub programs: u64,
+    /// Block erases dispatched to this chip.
+    pub erases: u64,
+}
+
+impl ChipCounters {
+    /// Interval counters `self - earlier`.
+    pub fn delta_since(&self, earlier: &ChipCounters) -> ChipCounters {
+        ChipCounters {
+            reads: self.reads.saturating_sub(earlier.reads),
+            programs: self.programs.saturating_sub(earlier.programs),
+            erases: self.erases.saturating_sub(earlier.erases),
+        }
+    }
+}
 
 /// A single flash chip (the unit of I/O parallelism).
 #[derive(Debug)]
 pub struct Chip {
     blocks: Vec<Block>,
+    counters: ChipCounters,
 }
 
 impl Chip {
@@ -14,9 +41,22 @@ impl Chip {
     pub fn new(geometry: &FlashGeometry) -> Self {
         Chip {
             blocks: (0..geometry.blocks_per_chip)
-                .map(|_| Block::new(geometry.pages_per_block, geometry.page_size, geometry.oob_size))
+                .map(|_| {
+                    Block::new(geometry.pages_per_block, geometry.page_size, geometry.oob_size)
+                })
                 .collect(),
+            counters: ChipCounters::default(),
         }
+    }
+
+    /// Cumulative operation counters of this chip.
+    pub fn counters(&self) -> ChipCounters {
+        self.counters
+    }
+
+    /// Mutable counter access for the device's dispatch path.
+    pub(crate) fn counters_mut(&mut self) -> &mut ChipCounters {
+        &mut self.counters
     }
 
     /// Immutable block access.
@@ -78,5 +118,14 @@ mod tests {
         assert_eq!(c.total_erases(), 3);
         assert_eq!(c.max_erase_count(), 2);
         assert_eq!(c.min_erase_count(), 0);
+    }
+
+    #[test]
+    fn chip_counters_delta() {
+        let a = ChipCounters { reads: 10, programs: 5, erases: 1 };
+        let b = ChipCounters { reads: 12, programs: 9, erases: 1 };
+        let d = b.delta_since(&a);
+        assert_eq!(d, ChipCounters { reads: 2, programs: 4, erases: 0 });
+        assert_eq!(a.delta_since(&a), ChipCounters::default());
     }
 }

@@ -5,9 +5,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::chip::Chip;
+use crate::chip::{Chip, ChipCounters};
 use crate::error::FlashError;
 use crate::geometry::{CellType, FlashGeometry, PageKind, Ppa};
+use crate::obs::{EventKind, ObsCtx, ObsEvent, Observer};
 use crate::page::PageState;
 use crate::reliability::{BitError, ErrorKind, ErrorLedger, ReadOutcome, ReliabilityConfig};
 use crate::stats::FlashStats;
@@ -174,6 +175,9 @@ pub struct FlashDevice {
     stats: FlashStats,
     ledger: ErrorLedger,
     rng: StdRng,
+    observer: Option<Box<dyn Observer>>,
+    obs_seq: u64,
+    obs_ctx: ObsCtx,
 }
 
 impl std::fmt::Debug for FlashDevice {
@@ -199,6 +203,9 @@ impl FlashDevice {
             ledger: ErrorLedger::default(),
             rng: StdRng::seed_from_u64(seed),
             config,
+            observer: None,
+            obs_seq: 0,
+            obs_ctx: ObsCtx::default(),
         }
     }
 
@@ -217,9 +224,66 @@ impl FlashDevice {
         &self.stats
     }
 
-    /// Reset statistics (e.g. after warm-up).
+    /// Reset statistics (e.g. after warm-up). Also clears the per-chip
+    /// operation counters; the trace sequence number keeps running so a
+    /// trace spanning a reset stays totally ordered.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        for chip in &mut self.chips {
+            *chip.counters_mut() = ChipCounters::default();
+        }
+    }
+
+    /// Attach a trace observer. Every subsequent flash operation (and every
+    /// logical event forwarded through [`FlashDevice::emit`]) is delivered
+    /// to it, stamped with a monotonic sequence number and the simulated
+    /// device clock.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach the current observer, returning it so callers can drain
+    /// buffered events.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is attached. Upper layers consult this before
+    /// building attribution context so the disabled path stays one branch.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Stage attribution (region id, LBA) for the next device operation.
+    /// Consumed — and cleared — by that operation when it emits its event.
+    #[inline]
+    pub fn set_obs_ctx(&mut self, region: Option<u32>, lba: Option<u64>) {
+        self.obs_ctx = ObsCtx { region, lba };
+    }
+
+    /// Emit one trace event through the device's sequence counter and
+    /// clock. Used internally for physical events and by upper layers
+    /// (NoFTL, the engine) for logical events.
+    #[inline]
+    pub fn emit(&mut self, kind: EventKind, region: Option<u32>, lba: Option<u64>) {
+        if let Some(obs) = self.observer.as_mut() {
+            let seq = self.obs_seq;
+            self.obs_seq += 1;
+            obs.on_event(ObsEvent { seq, t_ns: self.clock.now_ns(), region, lba, kind });
+        }
+    }
+
+    /// Consume the staged attribution context (cleared so it can never leak
+    /// onto an unrelated later operation).
+    #[inline]
+    fn take_obs_ctx(&mut self) -> ObsCtx {
+        std::mem::take(&mut self.obs_ctx)
+    }
+
+    /// Per-chip cumulative operation counters, indexed by chip id.
+    pub fn chip_counters(&self) -> Vec<ChipCounters> {
+        self.chips.iter().map(Chip::counters).collect()
     }
 
     /// The simulated clock.
@@ -289,6 +353,7 @@ impl FlashDevice {
     /// are corrected (and counted); beyond it the read fails with
     /// [`FlashError::UncorrectableEcc`].
     pub fn read(&mut self, ppa: Ppa, origin: OpOrigin) -> Result<(Vec<u8>, OpResult)> {
+        let ctx = self.take_obs_ctx();
         self.check(ppa)?;
         let page = self.chips[ppa.chip as usize].block(ppa.block).page(ppa.page);
         if page.state() == PageState::Erased {
@@ -310,6 +375,10 @@ impl FlashDevice {
             OpOrigin::Host | OpOrigin::HostAsync => self.stats.host_reads += 1,
             OpOrigin::Background => self.stats.gc_reads += 1,
         }
+        self.chips[ppa.chip as usize].counters_mut().reads += 1;
+        if matches!(origin, OpOrigin::Host | OpOrigin::HostAsync) {
+            self.emit(EventKind::HostRead, ctx.region, ctx.lba);
+        }
         let latency = self.config.timing.read_latency(data.len());
         let mut op = self.dispatch(ppa.chip, origin, latency);
         op.read_outcome = outcome;
@@ -330,6 +399,7 @@ impl FlashDevice {
     /// erased. Bytes left `0xFF` remain unprogrammed and can absorb later
     /// in-place appends.
     pub fn program(&mut self, ppa: Ppa, data: &[u8], origin: OpOrigin) -> Result<OpResult> {
+        let ctx = self.take_obs_ctx();
         self.check(ppa)?;
         let msb = self.page_kind(ppa) == PageKind::Msb;
         self.chips[ppa.chip as usize].block_mut(ppa.block).page_mut(ppa.page).program(ppa, data)?;
@@ -340,6 +410,12 @@ impl FlashDevice {
             OpOrigin::Host | OpOrigin::HostAsync => self.stats.host_programs += 1,
             OpOrigin::Background => self.stats.gc_programs += 1,
         }
+        self.chips[ppa.chip as usize].counters_mut().programs += 1;
+        let kind = match origin {
+            OpOrigin::Host | OpOrigin::HostAsync => EventKind::HostProgram,
+            OpOrigin::Background => EventKind::GcMigration,
+        };
+        self.emit(kind, ctx.region, ctx.lba);
         self.apply_interference(ppa);
         let latency = self.config.timing.program_latency(data.len(), msb);
         let op = self.dispatch(ppa.chip, origin, latency);
@@ -360,17 +436,20 @@ impl FlashDevice {
         data: &[u8],
         origin: OpOrigin,
     ) -> Result<OpResult> {
+        let ctx = self.take_obs_ctx();
         self.check(ppa)?;
         let max = self.config.max_appends();
-        self.chips[ppa.chip as usize]
+        let attempt = self.chips[ppa.chip as usize]
             .block_mut(ppa.block)
             .page_mut(ppa.page)
-            .program_partial(ppa, offset, data, max)
-            .inspect_err(|e| {
-                if matches!(e, FlashError::IsppViolation { .. }) {
-                    self.stats.ispp_violations += 1;
-                }
-            })?;
+            .program_partial(ppa, offset, data, max);
+        if let Err(e) = attempt {
+            if matches!(e, FlashError::IsppViolation { .. }) {
+                self.stats.ispp_violations += 1;
+                self.emit(EventKind::IsppViolation, ctx.region, ctx.lba);
+            }
+            return Err(e);
+        }
         match origin {
             OpOrigin::Host | OpOrigin::HostAsync => {
                 self.stats.host_delta_programs += 1;
@@ -378,6 +457,14 @@ impl FlashDevice {
             }
             OpOrigin::Background => self.stats.gc_programs += 1,
         }
+        self.chips[ppa.chip as usize].counters_mut().programs += 1;
+        let kind = match origin {
+            OpOrigin::Host | OpOrigin::HostAsync => {
+                EventKind::DeltaProgram { bytes: data.len() as u32 }
+            }
+            OpOrigin::Background => EventKind::GcMigration,
+        };
+        self.emit(kind, ctx.region, ctx.lba);
         self.apply_interference(ppa);
         let latency = self.config.timing.delta_latency(data.len());
         let op = self.dispatch(ppa.chip, origin, latency);
@@ -400,6 +487,7 @@ impl FlashDevice {
     /// Erase a block. Counts wear and fails once the endurance limit is
     /// reached.
     pub fn erase(&mut self, chip: u32, block: u32) -> Result<OpResult> {
+        let ctx = self.take_obs_ctx();
         let probe = Ppa::new(chip, block, 0);
         self.check(probe)?;
         let endurance = self.config.endurance_limit();
@@ -408,6 +496,8 @@ impl FlashDevice {
             self.ledger.clear(Ppa::new(chip, block, page));
         }
         self.stats.erases += 1;
+        self.chips[chip as usize].counters_mut().erases += 1;
+        self.emit(EventKind::Erase, ctx.region, ctx.lba);
         Ok(self.dispatch(chip, OpOrigin::Background, self.config.timing.erase_ns))
     }
 
@@ -704,8 +794,7 @@ mod tests {
         // LSB pages 0 and 4 stay clean.
         assert_eq!(d.raw_bit_errors(Ppa::new(0, 0, 0)), 0);
         assert_eq!(d.raw_bit_errors(Ppa::new(0, 0, 4)), 0);
-        let msb_errors =
-            d.raw_bit_errors(Ppa::new(0, 0, 1)) + d.raw_bit_errors(Ppa::new(0, 0, 5));
+        let msb_errors = d.raw_bit_errors(Ppa::new(0, 0, 1)) + d.raw_bit_errors(Ppa::new(0, 0, 5));
         assert!(msb_errors > 0);
         assert!(d.stats().injected_bit_errors > 0);
     }
@@ -733,6 +822,130 @@ mod tests {
         let oob = d.read_oob(ppa).unwrap();
         assert_eq!(&oob[16..18], &[0xDE, 0xAD]);
         assert_eq!(d.peek_oob(ppa).unwrap()[16], 0xDE);
+    }
+
+    #[test]
+    fn observer_sees_physical_events_in_order() {
+        use crate::obs::{EventKind, ObsEvent, Observer};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<ObsEvent>>>);
+        impl Observer for Shared {
+            fn on_event(&mut self, event: ObsEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let mut d = dev();
+        let sink = Shared::default();
+        d.attach_observer(Box::new(sink.clone()));
+        assert!(d.observing());
+
+        let ppa = Ppa::new(0, 0, 0);
+        d.set_obs_ctx(Some(3), Some(17));
+        d.program(ppa, &full(&d, 0xFF), OpOrigin::Host).unwrap();
+        d.set_obs_ctx(Some(3), Some(17));
+        d.program_partial(ppa, 0, &[0x0F; 46], OpOrigin::Host).unwrap();
+        d.read(ppa, OpOrigin::Host).unwrap();
+        d.erase(0, 1).unwrap();
+        d.emit(EventKind::FlushOop, Some(9), None);
+
+        let events = sink.0.lock().unwrap().clone();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::HostProgram,
+                EventKind::DeltaProgram { bytes: 46 },
+                EventKind::HostRead,
+                EventKind::Erase,
+                EventKind::FlushOop,
+            ]
+        );
+        // Sequence numbers are a total order; the staged context reaches the
+        // op it was set for and never leaks onto the next one.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(events[0].region, Some(3));
+        assert_eq!(events[0].lba, Some(17));
+        assert_eq!(events[2].region, None, "ctx must not leak to the next op");
+        assert_eq!(events[4].region, Some(9));
+
+        let got = d.detach_observer();
+        assert!(got.is_some());
+        assert!(!d.observing());
+        d.program(Ppa::new(0, 2, 0), &full(&d, 0xAA), OpOrigin::Host).unwrap();
+        assert_eq!(sink.0.lock().unwrap().len(), 5, "detached observer sees nothing");
+    }
+
+    #[test]
+    fn background_ops_trace_as_gc_migrations() {
+        use crate::obs::{EventKind, ObsEvent, Observer};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<ObsEvent>>>);
+        impl Observer for Shared {
+            fn on_event(&mut self, event: ObsEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let mut d = dev();
+        d.program(Ppa::new(0, 0, 0), &full(&d, 0x0F), OpOrigin::Host).unwrap();
+        let sink = Shared::default();
+        d.attach_observer(Box::new(sink.clone()));
+        d.read(Ppa::new(0, 0, 0), OpOrigin::Background).unwrap();
+        d.program(Ppa::new(0, 1, 0), &full(&d, 0x0F), OpOrigin::Background).unwrap();
+        let kinds: Vec<EventKind> = sink.0.lock().unwrap().iter().map(|e| e.kind).collect();
+        // Background reads are not host events; the migration program is.
+        assert_eq!(kinds, vec![EventKind::GcMigration]);
+    }
+
+    #[test]
+    fn ispp_violation_event_carries_context() {
+        use crate::obs::{EventKind, ObsEvent, Observer};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<ObsEvent>>>);
+        impl Observer for Shared {
+            fn on_event(&mut self, event: ObsEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &full(&d, 0x00), OpOrigin::Host).unwrap();
+        let sink = Shared::default();
+        d.attach_observer(Box::new(sink.clone()));
+        d.set_obs_ctx(Some(1), Some(42));
+        let err = d.program_partial(ppa, 0, &[0x01], OpOrigin::Host).unwrap_err();
+        assert!(matches!(err, FlashError::IsppViolation { .. }));
+        let events = sink.0.lock().unwrap().clone();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::IsppViolation);
+        assert_eq!(events[0].region, Some(1));
+        assert_eq!(events[0].lba, Some(42));
+    }
+
+    #[test]
+    fn chip_counters_track_ops_and_reset() {
+        let mut d = dev();
+        let ppa = Ppa::new(0, 0, 0);
+        d.program(ppa, &full(&d, 0xFF), OpOrigin::Host).unwrap();
+        d.program_partial(ppa, 0, &[0x0F], OpOrigin::Host).unwrap();
+        d.read(ppa, OpOrigin::Host).unwrap();
+        d.erase(0, 1).unwrap();
+        let counters = d.chip_counters();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0], ChipCounters { reads: 1, programs: 2, erases: 1 });
+        d.reset_stats();
+        assert_eq!(d.chip_counters()[0], ChipCounters::default());
     }
 
     #[test]

@@ -118,7 +118,8 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = FlashError::IsppViolation { ppa: Ppa::new(0, 1, 2), offset: 7, old: 0x00, new: 0x01 };
+        let e =
+            FlashError::IsppViolation { ppa: Ppa::new(0, 1, 2), offset: 7, old: 0x00, new: 0x01 };
         let msg = e.to_string();
         assert!(msg.contains("ISPP violation"));
         assert!(msg.contains("c0/b1/p2"));

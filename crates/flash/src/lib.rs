@@ -63,6 +63,7 @@ mod chip;
 mod device;
 mod error;
 mod geometry;
+mod obs;
 mod oob;
 mod page;
 mod reliability;
@@ -70,10 +71,11 @@ mod stats;
 mod timing;
 
 pub use block::{Block, BlockState};
-pub use chip::Chip;
+pub use chip::{Chip, ChipCounters};
 pub use device::{FlashConfig, FlashDevice, OpOrigin, OpResult, WearHistogram};
 pub use error::FlashError;
 pub use geometry::{CellType, FlashGeometry, PageKind, Ppa};
+pub use obs::{EventKind, ObsCtx, ObsEvent, Observer};
 pub use oob::{OobArea, OobLayout, Section};
 pub use page::{PageData, PageState};
 pub use reliability::{ReadOutcome, ReliabilityConfig};

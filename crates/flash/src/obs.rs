@@ -1,0 +1,114 @@
+//! Cross-layer event tracing: typed events, the [`Observer`] sink trait
+//! and the per-operation attribution context.
+//!
+//! The trait lives in `ipa-flash` — the bottom of the crate stack — so
+//! every layer (NoFTL regions, the storage engine) can emit through the
+//! device's single monotonic sequence counter and simulated clock. One
+//! flush can then be followed top-down: the engine emits
+//! [`EventKind::FlushIpa`]/[`EventKind::FlushOop`], the region layer
+//! attributes the resulting physical operations with region id and LBA,
+//! and the device emits the physical events themselves
+//! ([`EventKind::DeltaProgram`], [`EventKind::GcMigration`],
+//! [`EventKind::Erase`], ...).
+//!
+//! When no observer is attached the hot path pays a single branch per
+//! operation (`Option` check); callers that would otherwise build event
+//! payloads can skip even that via [`crate::FlashDevice::observing`].
+
+use serde::{Deserialize, Serialize};
+
+/// What happened. Physical kinds are emitted by the device itself;
+/// `Flush{Ipa,Oop}` and `Evict` are logical kinds emitted by the storage
+/// engine through the same sequence/clock source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A host-issued page read reached the device.
+    HostRead,
+    /// A host-issued full-page (out-of-place) program.
+    HostProgram,
+    /// A host-issued ISPP partial program (in-place append) of `bytes`
+    /// payload bytes.
+    DeltaProgram {
+        /// Appended payload size in bytes.
+        bytes: u32,
+    },
+    /// A background page migration (garbage collection or wear leveling)
+    /// programmed one valid page to a new residency.
+    GcMigration,
+    /// A block erase.
+    Erase,
+    /// The engine flushed a dirty page as `records` in-place delta
+    /// appends.
+    FlushIpa {
+        /// Delta records appended by this flush.
+        records: u16,
+    },
+    /// The engine flushed a dirty page as an out-of-place page write.
+    FlushOop,
+    /// The engine evicted a page frame (after flushing it if dirty).
+    Evict,
+    /// A partial program was rejected for violating the monotone-charge
+    /// rule.
+    IsppViolation,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsEvent {
+    /// Monotonic per-device sequence number (total order of emissions).
+    pub seq: u64,
+    /// Simulated device clock at emission, nanoseconds.
+    pub t_ns: u64,
+    /// Region the operation belongs to, when the emitting layer knows it.
+    pub region: Option<u32>,
+    /// Logical page address, when the emitting layer knows it.
+    pub lba: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A sink for trace events. Implementations must be cheap — they run
+/// inline on the I/O path (the reference sinks are a bounded ring buffer
+/// and a buffered JSONL writer in `ipa-obs`).
+pub trait Observer: Send {
+    /// Receive one event.
+    fn on_event(&mut self, event: ObsEvent);
+}
+
+/// Attribution context for the next device operation: the layer that
+/// knows the logical identity of an I/O (region id, LBA) stores it here
+/// right before issuing the operation; the device consumes it when
+/// emitting the resulting physical event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsCtx {
+    /// Region id of the upcoming operation.
+    pub region: Option<u32>,
+    /// Logical page address of the upcoming operation.
+    pub lba: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Collect(Vec<ObsEvent>);
+
+    impl Observer for Collect {
+        fn on_event(&mut self, event: ObsEvent) {
+            self.0.push(event);
+        }
+    }
+
+    #[test]
+    fn observer_trait_is_object_safe() {
+        let mut obs: Box<dyn Observer> = Box::<Collect>::default();
+        obs.on_event(ObsEvent {
+            seq: 0,
+            t_ns: 1,
+            region: Some(2),
+            lba: Some(3),
+            kind: EventKind::DeltaProgram { bytes: 46 },
+        });
+    }
+}

@@ -122,14 +122,24 @@ impl PageData {
             PageState::Programmed { appends } => Some(appends),
         };
         if offset.checked_add(data.len()).is_none_or(|end| end > self.main.len()) {
-            return Err(FlashError::RangeOutOfPage { ppa, offset, len: data.len(), area: self.main.len() });
+            return Err(FlashError::RangeOutOfPage {
+                ppa,
+                offset,
+                len: data.len(),
+                area: self.main.len(),
+            });
         }
         if let Some(appends) = appends {
             if appends >= max_appends {
-                return Err(FlashError::AppendBudgetExceeded { ppa, performed: appends, max: max_appends });
+                return Err(FlashError::AppendBudgetExceeded {
+                    ppa,
+                    performed: appends,
+                    max: max_appends,
+                });
             }
         }
-        for (i, (&old, &new)) in self.main[offset..offset + data.len()].iter().zip(data).enumerate() {
+        for (i, (&old, &new)) in self.main[offset..offset + data.len()].iter().zip(data).enumerate()
+        {
             if !ispp_allows(old, new) {
                 return Err(FlashError::IsppViolation { ppa, offset: offset + i, old, new });
             }
@@ -151,9 +161,15 @@ impl PageData {
         data: &[u8],
     ) -> Result<(), FlashError> {
         if offset.checked_add(data.len()).is_none_or(|end| end > self.oob.len()) {
-            return Err(FlashError::RangeOutOfPage { ppa, offset, len: data.len(), area: self.oob.len() });
+            return Err(FlashError::RangeOutOfPage {
+                ppa,
+                offset,
+                len: data.len(),
+                area: self.oob.len(),
+            });
         }
-        for (i, (&old, &new)) in self.oob[offset..offset + data.len()].iter().zip(data).enumerate() {
+        for (i, (&old, &new)) in self.oob[offset..offset + data.len()].iter().zip(data).enumerate()
+        {
             if !ispp_allows(old, new) {
                 return Err(FlashError::IsppViolation { ppa, offset: offset + i, old, new });
             }
@@ -161,7 +177,6 @@ impl PageData {
         self.oob[offset..offset + data.len()].copy_from_slice(data);
         Ok(())
     }
-
 }
 
 #[cfg(test)]
@@ -277,5 +292,4 @@ mod tests {
         let err = p.program_oob(PPA, 15, &[0u8; 2]).unwrap_err();
         assert!(matches!(err, FlashError::RangeOutOfPage { .. }));
     }
-
 }

@@ -56,19 +56,37 @@ impl LatencyHistogram {
     }
 
     /// Approximate percentile (bucket upper bound) in microseconds.
+    ///
+    /// When `p` rounds past the last populated bucket, the result is
+    /// clamped to the highest *occupied* bucket's upper bound instead of
+    /// falling through to the (absurd) top of the bucket range.
     pub fn percentile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (self.count as f64 * p.clamp(0.0, 1.0)).ceil() as u64;
+        let target = ((self.count as f64 * p.clamp(0.0, 1.0)).ceil() as u64).max(1);
         let mut seen = 0;
+        let mut last_occupied = None;
         for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                last_occupied = Some(i);
+            }
             seen += c;
             if seen >= target {
                 return 1u64 << (i + 1);
             }
         }
-        1u64 << self.buckets.len()
+        last_occupied.map_or(0, |i| 1u64 << (i + 1))
+    }
+
+    /// Approximate percentile in nanoseconds: the microsecond bucket
+    /// bound scaled up, clamped to the largest observed sample (no
+    /// percentile can exceed the maximum).
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        self.percentile_us(p).saturating_mul(1_000).min(self.max_ns)
     }
 
     /// Merge another histogram into this one.
@@ -79,6 +97,23 @@ impl LatencyHistogram {
         self.sum_ns += other.sum_ns;
         self.count += other.count;
         self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Bucket-wise interval difference `self - earlier` (both taken from
+    /// the same monotonically growing histogram). The interval's true
+    /// maximum cannot be reconstructed from cumulative state, so the
+    /// cumulative maximum is carried instead.
+    pub fn diff(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for (o, (a, b)) in
+            out.buckets.iter_mut().zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        out.count = self.count.saturating_sub(earlier.count);
+        out.max_ns = if out.count == 0 { 0 } else { self.max_ns };
+        out
     }
 }
 
@@ -131,6 +166,49 @@ impl FlashStats {
     /// GC erases per host write (Tables 6–10).
     pub fn erases_per_host_write(&self) -> f64 {
         ratio(self.erases, self.host_writes())
+    }
+
+    /// Merge another device's counters into this one (histograms merge
+    /// bucket-wise), so registries can aggregate without field-by-field
+    /// copies.
+    pub fn merge(&mut self, other: &FlashStats) {
+        self.host_reads += other.host_reads;
+        self.host_programs += other.host_programs;
+        self.host_delta_programs += other.host_delta_programs;
+        self.delta_bytes += other.delta_bytes;
+        self.gc_reads += other.gc_reads;
+        self.gc_programs += other.gc_programs;
+        self.erases += other.erases;
+        self.ispp_violations += other.ispp_violations;
+        self.injected_bit_errors += other.injected_bit_errors;
+        self.corrected_bit_errors += other.corrected_bit_errors;
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+    }
+
+    /// Interval counters `self - earlier` (both snapshots of the same
+    /// monotonically growing counter set).
+    pub fn delta_since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            host_reads: self.host_reads.saturating_sub(earlier.host_reads),
+            host_programs: self.host_programs.saturating_sub(earlier.host_programs),
+            host_delta_programs: self
+                .host_delta_programs
+                .saturating_sub(earlier.host_delta_programs),
+            delta_bytes: self.delta_bytes.saturating_sub(earlier.delta_bytes),
+            gc_reads: self.gc_reads.saturating_sub(earlier.gc_reads),
+            gc_programs: self.gc_programs.saturating_sub(earlier.gc_programs),
+            erases: self.erases.saturating_sub(earlier.erases),
+            ispp_violations: self.ispp_violations.saturating_sub(earlier.ispp_violations),
+            injected_bit_errors: self
+                .injected_bit_errors
+                .saturating_sub(earlier.injected_bit_errors),
+            corrected_bit_errors: self
+                .corrected_bit_errors
+                .saturating_sub(earlier.corrected_bit_errors),
+            read_latency: self.read_latency.diff(&earlier.read_latency),
+            write_latency: self.write_latency.diff(&earlier.write_latency),
+        }
     }
 
     /// Reset all counters (used between benchmark warm-up and measurement).
@@ -203,5 +281,67 @@ mod tests {
         let stats = FlashStats::default();
         assert_eq!(stats.migrations_per_host_write(), 0.0);
         assert_eq!(stats.erases_per_host_write(), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_to_highest_occupied_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(100_000); // 100 us -> bucket 6, upper bound 128 us
+        h.record(200_000); // 200 us -> bucket 7, upper bound 256 us
+                           // The tail percentile must never exceed the occupied range.
+        assert_eq!(h.percentile_us(1.0), 256);
+        assert!(h.percentile_us(1.0) < 1 << 24);
+        // p = 0 still lands on an occupied bucket.
+        assert_eq!(h.percentile_us(0.0), 128);
+    }
+
+    #[test]
+    fn percentile_ns_bounded_by_max_sample() {
+        let mut h = LatencyHistogram::default();
+        h.record(1_500_000); // 1.5 ms
+        assert_eq!(h.percentile_ns(0.99), 1_500_000);
+        assert!(h.percentile_ns(0.5) <= h.max_ns());
+        assert_eq!(LatencyHistogram::default().percentile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_diff_is_interval() {
+        let mut a = LatencyHistogram::default();
+        a.record(5_000);
+        let early = a.clone();
+        a.record(9_000);
+        a.record(17_000);
+        let d = a.diff(&early);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean_ns(), 13_000);
+        // Diff of identical histograms is empty.
+        let z = a.diff(&a);
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.mean_ns(), 0);
+        assert_eq!(z.max_ns(), 0);
+        assert_eq!(z.percentile_us(0.99), 0);
+    }
+
+    #[test]
+    fn flash_stats_merge_and_delta() {
+        let mut a = FlashStats { host_programs: 10, erases: 2, ..FlashStats::default() };
+        a.read_latency.record(1_000);
+        let b = FlashStats { host_programs: 5, gc_programs: 7, ..FlashStats::default() };
+        a.merge(&b);
+        assert_eq!(a.host_programs, 15);
+        assert_eq!(a.gc_programs, 7);
+        assert_eq!(a.erases, 2);
+        assert_eq!(a.read_latency.count(), 1);
+
+        let later = FlashStats { host_programs: 20, gc_programs: 9, ..a.clone() };
+        let d = later.delta_since(&a);
+        assert_eq!(d.host_programs, 5);
+        assert_eq!(d.gc_programs, 2);
+        assert_eq!(d.erases, 0);
+        // Delta of identical stats is all-zero.
+        let z = a.delta_since(&a);
+        assert_eq!(z.host_programs, 0);
+        assert_eq!(z.total_programs(), 0);
+        assert_eq!(z.read_latency.count(), 0);
     }
 }

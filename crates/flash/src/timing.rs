@@ -205,7 +205,7 @@ mod tests {
         let (s1, d1) = s.schedule_host(1, 0, 100);
         assert_eq!((s0, d0), (0, 100));
         assert_eq!((s1, d1), (0, 100)); // parallel
-        // Same chip serializes.
+                                        // Same chip serializes.
         let (s2, d2) = s.schedule_host(0, 0, 50);
         assert_eq!((s2, d2), (100, 150));
     }

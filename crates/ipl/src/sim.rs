@@ -148,7 +148,12 @@ pub struct IplSimulator {
 impl IplSimulator {
     /// A fresh simulator.
     pub fn new(config: IplConfig) -> Self {
-        IplSimulator { config, stats: IplStats::default(), blocks: HashMap::new(), sectors: HashMap::new() }
+        IplSimulator {
+            config,
+            stats: IplStats::default(),
+            blocks: HashMap::new(),
+            sectors: HashMap::new(),
+        }
     }
 
     /// Accumulated counters.

@@ -60,7 +60,11 @@ pub struct RegionSpec {
 
 impl RegionSpec {
     /// A region over a chip range with 10% over-provisioning.
-    pub fn new(name: impl Into<String>, chips: impl IntoIterator<Item = u32>, ipa_mode: IpaMode) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        chips: impl IntoIterator<Item = u32>,
+        ipa_mode: IpaMode,
+    ) -> Self {
         RegionSpec {
             name: name.into(),
             chips: chips.into_iter().collect(),
@@ -114,7 +118,10 @@ impl NoFtlConfig {
                 return Err(format!("region '{}' has no chips", r.name));
             }
             if !(0.0..0.9).contains(&r.over_provisioning) {
-                return Err(format!("region '{}': over-provisioning {} out of [0, 0.9)", r.name, r.over_provisioning));
+                return Err(format!(
+                    "region '{}': over-provisioning {} out of [0, 0.9)",
+                    r.name, r.over_provisioning
+                ));
             }
             if !r.ipa_mode.compatible_with(self.flash.geometry.cell_type) {
                 return Err(format!(

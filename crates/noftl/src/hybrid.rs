@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use ipa_flash::{FlashDevice, OpOrigin, Ppa};
+use ipa_flash::{FlashDevice, Observer, OpOrigin, Ppa};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the hybrid FTL.
@@ -122,6 +122,22 @@ impl HybridFtl {
         &self.stats
     }
 
+    /// The underlying device (read-only view: stats, clock, geometry).
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    /// Attach a trace observer to the underlying device. The hybrid FTL
+    /// has no regions, so its events carry only LBA attribution.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.dev.attach_observer(observer);
+    }
+
+    /// Detach the device's trace observer, returning it.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.dev.detach_observer()
+    }
+
     /// Total erases performed on the underlying device.
     pub fn device_erases(&self) -> u64 {
         self.dev.total_erases()
@@ -172,6 +188,9 @@ impl HybridFtl {
                 let slot = self.page_size * 3 / 4 + (used as usize) * (self.page_size / 16);
                 let len = (self.page_size / 16).min(self.page_size - slot);
                 let payload = vec![0x00u8; len];
+                if self.dev.observing() {
+                    self.dev.set_obs_ctx(None, Some(lba));
+                }
                 if self.dev.program_partial(ppa, slot, &payload, OpOrigin::Host).is_ok() {
                     self.appends.insert(lba, used + needed);
                     self.stats.ipa_appends += 1;
@@ -193,6 +212,9 @@ impl HybridFtl {
         };
         let home = self.ppa(data_block, off);
         let never_written = !self.residency.contains_key(&lba);
+        if self.dev.observing() {
+            self.dev.set_obs_ctx(None, Some(lba));
+        }
         if never_written && self.dev.program(home, &img, OpOrigin::Host).is_ok() {
             self.residency.insert(lba, Residency::Data);
             self.stats.data_writes += 1;
@@ -200,6 +222,9 @@ impl HybridFtl {
         }
         // Log write.
         let ppa = self.alloc_log_slot();
+        if self.dev.observing() {
+            self.dev.set_obs_ctx(None, Some(lba));
+        }
         self.dev.program(ppa, &img, OpOrigin::Host).expect("log slot is erased");
         self.residency.insert(lba, Residency::Log(ppa));
         self.stats.log_writes += 1;
@@ -245,8 +270,7 @@ impl HybridFtl {
             let mut set = std::collections::BTreeSet::new();
             for (lba, res) in &self.residency {
                 if let Residency::Log(ppa) = res {
-                    let flat = ppa.chip as u64
-                        * self.dev.config().geometry.blocks_per_chip as u64
+                    let flat = ppa.chip as u64 * self.dev.config().geometry.blocks_per_chip as u64
                         + ppa.block as u64;
                     if flat == victim {
                         set.insert(self.logical_block(*lba).0);
@@ -266,6 +290,9 @@ impl HybridFtl {
                 let src = self.current_ppa(lba);
                 let (img, _) = self.dev.read(src, OpOrigin::Background).expect("valid page");
                 let dst = self.ppa(new_block, off);
+                if self.dev.observing() {
+                    self.dev.set_obs_ctx(None, Some(lba));
+                }
                 self.dev.program(dst, &img, OpOrigin::Background).expect("fresh block");
                 self.residency.insert(lba, Residency::Data);
                 self.appends.insert(lba, 0);

@@ -39,8 +39,8 @@ mod region;
 mod stats;
 
 pub use config::{IpaMode, NoFtlConfig, RegionSpec};
-pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
 pub use error::NoFtlError;
+pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
 pub use manager::{NoFtl, RegionId};
 pub use region::Lba;
 pub use stats::RegionStats;

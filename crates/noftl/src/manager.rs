@@ -1,6 +1,6 @@
 //! The public NoFTL facade: a flash device plus its regions.
 
-use ipa_flash::{FlashDevice, OpOrigin, OpResult};
+use ipa_flash::{EventKind, FlashDevice, Observer, OpOrigin, OpResult};
 
 use crate::config::NoFtlConfig;
 use crate::error::NoFtlError;
@@ -31,7 +31,8 @@ impl NoFtl {
         let regions = config
             .regions
             .iter()
-            .map(|spec| Region::new(spec.clone(), &dev, config.gc_low_watermark))
+            .enumerate()
+            .map(|(id, spec)| Region::new(id as u32, spec.clone(), &dev, config.gc_low_watermark))
             .collect::<Result<Vec<_>>>()?;
         Ok(NoFtl { dev, regions })
     }
@@ -166,6 +167,32 @@ impl NoFtl {
     /// The underlying device (read-only view: stats, clock, geometry).
     pub fn device(&self) -> &FlashDevice {
         &self.dev
+    }
+
+    /// Attach a trace observer to the underlying device. Physical events
+    /// emitted below this point carry region/LBA attribution staged by the
+    /// region layer.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.dev.attach_observer(observer);
+    }
+
+    /// Detach the device's trace observer, returning it.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.dev.detach_observer()
+    }
+
+    /// Whether a trace observer is attached.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.dev.observing()
+    }
+
+    /// Emit a logical trace event (engine flush/evict decisions) through
+    /// the device's sequence counter and clock, so it interleaves correctly
+    /// with the physical events it triggers.
+    #[inline]
+    pub fn emit(&mut self, kind: EventKind, region: Option<u32>, lba: Option<u64>) {
+        self.dev.emit(kind, region, lba);
     }
 
     /// Advance the simulated host clock by non-I/O work (transaction CPU

@@ -43,6 +43,9 @@ struct ChipState {
 /// One region: a self-contained flash-managed address space.
 #[derive(Debug)]
 pub(crate) struct Region {
+    /// Index of this region within the NoFTL manager — the `region`
+    /// attribution carried by trace events.
+    id: u32,
     spec: RegionSpec,
     /// Usable raw page indices within a block under the region's mode
     /// (pSLC restricts to LSB pages).
@@ -60,6 +63,7 @@ pub(crate) struct Region {
 
 impl Region {
     pub(crate) fn new(
+        id: u32,
         spec: RegionSpec,
         dev: &FlashDevice,
         gc_low_watermark: usize,
@@ -99,6 +103,7 @@ impl Region {
             })
             .collect();
         Ok(Region {
+            id,
             spec,
             usable_pages,
             capacity,
@@ -147,6 +152,9 @@ impl Region {
     ) -> Result<(Vec<u8>, OpResult)> {
         self.check_lba(lba)?;
         let ppa = self.mapped(lba)?;
+        if dev.observing() {
+            dev.set_obs_ctx(Some(self.id), Some(lba.0));
+        }
         let out = dev.read(ppa, origin)?;
         self.stats.host_reads += 1;
         Ok(out)
@@ -164,6 +172,9 @@ impl Region {
         let local = self.pick_chip();
         self.garbage_collect_chip(dev, local)?;
         let ppa = self.allocate(dev, local)?;
+        if dev.observing() {
+            dev.set_obs_ctx(Some(self.id), Some(lba.0));
+        }
         let op = dev.program(ppa, data, origin)?;
         if let Some(old) = self.l2p[lba.0 as usize] {
             self.invalidate(old);
@@ -187,6 +198,9 @@ impl Region {
         let ppa = self.mapped(lba)?;
         if let Some(reason) = self.append_block_reason(dev, ppa) {
             return Err(NoFtlError::AppendNotAllowed { lba, reason });
+        }
+        if dev.observing() {
+            dev.set_obs_ctx(Some(self.id), Some(lba.0));
         }
         let op = dev.program_partial(ppa, offset, data, origin)?;
         self.stats.host_delta_writes += 1;
@@ -312,9 +326,7 @@ impl Region {
                     .free_blocks
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, &b)| {
-                        dev.block_erase_count(chip_id, b).unwrap_or(u64::MAX)
-                    })
+                    .min_by_key(|(_, &b)| dev.block_erase_count(chip_id, b).unwrap_or(u64::MAX))
                     .expect("non-empty free list");
                 let block = state.free_blocks.swap_remove(idx);
                 let info = &mut state.blocks[block as usize];
@@ -375,12 +387,18 @@ impl Region {
             let (data, _) = dev.read(old, OpOrigin::Background)?;
             let oob = dev.read_oob(old)?;
             let new = self.allocate(dev, local)?;
+            if dev.observing() {
+                dev.set_obs_ctx(Some(self.id), Some(lba));
+            }
             dev.program(new, &data, OpOrigin::Background)?;
             // Carry the OOB image along: ECC codes stay with the data.
             dev.program_oob(new, 0, &oob)?;
             self.invalidate(old);
             self.map(Lba(lba), new);
             self.stats.gc_page_migrations += 1;
+        }
+        if dev.observing() {
+            dev.set_obs_ctx(Some(self.id), None);
         }
         dev.erase(chip, victim)?;
         let info = &mut self.chips[local].blocks[victim as usize];
@@ -405,8 +423,7 @@ impl Region {
                 .map(|b| dev.block_erase_count(chip, b).unwrap_or(0))
                 .collect();
             let max = counts.iter().copied().max().unwrap_or(0);
-            let cold = self
-                .chips[local]
+            let cold = self.chips[local]
                 .blocks
                 .iter()
                 .enumerate()
@@ -458,7 +475,7 @@ mod tests {
         cfg.geometry.cell_type = cell;
         let dev = FlashDevice::new(cfg);
         let spec = RegionSpec::new("t", [0, 1], mode).with_over_provisioning(0.3);
-        let region = Region::new(spec, &dev, 2).unwrap();
+        let region = Region::new(0, spec, &dev, 2).unwrap();
         (dev, region)
     }
 
@@ -472,8 +489,8 @@ mod tests {
     /// the lbas per round, with no residue-class structure that could
     /// keep physical blocks homogeneous.
     fn in_round(lba: u64, round: u64) -> bool {
-        let x = (lba ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let x =
+            (lba ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0x2545_F491_4F6C_DD1D);
         (x >> 33).is_multiple_of(3)
     }
 
@@ -682,7 +699,8 @@ mod tests {
         // Keep updating — GC must keep up indefinitely.
         for round in 0..5 {
             for lba in 0..r.capacity() {
-                r.write(&mut dev, Lba(lba), &page((round * 7 + lba) as u8), OpOrigin::Host).unwrap();
+                r.write(&mut dev, Lba(lba), &page((round * 7 + lba) as u8), OpOrigin::Host)
+                    .unwrap();
             }
         }
         assert!(r.free_blocks() >= 1);

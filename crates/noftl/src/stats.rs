@@ -71,6 +71,37 @@ impl RegionStats {
     pub fn reset(&mut self) {
         *self = RegionStats::default();
     }
+
+    /// Accumulate another region's counters into this one (device-total
+    /// aggregation for the observability snapshots).
+    pub fn merge(&mut self, other: &RegionStats) {
+        self.host_reads += other.host_reads;
+        self.host_page_writes += other.host_page_writes;
+        self.host_delta_writes += other.host_delta_writes;
+        self.delta_bytes += other.delta_bytes;
+        self.gc_page_migrations += other.gc_page_migrations;
+        self.gc_erases += other.gc_erases;
+        self.wear_level_erases += other.wear_level_erases;
+        self.wear_level_migrations += other.wear_level_migrations;
+        self.trims += other.trims;
+    }
+
+    /// Interval counters `self - earlier` (both cumulative).
+    pub fn delta_since(&self, earlier: &RegionStats) -> RegionStats {
+        RegionStats {
+            host_reads: self.host_reads.saturating_sub(earlier.host_reads),
+            host_page_writes: self.host_page_writes.saturating_sub(earlier.host_page_writes),
+            host_delta_writes: self.host_delta_writes.saturating_sub(earlier.host_delta_writes),
+            delta_bytes: self.delta_bytes.saturating_sub(earlier.delta_bytes),
+            gc_page_migrations: self.gc_page_migrations.saturating_sub(earlier.gc_page_migrations),
+            gc_erases: self.gc_erases.saturating_sub(earlier.gc_erases),
+            wear_level_erases: self.wear_level_erases.saturating_sub(earlier.wear_level_erases),
+            wear_level_migrations: self
+                .wear_level_migrations
+                .saturating_sub(earlier.wear_level_migrations),
+            trims: self.trims.saturating_sub(earlier.trims),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +128,52 @@ mod tests {
         let s = RegionStats::default();
         assert_eq!(s.ipa_fraction(), 0.0);
         assert_eq!(s.migrations_per_host_write(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = RegionStats {
+            host_reads: 1,
+            host_page_writes: 2,
+            host_delta_writes: 3,
+            delta_bytes: 4,
+            gc_page_migrations: 5,
+            gc_erases: 6,
+            wear_level_erases: 7,
+            wear_level_migrations: 8,
+            trims: 9,
+        };
+        let b = RegionStats {
+            host_reads: 10,
+            host_page_writes: 20,
+            host_delta_writes: 30,
+            delta_bytes: 40,
+            gc_page_migrations: 50,
+            gc_erases: 60,
+            wear_level_erases: 70,
+            wear_level_migrations: 80,
+            trims: 90,
+        };
+        a.merge(&b);
+        assert_eq!(a.host_reads, 11);
+        assert_eq!(a.host_page_writes, 22);
+        assert_eq!(a.host_delta_writes, 33);
+        assert_eq!(a.delta_bytes, 44);
+        assert_eq!(a.gc_page_migrations, 55);
+        assert_eq!(a.gc_erases, 66);
+        assert_eq!(a.wear_level_erases, 77);
+        assert_eq!(a.wear_level_migrations, 88);
+        assert_eq!(a.trims, 99);
+    }
+
+    #[test]
+    fn delta_since_is_interval_and_identity_is_zero() {
+        let a = RegionStats { host_reads: 5, gc_erases: 2, ..RegionStats::default() };
+        let b = RegionStats { host_reads: 9, gc_erases: 2, trims: 1, ..RegionStats::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.host_reads, 4);
+        assert_eq!(d.gc_erases, 0);
+        assert_eq!(d.trims, 1);
+        assert_eq!(b.delta_since(&b), RegionStats::default());
     }
 }

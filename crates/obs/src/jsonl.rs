@@ -1,0 +1,164 @@
+//! JSONL export: one JSON object per trace event, streamed through a
+//! buffered writer as events arrive (so a crash keeps the prefix).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use ipa_flash::{EventKind, ObsEvent, Observer};
+use serde_json::{Map, Value};
+
+/// Stable wire name of an event kind.
+pub fn kind_name(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::HostRead => "host_read",
+        EventKind::HostProgram => "host_program",
+        EventKind::DeltaProgram { .. } => "delta_program",
+        EventKind::GcMigration => "gc_migration",
+        EventKind::Erase => "erase",
+        EventKind::FlushIpa { .. } => "flush_ipa",
+        EventKind::FlushOop => "flush_oop",
+        EventKind::Evict => "evict",
+        EventKind::IsppViolation => "ispp_violation",
+    }
+}
+
+/// Encode one event as a flat JSON object (`region`/`lba` omitted when
+/// unknown; kind payloads inlined as extra keys).
+pub fn event_to_json(event: &ObsEvent) -> Value {
+    let mut m = Map::new();
+    m.insert("seq".into(), Value::from(event.seq));
+    m.insert("t_ns".into(), Value::from(event.t_ns));
+    if let Some(region) = event.region {
+        m.insert("region".into(), Value::from(region));
+    }
+    if let Some(lba) = event.lba {
+        m.insert("lba".into(), Value::from(lba));
+    }
+    m.insert("kind".into(), Value::from(kind_name(&event.kind)));
+    match event.kind {
+        EventKind::DeltaProgram { bytes } => {
+            m.insert("bytes".into(), Value::from(bytes));
+        }
+        EventKind::FlushIpa { records } => {
+            m.insert("records".into(), Value::from(records));
+        }
+        _ => {}
+    }
+    Value::Object(m)
+}
+
+/// A shared JSONL destination. Like [`crate::TraceHandle`], the sink stays
+/// with the caller while [`JsonlSink::observer`] handles go to the traced
+/// layers.
+#[derive(Clone)]
+pub struct JsonlSink {
+    inner: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Stream to a file (parent directories are created), truncating any
+    /// previous trace.
+    pub fn file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlSink::writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Stream to an arbitrary writer.
+    pub fn writer(w: Box<dyn Write + Send>) -> Self {
+        JsonlSink { inner: Arc::new(Mutex::new(w)) }
+    }
+
+    /// An [`Observer`] writing one JSON line per event into this sink.
+    pub fn observer(&self) -> Box<dyn Observer> {
+        Box::new(JsonlObserver { inner: Arc::clone(&self.inner) })
+    }
+
+    /// Flush buffered output (call once the run is over).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().expect("jsonl sink lock").flush()
+    }
+}
+
+struct JsonlObserver {
+    inner: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Observer for JsonlObserver {
+    fn on_event(&mut self, event: ObsEvent) {
+        let line = event_to_json(&event).to_string();
+        let mut w = self.inner.lock().expect("jsonl sink lock");
+        // Trace export is best-effort; a full disk must not abort the run.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_encoding_inlines_payloads_and_skips_unknowns() {
+        let e = ObsEvent {
+            seq: 3,
+            t_ns: 99,
+            region: Some(1),
+            lba: Some(7),
+            kind: EventKind::DeltaProgram { bytes: 46 },
+        };
+        let v = event_to_json(&e);
+        assert_eq!(v["seq"], 3);
+        assert_eq!(v["region"], 1);
+        assert_eq!(v["kind"], "delta_program");
+        assert_eq!(v["bytes"], 46);
+
+        let bare = ObsEvent { seq: 0, t_ns: 0, region: None, lba: None, kind: EventKind::Erase };
+        let v = event_to_json(&bare);
+        assert!(v.get("region").is_none());
+        assert!(v.get("lba").is_none());
+        assert_eq!(v["kind"], "erase");
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let store = Shared::default();
+        let sink = JsonlSink::writer(Box::new(store.clone()));
+        let mut obs = sink.observer();
+        for seq in 0..3 {
+            obs.on_event(ObsEvent {
+                seq,
+                t_ns: seq,
+                region: None,
+                lba: None,
+                kind: EventKind::FlushOop,
+            });
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(store.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["seq"], i as u64);
+            assert_eq!(v["kind"], "flush_oop");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Metrics registry: a time series of [`Snapshot`]s with per-interval
+//! deltas, ready for JSON export as the `timeseries` array of a bench
+//! result file.
+
+use serde_json::{Map, Value};
+
+use crate::snapshot::Snapshot;
+
+/// One sampled point: the cumulative counters at a tick plus the delta
+/// against the previous sample (for the first sample the delta equals the
+/// cumulative values).
+#[derive(Debug, Clone)]
+pub struct SamplePoint {
+    /// Caller-supplied position on the workload axis (e.g. transactions
+    /// executed so far).
+    pub tick: u64,
+    /// Cumulative counters at this tick.
+    pub cumulative: Snapshot,
+    /// Interval counters since the previous sample.
+    pub delta: Snapshot,
+}
+
+/// Collects an ordered series of snapshots and derives interval deltas.
+///
+/// Because every counter in a [`Snapshot`] is cumulative and monotone,
+/// the registry only stores what the caller hands it — deltas are computed
+/// once at `sample` time against the previous point.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    points: Vec<SamplePoint>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Record `snap` at workload position `tick`. Ticks should be
+    /// non-decreasing; the delta is taken against the previous sample.
+    pub fn sample(&mut self, tick: u64, snap: Snapshot) {
+        let delta = match self.points.last() {
+            Some(prev) => snap.delta_since(&prev.cumulative),
+            None => snap.delta_since(&Snapshot::default()),
+        };
+        self.points.push(SamplePoint { tick, cumulative: snap, delta });
+    }
+
+    /// All recorded points, oldest first.
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<&SamplePoint> {
+        self.points.last()
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Encode the series as a JSON array; each element carries the tick,
+    /// the simulated time, cumulative and delta counters, and gauges
+    /// derived from the cumulative state.
+    pub fn to_json(&self) -> Value {
+        Value::from(
+            self.points
+                .iter()
+                .map(|p| {
+                    let mut m = Map::new();
+                    m.insert("tick".into(), Value::from(p.tick));
+                    m.insert("t_ns".into(), Value::from(p.cumulative.at_ns));
+                    m.insert("cumulative".into(), p.cumulative.to_json());
+                    m.insert("delta".into(), p.delta.to_json());
+                    m.insert("gauges".into(), p.cumulative.gauges().to_json());
+                    Value::Object(m)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at_ns: u64, host_programs: u64) -> Snapshot {
+        let mut s = Snapshot { at_ns, ..Snapshot::default() };
+        s.flash.host_programs = host_programs;
+        s
+    }
+
+    #[test]
+    fn first_delta_equals_cumulative_and_later_deltas_are_intervals() {
+        let mut reg = MetricsRegistry::new();
+        reg.sample(0, snap(100, 4));
+        reg.sample(10, snap(250, 9));
+        assert_eq!(reg.len(), 2);
+
+        let first = &reg.points()[0];
+        assert_eq!(first.delta.at_ns, 100);
+        assert_eq!(first.delta.flash.host_programs, 4);
+
+        let second = reg.last().unwrap();
+        assert_eq!(second.cumulative.flash.host_programs, 9);
+        assert_eq!(second.delta.at_ns, 150);
+        assert_eq!(second.delta.flash.host_programs, 5);
+    }
+
+    #[test]
+    fn deltas_compose_back_to_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        reg.sample(0, snap(100, 4));
+        reg.sample(1, snap(250, 9));
+        reg.sample(2, snap(400, 20));
+        let sum: u64 = reg.points().iter().map(|p| p.delta.flash.host_programs).sum();
+        assert_eq!(sum, reg.last().unwrap().cumulative.flash.host_programs);
+    }
+
+    #[test]
+    fn json_series_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.sample(5, snap(100, 4));
+        let v = reg.to_json();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0]["tick"], 5);
+        assert_eq!(arr[0]["t_ns"], 100);
+        assert_eq!(arr[0]["cumulative"]["flash"]["host_programs"], 4);
+        assert_eq!(arr[0]["delta"]["flash"]["host_programs"], 4);
+        assert!(arr[0]["gauges"].get("write_amplification").is_some());
+    }
+}

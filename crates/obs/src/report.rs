@@ -1,0 +1,223 @@
+//! Experiment reporting: the shared table renderer and the single
+//! save-path for bench results — one JSON file (payload + `timeseries`
+//! array) and one text file (the rendered paper tables) per experiment.
+
+use std::io;
+use std::path::Path;
+
+use serde_json::{Map, Value};
+
+/// Simple fixed-width table printer (the paper-table look shared by every
+/// bench binary).
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// The appended rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render to a string, one `| cell | cell |` line per row.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = |cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("| {:>w$} ", c, w = widths[i]));
+            }
+            out.push_str("|\n");
+        };
+        line(&self.header);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep);
+        for row in &self.rows {
+            line(row);
+        }
+        out
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Accumulates one experiment's output — printed tables, a JSON payload
+/// and an optional metrics time series — and persists all of it under
+/// `bench-results/` as `<name>.json` + `<name>.txt`.
+#[derive(Debug, Default)]
+pub struct ExperimentReport {
+    name: String,
+    payload: Value,
+    tables: Vec<String>,
+    timeseries: Vec<Value>,
+}
+
+impl ExperimentReport {
+    /// A report for the experiment `name` (the output file stem).
+    pub fn new(name: &str) -> Self {
+        ExperimentReport {
+            name: name.to_string(),
+            payload: Value::Object(Map::new()),
+            tables: Vec::new(),
+            timeseries: Vec::new(),
+        }
+    }
+
+    /// The experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Set the measured-result payload (the top-level JSON object).
+    pub fn set_payload(&mut self, payload: Value) {
+        self.payload = payload;
+    }
+
+    /// Print a table to stdout and keep its rendering for the text file.
+    pub fn print_table(&mut self, table: &Table) {
+        table.print();
+        self.tables.push(table.render());
+    }
+
+    /// Append the elements of a [`crate::MetricsRegistry::to_json`] array
+    /// (non-array values are appended as a single point).
+    pub fn push_timeseries(&mut self, series: Value) {
+        match series {
+            Value::Array(points) => self.timeseries.extend(points),
+            other => self.timeseries.push(other),
+        }
+    }
+
+    /// The full JSON document: the payload with a `timeseries` key added
+    /// (always present, possibly empty). Non-object payloads are wrapped
+    /// as `{"results": ..., "timeseries": [...]}`.
+    pub fn json(&self) -> Value {
+        let series = Value::from(self.timeseries.clone());
+        match &self.payload {
+            Value::Object(map) => {
+                let mut map = map.clone();
+                map.insert("timeseries".into(), series);
+                Value::Object(map)
+            }
+            other => {
+                let mut map = Map::new();
+                map.insert("results".into(), other.clone());
+                map.insert("timeseries".into(), series);
+                Value::Object(map)
+            }
+        }
+    }
+
+    /// The text rendition: every printed table, blank-line separated.
+    pub fn text(&self) -> String {
+        self.tables.join("\n")
+    }
+
+    /// Write `<name>.json` and `<name>.txt` into `dir`.
+    pub fn save_to(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(&self.json())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(dir.join(format!("{}.json", self.name)), json)?;
+        std::fs::write(dir.join(format!("{}.txt", self.name)), self.text())?;
+        Ok(())
+    }
+
+    /// Best-effort save under `bench-results/` (failures are reported on
+    /// stderr, never fatal — mirrors the old `save_json`).
+    pub fn save(&self) {
+        if let Err(e) = self.save_to(Path::new("bench-results")) {
+            eprintln!("warning: could not save bench results for {}: {e}", self.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let mut t = Table::new(&["metric", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-metric-name".into(), "12345".into()]);
+        assert_eq!(t.rows().len(), 2);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, separator, two rows
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "all lines same width");
+        assert!(lines[2].contains("|                a |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_embeds_timeseries_in_payload() {
+        let mut r = ExperimentReport::new("demo");
+        let mut payload = Map::new();
+        payload.insert("wa".into(), Value::from(1.5));
+        r.set_payload(Value::Object(payload));
+        r.push_timeseries(Value::from(vec![Value::from(1u64), Value::from(2u64)]));
+        let v = r.json();
+        assert_eq!(v["wa"], 1.5);
+        assert_eq!(v["timeseries"].as_array().unwrap().len(), 2);
+
+        // Payload untouched by default — timeseries key still present.
+        let empty = ExperimentReport::new("empty").json();
+        assert!(empty["timeseries"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn report_wraps_non_object_payloads() {
+        let mut r = ExperimentReport::new("scalar");
+        r.set_payload(Value::from(42u64));
+        let v = r.json();
+        assert_eq!(v["results"], 42);
+        assert!(v.get("timeseries").is_some());
+    }
+
+    #[test]
+    fn save_writes_json_and_text() {
+        let dir = std::env::temp_dir().join("ipa-obs-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = ExperimentReport::new("unit");
+        let mut t = Table::new(&["k", "v"]);
+        t.row(vec!["x".into(), "1".into()]);
+        r.print_table(&t);
+        r.save_to(&dir).unwrap();
+        let json: Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("unit.json")).unwrap()).unwrap();
+        assert!(json.get("timeseries").is_some());
+        let text = std::fs::read_to_string(dir.join("unit.txt")).unwrap();
+        assert!(text.contains("| k | v |"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

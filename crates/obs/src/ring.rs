@@ -1,0 +1,128 @@
+//! Bounded in-memory event ring: the default, allocation-bounded trace
+//! sink. When full, the oldest events are dropped (and counted), so a
+//! long run keeps the most recent window instead of growing without
+//! bound.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use ipa_flash::{ObsEvent, Observer};
+
+#[derive(Debug)]
+struct EventRing {
+    buf: VecDeque<ObsEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    fn push(&mut self, event: ObsEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+/// Cloneable handle to a shared event ring. Hand [`TraceHandle::observer`]
+/// to a device/NoFTL/engine and keep the handle to inspect or drain the
+/// captured window afterwards.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    inner: Arc<Mutex<EventRing>>,
+}
+
+impl TraceHandle {
+    /// A ring holding at most `capacity` events (must be non-zero).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be non-zero");
+        TraceHandle {
+            inner: Arc::new(Mutex::new(EventRing {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// An [`Observer`] feeding this ring — attach it to a
+    /// `FlashDevice`/`NoFtl`/`Database`.
+    pub fn observer(&self) -> Box<dyn Observer> {
+        Box::new(RingObserver { inner: Arc::clone(&self.inner) })
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        self.inner.lock().expect("trace ring lock").buf.iter().copied().collect()
+    }
+
+    /// Take the buffered events, leaving the ring empty.
+    pub fn drain(&self) -> Vec<ObsEvent> {
+        self.inner.lock().expect("trace ring lock").buf.drain(..).collect()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring lock").buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring lock").dropped
+    }
+}
+
+struct RingObserver {
+    inner: Arc<Mutex<EventRing>>,
+}
+
+impl Observer for RingObserver {
+    fn on_event(&mut self, event: ObsEvent) {
+        self.inner.lock().expect("trace ring lock").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_flash::EventKind;
+
+    fn ev(seq: u64) -> ObsEvent {
+        ObsEvent { seq, t_ns: seq * 10, region: None, lba: Some(seq), kind: EventKind::HostRead }
+    }
+
+    #[test]
+    fn wrap_around_keeps_newest_in_order() {
+        let ring = TraceHandle::new(4);
+        let mut obs = ring.observer();
+        for i in 0..10 {
+            obs.on_event(ev(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let events = ring.snapshot();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Drain empties the ring but keeps the dropped count.
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn two_observers_share_one_ring() {
+        let ring = TraceHandle::new(8);
+        let mut a = ring.observer();
+        let mut b = ring.observer();
+        a.on_event(ev(0));
+        b.on_event(ev(1));
+        assert_eq!(ring.len(), 2);
+    }
+}

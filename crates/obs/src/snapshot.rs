@@ -1,0 +1,335 @@
+//! Point-in-time capture of every stats struct in the stack, with
+//! interval deltas and derived gauges.
+
+use ipa_engine::{Database, EngineStats, SweepStats};
+use ipa_flash::{ChipCounters, FlashDevice, FlashStats, LatencyHistogram};
+use ipa_noftl::{NoFtl, RegionId, RegionStats};
+use serde_json::{Map, Value};
+
+/// All counters of the stack at one instant of simulated time. Layers the
+/// capture source does not reach stay at their defaults (e.g. a
+/// device-only capture has empty engine stats).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Simulated device clock at capture — in a delta, the interval length.
+    pub at_ns: u64,
+    /// Flash-device counters and latency histograms.
+    pub flash: FlashStats,
+    /// Storage-engine counters.
+    pub engine: EngineStats,
+    /// Buffer-pool CLOCK sweep counters.
+    pub sweep: SweepStats,
+    /// Per-region counters, indexed by region id.
+    pub regions: Vec<RegionStats>,
+    /// Per-chip operation counters, indexed by chip id.
+    pub chips: Vec<ChipCounters>,
+}
+
+/// Derived metrics over one snapshot (cumulative or interval) — the
+/// paper's ratio rows plus tail latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauges {
+    /// DB write amplification: gross written / net changed bytes.
+    pub write_amplification: f64,
+    /// Fraction of host writes served as in-place appends.
+    pub ipa_fraction: f64,
+    /// GC page migrations per host write.
+    pub migrations_per_host_write: f64,
+    /// GC erases per host write.
+    pub erases_per_host_write: f64,
+    /// Buffer-pool hit ratio.
+    pub hit_ratio: f64,
+    /// Mean host read latency, nanoseconds.
+    pub read_mean_ns: u64,
+    /// p50 host read latency, nanoseconds.
+    pub read_p50_ns: u64,
+    /// p95 host read latency, nanoseconds.
+    pub read_p95_ns: u64,
+    /// p99 host read latency, nanoseconds.
+    pub read_p99_ns: u64,
+    /// Mean host write latency, nanoseconds.
+    pub write_mean_ns: u64,
+    /// p50 host write latency, nanoseconds.
+    pub write_p50_ns: u64,
+    /// p95 host write latency, nanoseconds.
+    pub write_p95_ns: u64,
+    /// p99 host write latency, nanoseconds.
+    pub write_p99_ns: u64,
+}
+
+impl Snapshot {
+    /// Capture the full stack through a [`Database`].
+    pub fn capture(db: &Database) -> Snapshot {
+        let mut snap = Snapshot::capture_noftl(db.ftl());
+        snap.engine = db.stats().clone();
+        snap.sweep = db.sweep_stats();
+        snap
+    }
+
+    /// Capture the flash-management view (device + regions) of a NoFTL.
+    pub fn capture_noftl(ftl: &NoFtl) -> Snapshot {
+        let mut snap = Snapshot::capture_device(ftl.device());
+        snap.regions = (0..ftl.region_count())
+            .filter_map(|i| ftl.region_stats(RegionId(i)).ok().cloned())
+            .collect();
+        snap
+    }
+
+    /// Capture a bare flash device (no region/engine context).
+    pub fn capture_device(dev: &FlashDevice) -> Snapshot {
+        Snapshot {
+            at_ns: dev.clock().now_ns(),
+            flash: dev.stats().clone(),
+            chips: dev.chip_counters(),
+            ..Snapshot::default()
+        }
+    }
+
+    /// Interval counters `self - earlier`: every field subtracts
+    /// field-wise, `at_ns` becomes the interval duration, and per-region /
+    /// per-chip entries pair up by index (entries absent in `earlier`
+    /// count from zero). The delta of identical snapshots is all-zero.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let zero_region = RegionStats::default();
+        let zero_chip = ChipCounters::default();
+        Snapshot {
+            at_ns: self.at_ns.saturating_sub(earlier.at_ns),
+            flash: self.flash.delta_since(&earlier.flash),
+            engine: self.engine.delta_since(&earlier.engine),
+            sweep: self.sweep.delta_since(&earlier.sweep),
+            regions: self
+                .regions
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r.delta_since(earlier.regions.get(i).unwrap_or(&zero_region)))
+                .collect(),
+            chips: self
+                .chips
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.delta_since(earlier.chips.get(i).unwrap_or(&zero_chip)))
+                .collect(),
+        }
+    }
+
+    /// All per-region counters merged into one device total.
+    pub fn region_total(&self) -> RegionStats {
+        let mut total = RegionStats::default();
+        for r in &self.regions {
+            total.merge(r);
+        }
+        total
+    }
+
+    /// Derived gauges over this snapshot's counters.
+    pub fn gauges(&self) -> Gauges {
+        let hw = self.flash.host_writes();
+        Gauges {
+            write_amplification: self.engine.write_amplification(),
+            ipa_fraction: if hw == 0 {
+                0.0
+            } else {
+                self.flash.host_delta_programs as f64 / hw as f64
+            },
+            migrations_per_host_write: self.flash.migrations_per_host_write(),
+            erases_per_host_write: self.flash.erases_per_host_write(),
+            hit_ratio: self.engine.hit_ratio(),
+            read_mean_ns: self.flash.read_latency.mean_ns(),
+            read_p50_ns: self.flash.read_latency.percentile_ns(0.50),
+            read_p95_ns: self.flash.read_latency.percentile_ns(0.95),
+            read_p99_ns: self.flash.read_latency.percentile_ns(0.99),
+            write_mean_ns: self.flash.write_latency.mean_ns(),
+            write_p50_ns: self.flash.write_latency.percentile_ns(0.50),
+            write_p95_ns: self.flash.write_latency.percentile_ns(0.95),
+            write_p99_ns: self.flash.write_latency.percentile_ns(0.99),
+        }
+    }
+
+    /// Encode as a JSON object (histograms reduced to count / mean / max /
+    /// percentiles — bucket arrays stay internal).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("at_ns".into(), Value::from(self.at_ns));
+        m.insert("flash".into(), flash_json(&self.flash));
+        m.insert("engine".into(), engine_json(&self.engine));
+        m.insert("sweep".into(), sweep_json(&self.sweep));
+        m.insert(
+            "regions".into(),
+            Value::from(self.regions.iter().map(region_json).collect::<Vec<_>>()),
+        );
+        m.insert("chips".into(), Value::from(self.chips.iter().map(chip_json).collect::<Vec<_>>()));
+        Value::Object(m)
+    }
+}
+
+impl Gauges {
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("write_amplification".into(), Value::from(self.write_amplification));
+        m.insert("ipa_fraction".into(), Value::from(self.ipa_fraction));
+        m.insert("migrations_per_host_write".into(), Value::from(self.migrations_per_host_write));
+        m.insert("erases_per_host_write".into(), Value::from(self.erases_per_host_write));
+        m.insert("hit_ratio".into(), Value::from(self.hit_ratio));
+        m.insert("read_mean_ns".into(), Value::from(self.read_mean_ns));
+        m.insert("read_p50_ns".into(), Value::from(self.read_p50_ns));
+        m.insert("read_p95_ns".into(), Value::from(self.read_p95_ns));
+        m.insert("read_p99_ns".into(), Value::from(self.read_p99_ns));
+        m.insert("write_mean_ns".into(), Value::from(self.write_mean_ns));
+        m.insert("write_p50_ns".into(), Value::from(self.write_p50_ns));
+        m.insert("write_p95_ns".into(), Value::from(self.write_p95_ns));
+        m.insert("write_p99_ns".into(), Value::from(self.write_p99_ns));
+        Value::Object(m)
+    }
+}
+
+fn hist_json(h: &LatencyHistogram) -> Value {
+    let mut m = Map::new();
+    m.insert("count".into(), Value::from(h.count()));
+    m.insert("mean_ns".into(), Value::from(h.mean_ns()));
+    m.insert("max_ns".into(), Value::from(h.max_ns()));
+    m.insert("p50_us".into(), Value::from(h.percentile_us(0.50)));
+    m.insert("p95_us".into(), Value::from(h.percentile_us(0.95)));
+    m.insert("p99_us".into(), Value::from(h.percentile_us(0.99)));
+    Value::Object(m)
+}
+
+fn flash_json(f: &FlashStats) -> Value {
+    let mut m = Map::new();
+    m.insert("host_reads".into(), Value::from(f.host_reads));
+    m.insert("host_programs".into(), Value::from(f.host_programs));
+    m.insert("host_delta_programs".into(), Value::from(f.host_delta_programs));
+    m.insert("delta_bytes".into(), Value::from(f.delta_bytes));
+    m.insert("gc_reads".into(), Value::from(f.gc_reads));
+    m.insert("gc_programs".into(), Value::from(f.gc_programs));
+    m.insert("erases".into(), Value::from(f.erases));
+    m.insert("ispp_violations".into(), Value::from(f.ispp_violations));
+    m.insert("injected_bit_errors".into(), Value::from(f.injected_bit_errors));
+    m.insert("corrected_bit_errors".into(), Value::from(f.corrected_bit_errors));
+    m.insert("read_latency".into(), hist_json(&f.read_latency));
+    m.insert("write_latency".into(), hist_json(&f.write_latency));
+    Value::Object(m)
+}
+
+fn engine_json(e: &EngineStats) -> Value {
+    let mut m = Map::new();
+    m.insert("fetches".into(), Value::from(e.fetches));
+    m.insert("hits".into(), Value::from(e.hits));
+    m.insert("evictions".into(), Value::from(e.evictions));
+    m.insert("ipa_flushes".into(), Value::from(e.ipa_flushes));
+    m.insert("oop_flushes".into(), Value::from(e.oop_flushes));
+    m.insert("delta_records_written".into(), Value::from(e.delta_records_written));
+    m.insert("cleaner_flushes".into(), Value::from(e.cleaner_flushes));
+    m.insert("log_reclaims".into(), Value::from(e.log_reclaims));
+    m.insert("checkpoints".into(), Value::from(e.checkpoints));
+    m.insert("commits".into(), Value::from(e.commits));
+    m.insert("aborts".into(), Value::from(e.aborts));
+    m.insert("net_changed_bytes".into(), Value::from(e.net_changed_bytes));
+    m.insert("gross_written_bytes".into(), Value::from(e.gross_written_bytes));
+    m.insert("ecc_verified".into(), Value::from(e.ecc_verified));
+    Value::Object(m)
+}
+
+fn sweep_json(s: &SweepStats) -> Value {
+    let mut m = Map::new();
+    m.insert("frames_scanned".into(), Value::from(s.frames_scanned));
+    m.insert("ref_bits_cleared".into(), Value::from(s.ref_bits_cleared));
+    m.insert("victims".into(), Value::from(s.victims));
+    Value::Object(m)
+}
+
+fn region_json(r: &RegionStats) -> Value {
+    let mut m = Map::new();
+    m.insert("host_reads".into(), Value::from(r.host_reads));
+    m.insert("host_page_writes".into(), Value::from(r.host_page_writes));
+    m.insert("host_delta_writes".into(), Value::from(r.host_delta_writes));
+    m.insert("delta_bytes".into(), Value::from(r.delta_bytes));
+    m.insert("gc_page_migrations".into(), Value::from(r.gc_page_migrations));
+    m.insert("gc_erases".into(), Value::from(r.gc_erases));
+    m.insert("wear_level_erases".into(), Value::from(r.wear_level_erases));
+    m.insert("wear_level_migrations".into(), Value::from(r.wear_level_migrations));
+    m.insert("trims".into(), Value::from(r.trims));
+    Value::Object(m)
+}
+
+fn chip_json(c: &ChipCounters) -> Value {
+    let mut m = Map::new();
+    m.insert("reads".into(), Value::from(c.reads));
+    m.insert("programs".into(), Value::from(c.programs));
+    m.insert("erases".into(), Value::from(c.erases));
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_snapshot_delta_is_zero() {
+        let mut snap = Snapshot { at_ns: 500, ..Snapshot::default() };
+        snap.flash.host_programs = 7;
+        snap.regions.push(RegionStats { host_page_writes: 7, ..RegionStats::default() });
+        snap.chips.push(ChipCounters { programs: 7, ..ChipCounters::default() });
+        let d = snap.delta_since(&snap);
+        assert_eq!(d.at_ns, 0);
+        assert_eq!(d.flash.host_programs, 0);
+        assert_eq!(d.regions[0], RegionStats::default());
+        assert_eq!(d.chips[0], ChipCounters::default());
+        // Every numeric leaf of the delta must be zero; the per-region and
+        // per-chip array shape is preserved (zeroed entries, not dropped).
+        fn assert_all_zero(v: &Value, path: &str) {
+            match v {
+                Value::Object(m) => {
+                    for (k, v) in m {
+                        assert_all_zero(v, &format!("{path}.{k}"));
+                    }
+                }
+                Value::Array(a) => {
+                    for (i, v) in a.iter().enumerate() {
+                        assert_all_zero(v, &format!("{path}[{i}]"));
+                    }
+                }
+                Value::Number(n) => {
+                    assert_eq!(n.as_f64(), Some(0.0), "non-zero delta leaf at {path}");
+                }
+                _ => {}
+            }
+        }
+        assert_all_zero(&d.to_json(), "delta");
+    }
+
+    #[test]
+    fn region_total_merges_all_regions() {
+        let mut snap = Snapshot::default();
+        snap.regions.push(RegionStats { host_reads: 3, ..RegionStats::default() });
+        snap.regions.push(RegionStats { host_reads: 4, gc_erases: 1, ..RegionStats::default() });
+        let total = snap.region_total();
+        assert_eq!(total.host_reads, 7);
+        assert_eq!(total.gc_erases, 1);
+    }
+
+    #[test]
+    fn gauges_zero_safe_and_ratio_correct() {
+        let g = Snapshot::default().gauges();
+        assert_eq!(g.write_amplification, 0.0);
+        assert_eq!(g.ipa_fraction, 0.0);
+        assert_eq!(g.read_p99_ns, 0);
+
+        let mut snap = Snapshot::default();
+        snap.flash.host_programs = 25;
+        snap.flash.host_delta_programs = 75;
+        assert!((snap.gauges().ipa_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut snap = Snapshot { at_ns: 42, ..Snapshot::default() };
+        snap.flash.read_latency.record(5_000);
+        let v = snap.to_json();
+        assert_eq!(v["at_ns"], 42);
+        assert_eq!(v["flash"]["read_latency"]["count"], 1);
+        assert!(v["regions"].as_array().unwrap().is_empty());
+        let g = snap.gauges().to_json();
+        assert_eq!(g["read_mean_ns"], 5_000);
+    }
+}

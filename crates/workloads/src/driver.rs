@@ -103,8 +103,12 @@ impl SystemConfig {
         let pages_per_block: u32 = 64;
         let usable_factor = if self.ipa_mode == IpaMode::PSlc { 0.5 } else { 1.0 };
         let (chips, mut flash) = match self.platform {
-            Platform::Emulator => (16u32, FlashConfig::emulator_slc(1, pages_per_block, self.page_size)),
-            Platform::OpenSsd => (8u32, FlashConfig::openssd_mlc(1, pages_per_block, self.page_size)),
+            Platform::Emulator => {
+                (16u32, FlashConfig::emulator_slc(1, pages_per_block, self.page_size))
+            }
+            Platform::OpenSsd => {
+                (8u32, FlashConfig::openssd_mlc(1, pages_per_block, self.page_size))
+            }
         };
         // Size the flash so the exported capacity covers the database plus
         // growth, and every chip retains at least four spare blocks for the
@@ -224,14 +228,33 @@ impl Runner {
         warmup: u64,
         measured: u64,
     ) -> Result<RunReport> {
+        self.run_with(db, w, warmup, measured, &mut |_, _| {})
+    }
+
+    /// Like [`Runner::run`], but invokes `tick(db, n)` inside the measured
+    /// window: once right after stats are reset (`n == 0`, the zero point)
+    /// and once after every measured transaction (`n` counts transactions
+    /// executed so far, ending at `measured`). Observability hooks sample
+    /// snapshots here; the final call is guaranteed to see exactly the
+    /// end-of-run counters the report is built from.
+    pub fn run_with(
+        &self,
+        db: &mut Database,
+        w: &mut dyn Workload,
+        warmup: u64,
+        measured: u64,
+        tick: &mut dyn FnMut(&mut Database, u64),
+    ) -> Result<RunReport> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         for _ in 0..warmup {
             self.one(db, w, &mut rng)?;
         }
         db.reset_stats();
+        tick(db, 0);
         let t0 = db.ftl().device().clock().now_ns();
-        for _ in 0..measured {
+        for n in 0..measured {
             self.one(db, w, &mut rng)?;
+            tick(db, n + 1);
         }
         let dt = db.ftl().device().clock().now_ns() - t0;
         let sim_seconds = dt as f64 / 1e9;

@@ -127,9 +127,7 @@ impl Workload for TpcB {
 
         let tx = db.begin();
         // Account via index lookup (exercises index pages).
-        let encoded = db
-            .index_lookup(self.account_index, aid)?
-            .expect("loaded account exists");
+        let encoded = db.index_lookup(self.account_index, aid)?.expect("loaded account exists");
         let arid = Rid::decode(0, encoded);
         let mut acct = db.heap_read(tx, self.heap_account, arid)?;
         patch_i32(&mut acct, BALANCE_OFF, |v| v.wrapping_add(delta));

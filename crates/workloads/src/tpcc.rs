@@ -179,7 +179,12 @@ impl Workload for TpcC {
                     let mut rec = Record::new(CUSTOMER_REC);
                     rec.put_u64(0, self.customer_key(w, d, cid)).put_i32(C_BALANCE, -10);
                     let rid = db.heap_insert(tx, self.heap_customer, &rec.0)?;
-                    db.index_insert(tx, self.customer_index, self.customer_key(w, d, cid), rid.encode())?;
+                    db.index_insert(
+                        tx,
+                        self.customer_index,
+                        self.customer_key(w, d, cid),
+                        rid.encode(),
+                    )?;
                     self.last_order.push(None);
                     c += 1;
                 }
@@ -272,9 +277,17 @@ impl TpcC {
             let srid = Rid::decode(0, senc);
             let mut stock = db.heap_read(tx, self.heap_stock, srid)?;
             let qty = uniform(rng, 1, 10) as u16;
-            patch_u16(&mut stock, S_QUANTITY, |q| {
-                if q >= qty + 10 { q - qty } else { q + 91 - qty }
-            });
+            patch_u16(
+                &mut stock,
+                S_QUANTITY,
+                |q| {
+                    if q >= qty + 10 {
+                        q - qty
+                    } else {
+                        q + 91 - qty
+                    }
+                },
+            );
             patch_i32(&mut stock, S_YTD, |v| v.wrapping_add(qty as i32));
             if remote {
                 patch_u16(&mut stock, S_REMOTE_CNT, |v| v.wrapping_add(1));
@@ -359,7 +372,8 @@ impl TpcC {
         let w = uniform(rng, 0, self.warehouses - 1);
         let d = uniform(rng, 0, self.districts_per_w - 1);
         let tx = db.begin();
-        let _dist = db.heap_read(tx, self.heap_district, self.district_rids[self.district_slot(w, d)])?;
+        let _dist =
+            db.heap_read(tx, self.heap_district, self.district_rids[self.district_slot(w, d)])?;
         for _ in 0..20 {
             let item = uniform(rng, 0, self.items - 1);
             if let Some(enc) = db.index_lookup(self.stock_index, self.stock_key(w, item))? {

@@ -34,10 +34,7 @@ fn main() {
     db.heap_update(tx, heap, rid, &[20u8, 0, 0, 0]).unwrap();
     db.commit(tx).unwrap();
     db.flush_all().unwrap();
-    println!(
-        "step 2: small update flushed as IPA (ipa_flushes = {})",
-        db.stats().ipa_flushes
-    );
+    println!("step 2: small update flushed as IPA (ipa_flushes = {})", db.stats().ipa_flushes);
 
     // Committed update that only lives in the (durable) log.
     let tx = db.begin();

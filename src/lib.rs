@@ -14,6 +14,8 @@
 //!   transactions, recovery, heap files and B+-trees.
 //! * [`ipl`] — the In-Page Logging baseline (Lee & Moon, SIGMOD 2007).
 //! * [`workloads`] — TPC-B, TPC-C, TATP and LinkBench-style generators.
+//! * [`obs`] — cross-layer tracing and metrics: event ring buffer, JSONL
+//!   export, snapshot/delta metrics registry and the report renderer.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -22,4 +24,5 @@ pub use ipa_engine as engine;
 pub use ipa_flash as flash;
 pub use ipa_ipl as ipl;
 pub use ipa_noftl as noftl;
+pub use ipa_obs as obs;
 pub use ipa_workloads as workloads;

@@ -29,8 +29,7 @@ fn delta_records_are_physically_erased_until_appended() {
 
     let layout = *d.layout(0);
     let read_delta_area = |d: &mut Database| {
-        let (bytes, _) =
-            d.ftl_mut().read_page(RegionId(0), rid.page.lba).expect("mapped");
+        let (bytes, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba).expect("mapped");
         bytes[layout.delta_area_start()..layout.delta_area_end()].to_vec()
     };
     let area = read_delta_area(&mut d);

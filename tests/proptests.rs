@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use ipa::core::{delta, ChangePair, ChangeTracker, DbPage, DeltaRecord, FlushDecision, NxM, PageLayout};
+use ipa::core::{
+    delta, ChangePair, ChangeTracker, DbPage, DeltaRecord, FlushDecision, NxM, PageLayout,
+};
 use ipa::flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
 
 proptest! {
