@@ -10,7 +10,7 @@ use std::hint::black_box;
 use ipa_core::{ChangePair, ChangeTracker, DbPage, DeltaRecord, NxM, PageLayout};
 use ipa_engine::{Database, DbConfig};
 use ipa_flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
-use ipa_noftl::{IpaMode, Lba, NoFtl, NoFtlConfig};
+use ipa_noftl::{IoCtx, IpaMode, Lba, NoFtl, NoFtlConfig};
 
 fn bench_flash_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("flash");
@@ -142,34 +142,49 @@ fn bench_noftl(c: &mut Criterion) {
     let mut g = c.benchmark_group("noftl");
     g.sample_size(20);
     g.bench_function("write_page_steady_state_gc", |b| {
-        let mut cfg = FlashConfig::small_slc();
-        cfg.geometry.blocks_per_chip = 32;
-        cfg.geometry.pages_per_block = 32;
-        cfg.geometry.page_size = 1024;
-        let mut ftl = NoFtl::new(NoFtlConfig::single_region(cfg, IpaMode::Slc, 0.3)).unwrap();
+        let cfg = NoFtlConfig::builder(FlashConfig::small_slc())
+            .blocks_per_chip(32)
+            .pages_per_block(32)
+            .page_size(1024)
+            .single_region(IpaMode::Slc, 0.3)
+            .build()
+            .unwrap();
+        let mut ftl = NoFtl::new(cfg).unwrap();
         let data = vec![0xA5u8; 1024];
         // Fill to steady state.
         let cap = ftl.capacity(ipa_noftl::RegionId(0)).unwrap();
         for lba in 0..cap * 8 / 10 {
-            ftl.write_page(ipa_noftl::RegionId(0), Lba(lba), &data).unwrap();
+            ftl.write_page(ipa_noftl::RegionId(0), Lba(lba), &data, IoCtx::default()).unwrap();
         }
         let mut lba = 0u64;
         b.iter(|| {
             lba = (lba + 13) % (cap * 8 / 10);
-            ftl.write_page(ipa_noftl::RegionId(0), Lba(lba), black_box(&data)).unwrap()
+            ftl.write_page(ipa_noftl::RegionId(0), Lba(lba), black_box(&data), IoCtx::default())
+                .unwrap()
         })
     });
     g.bench_function("write_delta", |b| {
-        let mut cfg = FlashConfig::small_slc();
-        cfg.geometry.page_size = 1024;
-        cfg.max_appends = Some(u32::MAX);
-        let mut ftl = NoFtl::new(NoFtlConfig::single_region(cfg, IpaMode::Slc, 0.3)).unwrap();
+        let mut base = FlashConfig::small_slc();
+        base.max_appends = Some(u32::MAX);
+        let cfg = NoFtlConfig::builder(base)
+            .page_size(1024)
+            .single_region(IpaMode::Slc, 0.3)
+            .build()
+            .unwrap();
+        let mut ftl = NoFtl::new(cfg).unwrap();
         let mut data = vec![0xFF; 1024];
         data[..128].fill(0);
-        ftl.write_page(ipa_noftl::RegionId(0), Lba(0), &data).unwrap();
+        ftl.write_page(ipa_noftl::RegionId(0), Lba(0), &data, IoCtx::default()).unwrap();
         b.iter(|| {
             // Identical re-append is ISPP-legal; avoids exhausting the area.
-            ftl.write_delta(ipa_noftl::RegionId(0), Lba(0), 512, black_box(&[0x0F; 16])).unwrap()
+            ftl.write_delta(
+                ipa_noftl::RegionId(0),
+                Lba(0),
+                512,
+                black_box(&[0x0F; 16]),
+                IoCtx::default(),
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -180,11 +195,13 @@ fn bench_engine(c: &mut Criterion) {
     g.sample_size(20);
 
     fn small_db(scheme: NxM) -> Database {
-        let mut flash = FlashConfig::small_slc();
-        flash.geometry.blocks_per_chip = 64;
-        flash.geometry.pages_per_block = 16;
-        flash.geometry.page_size = 1024;
-        let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
+        let cfg = NoFtlConfig::builder(FlashConfig::small_slc())
+            .blocks_per_chip(64)
+            .pages_per_block(16)
+            .page_size(1024)
+            .single_region(IpaMode::Slc, 0.2)
+            .build()
+            .unwrap();
         Database::open(cfg, &[scheme], DbConfig::eager(64)).unwrap()
     }
 

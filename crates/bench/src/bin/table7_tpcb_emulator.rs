@@ -7,8 +7,8 @@
 //! each run equals the end-of-run counters behind the table).
 
 use ipa_bench::{
-    banner, fmt, rel, run_workload, run_workload_observed, scale, ExperimentReport, JsonlSink,
-    Table,
+    banner, fmt, rel, run_workload, run_workload_observed, scale, smoke, ExperimentReport,
+    JsonlSink, Table,
 };
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcB};
@@ -42,8 +42,12 @@ fn main() {
         "paper Table 7 (buffers 10% / 20%)",
     );
     let trace = std::env::args().any(|a| a == "--trace");
+    // Smoke mode (IPA_BENCH_SMOKE): a tiny run that still exercises the
+    // observed pipeline, so CI can assert the result JSON carries a
+    // populated `timeseries` array.
+    let smoke = smoke();
     let s = scale();
-    let txns = 12_000 * s;
+    let txns = if smoke { 400 } else { 12_000 * s };
 
     let sink = if trace {
         match JsonlSink::file("bench-results/table7_tpcb_emulator.trace.jsonl") {
@@ -67,23 +71,22 @@ fn main() {
         println!("\n--- buffer {:.0}% ---", buffer * 100.0);
         let mut run = |scheme: NxM, label: &str| {
             let cfg = SystemConfig::emulator(scheme, buffer);
-            let mut w = TpcB::new(8, 8_000 * s);
-            match &sink {
-                Some(sink) => {
-                    let (r, _, points) = run_workload_observed(
-                        &cfg,
-                        &mut w,
-                        txns / 5,
-                        txns,
-                        Some(sink.observer()),
-                        (txns / 20).max(1),
-                    );
-                    series.push(serde_json::json!({
-                        "run": label, "buffer": buffer, "points": points,
-                    }));
-                    r
-                }
-                None => run_workload(&cfg, &mut w, txns / 5, txns).0,
+            let mut w = if smoke { TpcB::new(1, 300) } else { TpcB::new(8, 8_000 * s) };
+            if trace || smoke {
+                let (r, _, points) = run_workload_observed(
+                    &cfg,
+                    &mut w,
+                    txns / 5,
+                    txns,
+                    sink.as_ref().map(|s| s.observer()),
+                    (txns / 20).max(1),
+                );
+                series.push(serde_json::json!({
+                    "run": label, "buffer": buffer, "points": points,
+                }));
+                r
+            } else {
+                run_workload(&cfg, &mut w, txns / 5, txns).0
             }
         };
         let base = run(NxM::disabled(), "0x0");

@@ -40,6 +40,13 @@ pub fn scale() -> u64 {
     std::env::var("IPA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
 }
 
+/// Whether `IPA_BENCH_SMOKE` is set: harnesses that honour it shrink their
+/// workloads to seconds-long CI runs that still exercise the full pipeline
+/// (build, load, run, report JSON) — shapes, not magnitudes.
+pub fn smoke() -> bool {
+    std::env::var("IPA_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Standard seed for all harnesses (deterministic runs).
 pub const SEED: u64 = 0x1DA5EED;
 

@@ -4,7 +4,7 @@
 
 use ipa_core::{ecc, ChangeTracker, DbPage, FlushDecision, NxM, PageLayout, UpdateSizeProfile};
 use ipa_flash::{EventKind, Observer, OpOrigin};
-use ipa_noftl::{Lba, NoFtl, NoFtlConfig, RegionId};
+use ipa_noftl::{IoCtx, Lba, NoFtl, NoFtlConfig, RegionId};
 
 use crate::buffer::{BufferPool, Frame, SweepStats};
 use crate::error::EngineError;
@@ -327,7 +327,7 @@ impl Database {
             trace.push(TraceEvent::Fetch { page: pid.lba.0 });
         }
         let layout = self.layouts[pid.region];
-        let (bytes, _) = self.ftl.read_page(RegionId(pid.region), pid.lba)?;
+        let (bytes, _) = self.ftl.read_page(RegionId(pid.region), pid.lba, IoCtx::host())?;
         if self.config.verify_ecc {
             if let Some(oob_layout) = &self.oob_layouts[pid.region] {
                 let oob = self.ftl.read_oob(RegionId(pid.region), pid.lba)?;
@@ -376,10 +376,22 @@ impl Database {
         Ok(f(&frame.page))
     }
 
-    /// Flush one frame if dirty. This is where IPA happens: the tracker
-    /// decides between appending delta records to the original flash page
-    /// (`write_delta`) and a traditional out-of-place page write.
+    /// Flush one frame if dirty, waiting for the device. This is the
+    /// synchronous wrapper around [`Self::stage_flush`]; batched paths
+    /// (`flush_all`, the cleaner) stage several frames and drain once.
     pub(crate) fn flush_frame(&mut self, idx: usize, origin: OpOrigin) -> Result<()> {
+        let staged = self.stage_flush(idx, origin);
+        self.ftl.drain_completions();
+        staged
+    }
+
+    /// Queue the flush of one frame if dirty, without waiting for the
+    /// device. This is where IPA happens: the tracker decides between
+    /// appending delta records to the original flash page (`write_delta`)
+    /// and a traditional out-of-place page write. Buffer-pool and tracker
+    /// state advance at submission; the caller owns the eventual
+    /// [`NoFtl::drain_completions`].
+    pub(crate) fn stage_flush(&mut self, idx: usize, origin: OpOrigin) -> Result<()> {
         let frame = match self.pool.frame_mut(idx) {
             Some(f) => f,
             None => return Ok(()),
@@ -429,7 +441,7 @@ impl Database {
                 );
             }
             for (slot_idx, offset, encoded) in staged {
-                self.ftl.write_delta_with(rid, pid.lba, offset, &encoded, origin)?;
+                self.ftl.submit_write_delta(rid, pid.lba, offset, &encoded, origin.into())?;
                 self.stats.gross_written_bytes += encoded.len() as u64;
                 self.stats.delta_records_written += 1;
                 if self.config.verify_ecc {
@@ -455,7 +467,7 @@ impl Database {
             if self.ftl.observing() {
                 self.ftl.emit(EventKind::FlushOop, Some(pid.region as u32), Some(pid.lba.0));
             }
-            self.ftl.write_page_with(rid, pid.lba, &image, origin)?;
+            self.ftl.submit_write(rid, pid.lba, &image, origin.into())?;
             self.stats.gross_written_bytes += image.len() as u64;
             if self.config.verify_ecc {
                 if let Some(oob_layout) = &self.oob_layouts[pid.region] {
@@ -482,12 +494,19 @@ impl Database {
         Ok(())
     }
 
-    /// Flush every dirty page (shutdown / quiesce).
+    /// Flush every dirty page (shutdown / quiesce). Flushes are staged as
+    /// one queued batch and drained once, so on a multi-chip device with
+    /// queue depth > 1 the page writes overlap across chips.
     pub fn flush_all(&mut self) -> Result<()> {
+        let mut staged = Ok(());
         for idx in self.pool.dirty_indices() {
-            self.flush_frame(idx, OpOrigin::Host)?;
+            staged = self.stage_flush(idx, OpOrigin::Host);
+            if staged.is_err() {
+                break;
+            }
         }
-        Ok(())
+        self.ftl.drain_completions();
+        staged
     }
 
     /// One round of background work: the eager page cleaner and eager
@@ -502,14 +521,20 @@ impl Database {
             let target = (self.config.cleaner_dirty_threshold * self.pool.capacity() as f64).floor()
                 as usize;
             let mut dirty = self.pool.dirty_count();
+            let mut staged = Ok(());
             for idx in self.pool.dirty_indices().into_iter().take(self.config.cleaner_batch) {
                 if dirty <= target {
                     break;
                 }
-                self.flush_frame(idx, OpOrigin::HostAsync)?;
+                staged = self.stage_flush(idx, OpOrigin::HostAsync);
+                if staged.is_err() {
+                    break;
+                }
                 self.stats.cleaner_flushes += 1;
                 dirty -= 1;
             }
+            self.ftl.drain_completions();
+            staged?;
         }
         if self.wal.used_fraction() >= self.config.log_reclaim_threshold {
             self.reclaim_log_space()?;
@@ -521,9 +546,15 @@ impl Database {
     /// become durable on flash), checkpoint, and truncate the log up to
     /// the oldest record still needed for active-transaction undo.
     pub(crate) fn reclaim_log_space(&mut self) -> Result<()> {
+        let mut staged = Ok(());
         for idx in self.pool.dirty_indices() {
-            self.flush_frame(idx, OpOrigin::HostAsync)?;
+            staged = self.stage_flush(idx, OpOrigin::HostAsync);
+            if staged.is_err() {
+                break;
+            }
         }
+        self.ftl.drain_completions();
+        staged?;
         self.checkpoint()?;
         let keep = self
             .txns

@@ -16,6 +16,10 @@ pub struct ChipCounters {
     pub programs: u64,
     /// Block erases dispatched to this chip.
     pub erases: u64,
+    /// Total simulated time this chip spent executing operations, in
+    /// nanoseconds. Compared against wall-clock span, this is the per-chip
+    /// utilization gauge of the queued-I/O scheduler.
+    pub busy_ns: u64,
 }
 
 impl ChipCounters {
@@ -25,6 +29,7 @@ impl ChipCounters {
             reads: self.reads.saturating_sub(earlier.reads),
             programs: self.programs.saturating_sub(earlier.programs),
             erases: self.erases.saturating_sub(earlier.erases),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
         }
     }
 }
@@ -122,10 +127,10 @@ mod tests {
 
     #[test]
     fn chip_counters_delta() {
-        let a = ChipCounters { reads: 10, programs: 5, erases: 1 };
-        let b = ChipCounters { reads: 12, programs: 9, erases: 1 };
+        let a = ChipCounters { reads: 10, programs: 5, erases: 1, busy_ns: 900 };
+        let b = ChipCounters { reads: 12, programs: 9, erases: 1, busy_ns: 2_400 };
         let d = b.delta_since(&a);
-        assert_eq!(d, ChipCounters { reads: 2, programs: 4, erases: 0 });
+        assert_eq!(d, ChipCounters { reads: 2, programs: 4, erases: 0, busy_ns: 1_500 });
         assert_eq!(a.delta_since(&a), ChipCounters::default());
     }
 }

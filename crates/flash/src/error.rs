@@ -1,6 +1,7 @@
 //! Error taxonomy of the flash simulator.
 
 use crate::geometry::Ppa;
+use crate::sched::CmdId;
 
 /// Everything that can go wrong at the flash chip interface.
 ///
@@ -62,6 +63,9 @@ pub enum FlashError {
         /// Erase cycles performed.
         cycles: u64,
     },
+    /// Completion requested for a command id that is neither in flight nor
+    /// retired (never submitted, or already consumed).
+    UnknownCommand(CmdId),
     /// Uncorrectable bit errors remained after ECC correction.
     UncorrectableEcc {
         /// Offending address.
@@ -101,6 +105,9 @@ impl std::fmt::Display for FlashError {
             }
             FlashError::BlockWornOut { chip, block, cycles } => {
                 write!(f, "block c{chip}/b{block} worn out after {cycles} P/E cycles")
+            }
+            FlashError::UnknownCommand(id) => {
+                write!(f, "completion requested for unknown command {id}")
             }
             FlashError::UncorrectableEcc { ppa, bit_errors, correctable } => write!(
                 f,

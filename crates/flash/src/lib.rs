@@ -67,6 +67,7 @@ mod obs;
 mod oob;
 mod page;
 mod reliability;
+mod sched;
 mod stats;
 mod timing;
 
@@ -79,6 +80,7 @@ pub use obs::{EventKind, ObsCtx, ObsEvent, Observer};
 pub use oob::{OobArea, OobLayout, Section};
 pub use page::{PageData, PageState};
 pub use reliability::{ReadOutcome, ReliabilityConfig};
+pub use sched::{CmdId, Completion, IoCmdKind, IoCommand, IoScheduler};
 pub use stats::{FlashStats, LatencyHistogram};
 pub use timing::{ChipSchedule, FlashTiming, HostProfile, SimClock, NANOS_PER_MILLI};
 

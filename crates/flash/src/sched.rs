@@ -1,0 +1,378 @@
+//! Queued I/O: typed flash commands, per-chip dispatch queues and
+//! completion bookkeeping.
+//!
+//! The paper's OpenSSD Jasmine board had no NCQ, so host operations were
+//! strictly serial (Appendix D, point 1) — the synchronous
+//! [`FlashDevice`](crate::FlashDevice) methods model exactly that. This
+//! module generalizes the device interface to a *submit/complete* command
+//! queue: commands are admitted up to a configurable host queue depth,
+//! dispatched onto per-chip busy intervals, and retired explicitly. With
+//! queue depth > 1 on the emulator profile, commands on distinct chips
+//! overlap in simulated time (completion = max(chip busy-until, now) +
+//! op latency); the OpenSSD profile pins the effective depth to 1 so the
+//! board's serial timings are reproduced exactly.
+
+use crate::device::{OpOrigin, OpResult};
+use crate::geometry::Ppa;
+use crate::obs::ObsCtx;
+use crate::timing::{ChipSchedule, HostProfile, SimClock};
+
+/// Identifier of a submitted command, unique per device for its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdId(pub u64);
+
+impl std::fmt::Display for CmdId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cmd#{}", self.0)
+    }
+}
+
+/// The operation a queued command performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoCmdKind {
+    /// Read a page's main area (data is returned in the completion).
+    Read {
+        /// Page to read.
+        ppa: Ppa,
+    },
+    /// Full-page program of an erased page.
+    Program {
+        /// Target page.
+        ppa: Ppa,
+        /// Page image (bytes left `0xFF` stay unprogrammed).
+        data: Vec<u8>,
+    },
+    /// ISPP partial program (in-place delta append).
+    ProgramDelta {
+        /// Target page.
+        ppa: Ppa,
+        /// Byte offset of the append within the page.
+        offset: usize,
+        /// Delta payload.
+        data: Vec<u8>,
+    },
+    /// Block erase.
+    Erase {
+        /// Chip index.
+        chip: u32,
+        /// Block index within the chip.
+        block: u32,
+    },
+    /// Correct-and-Refresh of a programmed page.
+    Refresh {
+        /// Page to refresh.
+        ppa: Ppa,
+    },
+}
+
+impl IoCmdKind {
+    /// The chip this command occupies.
+    pub fn chip(&self) -> u32 {
+        match self {
+            IoCmdKind::Read { ppa }
+            | IoCmdKind::Program { ppa, .. }
+            | IoCmdKind::ProgramDelta { ppa, .. }
+            | IoCmdKind::Refresh { ppa } => ppa.chip,
+            IoCmdKind::Erase { chip, .. } => *chip,
+        }
+    }
+}
+
+/// A typed command carrying its origin and trace attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoCommand {
+    /// What to do.
+    pub kind: IoCmdKind,
+    /// Scheduling/statistics origin (host, async host, background).
+    pub origin: OpOrigin,
+    /// Trace attribution (region id, LBA) for the emitted event. When unset,
+    /// the device's staged context applies as with the synchronous methods.
+    pub obs: ObsCtx,
+}
+
+impl IoCommand {
+    fn new(kind: IoCmdKind, origin: OpOrigin) -> Self {
+        IoCommand { kind, origin, obs: ObsCtx::default() }
+    }
+
+    /// A host page read.
+    pub fn read(ppa: Ppa) -> Self {
+        IoCommand::new(IoCmdKind::Read { ppa }, OpOrigin::Host)
+    }
+
+    /// A host full-page program.
+    pub fn program(ppa: Ppa, data: Vec<u8>) -> Self {
+        IoCommand::new(IoCmdKind::Program { ppa, data }, OpOrigin::Host)
+    }
+
+    /// A host in-place delta append.
+    pub fn program_delta(ppa: Ppa, offset: usize, data: Vec<u8>) -> Self {
+        IoCommand::new(IoCmdKind::ProgramDelta { ppa, offset, data }, OpOrigin::Host)
+    }
+
+    /// A background block erase.
+    pub fn erase(chip: u32, block: u32) -> Self {
+        IoCommand::new(IoCmdKind::Erase { chip, block }, OpOrigin::Background)
+    }
+
+    /// A background Correct-and-Refresh.
+    pub fn refresh(ppa: Ppa) -> Self {
+        IoCommand::new(IoCmdKind::Refresh { ppa }, OpOrigin::Background)
+    }
+
+    /// Override the command's origin.
+    pub fn with_origin(mut self, origin: OpOrigin) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Attach trace attribution (region id, LBA).
+    pub fn with_obs(mut self, region: Option<u32>, lba: Option<u64>) -> Self {
+        self.obs = ObsCtx { region, lba };
+        self
+    }
+}
+
+/// Outcome of one retired command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The command's id.
+    pub id: CmdId,
+    /// Chip the command ran on.
+    pub chip: u32,
+    /// Origin the command was submitted with.
+    pub origin: OpOrigin,
+    /// Simulated time at submission.
+    pub submitted_at_ns: u64,
+    /// Simulated time the chip started executing the command.
+    pub started_at_ns: u64,
+    /// Timing and ECC outcome (identical to the synchronous methods').
+    pub result: OpResult,
+    /// Page data for reads; `None` for all other commands.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Per-chip dispatch queues plus in-flight command tracking.
+///
+/// The scheduler owns the [`ChipSchedule`] (one busy interval per chip) and
+/// enforces the *host* queue depth: at most `queue_depth` host-origin
+/// commands may be in flight at once; an over-deep submission first retires
+/// the earliest-completing host command and advances the clock to its
+/// completion (the submitter blocks on a full queue). Background and
+/// asynchronous-host commands are bounded by the device's back-pressure
+/// model instead, exactly as before.
+#[derive(Debug)]
+pub struct IoScheduler {
+    schedule: ChipSchedule,
+    queue_depth: u32,
+    inflight: Vec<Completion>,
+    completed: Vec<Completion>,
+    next_id: u64,
+}
+
+impl IoScheduler {
+    /// A scheduler for `chips` chips under `profile`. The OpenSSD profile
+    /// has no NCQ: its effective host queue depth is pinned to 1 regardless
+    /// of `queue_depth`.
+    pub fn new(chips: u32, profile: HostProfile, queue_depth: u32) -> Self {
+        let depth = match profile {
+            HostProfile::OpenSsd => 1,
+            HostProfile::Emulator => queue_depth.max(1),
+        };
+        IoScheduler {
+            schedule: ChipSchedule::new(chips, profile),
+            queue_depth: depth,
+            inflight: Vec::new(),
+            completed: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Effective host queue depth (1 on the OpenSSD profile).
+    pub fn queue_depth(&self) -> u32 {
+        self.queue_depth
+    }
+
+    /// Number of in-flight commands of any origin.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Number of in-flight host-origin commands (the queue-depth gauge).
+    pub fn host_inflight(&self) -> usize {
+        self.inflight.iter().filter(|c| c.origin == OpOrigin::Host).count()
+    }
+
+    /// Block until a host queue slot is free: while the host queue is full,
+    /// retire the earliest-completing host command and advance the clock to
+    /// its completion time. Returns the number of full-queue waits incurred.
+    pub fn admit_host(&mut self, clock: &mut SimClock) -> u64 {
+        let mut waits = 0;
+        while self.host_inflight() >= self.queue_depth as usize {
+            let idx = self
+                .inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.origin == OpOrigin::Host)
+                .min_by_key(|(_, c)| (c.result.completed_at_ns, c.id))
+                .map(|(i, _)| i)
+                .expect("full host queue has a host command");
+            let c = self.inflight.swap_remove(idx);
+            clock.advance_to(c.result.completed_at_ns);
+            self.completed.push(c);
+            waits += 1;
+        }
+        waits
+    }
+
+    /// Place an operation of `duration_ns` on `chip` starting no earlier
+    /// than `now_ns`; returns `(start, completion)` per the profile rules.
+    pub fn dispatch(
+        &mut self,
+        chip: u32,
+        origin: OpOrigin,
+        now_ns: u64,
+        duration_ns: u64,
+    ) -> (u64, u64) {
+        match origin {
+            OpOrigin::Host => self.schedule.schedule_host(chip, now_ns, duration_ns),
+            OpOrigin::HostAsync | OpOrigin::Background => {
+                self.schedule.schedule_background(chip, now_ns, duration_ns)
+            }
+        }
+    }
+
+    /// Track a dispatched command; assigns and returns its id.
+    pub fn push(&mut self, mut completion: Completion) -> CmdId {
+        let id = CmdId(self.next_id);
+        self.next_id += 1;
+        completion.id = id;
+        self.inflight.push(completion);
+        id
+    }
+
+    /// Remove a command by id (retired or still in flight).
+    pub fn take(&mut self, id: CmdId) -> Option<Completion> {
+        if let Some(i) = self.completed.iter().position(|c| c.id == id) {
+            return Some(self.completed.swap_remove(i));
+        }
+        self.inflight.iter().position(|c| c.id == id).map(|i| self.inflight.swap_remove(i))
+    }
+
+    /// All commands whose completion time has passed `now_ns`, plus any
+    /// retired by admission, ordered by completion time.
+    pub fn poll_ready(&mut self, now_ns: u64) -> Vec<Completion> {
+        let mut out = std::mem::take(&mut self.completed);
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].result.completed_at_ns <= now_ns {
+                out.push(self.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out.sort_by_key(|c| (c.result.completed_at_ns, c.id));
+        out
+    }
+
+    /// Retire everything, ordered by completion time.
+    pub fn drain_all(&mut self) -> Vec<Completion> {
+        let mut out = std::mem::take(&mut self.completed);
+        out.append(&mut self.inflight);
+        out.sort_by_key(|c| (c.result.completed_at_ns, c.id));
+        out
+    }
+
+    /// When `chip` becomes idle.
+    pub fn busy_until(&self, chip: u32) -> u64 {
+        self.schedule.busy_until(chip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::ReadOutcome;
+
+    fn completion(chip: u32, origin: OpOrigin, start: u64, done: u64) -> Completion {
+        Completion {
+            id: CmdId(0),
+            chip,
+            origin,
+            submitted_at_ns: start,
+            started_at_ns: start,
+            result: OpResult {
+                latency_ns: done - start,
+                completed_at_ns: done,
+                read_outcome: ReadOutcome::Clean,
+            },
+            data: None,
+        }
+    }
+
+    #[test]
+    fn openssd_profile_pins_depth_to_one() {
+        let s = IoScheduler::new(8, HostProfile::OpenSsd, 16);
+        assert_eq!(s.queue_depth(), 1);
+        let s = IoScheduler::new(4, HostProfile::Emulator, 4);
+        assert_eq!(s.queue_depth(), 4);
+        let s = IoScheduler::new(4, HostProfile::Emulator, 0);
+        assert_eq!(s.queue_depth(), 1, "depth 0 is meaningless; clamped up");
+    }
+
+    #[test]
+    fn admission_retires_earliest_host_command() {
+        let mut s = IoScheduler::new(2, HostProfile::Emulator, 2);
+        let mut clock = SimClock::new();
+        let a = s.push(completion(0, OpOrigin::Host, 0, 100));
+        let b = s.push(completion(1, OpOrigin::Host, 0, 300));
+        assert_eq!(s.host_inflight(), 2);
+        let waits = s.admit_host(&mut clock);
+        assert_eq!(waits, 1);
+        assert_eq!(clock.now_ns(), 100, "clock advances to earliest completion");
+        assert_eq!(s.host_inflight(), 1);
+        // The retired command is still retrievable by id.
+        assert!(s.take(a).is_some());
+        assert!(s.take(b).is_some());
+    }
+
+    #[test]
+    fn background_commands_do_not_consume_host_slots() {
+        let mut s = IoScheduler::new(1, HostProfile::Emulator, 1);
+        let mut clock = SimClock::new();
+        s.push(completion(0, OpOrigin::Background, 0, 500));
+        s.push(completion(0, OpOrigin::HostAsync, 0, 700));
+        assert_eq!(s.host_inflight(), 0);
+        assert_eq!(s.admit_host(&mut clock), 0);
+        assert_eq!(clock.now_ns(), 0);
+    }
+
+    #[test]
+    fn poll_ready_returns_due_commands_in_completion_order() {
+        let mut s = IoScheduler::new(2, HostProfile::Emulator, 4);
+        s.push(completion(0, OpOrigin::Host, 0, 300));
+        s.push(completion(1, OpOrigin::Host, 0, 100));
+        s.push(completion(0, OpOrigin::Host, 300, 900));
+        let ready = s.poll_ready(400);
+        assert_eq!(ready.len(), 2);
+        assert!(ready[0].result.completed_at_ns <= ready[1].result.completed_at_ns);
+        assert_eq!(s.inflight(), 1);
+        let rest = s.drain_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].result.completed_at_ns, 900);
+    }
+
+    #[test]
+    fn command_constructors_pick_conventional_origins() {
+        let c = IoCommand::read(Ppa::new(0, 0, 0));
+        assert_eq!(c.origin, OpOrigin::Host);
+        let c = IoCommand::erase(0, 1);
+        assert_eq!(c.origin, OpOrigin::Background);
+        let c = IoCommand::refresh(Ppa::new(0, 0, 0)).with_origin(OpOrigin::HostAsync);
+        assert_eq!(c.origin, OpOrigin::HostAsync);
+        let c = IoCommand::program(Ppa::new(1, 2, 3), vec![0xFF]).with_obs(Some(4), Some(9));
+        assert_eq!(c.kind.chip(), 1);
+        assert_eq!(c.obs.region, Some(4));
+        assert_eq!(c.obs.lba, Some(9));
+    }
+}

@@ -140,6 +140,12 @@ pub struct FlashStats {
     pub injected_bit_errors: u64,
     /// Bit errors corrected by ECC on read.
     pub corrected_bit_errors: u64,
+    /// Host submissions that found the host queue full and had to wait for
+    /// an in-flight command to retire (queued-I/O admission stalls).
+    pub queue_waits: u64,
+    /// Highest number of host commands simultaneously in flight (the
+    /// observed queue depth; 1 on a fully synchronous workload).
+    pub queue_highwater: u64,
     /// Host read latencies.
     pub read_latency: LatencyHistogram,
     /// Host program latencies (full-page and delta combined).
@@ -182,6 +188,8 @@ impl FlashStats {
         self.ispp_violations += other.ispp_violations;
         self.injected_bit_errors += other.injected_bit_errors;
         self.corrected_bit_errors += other.corrected_bit_errors;
+        self.queue_waits += other.queue_waits;
+        self.queue_highwater = self.queue_highwater.max(other.queue_highwater);
         self.read_latency.merge(&other.read_latency);
         self.write_latency.merge(&other.write_latency);
     }
@@ -206,6 +214,8 @@ impl FlashStats {
             corrected_bit_errors: self
                 .corrected_bit_errors
                 .saturating_sub(earlier.corrected_bit_errors),
+            queue_waits: self.queue_waits.saturating_sub(earlier.queue_waits),
+            queue_highwater: self.queue_highwater.saturating_sub(earlier.queue_highwater),
             read_latency: self.read_latency.diff(&earlier.read_latency),
             write_latency: self.write_latency.diff(&earlier.write_latency),
         }

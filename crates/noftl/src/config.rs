@@ -93,6 +93,29 @@ pub struct NoFtlConfig {
 }
 
 impl NoFtlConfig {
+    /// Start building a configuration from a base flash profile
+    /// ([`FlashConfig::small_slc`], [`FlashConfig::emulator_slc`],
+    /// [`FlashConfig::openssd_mlc`]), then adjust geometry, queue depth,
+    /// regions and the GC watermark fluently:
+    ///
+    /// ```
+    /// use ipa_flash::{CellType, FlashConfig};
+    /// use ipa_noftl::{IpaMode, NoFtlConfig, RegionSpec};
+    ///
+    /// let cfg = NoFtlConfig::builder(FlashConfig::openssd_mlc(16, 8, 512))
+    ///     .chips(4)
+    ///     .cell_type(CellType::Mlc)
+    ///     .region(RegionSpec::new("rgIPA", [0, 1], IpaMode::PSlc).with_over_provisioning(0.3))
+    ///     .region(RegionSpec::new("rgPlain", [2, 3], IpaMode::None).with_over_provisioning(0.3))
+    ///     .gc_low_watermark(2)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.regions.len(), 2);
+    /// ```
+    pub fn builder(flash: FlashConfig) -> NoFtlConfigBuilder {
+        NoFtlConfigBuilder { flash, regions: Vec::new(), gc_low_watermark: 2 }
+    }
+
     /// A single-region configuration spanning every chip of the device.
     pub fn single_region(flash: FlashConfig, ipa_mode: IpaMode, over_provisioning: f64) -> Self {
         let chips = 0..flash.geometry.chips;
@@ -142,6 +165,91 @@ impl NoFtlConfig {
     }
 }
 
+/// Fluent builder for [`NoFtlConfig`], created by [`NoFtlConfig::builder`].
+///
+/// Geometry setters override the base profile in place; [`Self::build`]
+/// runs [`NoFtlConfig::validate`] so an inconsistent combination (chip
+/// overlap, mode/cell mismatch, out-of-range chips) fails loudly at
+/// construction instead of at first I/O.
+#[derive(Debug, Clone)]
+pub struct NoFtlConfigBuilder {
+    flash: FlashConfig,
+    regions: Vec<RegionSpec>,
+    gc_low_watermark: usize,
+}
+
+impl NoFtlConfigBuilder {
+    /// Number of flash chips on the device.
+    pub fn chips(mut self, chips: u32) -> Self {
+        self.flash.geometry.chips = chips;
+        self
+    }
+
+    /// Blocks per chip.
+    pub fn blocks_per_chip(mut self, blocks: u32) -> Self {
+        self.flash.geometry.blocks_per_chip = blocks;
+        self
+    }
+
+    /// Pages per block.
+    pub fn pages_per_block(mut self, pages: u32) -> Self {
+        self.flash.geometry.pages_per_block = pages;
+        self
+    }
+
+    /// Main-area page size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.flash.geometry.page_size = bytes;
+        self
+    }
+
+    /// Cell technology of the device.
+    pub fn cell_type(mut self, cell: CellType) -> Self {
+        self.flash.geometry.cell_type = cell;
+        self
+    }
+
+    /// Host command-queue depth (clamped to 1 on the OpenSSD profile,
+    /// which has no NCQ).
+    pub fn queue_depth(mut self, depth: u32) -> Self {
+        self.flash.queue_depth = depth;
+        self
+    }
+
+    /// Append a region.
+    pub fn region(mut self, spec: RegionSpec) -> Self {
+        self.regions.push(spec);
+        self
+    }
+
+    /// Replace any configured regions with a single one spanning every
+    /// chip of the device.
+    pub fn single_region(mut self, ipa_mode: IpaMode, over_provisioning: f64) -> Self {
+        let chips = 0..self.flash.geometry.chips;
+        self.regions =
+            vec![RegionSpec::new("default", chips, ipa_mode)
+                .with_over_provisioning(over_provisioning)];
+        self
+    }
+
+    /// Free-block watermark below which garbage collection triggers.
+    pub fn gc_low_watermark(mut self, watermark: usize) -> Self {
+        self.gc_low_watermark = watermark;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> crate::Result<NoFtlConfig> {
+        let cfg = NoFtlConfig {
+            flash: self.flash,
+            regions: self.regions,
+            gc_low_watermark: self.gc_low_watermark,
+        };
+        cfg.validate().map_err(crate::NoFtlError::BadConfig)?;
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +296,37 @@ mod tests {
     fn bad_op_rejected() {
         let cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::Slc, 0.95);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_produces_validated_config() {
+        let cfg = NoFtlConfig::builder(FlashConfig::emulator_slc(16, 8, 512))
+            .chips(4)
+            .blocks_per_chip(32)
+            .pages_per_block(16)
+            .page_size(1024)
+            .queue_depth(4)
+            .single_region(IpaMode::Slc, 0.3)
+            .gc_low_watermark(3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.flash.geometry.chips, 4);
+        assert_eq!(cfg.flash.geometry.blocks_per_chip, 32);
+        assert_eq!(cfg.flash.geometry.pages_per_block, 16);
+        assert_eq!(cfg.flash.geometry.page_size, 1024);
+        assert_eq!(cfg.flash.queue_depth, 4);
+        assert_eq!(cfg.gc_low_watermark, 3);
+        assert_eq!(cfg.regions[0].chips, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        // No regions configured.
+        assert!(NoFtlConfig::builder(FlashConfig::small_slc()).build().is_err());
+        // pSLC requires MLC flash.
+        assert!(NoFtlConfig::builder(FlashConfig::small_slc())
+            .single_region(IpaMode::PSlc, 0.1)
+            .build()
+            .is_err());
     }
 }

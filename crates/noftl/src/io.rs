@@ -1,0 +1,114 @@
+//! Per-call I/O context and batch descriptors for the NoFTL interface.
+
+use ipa_flash::OpOrigin;
+
+use crate::region::Lba;
+
+/// Context attached to a NoFTL I/O call: the scheduling/statistics origin
+/// plus an optional trace-attribution override.
+///
+/// The default (`Host` origin, no override) matches the behaviour of the
+/// former context-less `read_page`/`write_page`/`write_delta` methods; the
+/// region layer attributes events with its own region id and the call's
+/// LBA unless `obs` overrides them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCtx {
+    /// Whether the op is synchronous host I/O, asynchronous host I/O
+    /// (cleaner/checkpoint writes) or background management work.
+    pub origin: OpOrigin,
+    /// Optional `(region, lba)` trace-attribution override.
+    pub obs: Option<(u32, u64)>,
+}
+
+impl Default for IoCtx {
+    fn default() -> Self {
+        IoCtx { origin: OpOrigin::Host, obs: None }
+    }
+}
+
+impl IoCtx {
+    /// Synchronous host I/O (the default).
+    pub fn host() -> Self {
+        IoCtx::default()
+    }
+
+    /// Asynchronous host I/O: counted and latency-tracked as host work,
+    /// but the host clock does not block on it.
+    pub fn host_async() -> Self {
+        IoCtx { origin: OpOrigin::HostAsync, obs: None }
+    }
+
+    /// Background management work (GC, wear leveling, cleaners).
+    pub fn background() -> Self {
+        IoCtx { origin: OpOrigin::Background, obs: None }
+    }
+
+    /// Override the trace attribution carried by the resulting event.
+    pub fn with_obs(mut self, region: u32, lba: u64) -> Self {
+        self.obs = Some((region, lba));
+        self
+    }
+}
+
+impl From<OpOrigin> for IoCtx {
+    fn from(origin: OpOrigin) -> Self {
+        IoCtx { origin, obs: None }
+    }
+}
+
+/// One logical page operation within a
+/// [`NoFtl::submit_batch`](crate::NoFtl::submit_batch) call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageIo {
+    /// Read a logical page (data travels in the completion).
+    Read(Lba),
+    /// Out-of-place write of a full logical page.
+    Write(Lba, Vec<u8>),
+    /// In-place delta append at a byte offset of the page's residency.
+    WriteDelta {
+        /// Logical page.
+        lba: Lba,
+        /// Byte offset of the append within the page.
+        offset: usize,
+        /// Delta payload.
+        data: Vec<u8>,
+    },
+}
+
+impl PageIo {
+    /// The logical page this operation touches.
+    pub fn lba(&self) -> Lba {
+        match self {
+            PageIo::Read(lba) | PageIo::Write(lba, _) | PageIo::WriteDelta { lba, .. } => *lba,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ctx_is_synchronous_host() {
+        let ctx = IoCtx::default();
+        assert_eq!(ctx.origin, OpOrigin::Host);
+        assert_eq!(ctx.obs, None);
+        assert_eq!(ctx, IoCtx::host());
+    }
+
+    #[test]
+    fn from_origin_and_overrides() {
+        let ctx: IoCtx = OpOrigin::Background.into();
+        assert_eq!(ctx, IoCtx::background());
+        let ctx = IoCtx::host_async().with_obs(3, 17);
+        assert_eq!(ctx.origin, OpOrigin::HostAsync);
+        assert_eq!(ctx.obs, Some((3, 17)));
+    }
+
+    #[test]
+    fn page_io_reports_lba() {
+        assert_eq!(PageIo::Read(Lba(4)).lba(), Lba(4));
+        assert_eq!(PageIo::Write(Lba(5), vec![0]).lba(), Lba(5));
+        assert_eq!(PageIo::WriteDelta { lba: Lba(6), offset: 0, data: vec![] }.lba(), Lba(6));
+    }
+}

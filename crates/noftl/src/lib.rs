@@ -34,16 +34,22 @@
 mod config;
 mod error;
 pub mod hybrid;
+mod io;
 mod manager;
 mod region;
 mod stats;
 
-pub use config::{IpaMode, NoFtlConfig, RegionSpec};
+pub use config::{IpaMode, NoFtlConfig, NoFtlConfigBuilder, RegionSpec};
 pub use error::NoFtlError;
 pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
+pub use io::{IoCtx, PageIo};
 pub use manager::{NoFtl, RegionId};
 pub use region::Lba;
 pub use stats::RegionStats;
+
+// The queued-I/O handle types travel through this crate's API
+// (`NoFtl::submit_batch` returns them); re-export for convenience.
+pub use ipa_flash::{CmdId, Completion};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NoFtlError>;

@@ -1,9 +1,10 @@
 //! The public NoFTL facade: a flash device plus its regions.
 
-use ipa_flash::{EventKind, FlashDevice, Observer, OpOrigin, OpResult};
+use ipa_flash::{CmdId, Completion, EventKind, FlashDevice, Observer, OpResult};
 
 use crate::config::NoFtlConfig;
 use crate::error::NoFtlError;
+use crate::io::{IoCtx, PageIo};
 use crate::region::{Lba, Region};
 use crate::stats::RegionStats;
 use crate::Result;
@@ -60,63 +61,128 @@ impl NoFtl {
         Ok(self.region(rid)?.capacity())
     }
 
-    /// Read a logical page synchronously.
-    pub fn read_page(&mut self, rid: RegionId, lba: Lba) -> Result<(Vec<u8>, OpResult)> {
-        self.read_page_with(rid, lba, OpOrigin::Host)
-    }
-
-    /// Read a logical page with an explicit origin.
-    pub fn read_page_with(
+    /// Read a logical page synchronously. Pass [`IoCtx::default()`] for a
+    /// plain host read, or e.g. [`IoCtx::host_async()`] for cleaner reads.
+    pub fn read_page(
         &mut self,
         rid: RegionId,
         lba: Lba,
-        origin: OpOrigin,
+        ctx: IoCtx,
     ) -> Result<(Vec<u8>, OpResult)> {
         let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
-        region.read(&mut self.dev, lba, origin)
+        region.read(&mut self.dev, lba, ctx)
     }
 
-    /// Out-of-place write of a full logical page (synchronous).
-    pub fn write_page(&mut self, rid: RegionId, lba: Lba, data: &[u8]) -> Result<OpResult> {
-        self.write_page_with(rid, lba, data, OpOrigin::Host)
-    }
-
-    /// Out-of-place write with an explicit origin (`HostAsync` for
-    /// background cleaner / checkpoint writes under steal/no-force).
-    pub fn write_page_with(
+    /// Out-of-place write of a full logical page (synchronous). Use
+    /// [`IoCtx::host_async()`] for background cleaner / checkpoint writes
+    /// under steal/no-force.
+    pub fn write_page(
         &mut self,
         rid: RegionId,
         lba: Lba,
         data: &[u8],
-        origin: OpOrigin,
+        ctx: IoCtx,
     ) -> Result<OpResult> {
         let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
-        region.write(&mut self.dev, lba, data, origin)
+        region.write(&mut self.dev, lba, data, ctx)
     }
 
     /// The `write_delta` command (§7): ISPP-append `data` at `offset`
-    /// within the logical page's current physical residency.
+    /// within the logical page's current physical residency (synchronous).
     pub fn write_delta(
         &mut self,
         rid: RegionId,
         lba: Lba,
         offset: usize,
         data: &[u8],
+        ctx: IoCtx,
     ) -> Result<OpResult> {
-        self.write_delta_with(rid, lba, offset, data, OpOrigin::Host)
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.write_delta(&mut self.dev, lba, offset, data, ctx)
     }
 
-    /// `write_delta` with an explicit origin.
-    pub fn write_delta_with(
+    /// Queue a read of a logical page; the data travels in the completion
+    /// returned by [`NoFtl::complete`] / [`NoFtl::drain_completions`].
+    pub fn submit_read(&mut self, rid: RegionId, lba: Lba, ctx: IoCtx) -> Result<CmdId> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.submit_read(&mut self.dev, lba, ctx)
+    }
+
+    /// Queue an out-of-place write of a full logical page. Mapping, GC and
+    /// statistics take effect at submission; only the simulated time is
+    /// deferred to the completion.
+    pub fn submit_write(
+        &mut self,
+        rid: RegionId,
+        lba: Lba,
+        data: &[u8],
+        ctx: IoCtx,
+    ) -> Result<CmdId> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        region.submit_write(&mut self.dev, lba, data, ctx)
+    }
+
+    /// Queue a `write_delta` append.
+    pub fn submit_write_delta(
         &mut self,
         rid: RegionId,
         lba: Lba,
         offset: usize,
         data: &[u8],
-        origin: OpOrigin,
-    ) -> Result<OpResult> {
+        ctx: IoCtx,
+    ) -> Result<CmdId> {
         let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
-        region.write_delta(&mut self.dev, lba, offset, data, origin)
+        region.submit_write_delta(&mut self.dev, lba, offset, data, ctx)
+    }
+
+    /// Queue a batch of page operations against one region, sharing a
+    /// single [`IoCtx`]. Commands land on their pages' chips and overlap in
+    /// simulated time up to the device's queue depth.
+    ///
+    /// On error, commands already queued stay in flight — callers should
+    /// [`NoFtl::drain_completions`] before giving up on the batch.
+    pub fn submit_batch(
+        &mut self,
+        rid: RegionId,
+        ops: &[PageIo],
+        ctx: IoCtx,
+    ) -> Result<Vec<CmdId>> {
+        let region = self.regions.get_mut(rid.0).ok_or(NoFtlError::BadRegion(rid.0))?;
+        let mut ids = Vec::with_capacity(ops.len());
+        for op in ops {
+            let id = match op {
+                PageIo::Read(lba) => region.submit_read(&mut self.dev, *lba, ctx)?,
+                PageIo::Write(lba, data) => region.submit_write(&mut self.dev, *lba, data, ctx)?,
+                PageIo::WriteDelta { lba, offset, data } => {
+                    region.submit_write_delta(&mut self.dev, *lba, *offset, data, ctx)?
+                }
+            };
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Wait for one queued command, advancing the simulated clock to its
+    /// completion time if it was synchronous host I/O.
+    pub fn complete(&mut self, id: CmdId) -> Result<Completion> {
+        Ok(self.dev.complete(id)?)
+    }
+
+    /// Completions that are due at the current simulated time, without
+    /// advancing the clock.
+    pub fn poll_completions(&mut self) -> Vec<Completion> {
+        self.dev.poll_completions()
+    }
+
+    /// Drain every in-flight command, advancing the clock past the last
+    /// host completion.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        self.dev.drain()
+    }
+
+    /// The device's effective host queue depth (1 on the OpenSSD profile).
+    pub fn queue_depth(&self) -> u32 {
+        self.dev.queue_depth()
     }
 
     /// Whether `write_delta` is currently possible for a logical page.
@@ -219,17 +285,14 @@ mod tests {
     use ipa_flash::{CellType, FlashConfig};
 
     fn two_region_config() -> NoFtlConfig {
-        let mut flash = FlashConfig::openssd_mlc(16, 8, 512);
-        flash.geometry.chips = 4;
-        flash.geometry.cell_type = CellType::Mlc;
-        NoFtlConfig {
-            flash,
-            regions: vec![
-                RegionSpec::new("rgIPA", [0, 1], IpaMode::PSlc).with_over_provisioning(0.3),
-                RegionSpec::new("rgPlain", [2, 3], IpaMode::None).with_over_provisioning(0.3),
-            ],
-            gc_low_watermark: 2,
-        }
+        NoFtlConfig::builder(FlashConfig::openssd_mlc(16, 8, 512))
+            .chips(4)
+            .cell_type(CellType::Mlc)
+            .region(RegionSpec::new("rgIPA", [0, 1], IpaMode::PSlc).with_over_provisioning(0.3))
+            .region(RegionSpec::new("rgPlain", [2, 3], IpaMode::None).with_over_provisioning(0.3))
+            .gc_low_watermark(2)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -238,8 +301,8 @@ mod tests {
         let ipa = ftl.region_by_name("rgIPA").unwrap();
         let plain = ftl.region_by_name("rgPlain").unwrap();
         let data = vec![0xAB; 512];
-        ftl.write_page(ipa, Lba(0), &data).unwrap();
-        ftl.write_page(plain, Lba(0), &data).unwrap();
+        ftl.write_page(ipa, Lba(0), &data, IoCtx::default()).unwrap();
+        ftl.write_page(plain, Lba(0), &data, IoCtx::default()).unwrap();
         // Same LBA, different regions, independent content and stats.
         assert_eq!(ftl.region_stats(ipa).unwrap().host_page_writes, 1);
         assert_eq!(ftl.region_stats(plain).unwrap().host_page_writes, 1);
@@ -256,11 +319,11 @@ mod tests {
         let plain = ftl.region_by_name("rgPlain").unwrap();
         let mut data = vec![0xFF; 512];
         data[..100].fill(0x01);
-        ftl.write_page(ipa, Lba(1), &data).unwrap();
-        ftl.write_page(plain, Lba(1), &data).unwrap();
-        ftl.write_delta(ipa, Lba(1), 500, &[0x77]).unwrap();
+        ftl.write_page(ipa, Lba(1), &data, IoCtx::default()).unwrap();
+        ftl.write_page(plain, Lba(1), &data, IoCtx::default()).unwrap();
+        ftl.write_delta(ipa, Lba(1), 500, &[0x77], IoCtx::default()).unwrap();
         assert!(matches!(
-            ftl.write_delta(plain, Lba(1), 500, &[0x77]),
+            ftl.write_delta(plain, Lba(1), 500, &[0x77], IoCtx::default()),
             Err(NoFtlError::AppendNotAllowed { .. })
         ));
     }
@@ -268,7 +331,10 @@ mod tests {
     #[test]
     fn bad_region_ids_rejected() {
         let mut ftl = NoFtl::new(two_region_config()).unwrap();
-        assert!(matches!(ftl.read_page(RegionId(9), Lba(0)), Err(NoFtlError::BadRegion(9))));
+        assert!(matches!(
+            ftl.read_page(RegionId(9), Lba(0), IoCtx::default()),
+            Err(NoFtlError::BadRegion(9))
+        ));
         assert!(ftl.region_by_name("nope").is_none());
         assert!(!ftl.can_append(RegionId(9), Lba(0)));
     }
@@ -277,10 +343,49 @@ mod tests {
     fn reset_stats_clears_everything() {
         let mut ftl = NoFtl::new(two_region_config()).unwrap();
         let ipa = ftl.region_by_name("rgIPA").unwrap();
-        ftl.write_page(ipa, Lba(0), &vec![0u8; 512]).unwrap();
+        ftl.write_page(ipa, Lba(0), &vec![0u8; 512], IoCtx::default()).unwrap();
         ftl.reset_stats();
         assert_eq!(ftl.region_stats(ipa).unwrap().host_page_writes, 0);
         assert_eq!(ftl.device().stats().host_programs, 0);
+    }
+
+    #[test]
+    fn batched_writes_overlap_across_chips() {
+        let mk = |depth: u32| {
+            NoFtl::new(
+                NoFtlConfig::builder(FlashConfig::emulator_slc(16, 8, 512))
+                    .chips(4)
+                    .queue_depth(depth)
+                    .single_region(IpaMode::Slc, 0.3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let ops: Vec<PageIo> =
+            (0..4u64).map(|i| PageIo::Write(Lba(i), vec![i as u8; 512])).collect();
+
+        let mut queued = mk(4);
+        let rid = queued.region_by_name("default").unwrap();
+        let ids = queued.submit_batch(rid, &ops, IoCtx::default()).unwrap();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(queued.drain_completions().len(), 4);
+        let t_queued = queued.device().clock().now_ns();
+
+        let mut serial = mk(1);
+        for op in &ops {
+            if let PageIo::Write(lba, data) = op {
+                serial.write_page(rid, *lba, data, IoCtx::default()).unwrap();
+            }
+        }
+        let t_serial = serial.device().clock().now_ns();
+        // Four chips, one program each: full overlap at depth 4.
+        assert_eq!(t_queued * 4, t_serial);
+        // The queued run lands the same data.
+        for i in 0..4u64 {
+            let (data, _) = queued.read_page(rid, Lba(i), IoCtx::default()).unwrap();
+            assert_eq!(data, vec![i as u8; 512]);
+        }
     }
 
     #[test]

@@ -3,10 +3,11 @@
 
 use std::collections::HashMap;
 
-use ipa_flash::{FlashDevice, OpOrigin, OpResult, PageKind, PageState, Ppa};
+use ipa_flash::{CmdId, FlashDevice, OpOrigin, OpResult, PageKind, PageState, Ppa};
 
 use crate::config::{IpaMode, RegionSpec};
 use crate::error::NoFtlError;
+use crate::io::IoCtx;
 use crate::stats::RegionStats;
 use crate::Result;
 
@@ -142,70 +143,121 @@ impl Region {
         lba.0 < self.capacity && self.l2p[lba.0 as usize].is_some()
     }
 
-    /// Read a logical page. `origin` distinguishes synchronous host reads
-    /// from asynchronous ones; both count as host reads.
+    /// Stage trace attribution for the next physical op: the caller's
+    /// override if the [`IoCtx`] carries one, this region and the call's
+    /// LBA otherwise.
+    fn stage_obs(&self, dev: &mut FlashDevice, ctx: IoCtx, lba: Lba) {
+        if dev.observing() {
+            let (region, attr_lba) = ctx.obs.unwrap_or((self.id, lba.0));
+            dev.set_obs_ctx(Some(region), Some(attr_lba));
+        }
+    }
+
+    /// Queue a read of a logical page. The data travels in the completion.
+    pub(crate) fn submit_read(
+        &mut self,
+        dev: &mut FlashDevice,
+        lba: Lba,
+        ctx: IoCtx,
+    ) -> Result<CmdId> {
+        self.check_lba(lba)?;
+        let ppa = self.mapped(lba)?;
+        self.stage_obs(dev, ctx, lba);
+        let id = dev.submit_read(ppa, ctx.origin)?;
+        self.stats.host_reads += 1;
+        Ok(id)
+    }
+
+    /// Read a logical page synchronously. The origin in `ctx` distinguishes
+    /// synchronous host reads from asynchronous ones; both count as host
+    /// reads.
     pub(crate) fn read(
         &mut self,
         dev: &mut FlashDevice,
         lba: Lba,
-        origin: OpOrigin,
+        ctx: IoCtx,
     ) -> Result<(Vec<u8>, OpResult)> {
-        self.check_lba(lba)?;
-        let ppa = self.mapped(lba)?;
-        if dev.observing() {
-            dev.set_obs_ctx(Some(self.id), Some(lba.0));
-        }
-        let out = dev.read(ppa, origin)?;
-        self.stats.host_reads += 1;
-        Ok(out)
+        let id = self.submit_read(dev, lba, ctx)?;
+        let completion = dev.complete(id)?;
+        let data = completion.data.expect("read completion carries data");
+        Ok((data, completion.result))
     }
 
-    /// Out-of-place write of a full logical page.
-    pub(crate) fn write(
+    /// Queue an out-of-place write of a full logical page.
+    ///
+    /// For host-origin writes the command-queue slot is reserved *before*
+    /// garbage collection runs, so allocation decisions are made at the
+    /// post-wait clock — at queue depth 1 this reproduces the synchronous
+    /// path bit for bit.
+    pub(crate) fn submit_write(
         &mut self,
         dev: &mut FlashDevice,
         lba: Lba,
         data: &[u8],
-        origin: OpOrigin,
-    ) -> Result<OpResult> {
+        ctx: IoCtx,
+    ) -> Result<CmdId> {
         self.check_lba(lba)?;
+        if ctx.origin == OpOrigin::Host {
+            dev.reserve_host_slot();
+        }
         let local = self.pick_chip();
         self.garbage_collect_chip(dev, local)?;
         let ppa = self.allocate(dev, local)?;
-        if dev.observing() {
-            dev.set_obs_ctx(Some(self.id), Some(lba.0));
-        }
-        let op = dev.program(ppa, data, origin)?;
+        self.stage_obs(dev, ctx, lba);
+        let id = dev.submit_program(ppa, data, ctx.origin)?;
         if let Some(old) = self.l2p[lba.0 as usize] {
             self.invalidate(old);
         }
         self.map(lba, ppa);
         self.stats.host_page_writes += 1;
-        Ok(op)
+        Ok(id)
     }
 
-    /// The `write_delta` command (§7): append `data` at byte `offset` of
-    /// the *current physical residency* of `lba`, without remapping.
+    /// Out-of-place write of a full logical page (synchronous).
+    pub(crate) fn write(
+        &mut self,
+        dev: &mut FlashDevice,
+        lba: Lba,
+        data: &[u8],
+        ctx: IoCtx,
+    ) -> Result<OpResult> {
+        let id = self.submit_write(dev, lba, data, ctx)?;
+        Ok(dev.complete(id)?.result)
+    }
+
+    /// Queue the `write_delta` command (§7): append `data` at byte `offset`
+    /// of the *current physical residency* of `lba`, without remapping.
+    pub(crate) fn submit_write_delta(
+        &mut self,
+        dev: &mut FlashDevice,
+        lba: Lba,
+        offset: usize,
+        data: &[u8],
+        ctx: IoCtx,
+    ) -> Result<CmdId> {
+        self.check_lba(lba)?;
+        let ppa = self.mapped(lba)?;
+        if let Some(reason) = self.append_block_reason(dev, ppa) {
+            return Err(NoFtlError::AppendNotAllowed { lba, reason });
+        }
+        self.stage_obs(dev, ctx, lba);
+        let id = dev.submit_program_partial(ppa, offset, data, ctx.origin)?;
+        self.stats.host_delta_writes += 1;
+        self.stats.delta_bytes += data.len() as u64;
+        Ok(id)
+    }
+
+    /// `write_delta` (§7), synchronous.
     pub(crate) fn write_delta(
         &mut self,
         dev: &mut FlashDevice,
         lba: Lba,
         offset: usize,
         data: &[u8],
-        origin: OpOrigin,
+        ctx: IoCtx,
     ) -> Result<OpResult> {
-        self.check_lba(lba)?;
-        let ppa = self.mapped(lba)?;
-        if let Some(reason) = self.append_block_reason(dev, ppa) {
-            return Err(NoFtlError::AppendNotAllowed { lba, reason });
-        }
-        if dev.observing() {
-            dev.set_obs_ctx(Some(self.id), Some(lba.0));
-        }
-        let op = dev.program_partial(ppa, offset, data, origin)?;
-        self.stats.host_delta_writes += 1;
-        self.stats.delta_bytes += data.len() as u64;
-        Ok(op)
+        let id = self.submit_write_delta(dev, lba, offset, data, ctx)?;
+        Ok(dev.complete(id)?.result)
     }
 
     /// Whether `write_delta` is currently possible for a logical page —
@@ -372,6 +424,11 @@ impl Region {
     }
 
     /// Migrate the victim's valid pages and erase it.
+    ///
+    /// The reads are issued as one queued batch before any program is
+    /// submitted, so on multi-chip devices a collection overlaps with host
+    /// work queued on other chips instead of interleaving read/program
+    /// round trips.
     fn collect_block(&mut self, dev: &mut FlashDevice, local: usize, victim: u32) -> Result<()> {
         let chip = self.chips[local].chip;
         let valid_pages: Vec<u32> = self.chips[local].blocks[victim as usize]
@@ -381,10 +438,16 @@ impl Region {
             .filter(|(_, &v)| v)
             .map(|(p, _)| p as u32)
             .collect();
+        let mut batch: Vec<(u32, u64, CmdId)> = Vec::with_capacity(valid_pages.len());
         for page in valid_pages {
             let old = Ppa::new(chip, victim, page);
             let lba = *self.p2l.get(&old).expect("valid page has a logical owner");
-            let (data, _) = dev.read(old, OpOrigin::Background)?;
+            let id = dev.submit_read(old, OpOrigin::Background)?;
+            batch.push((page, lba, id));
+        }
+        for (page, lba, id) in batch {
+            let old = Ppa::new(chip, victim, page);
+            let data = dev.complete(id)?.data.expect("read completion carries data");
             let oob = dev.read_oob(old)?;
             let new = self.allocate(dev, local)?;
             if dev.observing() {
@@ -507,8 +570,8 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        r.write(&mut dev, Lba(5), &page(0xAA), OpOrigin::Host).unwrap();
-        let (data, _) = r.read(&mut dev, Lba(5), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(5), &page(0xAA), IoCtx::host()).unwrap();
+        let (data, _) = r.read(&mut dev, Lba(5), IoCtx::host()).unwrap();
         assert_eq!(data, page(0xAA));
         assert_eq!(r.stats.host_page_writes, 1);
         assert_eq!(r.stats.host_reads, 1);
@@ -518,9 +581,9 @@ mod tests {
     #[test]
     fn unmapped_and_out_of_range_reads_fail() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        assert!(matches!(r.read(&mut dev, Lba(5), OpOrigin::Host), Err(NoFtlError::Unmapped(_))));
+        assert!(matches!(r.read(&mut dev, Lba(5), IoCtx::host()), Err(NoFtlError::Unmapped(_))));
         assert!(matches!(
-            r.read(&mut dev, Lba(100_000), OpOrigin::Host),
+            r.read(&mut dev, Lba(100_000), IoCtx::host()),
             Err(NoFtlError::LbaOutOfRange { .. })
         ));
     }
@@ -528,9 +591,9 @@ mod tests {
     #[test]
     fn overwrite_invalidates_old_residency() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        r.write(&mut dev, Lba(1), &page(1), OpOrigin::Host).unwrap();
-        r.write(&mut dev, Lba(1), &page(2), OpOrigin::Host).unwrap();
-        let (data, _) = r.read(&mut dev, Lba(1), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(1), &page(1), IoCtx::host()).unwrap();
+        r.write(&mut dev, Lba(1), &page(2), IoCtx::host()).unwrap();
+        let (data, _) = r.read(&mut dev, Lba(1), IoCtx::host()).unwrap();
         assert_eq!(data, page(2));
         assert_eq!(r.mapped_pages(), 1);
     }
@@ -538,10 +601,10 @@ mod tests {
     #[test]
     fn write_delta_appends_in_place() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        r.write(&mut dev, Lba(3), &page(0x0F), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(3), &page(0x0F), IoCtx::host()).unwrap();
         assert!(r.can_append(&dev, Lba(3)));
-        r.write_delta(&mut dev, Lba(3), 200, &[0x12, 0x34], OpOrigin::Host).unwrap();
-        let (data, _) = r.read(&mut dev, Lba(3), OpOrigin::Host).unwrap();
+        r.write_delta(&mut dev, Lba(3), 200, &[0x12, 0x34], IoCtx::host()).unwrap();
+        let (data, _) = r.read(&mut dev, Lba(3), IoCtx::host()).unwrap();
         assert_eq!(&data[200..202], &[0x12, 0x34]);
         assert_eq!(r.stats.host_delta_writes, 1);
         assert_eq!(r.stats.delta_bytes, 2);
@@ -553,7 +616,7 @@ mod tests {
     fn delta_to_unmapped_page_fails() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
         assert!(matches!(
-            r.write_delta(&mut dev, Lba(3), 0, &[0], OpOrigin::Host),
+            r.write_delta(&mut dev, Lba(3), 0, &[0], IoCtx::host()),
             Err(NoFtlError::Unmapped(_))
         ));
         assert!(!r.can_append(&dev, Lba(3)));
@@ -562,10 +625,10 @@ mod tests {
     #[test]
     fn none_mode_rejects_deltas() {
         let (mut dev, mut r) = small_region(IpaMode::None, CellType::Slc);
-        r.write(&mut dev, Lba(0), &page(1), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(0), &page(1), IoCtx::host()).unwrap();
         assert!(!r.can_append(&dev, Lba(0)));
         assert!(matches!(
-            r.write_delta(&mut dev, Lba(0), 0, &[0], OpOrigin::Host),
+            r.write_delta(&mut dev, Lba(0), 0, &[0], IoCtx::host()),
             Err(NoFtlError::AppendNotAllowed { .. })
         ));
     }
@@ -574,7 +637,7 @@ mod tests {
     fn pslc_uses_only_lsb_pages() {
         let (mut dev, mut r) = small_region(IpaMode::PSlc, CellType::Mlc);
         for i in 0..20 {
-            r.write(&mut dev, Lba(i), &page(i as u8), OpOrigin::Host).unwrap();
+            r.write(&mut dev, Lba(i), &page(i as u8), IoCtx::host()).unwrap();
         }
         // Every mapped residency must be an LSB page.
         for i in 0..20 {
@@ -588,7 +651,7 @@ mod tests {
     fn odd_mlc_appends_only_on_lsb_residency() {
         let (mut dev, mut r) = small_region(IpaMode::OddMlc, CellType::Mlc);
         for i in 0..8 {
-            r.write(&mut dev, Lba(i), &page(i as u8), OpOrigin::Host).unwrap();
+            r.write(&mut dev, Lba(i), &page(i as u8), IoCtx::host()).unwrap();
         }
         let mut lsb = 0;
         let mut msb = 0;
@@ -602,7 +665,7 @@ mod tests {
                 PageKind::Msb => {
                     assert!(!r.can_append(&dev, Lba(i)));
                     assert!(matches!(
-                        r.write_delta(&mut dev, Lba(i), 0, &[0], OpOrigin::Host),
+                        r.write_delta(&mut dev, Lba(i), 0, &[0], IoCtx::host()),
                         Err(NoFtlError::AppendNotAllowed { .. })
                     ));
                     msb += 1;
@@ -621,13 +684,13 @@ mod tests {
         // data the collector must migrate.
         let mut latest = [0u8; 120];
         for (lba, version) in latest.iter().enumerate() {
-            r.write(&mut dev, Lba(lba as u64), &page(*version), OpOrigin::Host).unwrap();
+            r.write(&mut dev, Lba(lba as u64), &page(*version), IoCtx::host()).unwrap();
         }
         for round in 1..=60u64 {
             for lba in 0..120u64 {
                 if in_round(lba, round) {
                     latest[lba as usize] = round as u8;
-                    r.write(&mut dev, Lba(lba), &page(round as u8), OpOrigin::Host).unwrap();
+                    r.write(&mut dev, Lba(lba), &page(round as u8), IoCtx::host()).unwrap();
                 }
             }
         }
@@ -635,7 +698,7 @@ mod tests {
         assert!(r.stats.gc_page_migrations > 0, "interleaving must force live-page migrations");
         // All logical pages still readable with latest content.
         for lba in 0..120u64 {
-            let (data, _) = r.read(&mut dev, Lba(lba), OpOrigin::Host).unwrap();
+            let (data, _) = r.read(&mut dev, Lba(lba), IoCtx::host()).unwrap();
             assert_eq!(data, page(latest[lba as usize]), "lba {lba}");
         }
     }
@@ -643,10 +706,10 @@ mod tests {
     #[test]
     fn trim_unmaps_and_frees() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        r.write(&mut dev, Lba(7), &page(7), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(7), &page(7), IoCtx::host()).unwrap();
         r.trim(Lba(7)).unwrap();
         assert!(!r.is_mapped(Lba(7)));
-        assert!(matches!(r.read(&mut dev, Lba(7), OpOrigin::Host), Err(NoFtlError::Unmapped(_))));
+        assert!(matches!(r.read(&mut dev, Lba(7), IoCtx::host()), Err(NoFtlError::Unmapped(_))));
         assert_eq!(r.stats.trims, 1);
         // Trimming an unmapped page is a no-op.
         r.trim(Lba(7)).unwrap();
@@ -656,7 +719,7 @@ mod tests {
     #[test]
     fn oob_roundtrip_through_region() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        r.write(&mut dev, Lba(2), &page(2), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(2), &page(2), IoCtx::host()).unwrap();
         r.write_oob(&mut dev, Lba(2), 16, &[0xCA, 0xFE]).unwrap();
         let oob = r.read_oob(&dev, Lba(2)).unwrap();
         assert_eq!(&oob[16..18], &[0xCA, 0xFE]);
@@ -665,17 +728,17 @@ mod tests {
     #[test]
     fn migration_preserves_oob_and_data() {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
-        r.write(&mut dev, Lba(0), &page(9), OpOrigin::Host).unwrap();
+        r.write(&mut dev, Lba(0), &page(9), IoCtx::host()).unwrap();
         r.write_oob(&mut dev, Lba(0), 20, &[0xBE, 0xEF]).unwrap();
         // Interleaved churn so blocks (including the one holding Lba 0)
         // become partially-valid GC victims.
         for lba in 1..120u64 {
-            r.write(&mut dev, Lba(lba), &page(lba as u8), OpOrigin::Host).unwrap();
+            r.write(&mut dev, Lba(lba), &page(lba as u8), IoCtx::host()).unwrap();
         }
         for round in 1..=80u64 {
             for lba in 1..120u64 {
                 if in_round(lba, round) {
-                    r.write(&mut dev, Lba(lba), &page(round as u8), OpOrigin::Host).unwrap();
+                    r.write(&mut dev, Lba(lba), &page(round as u8), IoCtx::host()).unwrap();
                 }
             }
         }
@@ -685,7 +748,7 @@ mod tests {
         assert!(r.stats.gc_page_migrations + r.stats.wear_level_migrations > 0);
         let oob = r.read_oob(&dev, Lba(0)).unwrap();
         assert_eq!(&oob[20..22], &[0xBE, 0xEF]);
-        let (data, _) = r.read(&mut dev, Lba(0), OpOrigin::Host).unwrap();
+        let (data, _) = r.read(&mut dev, Lba(0), IoCtx::host()).unwrap();
         assert_eq!(data, page(9));
     }
 
@@ -694,13 +757,12 @@ mod tests {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
         // Fill every logical page: capacity 179 of 256 physical; fine.
         for lba in 0..r.capacity() {
-            r.write(&mut dev, Lba(lba), &page(lba as u8), OpOrigin::Host).unwrap();
+            r.write(&mut dev, Lba(lba), &page(lba as u8), IoCtx::host()).unwrap();
         }
         // Keep updating — GC must keep up indefinitely.
         for round in 0..5 {
             for lba in 0..r.capacity() {
-                r.write(&mut dev, Lba(lba), &page((round * 7 + lba) as u8), OpOrigin::Host)
-                    .unwrap();
+                r.write(&mut dev, Lba(lba), &page((round * 7 + lba) as u8), IoCtx::host()).unwrap();
             }
         }
         assert!(r.free_blocks() >= 1);
@@ -711,19 +773,19 @@ mod tests {
         let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
         // Cold data: written once, never updated.
         for lba in 0..8u64 {
-            r.write(&mut dev, Lba(lba), &page(0xCC), OpOrigin::Host).unwrap();
+            r.write(&mut dev, Lba(lba), &page(0xCC), IoCtx::host()).unwrap();
         }
         // Hot churn elsewhere drives wear on other blocks.
         for round in 0..80u64 {
             for lba in 8..90u64 {
-                r.write(&mut dev, Lba(lba), &page(round as u8), OpOrigin::Host).unwrap();
+                r.write(&mut dev, Lba(lba), &page(round as u8), IoCtx::host()).unwrap();
             }
         }
         let moved = r.wear_level(&mut dev, 1).unwrap();
         assert!(moved > 0, "cold block should be relocated");
         assert!(r.stats.wear_level_erases > 0);
         for lba in 0..8u64 {
-            let (data, _) = r.read(&mut dev, Lba(lba), OpOrigin::Host).unwrap();
+            let (data, _) = r.read(&mut dev, Lba(lba), IoCtx::host()).unwrap();
             assert_eq!(data, page(0xCC));
         }
     }

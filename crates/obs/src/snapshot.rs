@@ -55,6 +55,15 @@ pub struct Gauges {
     pub write_p95_ns: u64,
     /// p99 host write latency, nanoseconds.
     pub write_p99_ns: u64,
+    /// Highest number of host commands simultaneously in flight on the
+    /// device queue.
+    pub queue_highwater: u64,
+    /// Host submissions that found the command queue full and had to wait.
+    pub queue_waits: u64,
+    /// Busy time of the most-loaded chip, nanoseconds.
+    pub chip_busy_max_ns: u64,
+    /// Mean per-chip busy time, nanoseconds.
+    pub chip_busy_mean_ns: u64,
 }
 
 impl Snapshot {
@@ -142,6 +151,14 @@ impl Snapshot {
             write_p50_ns: self.flash.write_latency.percentile_ns(0.50),
             write_p95_ns: self.flash.write_latency.percentile_ns(0.95),
             write_p99_ns: self.flash.write_latency.percentile_ns(0.99),
+            queue_highwater: self.flash.queue_highwater,
+            queue_waits: self.flash.queue_waits,
+            chip_busy_max_ns: self.chips.iter().map(|c| c.busy_ns).max().unwrap_or(0),
+            chip_busy_mean_ns: if self.chips.is_empty() {
+                0
+            } else {
+                self.chips.iter().map(|c| c.busy_ns).sum::<u64>() / self.chips.len() as u64
+            },
         }
     }
 
@@ -179,6 +196,10 @@ impl Gauges {
         m.insert("write_p50_ns".into(), Value::from(self.write_p50_ns));
         m.insert("write_p95_ns".into(), Value::from(self.write_p95_ns));
         m.insert("write_p99_ns".into(), Value::from(self.write_p99_ns));
+        m.insert("queue_highwater".into(), Value::from(self.queue_highwater));
+        m.insert("queue_waits".into(), Value::from(self.queue_waits));
+        m.insert("chip_busy_max_ns".into(), Value::from(self.chip_busy_max_ns));
+        m.insert("chip_busy_mean_ns".into(), Value::from(self.chip_busy_mean_ns));
         Value::Object(m)
     }
 }
@@ -206,6 +227,8 @@ fn flash_json(f: &FlashStats) -> Value {
     m.insert("ispp_violations".into(), Value::from(f.ispp_violations));
     m.insert("injected_bit_errors".into(), Value::from(f.injected_bit_errors));
     m.insert("corrected_bit_errors".into(), Value::from(f.corrected_bit_errors));
+    m.insert("queue_waits".into(), Value::from(f.queue_waits));
+    m.insert("queue_highwater".into(), Value::from(f.queue_highwater));
     m.insert("read_latency".into(), hist_json(&f.read_latency));
     m.insert("write_latency".into(), hist_json(&f.write_latency));
     Value::Object(m)
@@ -257,6 +280,7 @@ fn chip_json(c: &ChipCounters) -> Value {
     m.insert("reads".into(), Value::from(c.reads));
     m.insert("programs".into(), Value::from(c.programs));
     m.insert("erases".into(), Value::from(c.erases));
+    m.insert("busy_ns".into(), Value::from(c.busy_ns));
     Value::Object(m)
 }
 

@@ -35,6 +35,11 @@ pub struct SystemConfig {
     pub over_provisioning: f64,
     /// Eager (Shore-MT default) vs non-eager eviction and log reclamation.
     pub eager: bool,
+    /// Host command-queue depth. Both testbed constructors pin this to 1 —
+    /// the serial behaviour the paper measured — and the flash layer clamps
+    /// the OpenSSD profile (no NCQ) to 1 regardless. Raise it on emulator
+    /// configs to let batched evictions overlap across chips.
+    pub queue_depth: u32,
     /// Simulated CPU time consumed per transaction, nanoseconds.
     pub cpu_ns_per_txn: u64,
     /// Override of the workload's growth estimate (long runs of
@@ -53,6 +58,7 @@ impl SystemConfig {
             buffer_fraction,
             over_provisioning: 0.10,
             eager: true,
+            queue_depth: 1,
             // Large enough that a fully-buffered run is CPU-bound (the
             // paper's throughput gains fade at 75-90% buffers).
             cpu_ns_per_txn: 200_000,
@@ -79,6 +85,7 @@ impl SystemConfig {
             buffer_fraction: 0.015,
             over_provisioning: 0.10,
             eager: true,
+            queue_depth: 1,
             cpu_ns_per_txn: 50_000,
             growth_override: None,
         }
@@ -102,7 +109,7 @@ impl SystemConfig {
         let needed_logical = (estimated_pages as f64 * growth.max(1.1)).ceil() as u64 + 64;
         let pages_per_block: u32 = 64;
         let usable_factor = if self.ipa_mode == IpaMode::PSlc { 0.5 } else { 1.0 };
-        let (chips, mut flash) = match self.platform {
+        let (chips, flash) = match self.platform {
             Platform::Emulator => {
                 (16u32, FlashConfig::emulator_slc(1, pages_per_block, self.page_size))
             }
@@ -120,11 +127,14 @@ impl SystemConfig {
             .ceil() as u32)
             .max(1);
         let blocks_per_chip = data_blocks_per_chip + 4;
-        flash.geometry.blocks_per_chip = blocks_per_chip;
         let total_usable = chips as f64 * blocks_per_chip as f64 * usable_per_block;
         let op_eff =
             self.over_provisioning.max(1.0 - needed_logical as f64 / total_usable).min(0.85);
-        let ftl_cfg = NoFtlConfig::single_region(flash, self.ipa_mode, op_eff);
+        let ftl_cfg = NoFtlConfig::builder(flash)
+            .blocks_per_chip(blocks_per_chip)
+            .queue_depth(self.queue_depth)
+            .single_region(self.ipa_mode, op_eff)
+            .build()?;
         let buffer_frames = ((estimated_pages as f64 * self.buffer_fraction) as usize).max(16);
         let db_cfg = if self.eager {
             DbConfig::eager(buffer_frames)

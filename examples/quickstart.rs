@@ -10,7 +10,7 @@
 use ipa::core::NxM;
 use ipa::engine::{Database, DbConfig};
 use ipa::flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
-use ipa::noftl::{IpaMode, Lba, NoFtl, NoFtlConfig, RegionId};
+use ipa::noftl::{IoCtx, IpaMode, Lba, NoFtl, NoFtlConfig, RegionId};
 
 fn main() {
     // --- 1. Raw flash: the monotone-charge rule ------------------------
@@ -39,8 +39,8 @@ fn main() {
     let rid = RegionId(0);
     let mut db_page = vec![0xFF; page_size];
     db_page[..2048].fill(0x11);
-    ftl.write_page(rid, Lba(42), &db_page).unwrap();
-    ftl.write_delta(rid, Lba(42), page_size - 128, &[0x22; 46]).unwrap();
+    ftl.write_page(rid, Lba(42), &db_page, IoCtx::default()).unwrap();
+    ftl.write_delta(rid, Lba(42), page_size - 128, &[0x22; 46], IoCtx::default()).unwrap();
     let stats = ftl.region_stats(rid).unwrap();
     println!(
         "region stats: {} page write(s), {} delta write(s), {} GC erases",

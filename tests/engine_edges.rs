@@ -5,7 +5,7 @@
 use ipa::core::{ecc, NxM};
 use ipa::engine::{Database, DbConfig, EngineError};
 use ipa::flash::FlashConfig;
-use ipa::noftl::{IpaMode, NoFtlConfig, RegionId};
+use ipa::noftl::{IoCtx, IpaMode, NoFtlConfig, RegionId};
 
 fn db(frames: usize, scheme: NxM) -> Database {
     let mut flash = FlashConfig::small_slc();
@@ -29,7 +29,8 @@ fn delta_records_are_physically_erased_until_appended() {
 
     let layout = *d.layout(0);
     let read_delta_area = |d: &mut Database| {
-        let (bytes, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba).expect("mapped");
+        let (bytes, _) =
+            d.ftl_mut().read_page(RegionId(0), rid.page.lba, IoCtx::default()).expect("mapped");
         bytes[layout.delta_area_start()..layout.delta_area_end()].to_vec()
     };
     let area = read_delta_area(&mut d);
@@ -81,7 +82,7 @@ fn ecc_initial_is_stable_across_ipa_flushes() {
     d.flush_all().unwrap();
 
     let layout = *d.layout(0);
-    let (img0, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba).unwrap();
+    let (img0, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba, IoCtx::default()).unwrap();
     let code0 = ecc::initial_code(&img0, &layout);
 
     let tx = d.begin();
@@ -90,7 +91,7 @@ fn ecc_initial_is_stable_across_ipa_flushes() {
     d.flush_all().unwrap();
     assert_eq!(d.stats().ipa_flushes, 1);
 
-    let (img1, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba).unwrap();
+    let (img1, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba, IoCtx::default()).unwrap();
     let code1 = ecc::initial_code(&img1, &layout);
     assert_eq!(code0, code1, "ECC_initial covers everything but the delta area");
     assert_ne!(img0, img1, "the image itself did change (delta appended)");

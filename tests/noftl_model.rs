@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use ipa::flash::{CellType, FlashConfig};
-use ipa::noftl::{IpaMode, Lba, NoFtl, NoFtlConfig, NoFtlError, RegionId};
+use ipa::noftl::{IoCtx, IpaMode, Lba, NoFtl, NoFtlConfig, NoFtlError, RegionId};
 
 fn small_ftl(mode: IpaMode, cell: CellType) -> NoFtl {
     let mut flash = FlashConfig::small_slc();
@@ -58,7 +58,7 @@ proptest! {
             match op {
                 Op::Write(lba, b) => {
                     let img = page_image(b, page_size);
-                    ftl.write_page(rid, Lba(lba), &img).unwrap();
+                    ftl.write_page(rid, Lba(lba), &img, IoCtx::default()).unwrap();
                     shadow.insert(lba, (img, 0));
                 }
                 Op::Delta(lba, b) => {
@@ -67,19 +67,19 @@ proptest! {
                     match shadow.get_mut(&lba) {
                         Some((img, appends)) if *appends < 8 => {
                             let off = page_size / 2 + (*appends as usize) * 8;
-                            ftl.write_delta(rid, Lba(lba), off, &[b, b, b, b]).unwrap();
+                            ftl.write_delta(rid, Lba(lba), off, &[b, b, b, b], IoCtx::default()).unwrap();
                             img[off..off + 4].fill(b);
                             *appends += 1;
                         }
                         Some((_, _)) => {
                             // Budget exhausted: device must refuse.
                             prop_assert!(ftl
-                                .write_delta(rid, Lba(lba), 0, &[0])
+                                .write_delta(rid, Lba(lba), 0, &[0], IoCtx::default())
                                 .is_err());
                         }
                         None => {
                             prop_assert!(matches!(
-                                ftl.write_delta(rid, Lba(lba), 0, &[b]),
+                                ftl.write_delta(rid, Lba(lba), 0, &[b], IoCtx::default()),
                                 Err(NoFtlError::Unmapped(_))
                             ));
                         }
@@ -91,12 +91,12 @@ proptest! {
                 }
                 Op::Read(lba) => match shadow.get(&lba) {
                     Some((img, _)) => {
-                        let (got, _) = ftl.read_page(rid, Lba(lba)).unwrap();
+                        let (got, _) = ftl.read_page(rid, Lba(lba), IoCtx::default()).unwrap();
                         prop_assert_eq!(&got, img);
                     }
                     None => {
                         prop_assert!(matches!(
-                            ftl.read_page(rid, Lba(lba)),
+                            ftl.read_page(rid, Lba(lba), IoCtx::default()),
                             Err(NoFtlError::Unmapped(_))
                         ));
                     }
@@ -105,7 +105,7 @@ proptest! {
         }
         // Final sweep: every mapped page matches its shadow.
         for (lba, (img, _)) in &shadow {
-            let (got, _) = ftl.read_page(rid, Lba(*lba)).unwrap();
+            let (got, _) = ftl.read_page(rid, Lba(*lba), IoCtx::default()).unwrap();
             prop_assert_eq!(&got, img, "lba {}", lba);
         }
     }
@@ -122,10 +122,10 @@ proptest! {
         let mut ftl = NoFtl::new(NoFtlConfig::single_region(flash, IpaMode::Slc, 0.35)).unwrap();
         let rid = RegionId(0);
         for l in 0..writes {
-            ftl.write_page(rid, Lba(l), &page_image(l as u8, 256)).unwrap();
+            ftl.write_page(rid, Lba(l), &page_image(l as u8, 256), IoCtx::default()).unwrap();
             prop_assert!(ftl.can_append(rid, Lba(l)));
-            ftl.write_delta(rid, Lba(l), 200, &[0xAA]).unwrap();
-            let (got, _) = ftl.read_page(rid, Lba(l)).unwrap();
+            ftl.write_delta(rid, Lba(l), 200, &[0xAA], IoCtx::default()).unwrap();
+            let (got, _) = ftl.read_page(rid, Lba(l), IoCtx::default()).unwrap();
             prop_assert_eq!(got[200], 0xAA);
         }
     }
@@ -159,7 +159,7 @@ fn gc_heavy_churn_preserves_every_mapping() {
             0..=6 => {
                 let b = (rand() & 0x7F) as u8;
                 let img = page_image(b, 256);
-                ftl.write_page(rid, Lba(lba), &img).unwrap();
+                ftl.write_page(rid, Lba(lba), &img, IoCtx::default()).unwrap();
                 shadow.insert(lba, img);
             }
             7..=8 => {
@@ -171,7 +171,7 @@ fn gc_heavy_churn_preserves_every_mapping() {
                         // matches what's there.
                         let cur = img[off];
                         let val = cur & (rand() as u8);
-                        ftl.write_delta(rid, Lba(lba), off, &[val]).unwrap();
+                        ftl.write_delta(rid, Lba(lba), off, &[val], IoCtx::default()).unwrap();
                         img[off] = val;
                     }
                 }
@@ -183,7 +183,7 @@ fn gc_heavy_churn_preserves_every_mapping() {
         }
     }
     for (lba, img) in &shadow {
-        let (got, _) = ftl.read_page(rid, Lba(*lba)).unwrap();
+        let (got, _) = ftl.read_page(rid, Lba(*lba), IoCtx::default()).unwrap();
         assert_eq!(&got, img, "lba {lba}");
     }
     let stats = ftl.region_stats(rid).unwrap();
