@@ -1,0 +1,368 @@
+//! A lightweight Rust lexer: just enough token structure for the lints.
+//!
+//! The auditor deliberately avoids `syn`/`proc-macro2` (it must build with
+//! no dependencies at all), so this module hand-rolls the small part of
+//! Rust's lexical grammar the lints need: identifiers, single-character
+//! punctuation, literals (collapsed — their content can never produce a
+//! finding) and lifetimes. Comments are *not* tokens; they are collected
+//! separately with their line numbers so the pragma layer
+//! ([`crate::pragma`]) can scan them for `audit:allow(...)` markers.
+//!
+//! Getting comments and literals right is the whole point: a lint that
+//! greps raw text would flag `.unwrap()` inside a doc example or a string;
+//! operating on this token stream makes those immune by construction.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unwrap`, `PageData`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `#`, `(`, `!`, ...).
+    Punct(char),
+    /// Any literal — string, raw string, byte string, char or number.
+    /// Content is discarded: literals can never trigger a lint.
+    Lit,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-indexed line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+/// A comment (line or block) with the 1-indexed line it starts on. Doc
+/// comments (`///`, `//!`) are included; the leading `//` / `/*` is
+/// stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line number of the comment start.
+    pub line: u32,
+    /// Comment text without the comment introducer.
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus the comment side-channel.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex Rust source text. Never fails: unterminated constructs are consumed
+/// to end-of-input (an auditor must not die on the code it is auditing —
+/// the compiler will report the real syntax error).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.out.tokens.push(Token { tok: Tok::Punct(c), line });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume "//"
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume "/*"
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// A `"..."` string with escape handling.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.out.tokens.push(Token { tok: Tok::Lit, line });
+    }
+
+    /// A raw string `r"..."` / `r#"..."#` (any number of `#`), entered with
+    /// the cursor on the first `#` or `"` after the prefix.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.out.tokens.push(Token { tok: Tok::Lit, line });
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        let first = self.peek();
+        let second = self.peek_at(1);
+        let is_lifetime =
+            matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+        if is_lifetime {
+            while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.out.tokens.push(Token { tok: Tok::Lifetime, line });
+            return;
+        }
+        // Char literal: consume up to the closing quote (escape-aware).
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.out.tokens.push(Token { tok: Tok::Lit, line });
+    }
+
+    /// Numbers (`42`, `0xFF`, `1_000`, `3.5e-2`). Approximate but safe:
+    /// the exact value never matters to a lint.
+    fn number(&mut self) {
+        let line = self.line;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        // A fraction only when followed by a digit ('0..x' range syntax
+        // must keep its dots).
+        if self.peek() == Some('.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+        }
+        self.out.tokens.push(Token { tok: Tok::Lit, line });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut s = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            s.push(self.bump().unwrap_or('_'));
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br"", br#""#.
+        let is_raw_prefix =
+            matches!(s.as_str(), "r" | "br") && matches!(self.peek(), Some('"' | '#'));
+        let is_byte_str = s == "b" && self.peek() == Some('"');
+        let is_byte_char = s == "b" && self.peek() == Some('\'');
+        if is_raw_prefix {
+            self.raw_string();
+            return;
+        }
+        if is_byte_str {
+            self.string();
+            return;
+        }
+        if is_byte_char {
+            self.char_or_lifetime();
+            return;
+        }
+        if s == "r"
+            && self.peek() == Some('#')
+            && matches!(self.peek_at(1), Some(c) if c.is_alphabetic() || c == '_')
+        {
+            // Raw identifier r#ident: consume and keep the ident part.
+            self.bump();
+            let mut raw = String::new();
+            while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                raw.push(self.bump().unwrap_or('_'));
+            }
+            self.out.tokens.push(Token { tok: Tok::Ident(raw), line });
+            return;
+        }
+        self.out.tokens.push(Token { tok: Tok::Ident(s), line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // call .unwrap() here\n/* panic! */ let y = 2;");
+        assert!(!idents("// .unwrap()").contains(&"unwrap".to_string()));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let l = lex("let s = \"foo.unwrap()\"; let t = \"escaped \\\" panic!\";");
+        let ids: Vec<_> = l.tokens.iter().filter_map(Token::ident).collect();
+        assert!(!ids.contains(&"unwrap"));
+        assert!(!ids.contains(&"panic"));
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Lit).count(), 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let src = "let a = r\"x.unwrap()\"; let b = br#\"panic!\"#; let c = b\"todo!\";";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"todo".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let lits = l.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let l = lex("for i in 0..10 {}");
+        let dots = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(l.comments.len(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! L002 — no `unwrap()` / `expect()` / `panic!` / `todo!` in the hot-path
+//! crates.
+//!
+//! `flash`, `noftl` and `engine` sit on the availability-critical path of
+//! the ROADMAP's production north star; a panic there takes the whole
+//! store down. Non-test code in those crates must surface failures as
+//! typed errors (`FlashError` / `NoFtlError` / `EngineError`).
+//!
+//! Deliberately **not** flagged (false-positive guards):
+//!
+//! * test code — `#[cfg(test)]` modules and anything under `tests/`,
+//!   `benches/`, `examples/`;
+//! * the total variants `unwrap_or`, `unwrap_or_else`,
+//!   `unwrap_or_default`, `expect_err` (distinct identifiers — the lexer
+//!   reads maximal identifiers, so `unwrap_or` can never match `unwrap`);
+//! * `assert!` / `debug_assert!` — checked invariants are encouraged, the
+//!   ban is on *unchecked* shortcuts;
+//! * doc comments and string literals, which are not tokens at all.
+
+use super::pat;
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct NoPanic;
+
+/// Crates on the availability-critical path.
+const HOT_CRATES: [&str; 3] = ["flash", "noftl", "engine"];
+
+/// Macros that abort instead of returning an error.
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+impl Lint for NoPanic {
+    fn code(&self) -> &'static str {
+        "L002"
+    }
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+    fn description(&self) -> &'static str {
+        "no unwrap()/expect()/panic!/todo! in non-test code of flash/noftl/engine; \
+         use typed errors"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !HOT_CRATES.contains(&file.krate.as_str()) || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                let what = if pat::is_nullary_method(t, i, "unwrap") {
+                    Some(".unwrap()")
+                } else if pat::is_method_call(t, i, "expect") {
+                    Some(".expect(..)")
+                } else {
+                    PANIC_MACROS.iter().find(|m| pat::is_macro(t, i, m)).map(|m| match *m {
+                        "panic" => "panic!",
+                        "todo" => "todo!",
+                        "unimplemented" => "unimplemented!",
+                        _ => "unreachable!",
+                    })
+                };
+                if let Some(what) = what {
+                    out.push(Finding {
+                        code: "L002",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: t[i].line,
+                        message: format!(
+                            "{what} in hot-path crate `{}`; return a typed error \
+                             (FlashError/NoFtlError/EngineError) instead",
+                            file.krate
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! L003 — the crate layering must match the architecture diagram.
+//!
+//! The stack is strictly layered (DESIGN.md):
+//!
+//! ```text
+//!   engine  ──►  noftl  ──►  flash
+//!     │
+//!     └──►  core          (dependency-free domain types)
+//! ```
+//!
+//! Concretely:
+//!
+//! * `flash` is the bottom layer — no in-workspace dependencies;
+//! * `noftl` may depend only on `ipa-flash` in-workspace;
+//! * `engine` must **never** reach `ipa-flash` directly — every device
+//!   interaction goes through `ipa-noftl` (which re-exports the shared
+//!   vocabulary types: `CmdId`, `Completion`, `FlashConfig`, observer
+//!   hooks);
+//! * `core` depends on nothing in-workspace.
+//!
+//! Cross-cutting crates (`obs`, `workloads`, `bench`, `ipl`, the `ipa`
+//! facade) sit above the stack and are unconstrained. The lint checks both
+//! the manifests (`[dependencies]` keys; `[dev-dependencies]` are exempt —
+//! tests may reach anywhere) and the source token streams (any `ipa_*`
+//! crate ident in non-test code).
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct Layering;
+
+/// All in-workspace crate idents as they appear in source.
+const WORKSPACE_IDENTS: [&str; 9] = [
+    "ipa_flash",
+    "ipa_noftl",
+    "ipa_core",
+    "ipa_engine",
+    "ipa_obs",
+    "ipa_ipl",
+    "ipa_workloads",
+    "ipa_bench",
+    "ipa_audit",
+];
+
+/// `(crate, allowed in-workspace source idents)` for the constrained
+/// layers. Crates not listed are unconstrained.
+const SOURCE_RULES: [(&str, &[&str]); 4] = [
+    ("flash", &[]),
+    ("noftl", &["ipa_flash"]),
+    ("engine", &["ipa_noftl", "ipa_core"]),
+    ("core", &[]),
+];
+
+/// `(crate, allowed in-workspace manifest deps)` for the constrained
+/// layers.
+const MANIFEST_RULES: [(&str, &[&str]); 4] = [
+    ("flash", &[]),
+    ("noftl", &["ipa-flash"]),
+    ("engine", &["ipa-noftl", "ipa-core"]),
+    ("core", &[]),
+];
+
+impl Lint for Layering {
+    fn code(&self) -> &'static str {
+        "L003"
+    }
+    fn name(&self) -> &'static str {
+        "layering"
+    }
+    fn description(&self) -> &'static str {
+        "engine -> noftl -> flash strict layering: engine never reaches ipa-flash \
+         directly, core/flash depend on nothing in-workspace"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for m in &ws.manifests {
+            let Some((_, allowed)) = MANIFEST_RULES.iter().find(|(k, _)| *k == m.krate) else {
+                continue;
+            };
+            for (dep, line) in &m.deps {
+                if dep.starts_with("ipa-") && !allowed.contains(&dep.as_str()) {
+                    out.push(Finding {
+                        code: "L003",
+                        severity: Severity::Error,
+                        file: m.path.clone(),
+                        line: *line,
+                        message: format!(
+                            "layering violation: `{}` must not depend on `{dep}` \
+                             (allowed in-workspace deps: {})",
+                            m.krate,
+                            fmt_allowed(allowed)
+                        ),
+                    });
+                }
+            }
+        }
+        for file in &ws.files {
+            let Some((_, allowed)) = SOURCE_RULES.iter().find(|(k, _)| *k == file.krate) else {
+                continue;
+            };
+            if file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for (i, tok) in t.iter().enumerate() {
+                if file.is_test(i) {
+                    continue;
+                }
+                let Some(id) = tok.ident() else { continue };
+                if WORKSPACE_IDENTS.contains(&id) && !allowed.contains(&id) {
+                    out.push(Finding {
+                        code: "L003",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: tok.line,
+                        message: format!(
+                            "layering violation: `{}` code references `{id}` \
+                             (allowed in-workspace crates: {})",
+                            file.krate,
+                            fmt_allowed(allowed)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn fmt_allowed(allowed: &[&str]) -> String {
+    if allowed.is_empty() {
+        "none".to_string()
+    } else {
+        allowed.join(", ")
+    }
+}

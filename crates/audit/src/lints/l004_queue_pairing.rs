@@ -1,0 +1,98 @@
+//! L004 — every queued-I/O submission must have a completion path.
+//!
+//! The PR-2 queued command API (`submit_* -> CmdId`, then
+//! `complete` / `poll_completions` / `drain`) makes it possible to leak
+//! commands: a function that submits but never drains leaves work stuck in
+//! the device queues forever, and the chip-parallel scheduler stalls once
+//! the host queue fills. This lint requires that every non-test function
+//! containing a `submit` / `submit_*` call satisfies one of:
+//!
+//! * it also calls a completion API (`complete`, `poll_completions`,
+//!   `drain`, `drain_completions`, `drain_all`) — the usual
+//!   submit-then-drain shape;
+//! * its own name starts with `submit` or `stage` — it *is* the
+//!   producer-side API, deferring the drain to its caller by convention
+//!   (e.g. `Db::stage_flush`);
+//! * `CmdId` appears in its signature — it hands the command id back to
+//!   the caller, who owns completion.
+//!
+//! The check is a per-function token heuristic, not a CFG analysis: it
+//! cannot see *conditional* leaks, but it pins the repo-wide convention
+//! that submission and completion responsibilities are never silently
+//! split across unrelated functions.
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::lexer::Token;
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct QueuePairing;
+
+/// Completion-side API names.
+const COMPLETION_FNS: [&str; 5] =
+    ["complete", "poll_completions", "drain", "drain_completions", "drain_all"];
+
+impl Lint for QueuePairing {
+    fn code(&self) -> &'static str {
+        "L004"
+    }
+    fn name(&self) -> &'static str {
+        "queue-pairing"
+    }
+    fn description(&self) -> &'static str {
+        "every submit/submit_* call is paired with complete/poll_completions/drain \
+         in the same function, or the function visibly defers completion \
+         (submit*/stage* name, CmdId in signature)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.krate == "audit" || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for f in file.functions() {
+                if file.is_test(f.body.0) {
+                    continue;
+                }
+                if f.name.starts_with("submit") || f.name.starts_with("stage") {
+                    continue;
+                }
+                let body = &t[f.body.0..f.body.1];
+                let Some(submit_tok) = body.iter().zip(body.iter().skip(1)).find_map(|(a, b)| {
+                    let id = a.ident()?;
+                    let is_submit = id == "submit" || id.starts_with("submit_");
+                    (is_submit && b.is_punct('(')).then_some(a)
+                }) else {
+                    continue;
+                };
+                let sig = &t[f.sig.0..f.sig.1];
+                if sig.iter().any(|tok| tok.is_ident("CmdId")) {
+                    continue;
+                }
+                if body.iter().any(is_completion) {
+                    continue;
+                }
+                out.push(Finding {
+                    code: "L004",
+                    severity: Severity::Error,
+                    file: file.path.clone(),
+                    line: submit_tok.line,
+                    message: format!(
+                        "fn `{}` submits queued I/O but never completes it; pair the \
+                         submit with complete/poll_completions/drain, return the CmdId, \
+                         or rename to submit_*/stage_* to defer completion to the caller",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Is `tok` a completion-API name? (Cheap containment check — position
+/// relative to `(` is not needed because the names are specific enough.)
+fn is_completion(tok: &Token) -> bool {
+    tok.ident().is_some_and(|id| COMPLETION_FNS.contains(&id))
+}

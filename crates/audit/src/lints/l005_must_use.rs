@@ -1,0 +1,125 @@
+//! L005 — measurement types must be `#[must_use]`.
+//!
+//! The observability story (PR 1) only works if callers cannot silently
+//! drop a snapshot or a stats delta they asked for — a discarded
+//! `FlashStats` or `Snapshot` is almost always a bug (the caller paid for
+//! the aggregation and then measured nothing). Every *public* struct or
+//! enum in `obs` / `flash` / `noftl` whose name ends in one of the
+//! measurement suffixes (`Stats`, `Snapshot`, `Counters`, `Gauges`,
+//! `Histogram`, `Delta`) must therefore carry `#[must_use]`.
+//!
+//! Private types are exempt (the compiler already sees every use site),
+//! as is test code.
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::lexer::Token;
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct MustUse;
+
+/// Crates whose measurement types are part of the public surface.
+const MEASURED_CRATES: [&str; 3] = ["obs", "flash", "noftl"];
+
+/// Name suffixes identifying a measurement type.
+const SUFFIXES: [&str; 6] = ["Stats", "Snapshot", "Counters", "Gauges", "Histogram", "Delta"];
+
+impl Lint for MustUse {
+    fn code(&self) -> &'static str {
+        "L005"
+    }
+    fn name(&self) -> &'static str {
+        "must-use-measurements"
+    }
+    fn description(&self) -> &'static str {
+        "public *Stats/*Snapshot/*Counters/*Gauges/*Histogram/*Delta types in \
+         obs/flash/noftl carry #[must_use]"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !MEASURED_CRATES.contains(&file.krate.as_str()) || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                if !(t[i].is_ident("struct") || t[i].is_ident("enum")) {
+                    continue;
+                }
+                let Some(name) = t.get(i + 1).and_then(|tok| tok.ident()) else { continue };
+                if !SUFFIXES.iter().any(|s| name.ends_with(s)) {
+                    continue;
+                }
+                let Some(vis_start) = pub_start(t, i) else { continue };
+                if !has_must_use(t, vis_start) {
+                    out.push(Finding {
+                        code: "L005",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: t[i].line,
+                        message: format!(
+                            "public measurement type `{name}` lacks #[must_use]; a silently \
+                             dropped stats/snapshot value defeats the observability contract"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// If the `struct`/`enum` keyword at `i` is public, return the index of
+/// its `pub` token; `None` for private items (exempt).
+fn pub_start(t: &[Token], i: usize) -> Option<usize> {
+    let mut k = i.checked_sub(1)?;
+    // Skip a `(crate)` / `(super)` / `(in path)` restriction.
+    if t[k].is_punct(')') {
+        let mut depth = 1usize;
+        while depth > 0 {
+            k = k.checked_sub(1)?;
+            if t[k].is_punct(')') {
+                depth += 1;
+            } else if t[k].is_punct('(') {
+                depth -= 1;
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+    t[k].is_ident("pub").then_some(k)
+}
+
+/// Scan the attribute groups immediately preceding token `start`
+/// (`#[...]`, possibly several) for a `must_use` ident.
+fn has_must_use(t: &[Token], start: usize) -> bool {
+    let mut end = start; // exclusive end of the attribute region scanned so far
+    loop {
+        let Some(close) = end.checked_sub(1) else { return false };
+        if !t[close].is_punct(']') {
+            return false;
+        }
+        // Find the matching `[` backwards.
+        let mut depth = 1usize;
+        let mut k = close;
+        while depth > 0 {
+            let Some(prev) = k.checked_sub(1) else { return false };
+            k = prev;
+            if t[k].is_punct(']') {
+                depth += 1;
+            } else if t[k].is_punct('[') {
+                depth -= 1;
+            }
+        }
+        let Some(hash) = k.checked_sub(1) else { return false };
+        if !t[hash].is_punct('#') {
+            return false;
+        }
+        if t[k..close].iter().any(|tok| tok.is_ident("must_use")) {
+            return true;
+        }
+        end = hash;
+    }
+}

@@ -1,0 +1,69 @@
+//! The pluggable lint set.
+//!
+//! Each lint is a [`Lint`] implementation over the lexed [`Workspace`].
+//! Adding a lint means adding a module here, implementing the trait, and
+//! registering it in [`all`] — see DESIGN.md ("Static analysis & invariant
+//! lints") for the catalog and the conventions a lint must follow (token
+//! stream only, test code exempt, findings must name file and line).
+
+use crate::findings::Finding;
+use crate::workspace::Workspace;
+
+mod l001_raw_cell_access;
+mod l002_no_panic;
+mod l003_layering;
+mod l004_queue_pairing;
+mod l005_must_use;
+
+pub use l001_raw_cell_access::RawCellAccess;
+pub use l002_no_panic::NoPanic;
+pub use l003_layering::Layering;
+pub use l004_queue_pairing::QueuePairing;
+pub use l005_must_use::MustUse;
+
+/// One audit lint.
+pub trait Lint {
+    /// Stable code (`L001` ...), the pragma and report key.
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name.
+    fn name(&self) -> &'static str;
+    /// One-line description for `ipa-audit lints`.
+    fn description(&self) -> &'static str;
+    /// Run over the workspace, appending findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// The registered lint set, in code order.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(RawCellAccess),
+        Box::new(NoPanic),
+        Box::new(Layering),
+        Box::new(QueuePairing),
+        Box::new(MustUse),
+    ]
+}
+
+/// Shared token-pattern helpers.
+pub(crate) mod pat {
+    use crate::lexer::Token;
+
+    /// `t[i..]` starts with `.name()` (a zero-argument method call).
+    pub fn is_nullary_method(t: &[Token], i: usize, name: &str) -> bool {
+        i + 3 < t.len()
+            && t[i].is_punct('.')
+            && t[i + 1].is_ident(name)
+            && t[i + 2].is_punct('(')
+            && t[i + 3].is_punct(')')
+    }
+
+    /// `t[i..]` starts with `.name(` (a method call with any arguments).
+    pub fn is_method_call(t: &[Token], i: usize, name: &str) -> bool {
+        i + 2 < t.len() && t[i].is_punct('.') && t[i + 1].is_ident(name) && t[i + 2].is_punct('(')
+    }
+
+    /// `t[i..]` starts with `name!` (a macro invocation).
+    pub fn is_macro(t: &[Token], i: usize, name: &str) -> bool {
+        i + 1 < t.len() && t[i].is_ident(name) && t[i + 1].is_punct('!')
+    }
+}

@@ -1,0 +1,125 @@
+//! `ipa-audit` CLI.
+//!
+//! ```text
+//! cargo run -p ipa-audit -- check [--root DIR] [--json PATH] [--deny-warnings]
+//! cargo run -p ipa-audit -- lints
+//! ```
+//!
+//! `check` audits the workspace, prints findings as `file:line: [code]
+//! message`, writes the JSON report (default
+//! `bench-results/audit-report.json` under the root) and exits 0 when the
+//! gate passes, 1 when it fails. Usage errors exit 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ipa_audit::findings::Severity;
+
+/// Print a line to stdout, ignoring broken pipes (`check | head` must
+/// not panic the auditor).
+macro_rules! say {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("lints") => lints(),
+        _ => {
+            eprintln!(
+                "usage: ipa-audit check [--root DIR] [--json PATH] [--deny-warnings]\n\
+                 \x20      ipa-audit lints"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match it.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
+                None => return usage("--json needs a path"),
+            },
+            "--deny-warnings" => deny_warnings = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !root.join("crates").is_dir() && !root.join("src").is_dir() {
+        eprintln!("ipa-audit: `{}` does not look like a workspace root", root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = match ipa_audit::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ipa-audit: failed to load workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        let tag = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        say!("{tag}: {}", f.render());
+    }
+    for s in &report.suppressed {
+        say!("allowed: {} (reason: {})", s.finding.render(), s.reason);
+    }
+    say!(
+        "ipa-audit: {} files, {} errors, {} warnings, {} suppressed",
+        report.files_scanned,
+        report.errors(),
+        report.warnings(),
+        report.suppressed.len()
+    );
+
+    let json_path = json.unwrap_or_else(|| root.join("bench-results/audit-report.json"));
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("ipa-audit: cannot create `{}`: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, report.to_json(deny_warnings)) {
+        eprintln!("ipa-audit: cannot write `{}`: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    say!("ipa-audit: report written to {}", json_path.display());
+
+    if report.clean(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn lints() -> ExitCode {
+    for lint in ipa_audit::lints::all() {
+        say!("{}  {:<22} {}", lint.code(), lint.name(), lint.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ipa-audit: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,220 @@
+//! Source model: a lexed file with crate attribution, `#[cfg(test)]`
+//! span tracking and item (fn / struct) extraction.
+
+use crate::lexer::{lex, Comment, Token};
+
+/// One Rust source file, lexed and classified.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/flash/src/page.rs`).
+    pub path: String,
+    /// Short crate name (`flash`, `noftl`, `engine`, ... or `ipa` for the
+    /// facade crate).
+    pub krate: String,
+    /// Whether the whole file is test/bench/example code by location.
+    pub test_file: bool,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Comment side-channel (pragma scanning).
+    pub comments: Vec<Comment>,
+    /// `in_test[i]` — token `i` lies inside a `#[cfg(test)]` item.
+    in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lex and classify one file. `path` decides the location-based test
+    /// classification: anything under `tests/`, `benches/` or `examples/`
+    /// is test code in its entirety.
+    pub fn parse(path: &str, krate: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_file = path.split('/').any(|seg| {
+            seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures"
+        });
+        let in_test = mark_cfg_test(&lexed.tokens);
+        SourceFile {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            test_file,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            in_test,
+        }
+    }
+
+    /// Whether the token at `idx` is test code (by file location or an
+    /// enclosing `#[cfg(test)]` item).
+    pub fn is_test(&self, idx: usize) -> bool {
+        self.test_file || self.in_test.get(idx).copied().unwrap_or(false)
+    }
+
+    /// All function items in the file: `(name, signature token range,
+    /// body token range)`. Ranges are half-open index ranges into
+    /// [`SourceFile::tokens`]; nested fns yield their own entries.
+    pub fn functions(&self) -> Vec<FnItem> {
+        let t = &self.tokens;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < t.len() {
+            if t[i].is_ident("fn") {
+                if let Some(name) = t.get(i + 1).and_then(Token::ident) {
+                    let sig_start = i;
+                    // Signature runs to the first `{` at bracket depth 0,
+                    // or aborts at `;` (trait method declaration).
+                    let mut j = i + 2;
+                    let mut depth = 0i32;
+                    let mut body = None;
+                    while j < t.len() {
+                        match &t[j].tok {
+                            crate::lexer::Tok::Punct('(' | '[' | '<') => depth += 1,
+                            crate::lexer::Tok::Punct(')' | ']' | '>') => depth -= 1,
+                            crate::lexer::Tok::Punct('{') if depth <= 0 => {
+                                body = Some(j);
+                                break;
+                            }
+                            crate::lexer::Tok::Punct(';') if depth <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body {
+                        let close = match_brace(t, open);
+                        out.push(FnItem {
+                            name: name.to_string(),
+                            line: t[i].line,
+                            sig: (sig_start, open),
+                            body: (open, close),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// A function item: name plus signature/body token ranges.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Half-open token range of the signature (from `fn` to the body `{`).
+    pub sig: (usize, usize),
+    /// Half-open token range of the body (from `{` to past the matching
+    /// `}`).
+    pub body: (usize, usize),
+}
+
+/// Index one past the brace matching `t[open]` (which must be `{`).
+/// Returns `t.len()` when unbalanced.
+pub fn match_brace(t: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, tok) in t[open..].iter().enumerate() {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return open + off + 1;
+            }
+        }
+    }
+    t.len()
+}
+
+/// Mark every token covered by a `#[cfg(test)]` item. The attribute's item
+/// extends to the matching `}` of its first top-level `{`, or to the first
+/// `;` encountered before any brace (attribute on a `use` / statement).
+fn mark_cfg_test(t: &[Token]) -> Vec<bool> {
+    let mut marks = vec![false; t.len()];
+    let mut i = 0;
+    while i + 6 < t.len() {
+        let is_cfg_test = t[i].is_punct('#')
+            && t[i + 1].is_punct('[')
+            && t[i + 2].is_ident("cfg")
+            && t[i + 3].is_punct('(')
+            && t[i + 4].is_ident("test")
+            && t[i + 5].is_punct(')')
+            && t[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the item end: first `{` (then brace-match) or `;` before it.
+        let mut j = i + 7;
+        let mut end = t.len();
+        while j < t.len() {
+            if t[j].is_punct('{') {
+                end = match_brace(t, j);
+                break;
+            }
+            if t[j].is_punct(';') {
+                end = j + 1;
+                break;
+            }
+            j += 1;
+        }
+        for m in marks.iter_mut().take(end).skip(i) {
+            *m = true;
+        }
+        i = end;
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\nfn after() {}";
+        let f = SourceFile::parse("crates/flash/src/x.rs", "flash", src);
+        let unwraps: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!f.is_test(unwraps[0]), "live code is not test");
+        assert!(f.is_test(unwraps[1]), "cfg(test) module is test");
+        let after = f.tokens.iter().position(|t| t.is_ident("after")).expect("after fn");
+        assert!(!f.is_test(after), "marking ends at the module brace");
+    }
+
+    #[test]
+    fn test_dirs_are_test_files() {
+        let f = SourceFile::parse("crates/flash/tests/x.rs", "flash", "fn a() {}");
+        assert!(f.test_file);
+        assert!(f.is_test(0));
+        let f = SourceFile::parse("crates/flash/src/x.rs", "flash", "fn a() {}");
+        assert!(!f.test_file);
+    }
+
+    #[test]
+    fn functions_are_extracted_with_bodies() {
+        let src = "impl X { fn a(&self) -> u32 { self.b() } }\nfn top(x: Vec<u8>) { if x.is_empty() { return; } }";
+        let f = SourceFile::parse("crates/flash/src/x.rs", "flash", src);
+        let fns = f.functions();
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "top"]);
+        // `top`'s body covers the nested braces.
+        let top = &fns[1];
+        let body = &f.tokens[top.body.0..top.body.1];
+        assert!(body.iter().any(|t| t.is_ident("is_empty")));
+        assert!(body.iter().any(|t| t.is_ident("return")));
+    }
+
+    #[test]
+    fn generic_signature_does_not_confuse_body_detection() {
+        let src = "fn g<T: Fn() -> Option<u8>>(f: T) -> Option<u8> { f() }";
+        let f = SourceFile::parse("crates/flash/src/x.rs", "flash", src);
+        let fns = f.functions();
+        assert_eq!(fns.len(), 1);
+        assert!(f.tokens[fns[0].body.0].is_punct('{'));
+    }
+}

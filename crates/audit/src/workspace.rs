@@ -1,0 +1,145 @@
+//! Workspace discovery: find every crate's sources and manifest.
+//!
+//! The auditor scans `crates/*/src/**/*.rs` plus the facade crate's
+//! `src/**/*.rs`. Integration tests, benches and examples are *not*
+//! scanned — every lint in the catalog exempts test code, so walking those
+//! trees would only produce noise. Manifests (`crates/*/Cargo.toml`) are
+//! parsed just deeply enough to extract the `[dependencies]` key list for
+//! the layering lint.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// A crate manifest reduced to what the lints need.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Workspace-relative path of the Cargo.toml.
+    pub path: String,
+    /// Short crate name (directory name under `crates/`).
+    pub krate: String,
+    /// `[dependencies]` keys with the 1-indexed line they appear on.
+    pub deps: Vec<(String, u32)>,
+}
+
+/// Everything the lints operate on.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Lexed source files.
+    pub files: Vec<SourceFile>,
+    /// Crate manifests.
+    pub manifests: Vec<Manifest>,
+}
+
+impl Workspace {
+    /// Load the workspace rooted at `root`. Missing pieces (no facade
+    /// `src/`, no `crates/`) are tolerated so the loader also works on
+    /// fixture mini-workspaces.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut ws = Workspace::default();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for dir in crate_dirs {
+                let krate =
+                    dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+                let manifest = dir.join("Cargo.toml");
+                if manifest.is_file() {
+                    ws.manifests.push(parse_manifest(root, &manifest, &krate)?);
+                }
+                load_sources(root, &dir.join("src"), &krate, &mut ws.files)?;
+            }
+        }
+        // The facade crate at the workspace root.
+        load_sources(root, &root.join("src"), "ipa", &mut ws.files)?;
+        Ok(ws)
+    }
+}
+
+/// Recursively lex every `.rs` file under `dir` (if it exists).
+fn load_sources(root: &Path, dir: &Path, krate: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            load_sources(root, &path, krate, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src = fs::read_to_string(&path)?;
+            out.push(SourceFile::parse(&rel(root, &path), krate, &src));
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Extract `[dependencies]` keys. Line-based: a section header line
+/// (`[dependencies]`) opens the section, any other `[...]` header closes
+/// it; inside, the key is everything before the first `.`, `=` or space.
+fn parse_manifest(root: &Path, path: &Path, krate: &str) -> io::Result<Manifest> {
+    let text = fs::read_to_string(path)?;
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let key: String =
+            line.chars().take_while(|c| !matches!(c, '.' | '=' | ' ' | '\t')).collect();
+        if !key.is_empty() {
+            deps.push((key, i as u32 + 1));
+        }
+    }
+    Ok(Manifest { path: rel(root, path), krate: krate.to_string(), deps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_ws() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipa-audit-ws-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/demo/src")).expect("mkdir");
+        let mut m = fs::File::create(dir.join("crates/demo/Cargo.toml")).expect("manifest");
+        writeln!(
+            m,
+            "[package]\nname = \"ipa-demo\"\n\n[dependencies]\nipa-flash.workspace = true\nserde = {{ version = \"1\" }}\n\n[dev-dependencies]\nproptest = \"1\""
+        )
+        .expect("write");
+        fs::write(dir.join("crates/demo/src/lib.rs"), "fn a() {}\n").expect("src");
+        dir
+    }
+
+    #[test]
+    fn loads_crates_and_manifest_deps() {
+        let root = tmp_ws();
+        let ws = Workspace::load(&root).expect("load");
+        assert_eq!(ws.files.len(), 1);
+        assert_eq!(ws.files[0].krate, "demo");
+        assert_eq!(ws.manifests.len(), 1);
+        let deps: Vec<&str> = ws.manifests[0].deps.iter().map(|(d, _)| d.as_str()).collect();
+        // Only [dependencies] — dev-dependencies are exempt (tests may
+        // reach anywhere).
+        assert_eq!(deps, vec!["ipa-flash", "serde"]);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

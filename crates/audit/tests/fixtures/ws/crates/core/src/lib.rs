@@ -1,0 +1,14 @@
+//! Fixture: a clean bottom-layer crate — the false-positive guards.
+//! Nothing in this file may produce a finding.
+
+/// Doc text may say `.unwrap()`, `dev.peek(0)` or `PageData` freely,
+/// and so may the string literal below.
+pub fn describe() -> &'static str {
+    "panic!(PageData.unwrap())"
+}
+
+pub fn main_with_arg(x: &Caller) -> u8 {
+    x.main(7)
+}
+
+fn main() {}

@@ -1,0 +1,15 @@
+//! Fixture: engine-layer violations.
+
+use ipa_flash::Chip;
+
+pub fn scribble(page: &mut PageData) {
+    page.main()[0] = 0;
+    panic!("fixture");
+}
+
+pub fn read_lsn(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"))
+}
+
+// audit:allow(L001, reason = "fixture: this pragma matches nothing")
+pub fn clean() {}

@@ -1,0 +1,35 @@
+//! Fixture: noftl-layer violations. Mentioning `dev.peek(0)` or
+//! `PageData` in doc comments must not trip anything.
+
+use ipa_engine::Db;
+
+pub fn diag(dev: &mut Dev) -> u8 {
+    dev.peek(3)
+}
+
+pub fn fire_and_forget(dev: &mut Dev) {
+    dev.submit_write(9);
+}
+
+pub fn write_sync(dev: &mut Dev) {
+    dev.submit_write(7);
+    dev.drain_completions();
+}
+
+pub fn submit_probe(dev: &mut Dev) {
+    dev.submit_read(1);
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>) -> u32 {
+    // audit:allow(L002, reason = "fixture: demonstrate single suppression")
+    *map.get(&1).unwrap() + *map.get(&2).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -28,6 +28,9 @@
 //! also appends its results as JSON to `bench-results/` for
 //! EXPERIMENTS.md bookkeeping.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use ipa_core::NxM;
 use ipa_engine::Database;
 use ipa_obs::{MetricsRegistry, Observer, Snapshot};

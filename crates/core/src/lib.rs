@@ -27,6 +27,7 @@
 //! The crate is `ipa-engine`-agnostic and device-agnostic: it manipulates
 //! plain byte buffers, so it can sit under any page-based storage manager.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod advisor;

@@ -83,18 +83,26 @@ fn node_capacity(db: &Database, region: usize) -> usize {
     (layout.page_size - layout.body_start() - NODE_HEADER) / ENTRY_SIZE
 }
 
+/// Read a little-endian `u64` at `off` without a fallible slice
+/// conversion (the length is right by construction).
+fn read_u64(buf: &[u8], off: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
 fn load_node(db: &mut Database, pid: PageId) -> Result<Node> {
     db.with_page(pid, |page| {
         let base = page.layout().body_start();
         let buf = page.bytes();
         let tag = buf[base];
         let count = u16::from_le_bytes([buf[base + 1], buf[base + 2]]) as usize;
-        let next = u64::from_le_bytes(buf[base + 3..base + 11].try_into().unwrap());
+        let next = read_u64(buf, base + 3);
         let mut entries = Vec::with_capacity(count);
         for i in 0..count {
             let off = base + NODE_HEADER + i * ENTRY_SIZE;
-            let key = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-            let val = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+            let key = read_u64(buf, off);
+            let val = read_u64(buf, off + 8);
             entries.push((key, val));
         }
         match tag {

@@ -120,14 +120,14 @@ impl BufferPool {
     /// Look up a page, setting its reference bit.
     pub fn get_mut(&mut self, pid: PageId) -> Option<&mut Frame> {
         let idx = *self.map.get(&pid)?;
-        let frame = self.frames[idx].as_mut().expect("mapped frame present");
+        let frame = self.frames.get_mut(idx)?.as_mut()?;
         frame.referenced = true;
         Some(frame)
     }
 
     /// Look up a page without touching the reference bit.
     pub fn peek(&self, pid: PageId) -> Option<&Frame> {
-        self.map.get(&pid).map(|&idx| self.frames[idx].as_ref().expect("mapped frame present"))
+        self.map.get(&pid).and_then(|&idx| self.frames.get(idx)?.as_ref())
     }
 
     /// Whether the page is resident.
@@ -150,14 +150,14 @@ impl BufferPool {
         self.map.len() < self.capacity
     }
 
-    /// Insert a frame into a free slot. Panics if the pool is full —
-    /// callers must evict first.
-    pub fn insert(&mut self, frame: Frame) -> usize {
-        assert!(self.has_free_slot(), "insert into full pool");
-        let idx = self.frames.iter().position(Option::is_none).expect("free slot exists");
+    /// Insert a frame into a free slot, returning its index — or `None`
+    /// when the pool is full (callers must evict first).
+    #[must_use = "a full pool rejects the frame; dropping the result loses the page"]
+    pub fn insert(&mut self, frame: Frame) -> Option<usize> {
+        let idx = self.frames.iter().position(Option::is_none)?;
         self.map.insert(frame.page_id, idx);
         self.frames[idx] = Some(frame);
-        idx
+        Some(idx)
     }
 
     /// Pick an eviction victim with the CLOCK algorithm: sweep frames,
@@ -253,7 +253,7 @@ mod tests {
     #[test]
     fn insert_get_remove() {
         let mut pool = BufferPool::new(3);
-        let idx = pool.insert(frame(pid(1)));
+        let idx = pool.insert(frame(pid(1))).expect("slot");
         assert!(pool.contains(pid(1)));
         assert_eq!(pool.index_of(pid(1)), Some(idx));
         assert_eq!(pool.len(), 1);
@@ -266,8 +266,8 @@ mod tests {
     #[test]
     fn clock_evicts_unreferenced_first() {
         let mut pool = BufferPool::new(2);
-        pool.insert(frame(pid(1)));
-        pool.insert(frame(pid(2)));
+        pool.insert(frame(pid(1))).expect("slot");
+        pool.insert(frame(pid(2))).expect("slot");
         // Touch page 2 so page 1 becomes the victim after one sweep.
         pool.get_mut(pid(2));
         pool.get_mut(pid(1));
@@ -287,8 +287,8 @@ mod tests {
     #[test]
     fn all_pinned_means_no_victim() {
         let mut pool = BufferPool::new(2);
-        pool.insert(frame(pid(1)));
-        pool.insert(frame(pid(2)));
+        pool.insert(frame(pid(1))).expect("slot");
+        pool.insert(frame(pid(2))).expect("slot");
         pool.get_mut(pid(1)).unwrap().pins = 1;
         pool.get_mut(pid(2)).unwrap().pins = 1;
         assert!(pool.pick_victim().is_none());
@@ -297,8 +297,8 @@ mod tests {
     #[test]
     fn dirty_tracking() {
         let mut pool = BufferPool::new(4);
-        pool.insert(frame(pid(1)));
-        pool.insert(frame(pid(2)));
+        pool.insert(frame(pid(1))).expect("slot");
+        pool.insert(frame(pid(2))).expect("slot");
         assert_eq!(pool.dirty_count(), 0);
         pool.get_mut(pid(1)).unwrap().tracker.record_body(200);
         assert_eq!(pool.dirty_count(), 1);
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn clear_drops_everything() {
         let mut pool = BufferPool::new(2);
-        pool.insert(frame(pid(1)));
+        pool.insert(frame(pid(1))).expect("slot");
         pool.clear();
         assert!(pool.is_empty());
         assert!(!pool.contains(pid(1)));
@@ -318,8 +318,8 @@ mod tests {
     #[test]
     fn sweep_stats_count_scans_clears_and_victims() {
         let mut pool = BufferPool::new(2);
-        pool.insert(frame(pid(1)));
-        pool.insert(frame(pid(2)));
+        pool.insert(frame(pid(1))).expect("slot");
+        pool.insert(frame(pid(2))).expect("slot");
         // Both referenced: the sweep clears two bits and then finds a victim.
         let v = pool.pick_victim();
         assert!(v.is_some());
@@ -334,10 +334,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "insert into full pool")]
-    fn insert_into_full_pool_panics() {
+    fn insert_into_full_pool_is_rejected() {
         let mut pool = BufferPool::new(1);
-        pool.insert(frame(pid(1)));
-        pool.insert(frame(pid(2)));
+        pool.insert(frame(pid(1))).expect("slot");
+        assert!(pool.insert(frame(pid(2))).is_none());
+        assert!(!pool.contains(pid(2)));
     }
 }

@@ -3,8 +3,7 @@
 //! every dirty-page flush.
 
 use ipa_core::{ecc, ChangeTracker, DbPage, FlushDecision, NxM, PageLayout, UpdateSizeProfile};
-use ipa_flash::{EventKind, Observer, OpOrigin};
-use ipa_noftl::{IoCtx, Lba, NoFtl, NoFtlConfig, RegionId};
+use ipa_noftl::{EventKind, IoCtx, Lba, NoFtl, NoFtlConfig, Observer, OpOrigin, RegionId};
 
 use crate::buffer::{BufferPool, Frame, SweepStats};
 use crate::error::EngineError;
@@ -274,9 +273,13 @@ impl Database {
         };
         // A fresh page is dirty by construction (must reach flash at least
         // once); mark it so the tracker reports dirty.
-        let idx = self.pool.insert(frame);
-        let f = self.pool.frame_mut(idx).expect("just inserted");
-        f.tracker.mark_out_of_place();
+        let idx = self
+            .pool
+            .insert(frame)
+            .ok_or(EngineError::Internal("no free frame after ensure_free_frame"))?;
+        if let Some(f) = self.pool.frame_mut(idx) {
+            f.tracker.mark_out_of_place();
+        }
         Ok(pid)
     }
 
@@ -347,7 +350,9 @@ impl Database {
             referenced: true,
             rec_lsn: Lsn::NULL,
         };
-        Ok(self.pool.insert(frame))
+        self.pool
+            .insert(frame)
+            .ok_or(EngineError::Internal("no free frame after ensure_free_frame"))
     }
 
     /// Run `f` against a buffered page and its tracker. The page is pinned
@@ -358,7 +363,8 @@ impl Database {
         f: impl FnOnce(&mut DbPage, &mut ChangeTracker) -> Result<R>,
     ) -> Result<R> {
         let idx = self.fetch(pid)?;
-        let frame = self.pool.frame_mut(idx).expect("fetched frame");
+        let frame =
+            self.pool.frame_mut(idx).ok_or(EngineError::Internal("fetched frame missing"))?;
         frame.pins += 1;
         let was_clean = !frame.tracker.is_dirty();
         let result = f(&mut frame.page, &mut frame.tracker);
@@ -372,7 +378,8 @@ impl Database {
     /// Read-only page access.
     pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&DbPage) -> R) -> Result<R> {
         let idx = self.fetch(pid)?;
-        let frame = self.pool.frame_mut(idx).expect("fetched frame");
+        let frame =
+            self.pool.frame_mut(idx).ok_or(EngineError::Internal("fetched frame missing"))?;
         Ok(f(&frame.page))
     }
 
@@ -426,8 +433,11 @@ impl Database {
         let use_ipa =
             matches!(decision, FlushDecision::Ipa(_)) && self.ftl.can_append(rid, pid.lba);
         if use_ipa {
-            let FlushDecision::Ipa(records) = decision else { unreachable!() };
-            let frame = self.pool.frame_mut(idx).expect("frame present");
+            let FlushDecision::Ipa(records) = decision else {
+                return Err(EngineError::Internal("use_ipa implies an Ipa flush decision"));
+            };
+            let frame =
+                self.pool.frame_mut(idx).ok_or(EngineError::Internal("flushed frame missing"))?;
             let mut staged = Vec::with_capacity(records.len());
             for rec in &records {
                 staged.push(frame.page.append_delta_record(rec)?);
@@ -455,12 +465,14 @@ impl Database {
                     }
                 }
             }
-            let frame = self.pool.frame_mut(idx).expect("frame present");
+            let frame =
+                self.pool.frame_mut(idx).ok_or(EngineError::Internal("flushed frame missing"))?;
             frame.tracker = frame.tracker.after_ipa_flush(appended);
             frame.rec_lsn = Lsn::NULL;
             self.stats.ipa_flushes += 1;
         } else {
-            let frame = self.pool.frame_mut(idx).expect("frame present");
+            let frame =
+                self.pool.frame_mut(idx).ok_or(EngineError::Internal("flushed frame missing"))?;
             frame.page.reset_delta_area();
             let image = frame.page.bytes().to_vec();
             let layout = self.layouts[pid.region];
@@ -474,11 +486,12 @@ impl Database {
                     let code = ecc::initial_code(&image, &layout);
                     let range = oob_layout
                         .range(ecc::ipa_oob::Section::EccInitial)
-                        .expect("initial slot always present");
+                        .ok_or(EngineError::Internal("oob layout lacks the EccInitial slot"))?;
                     self.ftl.write_oob(rid, pid.lba, range.start, &code)?;
                 }
             }
-            let frame = self.pool.frame_mut(idx).expect("frame present");
+            let frame =
+                self.pool.frame_mut(idx).ok_or(EngineError::Internal("flushed frame missing"))?;
             frame.tracker = frame.tracker.after_out_of_place_flush();
             frame.rec_lsn = Lsn::NULL;
             self.stats.oop_flushes += 1;
@@ -670,7 +683,7 @@ impl Database {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use ipa_flash::FlashConfig;
+    use ipa_noftl::FlashConfig;
     use ipa_noftl::IpaMode;
 
     pub(crate) fn test_db(scheme: NxM, frames: usize) -> Database {

@@ -36,6 +36,10 @@ pub enum EngineError {
     IndexError(String),
     /// Recovery found an inconsistency it cannot repair.
     RecoveryError(String),
+    /// An internal engine invariant did not hold (a bug in the engine
+    /// itself, not a caller error); the operation is abandoned instead of
+    /// panicking.
+    Internal(&'static str),
 }
 
 impl From<CoreError> for EngineError {
@@ -67,6 +71,7 @@ impl std::fmt::Display for EngineError {
             EngineError::LogFull => write!(f, "log capacity exhausted"),
             EngineError::IndexError(msg) => write!(f, "index: {msg}"),
             EngineError::RecoveryError(msg) => write!(f, "recovery: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal engine invariant violated: {msg}"),
         }
     }
 }

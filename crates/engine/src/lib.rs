@@ -26,6 +26,7 @@
 //! * Per-region [`ipa_core::UpdateSizeProfile`] collection — the raw data
 //!   behind the paper's update-size CDFs (Figures 7–10, Tables 1 and 11).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod btree;

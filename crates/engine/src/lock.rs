@@ -62,11 +62,9 @@ impl LockManager {
                         }
                         return Err(EngineError::LockConflict {
                             tx,
-                            holder: *entry
-                                .holders
-                                .iter()
-                                .find(|&&h| h != tx)
-                                .expect("other holder"),
+                            // holders.len() > 1 here, so another holder
+                            // exists; fall back to `tx` defensively.
+                            holder: entry.holders.iter().copied().find(|&h| h != tx).unwrap_or(tx),
                             key,
                         });
                     }

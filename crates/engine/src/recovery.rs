@@ -105,11 +105,13 @@ fn ensure_page(db: &mut Database, pid: PageId) -> Result<()> {
     // Make room first.
     if !db.pool.has_free_slot() {
         let victim = db.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
-        db.flush_frame(victim, ipa_flash::OpOrigin::Host)?;
+        db.flush_frame(victim, ipa_noftl::OpOrigin::Host)?;
         db.pool.remove(victim);
     }
-    let idx = db.pool.insert(frame);
-    db.pool.frame_mut(idx).expect("inserted").tracker.mark_out_of_place();
+    let idx = db.pool.insert(frame).ok_or(EngineError::Internal("no free frame after eviction"))?;
+    if let Some(f) = db.pool.frame_mut(idx) {
+        f.tracker.mark_out_of_place();
+    }
     Ok(())
 }
 

@@ -9,6 +9,7 @@ use crate::geometry::FlashGeometry;
 /// chip-parallelism breakdown in the observability snapshots (skewed
 /// per-chip loads show up directly here).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct ChipCounters {
     /// Page reads dispatched to this chip.
     pub reads: u64,

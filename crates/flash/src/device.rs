@@ -171,6 +171,7 @@ enum LatClass {
 
 /// Erase-count distribution across all blocks of a device.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct WearHistogram {
     /// Lowest per-block erase count.
     pub min: u64,
@@ -512,7 +513,8 @@ impl FlashDevice {
     pub fn read(&mut self, ppa: Ppa, origin: OpOrigin) -> Result<(Vec<u8>, OpResult)> {
         let id = self.submit_read(ppa, origin)?;
         let c = self.complete(id)?;
-        Ok((c.data.unwrap_or_default(), c.result))
+        let data = c.data.ok_or(FlashError::Internal("read completion carries no data"))?;
+        Ok((data, c.result))
     }
 
     /// Read a page's OOB area. Real controllers fetch OOB together with the

@@ -75,6 +75,10 @@ pub enum FlashError {
         /// Correction capability of the configured code.
         correctable: u32,
     },
+    /// An internal simulator invariant did not hold (a bug in the flash
+    /// layer itself, not a caller error); the operation is abandoned
+    /// instead of panicking.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for FlashError {
@@ -113,6 +117,7 @@ impl std::fmt::Display for FlashError {
                 f,
                 "uncorrectable ECC on {ppa}: {bit_errors} bit errors, code corrects {correctable}"
             ),
+            FlashError::Internal(msg) => write!(f, "internal flash invariant violated: {msg}"),
         }
     }
 }

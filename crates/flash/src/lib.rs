@@ -56,6 +56,7 @@
 //! assert!(dev.program_partial(ppa, 0, &[0xFF; 8], OpOrigin::Host).is_err());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod block;

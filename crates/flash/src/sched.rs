@@ -209,14 +209,18 @@ impl IoScheduler {
     pub fn admit_host(&mut self, clock: &mut SimClock) -> u64 {
         let mut waits = 0;
         while self.host_inflight() >= self.queue_depth as usize {
-            let idx = self
+            // The loop condition guarantees a host command is in flight;
+            // bail out rather than spin if that ever stops holding.
+            let Some(idx) = self
                 .inflight
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| c.origin == OpOrigin::Host)
                 .min_by_key(|(_, c)| (c.result.completed_at_ns, c.id))
                 .map(|(i, _)| i)
-                .expect("full host queue has a host command");
+            else {
+                break;
+            };
             let c = self.inflight.swap_remove(idx);
             clock.advance_to(c.result.completed_at_ns);
             self.completed.push(c);

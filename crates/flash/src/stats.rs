@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 /// A fixed-bucket latency histogram (microsecond-scaled, power-of-two
 /// buckets) that also tracks sum and count for exact means.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[must_use]
 pub struct LatencyHistogram {
     /// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds; bucket 0
     /// additionally absorbs sub-microsecond samples.
@@ -119,6 +120,7 @@ impl LatencyHistogram {
 
 /// Cumulative operation counters of a flash device.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[must_use]
 pub struct FlashStats {
     /// Page reads issued on behalf of the host.
     pub host_reads: u64,

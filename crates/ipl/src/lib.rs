@@ -21,6 +21,7 @@
 //! ([`Amplification::ipl`] and [`Amplification::ipa`]) so the Table 2
 //! harness can replay *the same* engine trace through both models.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod sim;

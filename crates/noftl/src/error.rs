@@ -38,6 +38,10 @@ pub enum NoFtlError {
     BadConfig(String),
     /// Region id out of range.
     BadRegion(usize),
+    /// An internal mapping invariant did not hold (a bug in the NoFTL
+    /// layer itself, not a caller error); the operation is abandoned
+    /// instead of panicking.
+    Internal(&'static str),
 }
 
 impl From<FlashError> for NoFtlError {
@@ -62,6 +66,7 @@ impl std::fmt::Display for NoFtlError {
             }
             NoFtlError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             NoFtlError::BadRegion(id) => write!(f, "bad region id {id}"),
+            NoFtlError::Internal(msg) => write!(f, "internal noftl invariant violated: {msg}"),
         }
     }
 }

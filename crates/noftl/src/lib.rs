@@ -29,6 +29,7 @@
 //!   Tables 6–10 (host reads/writes, delta writes, GC page migrations, GC
 //!   erases and the per-host-write ratios).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
@@ -47,9 +48,13 @@ pub use manager::{NoFtl, RegionId};
 pub use region::Lba;
 pub use stats::RegionStats;
 
-// The queued-I/O handle types travel through this crate's API
-// (`NoFtl::submit_batch` returns them); re-export for convenience.
-pub use ipa_flash::{CmdId, Completion};
+// Vocabulary types that travel through this crate's API: queued-I/O
+// handles, op attribution/outcome, device configuration and the observer
+// hooks. Re-exported so upper layers (the engine in particular) never
+// import `ipa_flash` directly — the L003 layering lint enforces this.
+pub use ipa_flash::{
+    CmdId, Completion, EventKind, FlashConfig, ObsEvent, Observer, OpOrigin, OpResult,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NoFtlError>;

@@ -179,7 +179,8 @@ impl Region {
     ) -> Result<(Vec<u8>, OpResult)> {
         let id = self.submit_read(dev, lba, ctx)?;
         let completion = dev.complete(id)?;
-        let data = completion.data.expect("read completion carries data");
+        let data =
+            completion.data.ok_or(NoFtlError::Internal("read completion carries no data"))?;
         Ok((data, completion.result))
     }
 
@@ -206,9 +207,9 @@ impl Region {
         self.stage_obs(dev, ctx, lba);
         let id = dev.submit_program(ppa, data, ctx.origin)?;
         if let Some(old) = self.l2p[lba.0 as usize] {
-            self.invalidate(old);
+            self.invalidate(old)?;
         }
-        self.map(lba, ppa);
+        self.map(lba, ppa)?;
         self.stats.host_page_writes += 1;
         Ok(id)
     }
@@ -316,7 +317,7 @@ impl Region {
     pub(crate) fn trim(&mut self, lba: Lba) -> Result<()> {
         self.check_lba(lba)?;
         if let Some(ppa) = self.l2p[lba.0 as usize].take() {
-            self.invalidate(ppa);
+            self.invalidate(ppa)?;
             self.p2l.remove(&ppa);
             self.stats.trims += 1;
         }
@@ -329,29 +330,34 @@ impl Region {
         local
     }
 
-    fn local_chip(&self, global: u32) -> usize {
-        self.chips.iter().position(|c| c.chip == global).expect("ppa belongs to region")
+    fn local_chip(&self, global: u32) -> Result<usize> {
+        self.chips
+            .iter()
+            .position(|c| c.chip == global)
+            .ok_or(NoFtlError::Internal("ppa does not belong to any chip of this region"))
     }
 
-    fn map(&mut self, lba: Lba, ppa: Ppa) {
+    fn map(&mut self, lba: Lba, ppa: Ppa) -> Result<()> {
         self.l2p[lba.0 as usize] = Some(ppa);
         self.p2l.insert(ppa, lba.0);
-        let local = self.local_chip(ppa.chip);
+        let local = self.local_chip(ppa.chip)?;
         let info = &mut self.chips[local].blocks[ppa.block as usize];
         if !info.valid[ppa.page as usize] {
             info.valid[ppa.page as usize] = true;
             info.valid_count += 1;
         }
+        Ok(())
     }
 
-    fn invalidate(&mut self, ppa: Ppa) {
-        let local = self.local_chip(ppa.chip);
+    fn invalidate(&mut self, ppa: Ppa) -> Result<()> {
+        let local = self.local_chip(ppa.chip)?;
         let info = &mut self.chips[local].blocks[ppa.block as usize];
         if info.valid[ppa.page as usize] {
             info.valid[ppa.page as usize] = false;
             info.valid_count -= 1;
         }
         self.p2l.remove(&ppa);
+        Ok(())
     }
 
     /// Allocate the next physical page on a chip, opening a fresh block
@@ -374,12 +380,13 @@ impl Region {
             // Open a new block: pick the least-worn free block.
             if !state.free_blocks.is_empty() {
                 let chip_id = state.chip;
-                let (idx, _) = state
-                    .free_blocks
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &b)| dev.block_erase_count(chip_id, b).unwrap_or(u64::MAX))
-                    .expect("non-empty free list");
+                let Some((idx, _)) =
+                    state.free_blocks.iter().enumerate().min_by_key(|(_, &b)| {
+                        dev.block_erase_count(chip_id, b).unwrap_or(u64::MAX)
+                    })
+                else {
+                    return Err(NoFtlError::Internal("free list emptied during allocation"));
+                };
                 let block = state.free_blocks.swap_remove(idx);
                 let info = &mut state.blocks[block as usize];
                 info.free = false;
@@ -441,13 +448,20 @@ impl Region {
         let mut batch: Vec<(u32, u64, CmdId)> = Vec::with_capacity(valid_pages.len());
         for page in valid_pages {
             let old = Ppa::new(chip, victim, page);
-            let lba = *self.p2l.get(&old).expect("valid page has a logical owner");
+            let lba = self
+                .p2l
+                .get(&old)
+                .copied()
+                .ok_or(NoFtlError::Internal("valid page has no logical owner"))?;
             let id = dev.submit_read(old, OpOrigin::Background)?;
             batch.push((page, lba, id));
         }
         for (page, lba, id) in batch {
             let old = Ppa::new(chip, victim, page);
-            let data = dev.complete(id)?.data.expect("read completion carries data");
+            let data = dev
+                .complete(id)?
+                .data
+                .ok_or(NoFtlError::Internal("read completion carries no data"))?;
             let oob = dev.read_oob(old)?;
             let new = self.allocate(dev, local)?;
             if dev.observing() {
@@ -456,8 +470,8 @@ impl Region {
             dev.program(new, &data, OpOrigin::Background)?;
             // Carry the OOB image along: ECC codes stay with the data.
             dev.program_oob(new, 0, &oob)?;
-            self.invalidate(old);
-            self.map(Lba(lba), new);
+            self.invalidate(old)?;
+            self.map(Lba(lba), new)?;
             self.stats.gc_page_migrations += 1;
         }
         if dev.observing() {

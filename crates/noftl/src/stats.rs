@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// Counters for one region.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct RegionStats {
     /// Host page reads (`Host Reads`).
     pub host_reads: u64,

@@ -24,6 +24,7 @@
 //! Tracing is opt-in: with no observer attached the hot path pays a single
 //! branch per flash operation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod jsonl;

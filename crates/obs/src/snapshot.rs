@@ -10,6 +10,7 @@ use serde_json::{Map, Value};
 /// capture source does not reach stay at their defaults (e.g. a
 /// device-only capture has empty engine stats).
 #[derive(Debug, Clone, Default)]
+#[must_use]
 pub struct Snapshot {
     /// Simulated device clock at capture — in a delta, the interval length.
     pub at_ns: u64,
@@ -28,6 +29,7 @@ pub struct Snapshot {
 /// Derived metrics over one snapshot (cumulative or interval) — the
 /// paper's ratio rows plus tail latencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct Gauges {
     /// DB write amplification: gross written / net changed bytes.
     pub write_amplification: f64,

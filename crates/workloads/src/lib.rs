@@ -23,6 +23,7 @@
 //! scheme, buffer fraction) and a [`driver::RunReport`] carrying exactly
 //! the rows the paper's tables print.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;

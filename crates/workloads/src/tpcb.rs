@@ -206,8 +206,9 @@ mod tests {
         // (write counts, flush counts) can collide across seeds on small
         // runs; the event-by-event trace cannot unless the executions
         // really are identical.
+        type Event = (String, Option<u32>, Option<u64>);
         #[derive(Clone, Default)]
-        struct Tape(Arc<Mutex<Vec<(String, Option<u32>, Option<u64>)>>>);
+        struct Tape(Arc<Mutex<Vec<Event>>>);
         impl Observer for Tape {
             fn on_event(&mut self, event: ObsEvent) {
                 self.0.lock().unwrap().push((format!("{:?}", event.kind), event.region, event.lba));

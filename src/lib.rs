@@ -19,6 +19,9 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use ipa_core as core;
 pub use ipa_engine as engine;
 pub use ipa_flash as flash;
