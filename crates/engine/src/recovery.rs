@@ -176,8 +176,67 @@ fn apply_action(db: &mut Database, lsn: Lsn, action: &LogPayload, check_lsn: boo
             db.index_delete_physical(Some(*tx), *index, *key)?;
             Ok(())
         }
+        LogPayload::PageWrite { page, offset, after, .. } => {
+            ensure_page(db, *page)?;
+            let (offset, after) = (*offset as usize, after.clone());
+            db.with_page_mut(*page, |p, t| {
+                if check_lsn && p.lsn() >= lsn.0 {
+                    return Ok(());
+                }
+                p.write_body(offset, &after, t);
+                p.set_lsn(lsn.0, t);
+                Ok(())
+            })
+        }
         _ => Ok(()),
     }
+}
+
+/// The page a physical redo action targets (None for logical records).
+fn redo_page_of(action: &LogPayload) -> Option<PageId> {
+    match action {
+        LogPayload::Update { page, .. }
+        | LogPayload::Insert { page, .. }
+        | LogPayload::Delete { page, .. }
+        | LogPayload::Undelete { page, .. }
+        | LogPayload::PageWrite { page, .. } => Some(*page),
+        _ => None,
+    }
+}
+
+fn is_uncorrectable(e: &EngineError) -> bool {
+    matches!(e, EngineError::NoFtl(n) if n.is_uncorrectable_ecc())
+}
+
+/// Apply one redo action, healing unreadable flash residencies. An
+/// uncorrectable-ECC fetch failure is retried once (read retry); if the
+/// residency stays unreadable it is dropped and the page rebuilt purely
+/// from the redo history that follows — graceful degradation, where the
+/// alternative is refusing to open the database at all. Changes committed
+/// before the surviving log tail and never redone cannot be recovered
+/// from an unreadable page; repeating history from a freshly formatted
+/// page is the best available outcome.
+fn apply_action_healed(
+    db: &mut Database,
+    lsn: Lsn,
+    action: &LogPayload,
+    check_lsn: bool,
+) -> Result<()> {
+    let first = apply_action(db, lsn, action, check_lsn);
+    match &first {
+        Err(e) if is_uncorrectable(e) => {}
+        _ => return first,
+    }
+    let Some(pid) = redo_page_of(action) else { return first };
+    db.stats.read_retries += 1;
+    let second = apply_action(db, lsn, action, check_lsn);
+    match &second {
+        Err(e) if is_uncorrectable(e) => {}
+        _ => return second,
+    }
+    db.ftl.trim(ipa_noftl::RegionId(pid.region), pid.lba)?;
+    db.stats.recovery_page_rebuilds += 1;
+    apply_action(db, lsn, action, check_lsn)
 }
 
 impl Database {
@@ -230,25 +289,15 @@ impl Database {
                     | LogPayload::Delete { .. }
                     | LogPayload::Undelete { .. }) = action.as_ref()
                     {
-                        apply_action(self, rec.lsn, a, true)?
+                        apply_action_healed(self, rec.lsn, a, true)?
                     }
                 }
                 payload @ (LogPayload::Update { .. }
                 | LogPayload::Insert { .. }
                 | LogPayload::Delete { .. }
-                | LogPayload::Undelete { .. }) => apply_action(self, rec.lsn, payload, true)?,
-                LogPayload::PageWrite { page, offset, after, .. } => {
-                    ensure_page(self, *page)?;
-                    let lsn = rec.lsn;
-                    let (offset, after) = (*offset as usize, after.clone());
-                    self.with_page_mut(*page, |p, t| {
-                        if p.lsn() >= lsn.0 {
-                            return Ok(());
-                        }
-                        p.write_body(offset, &after, t);
-                        p.set_lsn(lsn.0, t);
-                        Ok(())
-                    })?;
+                | LogPayload::Undelete { .. }
+                | LogPayload::PageWrite { .. }) => {
+                    apply_action_healed(self, rec.lsn, payload, true)?
                 }
                 LogPayload::RootChange { index, new_root, .. } => {
                     self.indexes[*index as usize].root = *new_root;
@@ -395,6 +444,37 @@ mod tests {
         db.simulate_crash();
         db.recover().unwrap();
         assert_eq!(db.heap_read_unlocked(rid).unwrap(), b"base");
+    }
+
+    #[test]
+    fn recovery_rebuilds_unreadable_page_from_log() {
+        // A flushed page's residency rots past the ECC capability before
+        // the crash. Redo must not abort the restart: the residency is
+        // read-retried, then dropped, and the page rebuilt purely from
+        // the surviving redo history.
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let tx = db.begin();
+        let rid = db.heap_insert(tx, heap, &[6u8, 6, 6, 6]).unwrap();
+        db.commit(tx).unwrap();
+        db.flush_all().unwrap();
+
+        // Committed update in the log only.
+        let tx = db.begin();
+        db.heap_update(tx, heap, rid, &[8u8, 6, 6, 6]).unwrap();
+        db.commit(tx).unwrap();
+
+        // 48 raw bit errors > the default 40-bit ECC capability.
+        let bits: Vec<usize> = (0..48).collect();
+        db.ftl_mut()
+            .inject_retention(ipa_noftl::RegionId(rid.page.region), rid.page.lba, &bits)
+            .unwrap();
+
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![8, 6, 6, 6]);
+        assert!(db.stats().read_retries >= 1, "read retry must be counted");
+        assert!(db.stats().recovery_page_rebuilds >= 1, "rebuild must be counted");
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct EngineStats {
     pub gross_written_bytes: u64,
     /// ECC sections verified on fetch.
     pub ecc_verified: u64,
+    /// Redo-path read retries after an uncorrectable-ECC fetch failure.
+    pub read_retries: u64,
+    /// Pages whose flash residency stayed unreadable after retry and were
+    /// rebuilt purely from the WAL redo history during recovery.
+    pub recovery_page_rebuilds: u64,
 }
 
 impl EngineStats {
@@ -118,6 +123,10 @@ impl EngineStats {
                 .gross_written_bytes
                 .saturating_sub(earlier.gross_written_bytes),
             ecc_verified: self.ecc_verified.saturating_sub(earlier.ecc_verified),
+            read_retries: self.read_retries.saturating_sub(earlier.read_retries),
+            recovery_page_rebuilds: self
+                .recovery_page_rebuilds
+                .saturating_sub(earlier.recovery_page_rebuilds),
         }
     }
 }

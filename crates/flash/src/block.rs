@@ -12,6 +12,9 @@ pub enum BlockState {
     InUse,
     /// Endurance limit reached; further erases fail.
     WornOut,
+    /// Grown bad: a permanent program or erase failure retired the block.
+    /// Further programs and erases are refused by the device.
+    Retired,
 }
 
 /// One erase unit: a run of pages sharing bitlines (paper §3).
@@ -42,6 +45,17 @@ impl Block {
         self.state
     }
 
+    /// Whether the block has been retired as grown bad.
+    pub fn is_retired(&self) -> bool {
+        self.state == BlockState::Retired
+    }
+
+    /// Retire the block as grown bad after a permanent program or erase
+    /// failure. Irreversible: the device refuses further programs/erases.
+    pub(crate) fn retire(&mut self) {
+        self.state = BlockState::Retired;
+    }
+
     /// Immutable access to a page (panics on out-of-range index; callers
     /// validate against the geometry first).
     pub fn page(&self, page: u32) -> &PageData {
@@ -63,6 +77,9 @@ impl Block {
         block: u32,
         endurance: u64,
     ) -> Result<(), FlashError> {
+        if self.state == BlockState::Retired {
+            return Err(FlashError::BlockRetired { chip, block });
+        }
         if self.erase_count >= endurance {
             self.state = BlockState::WornOut;
             return Err(FlashError::BlockWornOut { chip, block, cycles: self.erase_count });
@@ -108,6 +125,16 @@ mod tests {
         assert_eq!(b.state(), BlockState::Free);
         assert_eq!(b.erase_count(), 1);
         assert_eq!(b.programmed_pages(), 0);
+    }
+
+    #[test]
+    fn retired_block_refuses_erase() {
+        let mut b = Block::new(1, 16, 4);
+        b.retire();
+        assert!(b.is_retired());
+        assert_eq!(b.state(), BlockState::Retired);
+        let err = b.erase(2, 3, 100).unwrap_err();
+        assert_eq!(err, FlashError::BlockRetired { chip: 2, block: 3 });
     }
 
     #[test]

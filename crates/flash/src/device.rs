@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::chip::{Chip, ChipCounters};
 use crate::error::FlashError;
+use crate::fault::{FaultInjector, FaultOp, FaultPlan, FaultVerdict};
 use crate::geometry::{CellType, FlashGeometry, PageKind, Ppa};
 use crate::obs::{EventKind, ObsCtx, ObsEvent, Observer};
 use crate::page::PageState;
@@ -57,6 +58,9 @@ pub struct FlashConfig {
     pub host_profile: HostProfile,
     /// Bit-error model.
     pub reliability: ReliabilityConfig,
+    /// Operation-fault model (program/erase-status failures). The default
+    /// plan is inert: no RNG draws, no behaviour change.
+    pub fault: FaultPlan,
     /// Override of the per-page append budget (defaults to the cell type's
     /// [`CellType::max_appends`]).
     pub max_appends: Option<u32>,
@@ -94,6 +98,7 @@ impl FlashConfig {
             timing: FlashTiming::slc(),
             host_profile: HostProfile::Emulator,
             reliability: ReliabilityConfig::default(),
+            fault: FaultPlan::default(),
             max_appends: None,
             endurance_limit: None,
             queue_depth: 1,
@@ -117,6 +122,7 @@ impl FlashConfig {
             timing: FlashTiming::slc(),
             host_profile: HostProfile::Emulator,
             reliability: ReliabilityConfig::default(),
+            fault: FaultPlan::default(),
             max_appends: None,
             endurance_limit: None,
             queue_depth: 1,
@@ -140,6 +146,7 @@ impl FlashConfig {
             timing: FlashTiming::mlc(),
             host_profile: HostProfile::OpenSsd,
             reliability: ReliabilityConfig::default(),
+            fault: FaultPlan::default(),
             max_appends: None,
             endurance_limit: None,
             queue_depth: 1,
@@ -195,6 +202,7 @@ pub struct FlashDevice {
     clock: SimClock,
     stats: FlashStats,
     ledger: ErrorLedger,
+    fault: FaultInjector,
     rng: StdRng,
     observer: Option<Box<dyn Observer>>,
     obs_seq: u64,
@@ -223,6 +231,7 @@ impl FlashDevice {
             clock: SimClock::new(),
             stats: FlashStats::default(),
             ledger: ErrorLedger::default(),
+            fault: FaultInjector::new(config.fault.clone()),
             rng: StdRng::seed_from_u64(seed),
             config,
             observer: None,
@@ -533,6 +542,23 @@ impl FlashDevice {
         }
         let ctx = self.take_obs_ctx();
         self.check(ppa)?;
+        if self.chips[ppa.chip as usize].block(ppa.block).is_retired() {
+            return Err(FlashError::BlockRetired { chip: ppa.chip, block: ppa.block });
+        }
+        match self.fault.check(FaultOp::Program) {
+            FaultVerdict::Pass => {}
+            FaultVerdict::Transient => {
+                self.stats.program_failures += 1;
+                self.emit(EventKind::ProgramFault { permanent: false }, ctx.region, ctx.lba);
+                return Err(FlashError::ProgramFailed { ppa, permanent: false });
+            }
+            FaultVerdict::Permanent => {
+                self.stats.program_failures += 1;
+                self.emit(EventKind::ProgramFault { permanent: true }, ctx.region, ctx.lba);
+                self.retire_block(ppa.chip, ppa.block, ctx);
+                return Err(FlashError::ProgramFailed { ppa, permanent: true });
+            }
+        }
         let msb = self.page_kind(ppa) == PageKind::Msb;
         self.chips[ppa.chip as usize].block_mut(ppa.block).page_mut(ppa.page).program(ppa, data)?;
         // A fresh program defines new cell contents; stale error bookkeeping
@@ -575,6 +601,17 @@ impl FlashDevice {
         }
         let ctx = self.take_obs_ctx();
         self.check(ppa)?;
+        if self.chips[ppa.chip as usize].block(ppa.block).is_retired() {
+            return Err(FlashError::BlockRetired { chip: ppa.chip, block: ppa.block });
+        }
+        if self.fault.check(FaultOp::DeltaProgram) != FaultVerdict::Pass {
+            // Delta faults are always transient for the block: the append is
+            // refused, the page keeps its pre-append contents, and the host
+            // falls back to a full out-of-place write.
+            self.stats.delta_program_failures += 1;
+            self.emit(EventKind::DeltaFault, ctx.region, ctx.lba);
+            return Err(FlashError::ProgramFailed { ppa, permanent: false });
+        }
         let max = self.config.max_appends();
         let attempt = self.chips[ppa.chip as usize]
             .block_mut(ppa.block)
@@ -638,6 +675,14 @@ impl FlashDevice {
         let ctx = self.take_obs_ctx();
         let probe = Ppa::new(chip, block, 0);
         self.check(probe)?;
+        if self.fault.check(FaultOp::Erase) != FaultVerdict::Pass {
+            // An erase-status failure always grows the block bad: a block
+            // that no longer erases is unusable by definition.
+            self.stats.erase_failures += 1;
+            self.emit(EventKind::EraseFault, ctx.region, ctx.lba);
+            self.retire_block(chip, block, ctx);
+            return Err(FlashError::EraseFailed { chip, block });
+        }
         let endurance = self.config.endurance_limit();
         self.chips[chip as usize].block_mut(block).erase(chip, block, endurance)?;
         for page in 0..self.config.geometry.pages_per_block {
@@ -655,6 +700,49 @@ impl FlashDevice {
     pub fn erase(&mut self, chip: u32, block: u32) -> Result<OpResult> {
         let id = self.submit_erase(chip, block, OpOrigin::Background)?;
         Ok(self.complete(id)?.result)
+    }
+
+    /// Retire a block as grown bad: mark the in-memory state, persist the
+    /// classic bad-block marker (a non-`0xFF` byte at OOB offset 0 of the
+    /// block's first page) and account the retirement.
+    fn retire_block(&mut self, chip: u32, block: u32, ctx: ObsCtx) {
+        let b = self.chips[chip as usize].block_mut(block);
+        if b.is_retired() {
+            return;
+        }
+        // Programming 0x00 is reachable from any OOB state under the
+        // monotone-charge rule, so the marker write cannot fail.
+        let _ = b.page_mut(0).program_oob(Ppa::new(chip, block, 0), 0, &[0x00]);
+        b.retire();
+        self.stats.retired_blocks += 1;
+        self.emit(EventKind::BlockRetired, ctx.region, ctx.lba);
+    }
+
+    /// Retire a block as grown bad on behalf of the management layer —
+    /// e.g. after the retry budget for a transiently-failing program is
+    /// spent. Idempotent: already-retired blocks are left as they are and
+    /// not double-counted. Persists the OOB bad-block marker.
+    pub fn retire(&mut self, chip: u32, block: u32) -> Result<()> {
+        self.check(Ppa::new(chip, block, 0))?;
+        let ctx = self.take_obs_ctx();
+        self.retire_block(chip, block, ctx);
+        Ok(())
+    }
+
+    /// Whether a block has been retired as grown bad.
+    pub fn is_block_retired(&self, chip: u32, block: u32) -> Result<bool> {
+        self.check(Ppa::new(chip, block, 0))?;
+        Ok(self.chips[chip as usize].block(block).is_retired())
+    }
+
+    /// Whether a block carries the persisted grown-bad OOB marker (a
+    /// non-`0xFF` byte at OOB offset 0 of its first page) — the durable
+    /// form of [`FlashDevice::is_block_retired`] a management layer scans
+    /// at mount time.
+    pub fn oob_bad_marked(&self, chip: u32, block: u32) -> Result<bool> {
+        self.check(Ppa::new(chip, block, 0))?;
+        let oob = self.chips[chip as usize].block(block).page(0).oob();
+        Ok(oob.first().is_some_and(|&b| b != 0xFF))
     }
 
     /// Queue a Correct-and-Refresh (Cai et al., paper ref \[35\]): read the
@@ -1273,5 +1361,127 @@ mod tests {
         let a = d.program(Ppa::new(0, 0, 0), &vec![0x00; 4096], OpOrigin::Host).unwrap();
         let b = d.program(Ppa::new(1, 0, 0), &vec![0x00; 4096], OpOrigin::Host).unwrap();
         assert!(b.completed_at_ns > a.completed_at_ns);
+    }
+
+    #[test]
+    fn transient_program_fault_fails_once_then_retry_succeeds() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.fault = crate::FaultPlan::default().with_scripted(crate::FaultOp::Program, 0, false);
+        let mut d = FlashDevice::new(cfg);
+        let ppa = Ppa::new(0, 0, 0);
+        let data = full(&d, 0x11);
+        let err = d.program(ppa, &data, OpOrigin::Host).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed { ppa, permanent: false });
+        // The failed program left the page erased; a retry succeeds.
+        d.program(ppa, &data, OpOrigin::Host).unwrap();
+        assert_eq!(d.stats().program_failures, 1);
+        assert_eq!(d.stats().retired_blocks, 0);
+        assert_eq!(d.stats().host_programs, 1);
+        assert!(!d.is_block_retired(0, 0).unwrap());
+    }
+
+    #[test]
+    fn permanent_program_fault_retires_block_and_marks_oob() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.fault = crate::FaultPlan::default().with_scripted(crate::FaultOp::Program, 0, true);
+        let mut d = FlashDevice::new(cfg);
+        let ppa = Ppa::new(0, 3, 0);
+        let data = full(&d, 0x22);
+        let err = d.program(ppa, &data, OpOrigin::Host).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed { ppa, permanent: true });
+        assert!(d.is_block_retired(0, 3).unwrap());
+        assert!(d.oob_bad_marked(0, 3).unwrap());
+        assert!(!d.oob_bad_marked(0, 4).unwrap());
+        assert_eq!(d.stats().program_failures, 1);
+        assert_eq!(d.stats().retired_blocks, 1);
+        // The retired block refuses further programs and erases.
+        assert_eq!(
+            d.program(ppa, &data, OpOrigin::Host).unwrap_err(),
+            FlashError::BlockRetired { chip: 0, block: 3 }
+        );
+        assert_eq!(d.erase(0, 3).unwrap_err(), FlashError::BlockRetired { chip: 0, block: 3 });
+        // Other blocks are unaffected.
+        d.program(Ppa::new(0, 4, 0), &data, OpOrigin::Host).unwrap();
+    }
+
+    #[test]
+    fn erase_fault_retires_block() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.fault = crate::FaultPlan::default().with_scripted(crate::FaultOp::Erase, 1, false);
+        let mut d = FlashDevice::new(cfg);
+        d.erase(0, 7).unwrap();
+        let err = d.erase(0, 7).unwrap_err();
+        assert_eq!(err, FlashError::EraseFailed { chip: 0, block: 7 });
+        assert!(d.is_block_retired(0, 7).unwrap());
+        assert!(d.oob_bad_marked(0, 7).unwrap());
+        assert_eq!(d.stats().erase_failures, 1);
+        assert_eq!(d.stats().retired_blocks, 1);
+        assert_eq!(d.stats().erases, 1);
+    }
+
+    #[test]
+    fn delta_fault_preserves_page_and_append_budget() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.fault =
+            crate::FaultPlan::default().with_scripted(crate::FaultOp::DeltaProgram, 0, true);
+        let mut d = FlashDevice::new(cfg);
+        let ppa = Ppa::new(0, 0, 0);
+        let mut data = full(&d, 0xFF);
+        data[..100].fill(0x11);
+        d.program(ppa, &data, OpOrigin::Host).unwrap();
+        let err = d.program_partial(ppa, 4000, &[0x22; 16], OpOrigin::Host).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed { ppa, permanent: false });
+        assert_eq!(d.stats().delta_program_failures, 1);
+        assert_eq!(d.stats().host_delta_programs, 0);
+        // The page keeps its pre-append contents and stays appendable.
+        assert_eq!(&d.peek(ppa).unwrap()[..100], &data[..100]);
+        d.program_partial(ppa, 4000, &[0x22; 16], OpOrigin::Host).unwrap();
+        assert_eq!(d.stats().host_delta_programs, 1);
+    }
+
+    #[test]
+    fn fault_events_reach_the_observer() {
+        use crate::obs::{EventKind, ObsEvent, Observer};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<ObsEvent>>>);
+        impl Observer for Shared {
+            fn on_event(&mut self, event: ObsEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let mut cfg = FlashConfig::small_slc();
+        cfg.fault = crate::FaultPlan::default()
+            .with_scripted(crate::FaultOp::Program, 0, true)
+            .with_scripted(crate::FaultOp::DeltaProgram, 0, false);
+        let mut d = FlashDevice::new(cfg);
+        let sink = Shared::default();
+        d.attach_observer(Box::new(sink.clone()));
+
+        let data = full(&d, 0x33);
+        d.set_obs_ctx(Some(1), Some(42));
+        assert!(d.program(Ppa::new(0, 0, 0), &data, OpOrigin::Host).is_err());
+        let mut ok = full(&d, 0xFF);
+        ok[..64].fill(0x44);
+        d.program(Ppa::new(0, 1, 0), &ok, OpOrigin::Host).unwrap();
+        assert!(d.program_partial(Ppa::new(0, 1, 0), 4000, &[0x01; 8], OpOrigin::Host).is_err());
+
+        let events = sink.0.lock().unwrap().clone();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::ProgramFault { permanent: true },
+                EventKind::BlockRetired,
+                EventKind::HostProgram,
+                EventKind::DeltaFault,
+            ]
+        );
+        // The failing op's attribution context reaches both fault events.
+        assert_eq!(events[0].region, Some(1));
+        assert_eq!(events[0].lba, Some(42));
+        assert_eq!(events[1].region, Some(1));
     }
 }

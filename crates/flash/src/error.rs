@@ -75,6 +75,34 @@ pub enum FlashError {
         /// Correction capability of the configured code.
         correctable: u32,
     },
+    /// The chip reported program-status failure: the page contents are
+    /// undefined and the host must recover (retry, or retire the block and
+    /// remap the write elsewhere).
+    ProgramFailed {
+        /// Offending address.
+        ppa: Ppa,
+        /// Whether the fault is permanent: the block is grown bad and has
+        /// been retired by the device; further programs/erases are refused.
+        /// Transient faults may succeed on retry.
+        permanent: bool,
+    },
+    /// The chip reported erase-status failure: the block did not reach the
+    /// erased state. The device retires the block (grown bad); the host
+    /// must drop it from the free pool.
+    EraseFailed {
+        /// Chip index.
+        chip: u32,
+        /// Block index.
+        block: u32,
+    },
+    /// Operation issued to a block already retired as grown bad (a prior
+    /// program/erase failure was permanent).
+    BlockRetired {
+        /// Chip index.
+        chip: u32,
+        /// Block index.
+        block: u32,
+    },
     /// An internal simulator invariant did not hold (a bug in the flash
     /// layer itself, not a caller error); the operation is abandoned
     /// instead of panicking.
@@ -117,6 +145,17 @@ impl std::fmt::Display for FlashError {
                 f,
                 "uncorrectable ECC on {ppa}: {bit_errors} bit errors, code corrects {correctable}"
             ),
+            FlashError::ProgramFailed { ppa, permanent } => write!(
+                f,
+                "program-status failure on {ppa} ({})",
+                if *permanent { "permanent, block retired" } else { "transient" }
+            ),
+            FlashError::EraseFailed { chip, block } => {
+                write!(f, "erase-status failure on c{chip}/b{block}, block retired")
+            }
+            FlashError::BlockRetired { chip, block } => {
+                write!(f, "operation on retired (grown bad) block c{chip}/b{block}")
+            }
             FlashError::Internal(msg) => write!(f, "internal flash invariant violated: {msg}"),
         }
     }

@@ -63,6 +63,7 @@ mod block;
 mod chip;
 mod device;
 mod error;
+mod fault;
 mod geometry;
 mod obs;
 mod oob;
@@ -76,6 +77,7 @@ pub use block::{Block, BlockState};
 pub use chip::{Chip, ChipCounters};
 pub use device::{FlashConfig, FlashDevice, OpOrigin, OpResult, WearHistogram};
 pub use error::FlashError;
+pub use fault::{FaultOp, FaultPlan, ScriptedFault};
 pub use geometry::{CellType, FlashGeometry, PageKind, Ppa};
 pub use obs::{EventKind, ObsCtx, ObsEvent, Observer};
 pub use oob::{OobArea, OobLayout, Section};

@@ -50,6 +50,29 @@ pub enum EventKind {
     /// A partial program was rejected for violating the monotone-charge
     /// rule.
     IsppViolation,
+    /// A full-page program reported status failure. `permanent` faults grow
+    /// the block bad (a [`EventKind::BlockRetired`] event follows).
+    ProgramFault {
+        /// Whether the fault retired the block.
+        permanent: bool,
+    },
+    /// A partial program (delta append) reported status failure. Always
+    /// transient for the block; the host falls back to an out-of-place
+    /// write ([`EventKind::DeltaFallback`]).
+    DeltaFault,
+    /// A block erase reported status failure; the block is grown bad (a
+    /// [`EventKind::BlockRetired`] event follows).
+    EraseFault,
+    /// A block was retired as grown bad after a permanent program or erase
+    /// failure.
+    BlockRetired,
+    /// The NoFTL layer recovered a failed delta append by rewriting the
+    /// page out of place (the paper's fallback: appends are an
+    /// optimisation, never a correctness requirement).
+    DeltaFallback,
+    /// The NoFTL scrubber scheduled a Correct-and-Refresh because a read's
+    /// corrected-bit count crossed the configured threshold.
+    ScrubRefresh,
 }
 
 /// One trace event.

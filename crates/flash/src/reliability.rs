@@ -88,11 +88,20 @@ pub struct ErrorLedger {
 }
 
 impl ErrorLedger {
-    /// Record an injected error.
+    /// Record an injected error. A bit can hold at most one error; when a
+    /// second error lands on an already-errored bit the kinds are merged in
+    /// the non-refreshable direction: an `Interference` hit upgrades a
+    /// stored `Retention` error (the extra charge survives a refresh), while
+    /// a `Retention` hit on an `Interference` bit changes nothing.
     pub fn inject(&mut self, ppa: Ppa, err: BitError) {
         let list = self.errors.entry(ppa).or_default();
-        if !list.iter().any(|e| e.bit == err.bit) {
-            list.push(err);
+        match list.iter_mut().find(|e| e.bit == err.bit) {
+            Some(existing) => {
+                if err.kind == ErrorKind::Interference {
+                    existing.kind = ErrorKind::Interference;
+                }
+            }
+            None => list.push(err),
         }
     }
 
@@ -165,6 +174,24 @@ mod tests {
         let mut l = ErrorLedger::default();
         l.inject(P, BitError { bit: 5, kind: ErrorKind::Retention });
         l.inject(P, BitError { bit: 5, kind: ErrorKind::Interference });
+        assert_eq!(l.raw_errors(P), 1);
+    }
+
+    #[test]
+    fn kind_collision_upgrades_to_interference() {
+        // Regression: an Interference error landing on a bit already holding
+        // a Retention error used to be dropped outright, so refresh() wrongly
+        // reported the page fully repaired.
+        let mut l = ErrorLedger::default();
+        l.inject(P, BitError { bit: 5, kind: ErrorKind::Retention });
+        l.inject(P, BitError { bit: 5, kind: ErrorKind::Interference });
+        assert_eq!(l.errors(P)[0].kind, ErrorKind::Interference);
+        // The merged error must survive a refresh.
+        assert_eq!(l.refresh(P), 0);
+        assert_eq!(l.raw_errors(P), 1);
+        // The reverse direction never downgrades.
+        l.inject(P, BitError { bit: 5, kind: ErrorKind::Retention });
+        assert_eq!(l.errors(P)[0].kind, ErrorKind::Interference);
         assert_eq!(l.raw_errors(P), 1);
     }
 

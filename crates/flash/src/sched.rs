@@ -367,6 +367,36 @@ mod tests {
     }
 
     #[test]
+    fn poll_ready_interleaves_admission_retirees_with_ready_inflight() {
+        // Regression for the documented "ordered by completion time"
+        // contract: at queue depth 2, a host command retired by admission
+        // (completed_at = 300) lands in the internal `completed` buffer
+        // while a background command finishing earlier (completed_at = 100)
+        // is still in flight. A naive concatenation would return the
+        // retiree first; the merged set must be sorted by
+        // `(completed_at_ns, id)`.
+        let mut s = IoScheduler::new(2, HostProfile::Emulator, 2);
+        let mut clock = SimClock::new();
+        let bg = s.push(completion(1, OpOrigin::Background, 0, 100));
+        let h1 = s.push(completion(0, OpOrigin::Host, 0, 300));
+        let _h2 = s.push(completion(0, OpOrigin::Host, 300, 600));
+        // The queue is at depth 2: admission retires the earliest host
+        // command (h1, t=300) into the completed buffer.
+        assert_eq!(s.admit_host(&mut clock), 1);
+        assert_eq!(clock.now_ns(), 300);
+
+        let ready = s.poll_ready(400);
+        assert_eq!(ready.len(), 2);
+        assert_eq!(ready[0].id, bg, "background command completed first");
+        assert_eq!(ready[0].result.completed_at_ns, 100);
+        assert_eq!(ready[1].id, h1);
+        assert_eq!(ready[1].result.completed_at_ns, 300);
+        assert!(ready.windows(2).all(|w| {
+            (w[0].result.completed_at_ns, w[0].id) < (w[1].result.completed_at_ns, w[1].id)
+        }));
+    }
+
+    #[test]
     fn command_constructors_pick_conventional_origins() {
         let c = IoCommand::read(Ppa::new(0, 0, 0));
         assert_eq!(c.origin, OpOrigin::Host);

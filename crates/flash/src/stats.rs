@@ -142,6 +142,15 @@ pub struct FlashStats {
     pub injected_bit_errors: u64,
     /// Bit errors corrected by ECC on read.
     pub corrected_bit_errors: u64,
+    /// Injected program-status failures (full-page programs).
+    pub program_failures: u64,
+    /// Injected program-status failures on partial programs (delta appends).
+    pub delta_program_failures: u64,
+    /// Injected erase-status failures.
+    pub erase_failures: u64,
+    /// Blocks retired as grown bad after a permanent program or erase
+    /// failure.
+    pub retired_blocks: u64,
     /// Host submissions that found the host queue full and had to wait for
     /// an in-flight command to retire (queued-I/O admission stalls).
     pub queue_waits: u64,
@@ -190,6 +199,10 @@ impl FlashStats {
         self.ispp_violations += other.ispp_violations;
         self.injected_bit_errors += other.injected_bit_errors;
         self.corrected_bit_errors += other.corrected_bit_errors;
+        self.program_failures += other.program_failures;
+        self.delta_program_failures += other.delta_program_failures;
+        self.erase_failures += other.erase_failures;
+        self.retired_blocks += other.retired_blocks;
         self.queue_waits += other.queue_waits;
         self.queue_highwater = self.queue_highwater.max(other.queue_highwater);
         self.read_latency.merge(&other.read_latency);
@@ -216,6 +229,12 @@ impl FlashStats {
             corrected_bit_errors: self
                 .corrected_bit_errors
                 .saturating_sub(earlier.corrected_bit_errors),
+            program_failures: self.program_failures.saturating_sub(earlier.program_failures),
+            delta_program_failures: self
+                .delta_program_failures
+                .saturating_sub(earlier.delta_program_failures),
+            erase_failures: self.erase_failures.saturating_sub(earlier.erase_failures),
+            retired_blocks: self.retired_blocks.saturating_sub(earlier.retired_blocks),
             queue_waits: self.queue_waits.saturating_sub(earlier.queue_waits),
             queue_highwater: self.queue_highwater.saturating_sub(earlier.queue_highwater),
             read_latency: self.read_latency.diff(&earlier.read_latency),

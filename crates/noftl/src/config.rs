@@ -80,6 +80,32 @@ impl RegionSpec {
     }
 }
 
+/// Self-healing policy over flash operation faults: how often to retry a
+/// failed program before degrading (retire the block, remap the write), and
+/// when the scrubber refreshes a page whose reads need heavy correction.
+///
+/// The degradation paths themselves are fixed by construction — a failed
+/// `write_delta` always falls back to a full out-of-place write, a failed
+/// erase always retires the GC victim — only the budgets are configurable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// How many times a transiently-failed full-page program is retried on
+    /// the same page before the block is retired and the write remapped to
+    /// a fresh page.
+    pub program_retries: u32,
+    /// Scrub threshold as a fraction of the ECC correction capability
+    /// (`ecc_correctable_bits`): a host read whose corrected-bit count
+    /// reaches `scrub_threshold * ecc_correctable_bits` schedules a
+    /// Correct-and-Refresh of the page. `0.0` disables the scrubber.
+    pub scrub_threshold: f64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy { program_retries: 1, scrub_threshold: 0.0 }
+    }
+}
+
 /// Full NoFTL configuration: the flash device plus its regions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NoFtlConfig {
@@ -90,6 +116,8 @@ pub struct NoFtlConfig {
     /// Garbage collection is triggered when a chip's free-block count drops
     /// below this watermark.
     pub gc_low_watermark: usize,
+    /// Self-healing policy applied by every region.
+    pub fault_policy: FaultPolicy,
 }
 
 impl NoFtlConfig {
@@ -113,7 +141,12 @@ impl NoFtlConfig {
     /// assert_eq!(cfg.regions.len(), 2);
     /// ```
     pub fn builder(flash: FlashConfig) -> NoFtlConfigBuilder {
-        NoFtlConfigBuilder { flash, regions: Vec::new(), gc_low_watermark: 2 }
+        NoFtlConfigBuilder {
+            flash,
+            regions: Vec::new(),
+            gc_low_watermark: 2,
+            fault_policy: FaultPolicy::default(),
+        }
     }
 
     /// A single-region configuration spanning every chip of the device.
@@ -124,6 +157,7 @@ impl NoFtlConfig {
             regions: vec![RegionSpec::new("default", chips, ipa_mode)
                 .with_over_provisioning(over_provisioning)],
             gc_low_watermark: 2,
+            fault_policy: FaultPolicy::default(),
         }
     }
 
@@ -135,6 +169,12 @@ impl NoFtlConfig {
         }
         if self.gc_low_watermark < 1 {
             return Err("gc_low_watermark must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.fault_policy.scrub_threshold) {
+            return Err(format!(
+                "fault_policy.scrub_threshold {} out of [0, 1]",
+                self.fault_policy.scrub_threshold
+            ));
         }
         for r in &self.regions {
             if r.chips.is_empty() {
@@ -176,6 +216,7 @@ pub struct NoFtlConfigBuilder {
     flash: FlashConfig,
     regions: Vec<RegionSpec>,
     gc_low_watermark: usize,
+    fault_policy: FaultPolicy,
 }
 
 impl NoFtlConfigBuilder {
@@ -238,12 +279,33 @@ impl NoFtlConfigBuilder {
         self
     }
 
+    /// Operation-fault plan of the underlying flash device (which ops fail
+    /// and how; see [`ipa_flash::FaultPlan`]).
+    pub fn fault_plan(mut self, plan: ipa_flash::FaultPlan) -> Self {
+        self.flash.fault = plan;
+        self
+    }
+
+    /// Self-healing policy (retry budget, scrub threshold).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Scrub threshold shortcut: fraction of `ecc_correctable_bits` at
+    /// which a corrected read triggers a refresh.
+    pub fn scrub_threshold(mut self, fraction: f64) -> Self {
+        self.fault_policy.scrub_threshold = fraction;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> crate::Result<NoFtlConfig> {
         let cfg = NoFtlConfig {
             flash: self.flash,
             regions: self.regions,
             gc_low_watermark: self.gc_low_watermark,
+            fault_policy: self.fault_policy,
         };
         cfg.validate().map_err(crate::NoFtlError::BadConfig)?;
         Ok(cfg)
@@ -317,6 +379,34 @@ mod tests {
         assert_eq!(cfg.flash.queue_depth, 4);
         assert_eq!(cfg.gc_low_watermark, 3);
         assert_eq!(cfg.regions[0].chips, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn builder_configures_fault_plan_and_policy() {
+        use ipa_flash::{FaultOp, FaultPlan};
+        let cfg = NoFtlConfig::builder(FlashConfig::small_slc())
+            .single_region(IpaMode::Slc, 0.2)
+            .fault_plan(FaultPlan::storm(7, 1e-3, 0.5).with_scripted(FaultOp::Erase, 3, true))
+            .fault_policy(FaultPolicy { program_retries: 2, scrub_threshold: 0.5 })
+            .build()
+            .unwrap();
+        assert!(cfg.flash.fault.is_active());
+        assert_eq!(cfg.flash.fault.scripted.len(), 1);
+        assert_eq!(cfg.fault_policy.program_retries, 2);
+        assert!((cfg.fault_policy.scrub_threshold - 0.5).abs() < 1e-12);
+        // Defaults stay inert.
+        let cfg = NoFtlConfig::single_region(FlashConfig::small_slc(), IpaMode::Slc, 0.1);
+        assert!(!cfg.flash.fault.is_active());
+        assert_eq!(cfg.fault_policy, FaultPolicy::default());
+    }
+
+    #[test]
+    fn out_of_range_scrub_threshold_rejected() {
+        let cfg = NoFtlConfig::builder(FlashConfig::small_slc())
+            .single_region(IpaMode::Slc, 0.2)
+            .scrub_threshold(1.5)
+            .build();
+        assert!(matches!(cfg, Err(crate::NoFtlError::BadConfig(_))));
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum NoFtlError {
     Internal(&'static str),
 }
 
+impl NoFtlError {
+    /// Whether this is an uncorrectable-ECC read failure (the page's raw
+    /// bit-error count exceeded the ECC capability). Exposed so upper
+    /// layers can route the error into read-retry / rebuild paths without
+    /// naming `ipa_flash` types (L003 layering).
+    pub fn is_uncorrectable_ecc(&self) -> bool {
+        matches!(self, NoFtlError::Flash(FlashError::UncorrectableEcc { .. }))
+    }
+}
+
 impl From<FlashError> for NoFtlError {
     fn from(e: FlashError) -> Self {
         NoFtlError::Flash(e)

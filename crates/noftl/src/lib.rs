@@ -40,7 +40,7 @@ mod manager;
 mod region;
 mod stats;
 
-pub use config::{IpaMode, NoFtlConfig, NoFtlConfigBuilder, RegionSpec};
+pub use config::{FaultPolicy, IpaMode, NoFtlConfig, NoFtlConfigBuilder, RegionSpec};
 pub use error::NoFtlError;
 pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
 pub use io::{IoCtx, PageIo};
@@ -53,7 +53,8 @@ pub use stats::RegionStats;
 // hooks. Re-exported so upper layers (the engine in particular) never
 // import `ipa_flash` directly — the L003 layering lint enforces this.
 pub use ipa_flash::{
-    CmdId, Completion, EventKind, FlashConfig, ObsEvent, Observer, OpOrigin, OpResult,
+    CmdId, Completion, EventKind, FaultOp, FaultPlan, FlashConfig, ObsEvent, Observer, OpOrigin,
+    OpResult, ScriptedFault,
 };
 
 /// Crate-wide result alias.

@@ -33,7 +33,15 @@ impl NoFtl {
             .regions
             .iter()
             .enumerate()
-            .map(|(id, spec)| Region::new(id as u32, spec.clone(), &dev, config.gc_low_watermark))
+            .map(|(id, spec)| {
+                Region::new(
+                    id as u32,
+                    spec.clone(),
+                    &dev,
+                    config.gc_low_watermark,
+                    config.fault_policy,
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(NoFtl { dev, regions })
     }
@@ -198,6 +206,16 @@ impl NoFtl {
     /// Drop a logical page.
     pub fn trim(&mut self, rid: RegionId, lba: Lba) -> Result<()> {
         self.region_mut(rid)?.trim(lba)
+    }
+
+    /// Fault-injection hook: plant raw retention bit errors on a logical
+    /// page's current flash residency. Lets upper layers provoke the
+    /// scrubber and recovery read-retry paths without naming physical
+    /// addresses.
+    pub fn inject_retention(&mut self, rid: RegionId, lba: Lba, bits: &[usize]) -> Result<()> {
+        let ppa = self.region(rid)?.residency(lba)?;
+        self.dev.inject_retention(ppa, bits)?;
+        Ok(())
     }
 
     /// Write into the OOB area of a logical page's residency.

@@ -3,9 +3,12 @@
 
 use std::collections::HashMap;
 
-use ipa_flash::{CmdId, FlashDevice, OpOrigin, OpResult, PageKind, PageState, Ppa};
+use ipa_flash::{
+    CmdId, EventKind, FlashDevice, FlashError, OpOrigin, OpResult, PageKind, PageState, Ppa,
+    ReadOutcome,
+};
 
-use crate::config::{IpaMode, RegionSpec};
+use crate::config::{FaultPolicy, IpaMode, RegionSpec};
 use crate::error::NoFtlError;
 use crate::io::IoCtx;
 use crate::stats::RegionStats;
@@ -26,6 +29,10 @@ struct BlockInfo {
     write_cursor: usize,
     /// Whether the block is on the free list.
     free: bool,
+    /// Grown bad: permanently excluded from allocation, GC victim
+    /// selection and wear leveling. Valid pages already on the block stay
+    /// readable and drain through normal invalidation.
+    retired: bool,
 }
 
 /// The per-chip allocation state.
@@ -59,6 +66,8 @@ pub(crate) struct Region {
     /// Round-robin cursor over chips for host writes.
     rr: usize,
     gc_low_watermark: usize,
+    /// Degradation policy: program-retry budget and scrub threshold.
+    fault_policy: FaultPolicy,
     pub(crate) stats: RegionStats,
 }
 
@@ -68,6 +77,7 @@ impl Region {
         spec: RegionSpec,
         dev: &FlashDevice,
         gc_low_watermark: usize,
+        fault_policy: FaultPolicy,
     ) -> Result<Self> {
         let geom = &dev.config().geometry;
         let usable_pages: Vec<u32> = (0..geom.pages_per_block)
@@ -99,6 +109,7 @@ impl Region {
                         valid_count: 0,
                         write_cursor: 0,
                         free: true,
+                        retired: false,
                     })
                     .collect(),
             })
@@ -113,6 +124,7 @@ impl Region {
             chips,
             rr: 0,
             gc_low_watermark,
+            fault_policy,
             stats: RegionStats::default(),
         })
     }
@@ -136,6 +148,12 @@ impl Region {
 
     fn mapped(&self, lba: Lba) -> Result<Ppa> {
         self.l2p[lba.0 as usize].ok_or(NoFtlError::Unmapped(lba))
+    }
+
+    /// Current flash residency of a logical page (fault-injection hook).
+    pub(crate) fn residency(&self, lba: Lba) -> Result<Ppa> {
+        self.check_lba(lba)?;
+        self.mapped(lba)
     }
 
     /// Whether a logical page is currently mapped.
@@ -181,7 +199,32 @@ impl Region {
         let completion = dev.complete(id)?;
         let data =
             completion.data.ok_or(NoFtlError::Internal("read completion carries no data"))?;
+        self.maybe_scrub(dev, lba, completion.result.read_outcome);
         Ok((data, completion.result))
+    }
+
+    /// Scrubber hook: when a synchronous read came back `Corrected` with a
+    /// corrected-bit count at or above `scrub_threshold *
+    /// ecc_correctable_bits`, schedule a Correct-and-Refresh of the
+    /// residency before the error count can grow past the ECC capability.
+    /// A threshold of 0.0 disables the scrubber. Refresh failures are
+    /// deliberately swallowed — the read itself succeeded, and refresh is
+    /// opportunistic hygiene, not a correctness requirement.
+    fn maybe_scrub(&mut self, dev: &mut FlashDevice, lba: Lba, outcome: ReadOutcome) {
+        let threshold = self.fault_policy.scrub_threshold;
+        if threshold <= 0.0 {
+            return;
+        }
+        let ReadOutcome::Corrected { corrected } = outcome else { return };
+        let limit = dev.config().reliability.ecc_correctable_bits;
+        if (corrected as f64) < threshold * limit as f64 {
+            return;
+        }
+        let Some(ppa) = self.l2p[lba.0 as usize] else { return };
+        if dev.refresh(ppa).is_ok() {
+            self.stats.scrub_refreshes += 1;
+            dev.emit(EventKind::ScrubRefresh, Some(self.id), Some(lba.0));
+        }
     }
 
     /// Queue an out-of-place write of a full logical page.
@@ -203,15 +246,77 @@ impl Region {
         }
         let local = self.pick_chip();
         self.garbage_collect_chip(dev, local)?;
-        let ppa = self.allocate(dev, local)?;
-        self.stage_obs(dev, ctx, lba);
-        let id = dev.submit_program(ppa, data, ctx.origin)?;
+        let (ppa, id) = self.program_healed(dev, local, lba, data, ctx)?;
         if let Some(old) = self.l2p[lba.0 as usize] {
             self.invalidate(old)?;
         }
         self.map(lba, ppa)?;
         self.stats.host_page_writes += 1;
         Ok(id)
+    }
+
+    /// Program a fresh allocation with the region's degradation policy:
+    /// a transient program-status failure is retried on the same page up
+    /// to `program_retries` times; once the budget is spent — or when the
+    /// failure is permanent — the block is retired as grown bad and the
+    /// write remapped onto a new allocation. Terminates because every
+    /// retirement permanently removes one block from the pool.
+    fn program_healed(
+        &mut self,
+        dev: &mut FlashDevice,
+        local: usize,
+        lba: Lba,
+        data: &[u8],
+        ctx: IoCtx,
+    ) -> Result<(Ppa, CmdId)> {
+        let mut retries = 0u32;
+        let mut ppa = self.allocate(dev, local)?;
+        loop {
+            self.stage_obs(dev, ctx, lba);
+            match dev.submit_program(ppa, data, ctx.origin) {
+                Ok(id) => return Ok((ppa, id)),
+                Err(FlashError::ProgramFailed { permanent: false, .. })
+                    if retries < self.fault_policy.program_retries =>
+                {
+                    retries += 1;
+                    self.stats.program_retries += 1;
+                }
+                Err(FlashError::ProgramFailed { .. } | FlashError::BlockRetired { .. }) => {
+                    let li = self.local_chip(ppa.chip)?;
+                    self.retire_block_bookkeeping(dev, li, ppa.block)?;
+                    self.garbage_collect_chip(dev, li)?;
+                    ppa = self.allocate(dev, local)?;
+                    retries = 0;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Retire a block as grown bad in this region's bookkeeping: persist
+    /// the device-side marker, drop the block from the active slot and the
+    /// free list, and exclude it from future victim selection. Idempotent.
+    fn retire_block_bookkeeping(
+        &mut self,
+        dev: &mut FlashDevice,
+        local: usize,
+        block: u32,
+    ) -> Result<()> {
+        if self.chips[local].blocks[block as usize].retired {
+            return Ok(());
+        }
+        let chip = self.chips[local].chip;
+        dev.retire(chip, block)?;
+        let state = &mut self.chips[local];
+        if state.active == Some(block) {
+            state.active = None;
+        }
+        state.free_blocks.retain(|&b| b != block);
+        let info = &mut state.blocks[block as usize];
+        info.free = false;
+        info.retired = true;
+        self.stats.retired_blocks += 1;
+        Ok(())
     }
 
     /// Out-of-place write of a full logical page (synchronous).
@@ -242,9 +347,63 @@ impl Region {
             return Err(NoFtlError::AppendNotAllowed { lba, reason });
         }
         self.stage_obs(dev, ctx, lba);
-        let id = dev.submit_program_partial(ppa, offset, data, ctx.origin)?;
-        self.stats.host_delta_writes += 1;
-        self.stats.delta_bytes += data.len() as u64;
+        match dev.submit_program_partial(ppa, offset, data, ctx.origin) {
+            Ok(id) => {
+                self.stats.host_delta_writes += 1;
+                self.stats.delta_bytes += data.len() as u64;
+                Ok(id)
+            }
+            // A delta-append status failure is transient for the block and
+            // the page keeps its pre-append contents: recover by rewriting
+            // the page out of place with the delta applied (the paper's
+            // stance — appends are an optimisation, never a correctness
+            // requirement).
+            Err(FlashError::ProgramFailed { .. } | FlashError::BlockRetired { .. }) => {
+                self.delta_fallback(dev, lba, ppa, offset, data, ctx)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Recover a failed delta append: rebuild the page image from the
+    /// current residency, overlay the delta, and write it out of place
+    /// through the healed program path (retiring blocks as needed). The
+    /// OOB image moves with the data so ECC bookkeeping stays consistent.
+    fn delta_fallback(
+        &mut self,
+        dev: &mut FlashDevice,
+        lba: Lba,
+        old: Ppa,
+        offset: usize,
+        data: &[u8],
+        ctx: IoCtx,
+    ) -> Result<CmdId> {
+        let (region, attr_lba) = ctx.obs.unwrap_or((self.id, lba.0));
+        dev.emit(EventKind::DeltaFallback, Some(region), Some(attr_lba));
+        let rid = dev.submit_read(old, OpOrigin::Background)?;
+        let mut image = dev
+            .complete(rid)?
+            .data
+            .ok_or(NoFtlError::Internal("read completion carries no data"))?;
+        let end = offset.saturating_add(data.len());
+        if end > image.len() {
+            return Err(NoFtlError::Flash(FlashError::RangeOutOfPage {
+                ppa: old,
+                offset,
+                len: data.len(),
+                area: image.len(),
+            }));
+        }
+        image[offset..end].copy_from_slice(data);
+        let oob = dev.read_oob(old)?;
+        let local = self.pick_chip();
+        self.garbage_collect_chip(dev, local)?;
+        let (new, id) = self.program_healed(dev, local, lba, &image, ctx)?;
+        dev.program_oob(new, 0, &oob)?;
+        self.invalidate(old)?;
+        self.map(lba, new)?;
+        self.stats.delta_fallbacks += 1;
+        self.stats.host_page_writes += 1;
         Ok(id)
     }
 
@@ -274,6 +433,9 @@ impl Region {
     }
 
     fn append_block_reason(&self, dev: &FlashDevice, ppa: Ppa) -> Option<&'static str> {
+        if dev.is_block_retired(ppa.chip, ppa.block).unwrap_or(false) {
+            return Some("block retired (grown bad)");
+        }
         match self.spec.ipa_mode {
             IpaMode::None => return Some("region has IPA disabled"),
             IpaMode::OddMlc if dev.page_kind(ppa) == PageKind::Msb => {
@@ -422,6 +584,7 @@ impl Region {
             .enumerate()
             .filter(|(b, info)| {
                 !info.free
+                    && !info.retired
                     && Some(*b as u32) != state.active
                     && info.write_cursor == per_block as usize
                     && info.valid_count < per_block
@@ -463,11 +626,11 @@ impl Region {
                 .data
                 .ok_or(NoFtlError::Internal("read completion carries no data"))?;
             let oob = dev.read_oob(old)?;
-            let new = self.allocate(dev, local)?;
-            if dev.observing() {
-                dev.set_obs_ctx(Some(self.id), Some(lba));
-            }
-            dev.program(new, &data, OpOrigin::Background)?;
+            // Migrations go through the healed program path too: a fault
+            // storm must not abort a collection mid-flight.
+            let (new, id) =
+                self.program_healed(dev, local, Lba(lba), &data, IoCtx::background())?;
+            dev.complete(id)?;
             // Carry the OOB image along: ECC codes stay with the data.
             dev.program_oob(new, 0, &oob)?;
             self.invalidate(old)?;
@@ -477,14 +640,24 @@ impl Region {
         if dev.observing() {
             dev.set_obs_ctx(Some(self.id), None);
         }
-        dev.erase(chip, victim)?;
-        let info = &mut self.chips[local].blocks[victim as usize];
-        info.valid.fill(false);
-        info.valid_count = 0;
-        info.write_cursor = 0;
-        info.free = true;
-        self.chips[local].free_blocks.push(victim);
-        self.stats.gc_erases += 1;
+        match dev.erase(chip, victim) {
+            Ok(_) => {
+                let info = &mut self.chips[local].blocks[victim as usize];
+                info.valid.fill(false);
+                info.valid_count = 0;
+                info.write_cursor = 0;
+                info.free = true;
+                self.chips[local].free_blocks.push(victim);
+                self.stats.gc_erases += 1;
+            }
+            // Erase-status failure grows the victim bad. Its valid pages
+            // were already migrated, so retiring it loses nothing; the GC
+            // loop reselects another victim (retired blocks are excluded).
+            Err(FlashError::EraseFailed { .. } | FlashError::BlockRetired { .. }) => {
+                self.retire_block_bookkeeping(dev, local, victim)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
         Ok(())
     }
 
@@ -506,6 +679,7 @@ impl Region {
                 .enumerate()
                 .filter(|(b, info)| {
                     !info.free
+                        && !info.retired
                         && Some(*b as u32) != self.chips[local].active
                         && max.saturating_sub(counts[*b]) > threshold
                 })
@@ -541,18 +715,28 @@ impl Region {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipa_flash::{CellType, FlashConfig};
+    use ipa_flash::{CellType, FaultOp, FaultPlan, FlashConfig};
 
     fn small_region(mode: IpaMode, cell: CellType) -> (FlashDevice, Region) {
+        small_region_with(mode, cell, FaultPlan::default(), FaultPolicy::default())
+    }
+
+    fn small_region_with(
+        mode: IpaMode,
+        cell: CellType,
+        plan: FaultPlan,
+        policy: FaultPolicy,
+    ) -> (FlashDevice, Region) {
         let mut cfg = FlashConfig::small_slc();
         cfg.geometry.chips = 2;
         cfg.geometry.blocks_per_chip = 16;
         cfg.geometry.pages_per_block = 8;
         cfg.geometry.page_size = 256;
         cfg.geometry.cell_type = cell;
+        cfg.fault = plan;
         let dev = FlashDevice::new(cfg);
         let spec = RegionSpec::new("t", [0, 1], mode).with_over_provisioning(0.3);
-        let region = Region::new(0, spec, &dev, 2).unwrap();
+        let region = Region::new(0, spec, &dev, 2, policy).unwrap();
         (dev, region)
     }
 
@@ -780,6 +964,163 @@ mod tests {
             }
         }
         assert!(r.free_blocks() >= 1);
+    }
+
+    #[test]
+    fn transient_program_fault_is_retried_in_place() {
+        let plan = FaultPlan::default().with_scripted(FaultOp::Program, 0, false);
+        let (mut dev, mut r) =
+            small_region_with(IpaMode::Slc, CellType::Slc, plan, FaultPolicy::default());
+        r.write(&mut dev, Lba(5), &page(0xAB), IoCtx::host()).unwrap();
+        assert_eq!(r.stats.program_retries, 1);
+        assert_eq!(r.stats.retired_blocks, 0);
+        assert_eq!(r.stats.host_page_writes, 1);
+        let (data, _) = r.read(&mut dev, Lba(5), IoCtx::host()).unwrap();
+        assert_eq!(data, page(0xAB));
+    }
+
+    #[test]
+    fn spent_retry_budget_retires_block_and_remaps() {
+        // Two consecutive transient failures against a budget of one retry:
+        // the block is retired and the write lands on a fresh allocation.
+        let plan = FaultPlan::default().with_scripted(FaultOp::Program, 0, false).with_scripted(
+            FaultOp::Program,
+            1,
+            false,
+        );
+        let (mut dev, mut r) =
+            small_region_with(IpaMode::Slc, CellType::Slc, plan, FaultPolicy::default());
+        r.write(&mut dev, Lba(5), &page(0xCD), IoCtx::host()).unwrap();
+        assert_eq!(r.stats.program_retries, 1);
+        assert_eq!(r.stats.retired_blocks, 1);
+        let ppa = r.l2p[5].unwrap();
+        assert!(!dev.is_block_retired(ppa.chip, ppa.block).unwrap());
+        // Exactly one block is device-retired and carries the OOB marker.
+        let retired: Vec<(u32, u32)> = (0..2)
+            .flat_map(|c| (0..16).map(move |b| (c, b)))
+            .filter(|&(c, b)| dev.is_block_retired(c, b).unwrap())
+            .collect();
+        assert_eq!(retired.len(), 1);
+        let (rc, rb) = retired[0];
+        assert!(dev.oob_bad_marked(rc, rb).unwrap());
+        let (data, _) = r.read(&mut dev, Lba(5), IoCtx::host()).unwrap();
+        assert_eq!(data, page(0xCD));
+    }
+
+    #[test]
+    fn permanent_program_fault_retires_without_retry() {
+        let plan = FaultPlan::default().with_scripted(FaultOp::Program, 0, true);
+        let (mut dev, mut r) =
+            small_region_with(IpaMode::Slc, CellType::Slc, plan, FaultPolicy::default());
+        r.write(&mut dev, Lba(0), &page(0x11), IoCtx::host()).unwrap();
+        assert_eq!(r.stats.program_retries, 0);
+        assert_eq!(r.stats.retired_blocks, 1);
+        let (data, _) = r.read(&mut dev, Lba(0), IoCtx::host()).unwrap();
+        assert_eq!(data, page(0x11));
+        // The region keeps allocating around the bad block indefinitely.
+        for lba in 1..60u64 {
+            r.write(&mut dev, Lba(lba), &page(lba as u8), IoCtx::host()).unwrap();
+        }
+        assert_eq!(r.stats.retired_blocks, 1);
+    }
+
+    #[test]
+    fn delta_fault_falls_back_to_out_of_place_write() {
+        let plan = FaultPlan::default().with_scripted(FaultOp::DeltaProgram, 0, false);
+        let (mut dev, mut r) =
+            small_region_with(IpaMode::Slc, CellType::Slc, plan, FaultPolicy::default());
+        r.write(&mut dev, Lba(3), &page(0x0F), IoCtx::host()).unwrap();
+        let before = r.l2p[3].unwrap();
+        r.write_delta(&mut dev, Lba(3), 200, &[0x12, 0x34], IoCtx::host()).unwrap();
+        // The append failed and was served as a full out-of-place write:
+        // new residency, merged contents, no delta counted.
+        let after = r.l2p[3].unwrap();
+        assert_ne!(before, after);
+        assert_eq!(r.stats.delta_fallbacks, 1);
+        assert_eq!(r.stats.host_delta_writes, 0);
+        assert_eq!(r.stats.host_page_writes, 2);
+        assert_eq!(r.mapped_pages(), 1);
+        let (data, _) = r.read(&mut dev, Lba(3), IoCtx::host()).unwrap();
+        let mut expect = page(0x0F);
+        expect[200..202].copy_from_slice(&[0x12, 0x34]);
+        assert_eq!(data, expect);
+        // The fresh residency accepts appends again (fault was one-shot).
+        assert!(r.can_append(&dev, Lba(3)));
+        r.write_delta(&mut dev, Lba(3), 202, &[0x56], IoCtx::host()).unwrap();
+        assert_eq!(r.stats.host_delta_writes, 1);
+        assert_eq!(r.stats.delta_fallbacks, 1);
+    }
+
+    #[test]
+    fn gc_erase_fault_retires_victim_and_collection_continues() {
+        let plan = FaultPlan::default().with_scripted(FaultOp::Erase, 0, true);
+        let (mut dev, mut r) =
+            small_region_with(IpaMode::Slc, CellType::Slc, plan, FaultPolicy::default());
+        let mut latest = [0u8; 120];
+        for (lba, version) in latest.iter().enumerate() {
+            r.write(&mut dev, Lba(lba as u64), &page(*version), IoCtx::host()).unwrap();
+        }
+        for round in 1..=40u64 {
+            for lba in 0..120u64 {
+                if in_round(lba, round) {
+                    latest[lba as usize] = round as u8;
+                    r.write(&mut dev, Lba(lba), &page(round as u8), IoCtx::host()).unwrap();
+                }
+            }
+        }
+        assert_eq!(r.stats.retired_blocks, 1, "first GC erase must have grown the victim bad");
+        assert!(r.stats.gc_erases > 0, "collection must continue past the bad block");
+        for lba in 0..120u64 {
+            let (data, _) = r.read(&mut dev, Lba(lba), IoCtx::host()).unwrap();
+            assert_eq!(data, page(latest[lba as usize]), "lba {lba}");
+        }
+    }
+
+    #[test]
+    fn scrubber_refreshes_heavily_corrected_reads() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.geometry.chips = 2;
+        cfg.geometry.blocks_per_chip = 16;
+        cfg.geometry.pages_per_block = 8;
+        cfg.geometry.page_size = 256;
+        cfg.reliability.ecc_correctable_bits = 4;
+        let mut dev = FlashDevice::new(cfg);
+        let spec = RegionSpec::new("t", [0, 1], IpaMode::Slc).with_over_provisioning(0.3);
+        let policy = FaultPolicy { scrub_threshold: 0.5, ..FaultPolicy::default() };
+        let mut r = Region::new(0, spec, &dev, 2, policy).unwrap();
+        r.write(&mut dev, Lba(2), &page(0x77), IoCtx::host()).unwrap();
+        let ppa = r.l2p[2].unwrap();
+        // One corrected bit: below 0.5 * 4 — no refresh.
+        dev.inject_retention(ppa, &[9]).unwrap();
+        r.read(&mut dev, Lba(2), IoCtx::host()).unwrap();
+        assert_eq!(r.stats.scrub_refreshes, 0);
+        // Two corrected bits reach the threshold: refresh is scheduled and
+        // clears the retention errors.
+        dev.inject_retention(ppa, &[10]).unwrap();
+        let (_, op) = r.read(&mut dev, Lba(2), IoCtx::host()).unwrap();
+        assert_eq!(op.read_outcome, ReadOutcome::Corrected { corrected: 2 });
+        assert_eq!(r.stats.scrub_refreshes, 1);
+        let (_, op) = r.read(&mut dev, Lba(2), IoCtx::host()).unwrap();
+        assert_eq!(op.read_outcome, ReadOutcome::Clean);
+    }
+
+    #[test]
+    fn zero_scrub_threshold_disables_the_scrubber() {
+        let mut cfg = FlashConfig::small_slc();
+        cfg.geometry.chips = 2;
+        cfg.geometry.blocks_per_chip = 16;
+        cfg.geometry.pages_per_block = 8;
+        cfg.geometry.page_size = 256;
+        cfg.reliability.ecc_correctable_bits = 4;
+        let mut dev = FlashDevice::new(cfg);
+        let spec = RegionSpec::new("t", [0, 1], IpaMode::Slc).with_over_provisioning(0.3);
+        let mut r = Region::new(0, spec, &dev, 2, FaultPolicy::default()).unwrap();
+        r.write(&mut dev, Lba(2), &page(0x77), IoCtx::host()).unwrap();
+        let ppa = r.l2p[2].unwrap();
+        dev.inject_retention(ppa, &[9, 10, 11]).unwrap();
+        let (_, op) = r.read(&mut dev, Lba(2), IoCtx::host()).unwrap();
+        assert_eq!(op.read_outcome, ReadOutcome::Corrected { corrected: 3 });
+        assert_eq!(r.stats.scrub_refreshes, 0);
     }
 
     #[test]

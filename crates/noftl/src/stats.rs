@@ -29,6 +29,16 @@ pub struct RegionStats {
     pub wear_level_migrations: u64,
     /// Logical pages trimmed.
     pub trims: u64,
+    /// Transiently-failed programs retried on the same page.
+    pub program_retries: u64,
+    /// Blocks retired as grown bad by this region's bookkeeping (retry
+    /// budget spent, permanent program fault, or erase failure).
+    pub retired_blocks: u64,
+    /// Failed delta appends recovered as full out-of-place page writes.
+    pub delta_fallbacks: u64,
+    /// Correct-and-Refresh operations scheduled by the scrubber after a
+    /// heavily-corrected read.
+    pub scrub_refreshes: u64,
 }
 
 impl RegionStats {
@@ -85,6 +95,10 @@ impl RegionStats {
         self.wear_level_erases += other.wear_level_erases;
         self.wear_level_migrations += other.wear_level_migrations;
         self.trims += other.trims;
+        self.program_retries += other.program_retries;
+        self.retired_blocks += other.retired_blocks;
+        self.delta_fallbacks += other.delta_fallbacks;
+        self.scrub_refreshes += other.scrub_refreshes;
     }
 
     /// Interval counters `self - earlier` (both cumulative).
@@ -101,6 +115,10 @@ impl RegionStats {
                 .wear_level_migrations
                 .saturating_sub(earlier.wear_level_migrations),
             trims: self.trims.saturating_sub(earlier.trims),
+            program_retries: self.program_retries.saturating_sub(earlier.program_retries),
+            retired_blocks: self.retired_blocks.saturating_sub(earlier.retired_blocks),
+            delta_fallbacks: self.delta_fallbacks.saturating_sub(earlier.delta_fallbacks),
+            scrub_refreshes: self.scrub_refreshes.saturating_sub(earlier.scrub_refreshes),
         }
     }
 }
@@ -143,6 +161,10 @@ mod tests {
             wear_level_erases: 7,
             wear_level_migrations: 8,
             trims: 9,
+            program_retries: 10,
+            retired_blocks: 11,
+            delta_fallbacks: 12,
+            scrub_refreshes: 13,
         };
         let b = RegionStats {
             host_reads: 10,
@@ -154,6 +176,10 @@ mod tests {
             wear_level_erases: 70,
             wear_level_migrations: 80,
             trims: 90,
+            program_retries: 100,
+            retired_blocks: 110,
+            delta_fallbacks: 120,
+            scrub_refreshes: 130,
         };
         a.merge(&b);
         assert_eq!(a.host_reads, 11);
@@ -165,6 +191,10 @@ mod tests {
         assert_eq!(a.wear_level_erases, 77);
         assert_eq!(a.wear_level_migrations, 88);
         assert_eq!(a.trims, 99);
+        assert_eq!(a.program_retries, 110);
+        assert_eq!(a.retired_blocks, 121);
+        assert_eq!(a.delta_fallbacks, 132);
+        assert_eq!(a.scrub_refreshes, 143);
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::FlushOop => "flush_oop",
         EventKind::Evict => "evict",
         EventKind::IsppViolation => "ispp_violation",
+        EventKind::ProgramFault { .. } => "program_fault",
+        EventKind::DeltaFault => "delta_fault",
+        EventKind::EraseFault => "erase_fault",
+        EventKind::BlockRetired => "block_retired",
+        EventKind::DeltaFallback => "delta_fallback",
+        EventKind::ScrubRefresh => "scrub_refresh",
     }
 }
 
@@ -43,6 +49,9 @@ pub fn event_to_json(event: &ObsEvent) -> Value {
         }
         EventKind::FlushIpa { records } => {
             m.insert("records".into(), Value::from(records));
+        }
+        EventKind::ProgramFault { permanent } => {
+            m.insert("permanent".into(), Value::from(permanent));
         }
         _ => {}
     }

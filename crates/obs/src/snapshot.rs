@@ -229,6 +229,10 @@ fn flash_json(f: &FlashStats) -> Value {
     m.insert("ispp_violations".into(), Value::from(f.ispp_violations));
     m.insert("injected_bit_errors".into(), Value::from(f.injected_bit_errors));
     m.insert("corrected_bit_errors".into(), Value::from(f.corrected_bit_errors));
+    m.insert("program_failures".into(), Value::from(f.program_failures));
+    m.insert("delta_program_failures".into(), Value::from(f.delta_program_failures));
+    m.insert("erase_failures".into(), Value::from(f.erase_failures));
+    m.insert("retired_blocks".into(), Value::from(f.retired_blocks));
     m.insert("queue_waits".into(), Value::from(f.queue_waits));
     m.insert("queue_highwater".into(), Value::from(f.queue_highwater));
     m.insert("read_latency".into(), hist_json(&f.read_latency));
@@ -252,6 +256,8 @@ fn engine_json(e: &EngineStats) -> Value {
     m.insert("net_changed_bytes".into(), Value::from(e.net_changed_bytes));
     m.insert("gross_written_bytes".into(), Value::from(e.gross_written_bytes));
     m.insert("ecc_verified".into(), Value::from(e.ecc_verified));
+    m.insert("read_retries".into(), Value::from(e.read_retries));
+    m.insert("recovery_page_rebuilds".into(), Value::from(e.recovery_page_rebuilds));
     Value::Object(m)
 }
 
@@ -274,6 +280,10 @@ fn region_json(r: &RegionStats) -> Value {
     m.insert("wear_level_erases".into(), Value::from(r.wear_level_erases));
     m.insert("wear_level_migrations".into(), Value::from(r.wear_level_migrations));
     m.insert("trims".into(), Value::from(r.trims));
+    m.insert("program_retries".into(), Value::from(r.program_retries));
+    m.insert("retired_blocks".into(), Value::from(r.retired_blocks));
+    m.insert("delta_fallbacks".into(), Value::from(r.delta_fallbacks));
+    m.insert("scrub_refreshes".into(), Value::from(r.scrub_refreshes));
     Value::Object(m)
 }
 

@@ -3,7 +3,7 @@
 use ipa_core::NxM;
 use ipa_engine::{Database, DbConfig, EngineStats, Result};
 use ipa_flash::FlashConfig;
-use ipa_noftl::{IpaMode, NoFtlConfig, RegionStats};
+use ipa_noftl::{FaultPlan, FaultPolicy, IpaMode, NoFtlConfig, RegionStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -45,6 +45,13 @@ pub struct SystemConfig {
     /// Override of the workload's growth estimate (long runs of
     /// append-heavy workloads need more headroom than the default).
     pub growth_override: Option<f64>,
+    /// Operation-fault plan of the flash device. The default plan is
+    /// inactive: no RNG draws, no op counting — runs are bit-identical to
+    /// a build without fault injection.
+    pub fault_plan: FaultPlan,
+    /// Self-healing policy of the flash-management layer (program retry
+    /// budget, scrub threshold).
+    pub fault_policy: FaultPolicy,
 }
 
 impl SystemConfig {
@@ -63,6 +70,8 @@ impl SystemConfig {
             // paper's throughput gains fade at 75-90% buffers).
             cpu_ns_per_txn: 200_000,
             growth_override: None,
+            fault_plan: FaultPlan::default(),
+            fault_policy: FaultPolicy::default(),
         }
     }
 
@@ -88,6 +97,8 @@ impl SystemConfig {
             queue_depth: 1,
             cpu_ns_per_txn: 50_000,
             growth_override: None,
+            fault_plan: FaultPlan::default(),
+            fault_policy: FaultPolicy::default(),
         }
     }
 
@@ -133,6 +144,8 @@ impl SystemConfig {
         let ftl_cfg = NoFtlConfig::builder(flash)
             .blocks_per_chip(blocks_per_chip)
             .queue_depth(self.queue_depth)
+            .fault_plan(self.fault_plan.clone())
+            .fault_policy(self.fault_policy)
             .single_region(self.ipa_mode, op_eff)
             .build()?;
         let buffer_frames = ((estimated_pages as f64 * self.buffer_fraction) as usize).max(16);

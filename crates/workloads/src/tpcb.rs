@@ -41,6 +41,10 @@ pub struct TpcB {
     account_index: u32,
     branch_rids: Vec<Rid>,
     teller_rids: Vec<Rid>,
+    /// Sum of the deltas of every *committed* transaction — the expected
+    /// value of each of the three balance sums (see
+    /// [`TpcB::verify_balances`]).
+    committed_delta: i64,
 }
 
 impl TpcB {
@@ -57,11 +61,55 @@ impl TpcB {
             account_index: 0,
             branch_rids: Vec::new(),
             teller_rids: Vec::new(),
+            committed_delta: 0,
         }
     }
 
     fn accounts(&self) -> u64 {
         self.branches * self.accounts_per_branch
+    }
+
+    /// Audit the TPC-B money-conservation invariant: every committed
+    /// transaction adds one delta to exactly one branch, teller and
+    /// account balance, so each of the three balance sums must equal the
+    /// sum of all committed deltas. Returns that common sum, or an error
+    /// naming the first sum that diverged — the zero-committed-data-loss
+    /// check of the fault-injection experiments. (Balances are `i32`;
+    /// callers keep run lengths short enough not to wrap.)
+    pub fn verify_balances(&self, db: &mut Database) -> Result<i64> {
+        let mut sum_branch = 0i64;
+        for rid in &self.branch_rids {
+            sum_branch += i64::from(Record::get_i32(&db.heap_read_unlocked(*rid)?, BALANCE_OFF));
+        }
+        let mut sum_teller = 0i64;
+        for rid in &self.teller_rids {
+            sum_teller += i64::from(Record::get_i32(&db.heap_read_unlocked(*rid)?, BALANCE_OFF));
+        }
+        let mut sum_account = 0i64;
+        for aid in 0..self.accounts() {
+            let encoded = db
+                .index_lookup(self.account_index, aid)?
+                .ok_or(ipa_engine::EngineError::Internal("account vanished from index"))?;
+            let rid = Rid::decode(0, encoded);
+            sum_account += i64::from(Record::get_i32(&db.heap_read_unlocked(rid)?, BALANCE_OFF));
+        }
+        let expected = self.committed_delta;
+        if sum_branch != expected {
+            return Err(ipa_engine::EngineError::Internal(
+                "TPC-B branch balance sum diverged from committed deltas (data loss)",
+            ));
+        }
+        if sum_teller != expected {
+            return Err(ipa_engine::EngineError::Internal(
+                "TPC-B teller balance sum diverged from committed deltas (data loss)",
+            ));
+        }
+        if sum_account != expected {
+            return Err(ipa_engine::EngineError::Internal(
+                "TPC-B account balance sum diverged from committed deltas (data loss)",
+            ));
+        }
+        Ok(expected)
     }
 }
 
@@ -150,7 +198,9 @@ impl Workload for TpcB {
         hist.put_u64(0, aid).put_u64(8, tid).put_u64(16, bid).put_i32(24, delta);
         db.heap_insert(tx, self.heap_history, &hist.0)?;
 
-        db.commit(tx)
+        db.commit(tx)?;
+        self.committed_delta += i64::from(delta);
+        Ok(())
     }
 }
 

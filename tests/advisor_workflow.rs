@@ -79,6 +79,7 @@ fn profiles_are_per_region() {
             RegionSpec::new("large", [1], IpaMode::Slc).with_over_provisioning(0.3),
         ],
         gc_low_watermark: 2,
+        fault_policy: Default::default(),
     };
     let mut db =
         Database::open(cfg, &[NxM::tpcb(), NxM::new(2, 64, 12)], DbConfig::eager(32)).unwrap();

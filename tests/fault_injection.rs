@@ -1,0 +1,205 @@
+//! Fault injection end to end: scripted program/erase/delta failures on
+//! the flash device, self-healing in the NoFTL layer (retry, bad-block
+//! retirement, delta-append fallback, scrubbing), and the visibility of
+//! every episode in stats, snapshots and the trace.
+
+use ipa::flash::{EventKind, FaultOp, FaultPlan, FlashConfig};
+use ipa::noftl::{IoCtx, IpaMode, Lba, NoFtl, NoFtlConfig, RegionId};
+use ipa::obs::{Snapshot, TraceHandle};
+
+const R: RegionId = RegionId(0);
+
+fn ftl_at(
+    plan: FaultPlan,
+    scrub_threshold: f64,
+    over_provisioning: f64,
+    mutate: impl FnOnce(&mut FlashConfig),
+) -> NoFtl {
+    let mut flash = FlashConfig::small_slc();
+    mutate(&mut flash);
+    let cfg = NoFtlConfig::builder(flash)
+        .fault_plan(plan)
+        .scrub_threshold(scrub_threshold)
+        .single_region(IpaMode::Slc, over_provisioning)
+        .build()
+        .unwrap();
+    NoFtl::new(cfg).unwrap()
+}
+
+fn ftl_with(plan: FaultPlan, scrub_threshold: f64, mutate: impl FnOnce(&mut FlashConfig)) -> NoFtl {
+    ftl_at(plan, scrub_threshold, 0.2, mutate)
+}
+
+/// A page image whose first half is the body pattern and whose tail stays
+/// erased (0xFF) — the area later in-place appends can charge into under
+/// the monotone-charge rule.
+fn page(ftl: &NoFtl, byte: u8) -> Vec<u8> {
+    let n = ftl.device().config().geometry.page_size;
+    let mut v = vec![0xFF; n];
+    v[..n / 2].fill(byte);
+    v
+}
+
+#[test]
+fn permanent_program_fault_retires_block_and_remaps_write() {
+    let plan = FaultPlan::default().with_scripted(FaultOp::Program, 0, true);
+    let mut ftl = ftl_with(plan, 0.0, |_| {});
+    let data = page(&ftl, 0xAB);
+    // The very first program fails permanently; the write must still
+    // succeed on a remapped residency, with the block retired.
+    ftl.write_page(R, Lba(0), &data, IoCtx::default()).unwrap();
+    let (got, _) = ftl.read_page(R, Lba(0), IoCtx::default()).unwrap();
+    assert_eq!(got, data);
+    let stats = ftl.region_stats(R).unwrap();
+    assert_eq!(stats.retired_blocks, 1);
+    assert_eq!(ftl.device().stats().retired_blocks, 1);
+    assert_eq!(ftl.device().stats().program_failures, 1);
+}
+
+#[test]
+fn transient_program_fault_spends_retry_budget_only() {
+    let plan = FaultPlan::default().with_scripted(FaultOp::Program, 0, false);
+    let mut ftl = ftl_with(plan, 0.0, |_| {});
+    let data = page(&ftl, 0x5C);
+    ftl.write_page(R, Lba(3), &data, IoCtx::default()).unwrap();
+    let (got, _) = ftl.read_page(R, Lba(3), IoCtx::default()).unwrap();
+    assert_eq!(got, data);
+    let stats = ftl.region_stats(R).unwrap();
+    assert_eq!(stats.program_retries, 1);
+    assert_eq!(stats.retired_blocks, 0, "a transient fault must not retire the block");
+}
+
+#[test]
+fn delta_fault_falls_back_out_of_place_and_is_traced() {
+    let plan = FaultPlan::default().with_scripted(FaultOp::DeltaProgram, 0, false);
+    let mut ftl = ftl_with(plan, 0.0, |_| {});
+    let trace = TraceHandle::new(1024);
+    ftl.attach_observer(trace.observer());
+
+    let data = page(&ftl, 0x11);
+    ftl.write_page(R, Lba(7), &data, IoCtx::default()).unwrap();
+    // The first delta append fails; the layer must transparently rewrite
+    // the whole page out of place with the delta applied.
+    ftl.write_delta(R, Lba(7), 16, &[0xEE; 8], IoCtx::default()).unwrap();
+
+    let (got, _) = ftl.read_page(R, Lba(7), IoCtx::default()).unwrap();
+    let mut expect = data.clone();
+    expect[16..24].fill(0xEE);
+    assert_eq!(got, expect);
+
+    let stats = ftl.region_stats(R).unwrap();
+    assert_eq!(stats.delta_fallbacks, 1);
+    assert_eq!(stats.host_delta_writes, 0, "the failed append is not a delta write");
+    assert_eq!(ftl.device().stats().delta_program_failures, 1);
+
+    // Both the failure and the fallback are visible in the trace, with
+    // region/LBA attribution.
+    let events = trace.snapshot();
+    let fault = events.iter().find(|e| e.kind == EventKind::DeltaFault);
+    let fallback = events.iter().find(|e| e.kind == EventKind::DeltaFallback);
+    assert!(fault.is_some(), "DeltaFault missing from trace");
+    let fb = fallback.expect("DeltaFallback missing from trace");
+    assert_eq!(fb.region, Some(0));
+    assert_eq!(fb.lba, Some(7));
+}
+
+#[test]
+fn erase_fault_retires_gc_victim_and_gc_reselects() {
+    // Every erase fails permanently: each GC victim is retired after its
+    // valid pages migrate. Writes keep succeeding until capacity truly
+    // runs out — here the workload stays small enough to finish.
+    let plan = FaultPlan::default().with_scripted(FaultOp::Erase, 0, true).with_scripted(
+        FaultOp::Erase,
+        1,
+        true,
+    );
+    let mut ftl = ftl_at(plan, 0.0, 0.45, |f| {
+        f.geometry.blocks_per_chip = 16;
+        f.geometry.pages_per_block = 8;
+    });
+    let capacity = ftl.capacity(R).unwrap();
+    // Overwrite the whole logical space a few times to force GC.
+    for round in 0..4u8 {
+        for lba in 0..capacity {
+            let data = page(&ftl, round ^ lba as u8);
+            ftl.write_page(R, Lba(lba), &data, IoCtx::default()).unwrap();
+        }
+    }
+    let stats = ftl.region_stats(R).unwrap();
+    assert!(stats.retired_blocks >= 2, "failed erases must retire the victims");
+    assert_eq!(ftl.device().stats().erase_failures, 2);
+    // All data still readable and current.
+    for lba in 0..capacity {
+        let (got, _) = ftl.read_page(R, Lba(lba), IoCtx::default()).unwrap();
+        assert_eq!(got[0], 3 ^ lba as u8, "lba {lba}");
+    }
+}
+
+#[test]
+fn scrub_threshold_schedules_refresh_on_heavily_corrected_reads() {
+    let mut ftl = ftl_with(FaultPlan::default(), 0.5, |f| {
+        f.reliability.ecc_correctable_bits = 4;
+    });
+    let data = page(&ftl, 0x3D);
+    ftl.write_page(R, Lba(1), &data, IoCtx::default()).unwrap();
+    // Two raw bit errors reach the 0.5 * 4 threshold.
+    ftl.inject_retention(R, Lba(1), &[10, 900]).unwrap();
+    let (got, _) = ftl.read_page(R, Lba(1), IoCtx::default()).unwrap();
+    assert_eq!(got, data, "correctable errors are corrected");
+    assert_eq!(ftl.region_stats(R).unwrap().scrub_refreshes, 1);
+    // The refresh rewrote the charge: the next read is clean again.
+    let before = ftl.device().stats().corrected_bit_errors;
+    ftl.read_page(R, Lba(1), IoCtx::default()).unwrap();
+    assert_eq!(ftl.device().stats().corrected_bit_errors, before);
+    assert_eq!(ftl.region_stats(R).unwrap().scrub_refreshes, 1, "no second refresh");
+}
+
+#[test]
+fn fault_counters_flow_into_obs_snapshots() {
+    let plan = FaultPlan::default().with_scripted(FaultOp::Program, 0, true).with_scripted(
+        FaultOp::DeltaProgram,
+        0,
+        false,
+    );
+    let mut ftl = ftl_with(plan, 0.0, |_| {});
+    let data = page(&ftl, 0x77);
+    ftl.write_page(R, Lba(0), &data, IoCtx::default()).unwrap();
+    ftl.write_delta(R, Lba(0), 0, &[1, 2, 3, 4], IoCtx::default()).unwrap();
+
+    let snap = Snapshot::capture_noftl(&ftl);
+    let v = snap.to_json();
+    assert_eq!(v["flash"]["program_failures"], 1);
+    assert_eq!(v["flash"]["delta_program_failures"], 1);
+    assert_eq!(v["flash"]["retired_blocks"], 1);
+    assert_eq!(v["regions"][0]["retired_blocks"], 1);
+    assert_eq!(v["regions"][0]["delta_fallbacks"], 1);
+    // And the delta of a snapshot with itself stays all-zero.
+    let d = snap.delta_since(&snap);
+    assert_eq!(d.flash.program_failures, 0);
+    assert_eq!(d.regions[0].delta_fallbacks, 0);
+}
+
+#[test]
+fn inactive_plan_draws_nothing_and_counts_nothing() {
+    // The zero-fault guarantee behind the bit-identical criterion: a
+    // default plan leaves every fault counter at zero however much I/O
+    // runs through the device.
+    let mut ftl = ftl_with(FaultPlan::default(), 0.0, |_| {});
+    let capacity = ftl.capacity(R).unwrap().min(32);
+    let delta_at = ftl.device().config().geometry.page_size / 2 + 8;
+    for lba in 0..capacity {
+        let data = page(&ftl, lba as u8);
+        ftl.write_page(R, Lba(lba), &data, IoCtx::default()).unwrap();
+        ftl.write_delta(R, Lba(lba), delta_at, &[9; 4], IoCtx::default()).unwrap();
+    }
+    let f = ftl.device().stats();
+    assert_eq!(f.program_failures, 0);
+    assert_eq!(f.delta_program_failures, 0);
+    assert_eq!(f.erase_failures, 0);
+    assert_eq!(f.retired_blocks, 0);
+    let r = ftl.region_stats(R).unwrap();
+    assert_eq!(r.program_retries, 0);
+    assert_eq!(r.retired_blocks, 0);
+    assert_eq!(r.delta_fallbacks, 0);
+    assert_eq!(r.scrub_refreshes, 0);
+}

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use ipa::core::NxM;
 use ipa::engine::{Database, DbConfig, Rid};
-use ipa::flash::FlashConfig;
+use ipa::flash::{FaultOp, FaultPlan, FlashConfig};
 use ipa::noftl::{IpaMode, NoFtlConfig};
 
 fn db(scheme: NxM) -> Database {
@@ -17,12 +17,31 @@ fn db(scheme: NxM) -> Database {
     Database::open(cfg, &[scheme], DbConfig::eager(24)).unwrap()
 }
 
+/// Same geometry as [`db`], with an operation-fault plan raining on the
+/// flash device (the default plan is inactive and bit-identical to `db`).
+fn faulty_db(scheme: NxM, plan: FaultPlan) -> Database {
+    let mut flash = FlashConfig::small_slc();
+    flash.geometry.page_size = 1024;
+    flash.geometry.pages_per_block = 16;
+    let cfg = NoFtlConfig::builder(flash)
+        .fault_plan(plan)
+        .scrub_threshold(0.5)
+        .single_region(IpaMode::Slc, 0.2)
+        .build()
+        .unwrap();
+    Database::open(cfg, &[scheme], DbConfig::eager(24)).unwrap()
+}
+
 /// One randomized episode: a committed history interleaved with aborted
 /// transactions, random flushes, and a crash; recovery must restore the
 /// committed view exactly.
 fn episode(seed: u64, scheme: NxM) {
+    episode_on(seed, db(scheme));
+}
+
+/// The episode body, on a caller-built database (fault-plan variants).
+fn episode_on(seed: u64, mut d: Database) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut d = db(scheme);
     let heap = d.create_heap(0);
 
     // Committed base population.
@@ -87,6 +106,60 @@ fn randomized_crash_recovery_with_ipa() {
 fn randomized_crash_recovery_baseline() {
     for seed in 100..108 {
         episode(seed, NxM::disabled());
+    }
+}
+
+#[test]
+fn randomized_crash_recovery_under_fault_storm() {
+    // The same episodes, while a seeded per-op fault storm rains on the
+    // flash device: transient and permanent program failures, erase
+    // failures and delta-append failures. Self-healing (retry, retire,
+    // fallback) must keep exactly the committed state recoverable.
+    for seed in 200..208 {
+        let plan = FaultPlan::storm(seed, 2e-3, 0.25);
+        episode_on(seed, faulty_db(NxM::new(2, 8, 12), plan));
+    }
+}
+
+#[test]
+fn crash_recovery_after_scripted_fault_burst() {
+    // Deterministic burst: every fault class fires at a known operation
+    // index (counted per class from device creation), including a
+    // permanent program failure that retires a block mid-episode.
+    let plan = FaultPlan::default()
+        .with_scripted(FaultOp::Program, 3, false)
+        .with_scripted(FaultOp::Program, 8, true)
+        .with_scripted(FaultOp::DeltaProgram, 0, false)
+        .with_scripted(FaultOp::Erase, 0, true);
+    episode_on(77, faulty_db(NxM::new(2, 8, 12), plan));
+}
+
+#[test]
+fn fault_episode_accounts_for_every_retired_block() {
+    let plan = FaultPlan::default().with_scripted(FaultOp::Program, 2, true).with_scripted(
+        FaultOp::Program,
+        6,
+        true,
+    );
+    let mut d = faulty_db(NxM::new(2, 8, 12), plan);
+    let heap = d.create_heap(0);
+    let tx = d.begin();
+    let mut rids = Vec::new();
+    for i in 0..200 {
+        rids.push(d.heap_insert(tx, heap, &[i as u8; 24]).unwrap());
+    }
+    d.commit(tx).unwrap();
+    d.flush_all().unwrap();
+
+    let region = d.region_stats(0).unwrap().clone();
+    let flash = d.ftl().device().stats().clone();
+    assert!(region.retired_blocks >= 1, "permanent faults must retire blocks");
+    assert_eq!(
+        region.retired_blocks, flash.retired_blocks,
+        "region and device retired-block accounting must agree"
+    );
+    for (i, rid) in rids.iter().enumerate() {
+        assert_eq!(d.heap_read_unlocked(*rid).unwrap(), vec![i as u8; 24], "tuple {i}");
     }
 }
 

@@ -24,6 +24,7 @@ fn two_region_db() -> Database {
             RegionSpec::new("rgPlain", 4..8, IpaMode::None).with_over_provisioning(0.3),
         ],
         gc_low_watermark: 2,
+        fault_policy: Default::default(),
     };
     // Region 0 gets the [2x4] scheme, region 1 the [0x0] baseline layout.
     Database::open(cfg, &[NxM::tpcb(), NxM::disabled()], DbConfig::eager(48)).unwrap()
