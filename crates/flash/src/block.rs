@@ -23,6 +23,13 @@ pub struct Block {
     pages: Vec<PageData>,
     erase_count: u64,
     state: BlockState,
+    /// Grown-bad marker byte, modelling the manufacturer bad-block marker
+    /// area of the spare region. Real parts reserve this byte *outside*
+    /// the host-usable spare bytes, so it is deliberately not addressable
+    /// through the host OOB window (`program_oob`/`read_oob`) — retiring a
+    /// block never clobbers host metadata on its still-readable pages.
+    /// `0xFF` means good; anything else marks the block grown bad.
+    bad_marker: u8,
 }
 
 impl Block {
@@ -32,6 +39,7 @@ impl Block {
             pages: (0..pages_per_block).map(|_| PageData::erased(page_size, oob_size)).collect(),
             erase_count: 0,
             state: BlockState::Free,
+            bad_marker: 0xFF,
         }
     }
 
@@ -52,8 +60,17 @@ impl Block {
 
     /// Retire the block as grown bad after a permanent program or erase
     /// failure. Irreversible: the device refuses further programs/erases.
+    /// Persists the bad-block marker in the reserved marker area.
     pub(crate) fn retire(&mut self) {
         self.state = BlockState::Retired;
+        self.bad_marker = 0x00;
+    }
+
+    /// Whether the block carries the persisted grown-bad marker — the
+    /// durable form of [`Block::is_retired`] a management layer scans at
+    /// mount time.
+    pub fn bad_marked(&self) -> bool {
+        self.bad_marker != 0xFF
     }
 
     /// Immutable access to a page (panics on out-of-range index; callers
@@ -130,11 +147,27 @@ mod tests {
     #[test]
     fn retired_block_refuses_erase() {
         let mut b = Block::new(1, 16, 4);
+        assert!(!b.bad_marked());
         b.retire();
         assert!(b.is_retired());
+        assert!(b.bad_marked());
         assert_eq!(b.state(), BlockState::Retired);
         let err = b.erase(2, 3, 100).unwrap_err();
         assert_eq!(err, FlashError::BlockRetired { chip: 2, block: 3 });
+    }
+
+    #[test]
+    fn bad_marker_lives_outside_host_oob() {
+        // The grown-bad marker must not alias any byte of the host OOB
+        // window: retiring a block with programmed page-0 OOB leaves that
+        // metadata untouched.
+        let mut b = Block::new(2, 16, 4);
+        let ppa = Ppa::new(0, 0, 0);
+        b.page_mut(0).program(ppa, &[0xAB; 16]).unwrap();
+        b.page_mut(0).program_oob(ppa, 0, &[0x12, 0x34]).unwrap();
+        b.retire();
+        assert!(b.bad_marked());
+        assert_eq!(&b.page(0).oob()[..2], &[0x12, 0x34]);
     }
 
     #[test]

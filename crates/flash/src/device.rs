@@ -703,16 +703,16 @@ impl FlashDevice {
     }
 
     /// Retire a block as grown bad: mark the in-memory state, persist the
-    /// classic bad-block marker (a non-`0xFF` byte at OOB offset 0 of the
-    /// block's first page) and account the retirement.
+    /// bad-block marker in the block's reserved marker area and account
+    /// the retirement. The marker area models the manufacturer bad-block
+    /// byte of the spare region and lives *outside* the host-visible OOB
+    /// window, so retiring a block never corrupts host metadata (ECC
+    /// codes, mapping tags) on its still-readable valid pages.
     fn retire_block(&mut self, chip: u32, block: u32, ctx: ObsCtx) {
         let b = self.chips[chip as usize].block_mut(block);
         if b.is_retired() {
             return;
         }
-        // Programming 0x00 is reachable from any OOB state under the
-        // monotone-charge rule, so the marker write cannot fail.
-        let _ = b.page_mut(0).program_oob(Ppa::new(chip, block, 0), 0, &[0x00]);
         b.retire();
         self.stats.retired_blocks += 1;
         self.emit(EventKind::BlockRetired, ctx.region, ctx.lba);
@@ -735,14 +735,15 @@ impl FlashDevice {
         Ok(self.chips[chip as usize].block(block).is_retired())
     }
 
-    /// Whether a block carries the persisted grown-bad OOB marker (a
-    /// non-`0xFF` byte at OOB offset 0 of its first page) — the durable
-    /// form of [`FlashDevice::is_block_retired`] a management layer scans
-    /// at mount time.
+    /// Whether a block carries the persisted grown-bad marker — the
+    /// durable form of [`FlashDevice::is_block_retired`] a management
+    /// layer scans at mount time. The marker occupies the block's
+    /// reserved marker area (the manufacturer bad-block byte of the
+    /// spare region), not the host-visible OOB window, so host OOB
+    /// contents on retired blocks stay intact and readable.
     pub fn oob_bad_marked(&self, chip: u32, block: u32) -> Result<bool> {
         self.check(Ppa::new(chip, block, 0))?;
-        let oob = self.chips[chip as usize].block(block).page(0).oob();
-        Ok(oob.first().is_some_and(|&b| b != 0xFF))
+        Ok(self.chips[chip as usize].block(block).bad_marked())
     }
 
     /// Queue a Correct-and-Refresh (Cai et al., paper ref \[35\]): read the
@@ -1402,6 +1403,39 @@ mod tests {
         assert_eq!(d.erase(0, 3).unwrap_err(), FlashError::BlockRetired { chip: 0, block: 3 });
         // Other blocks are unaffected.
         d.program(Ppa::new(0, 4, 0), &data, OpOrigin::Host).unwrap();
+    }
+
+    #[test]
+    fn retirement_leaves_host_oob_of_live_pages_intact() {
+        // Valid pages on retired blocks deliberately stay readable, and
+        // their host OOB metadata (per-delta ECC codes, mapping tags) must
+        // survive retirement byte for byte: the grown-bad marker lives in
+        // the block's reserved marker area, not the host OOB window.
+        let mut cfg = FlashConfig::small_slc();
+        // Fail the second program (elsewhere) permanently so block 0 —
+        // whose page 0 already holds live data + OOB — gets retired via
+        // the management hook, not a fault of its own.
+        let mut d = FlashDevice::new(cfg.clone());
+        let ppa = Ppa::new(0, 0, 0);
+        let data = full(&d, 0x5A);
+        d.program(ppa, &data, OpOrigin::Host).unwrap();
+        d.program_oob(ppa, 0, &[0xCA, 0xFE]).unwrap();
+        d.retire(0, 0).unwrap();
+        assert!(d.is_block_retired(0, 0).unwrap());
+        assert!(d.oob_bad_marked(0, 0).unwrap());
+        let oob = d.read_oob(ppa).unwrap();
+        assert_eq!(&oob[..2], &[0xCA, 0xFE], "host OOB corrupted by retirement");
+        let (read, _) = d.read(ppa, OpOrigin::Host).unwrap();
+        assert_eq!(read, data);
+        // Same invariant when retirement comes from a permanent program
+        // fault on a later page of the block.
+        cfg.fault = crate::FaultPlan::default().with_scripted(crate::FaultOp::Program, 1, true);
+        let mut d = FlashDevice::new(cfg);
+        d.program(ppa, &data, OpOrigin::Host).unwrap();
+        d.program_oob(ppa, 0, &[0xCA, 0xFE]).unwrap();
+        d.program(Ppa::new(0, 0, 1), &data, OpOrigin::Host).unwrap_err();
+        assert!(d.oob_bad_marked(0, 0).unwrap());
+        assert_eq!(&d.read_oob(ppa).unwrap()[..2], &[0xCA, 0xFE]);
     }
 
     #[test]

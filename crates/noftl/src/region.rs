@@ -33,6 +33,14 @@ struct BlockInfo {
     /// selection and wear leveling. Valid pages already on the block stay
     /// readable and drain through normal invalidation.
     retired: bool,
+    /// A collection (GC or wear leveling) is migrating this block's pages
+    /// right now. Migration writes go through the healed program path,
+    /// which on a permanent fault retires a block and runs a *nested*
+    /// `garbage_collect_chip`; excluding in-flight victims from selection
+    /// keeps that nested pass from double-collecting the outer victim
+    /// (which would erase it mid-migration, duplicate its free-list entry
+    /// and leave a stale second p2l copy of every remaining page).
+    collecting: bool,
 }
 
 /// The per-chip allocation state.
@@ -110,6 +118,7 @@ impl Region {
                         write_cursor: 0,
                         free: true,
                         retired: false,
+                        collecting: false,
                     })
                     .collect(),
             })
@@ -575,7 +584,8 @@ impl Region {
 
     /// Greedy victim selection: the fully-written, non-active block with
     /// the fewest valid pages — and strictly fewer than a full block, so
-    /// every collection reclaims space.
+    /// every collection reclaims space. Blocks already being collected by
+    /// an enclosing collection are excluded (see [`BlockInfo::collecting`]).
     fn select_victim(&self, local: usize, per_block: u32) -> Option<u32> {
         let state = &self.chips[local];
         state
@@ -585,6 +595,7 @@ impl Region {
             .filter(|(b, info)| {
                 !info.free
                     && !info.retired
+                    && !info.collecting
                     && Some(*b as u32) != state.active
                     && info.write_cursor == per_block as usize
                     && info.valid_count < per_block
@@ -595,11 +606,32 @@ impl Region {
 
     /// Migrate the victim's valid pages and erase it.
     ///
+    /// The victim is flagged as being collected for the whole migration so
+    /// the nested garbage collection reachable through `program_healed`
+    /// (a migration write faulting permanently retires its target block
+    /// and refills the free pool) can never re-select it — a re-entrant
+    /// collection of the same block would erase it under the outer loop,
+    /// push a duplicate free-list entry and resurrect stale data.
+    fn collect_block(&mut self, dev: &mut FlashDevice, local: usize, victim: u32) -> Result<()> {
+        self.chips[local].blocks[victim as usize].collecting = true;
+        let result = self.collect_block_guarded(dev, local, victim);
+        self.chips[local].blocks[victim as usize].collecting = false;
+        result
+    }
+
+    /// Body of [`Region::collect_block`], running under the `collecting`
+    /// guard on the victim.
+    ///
     /// The reads are issued as one queued batch before any program is
     /// submitted, so on multi-chip devices a collection overlaps with host
     /// work queued on other chips instead of interleaving read/program
     /// round trips.
-    fn collect_block(&mut self, dev: &mut FlashDevice, local: usize, victim: u32) -> Result<()> {
+    fn collect_block_guarded(
+        &mut self,
+        dev: &mut FlashDevice,
+        local: usize,
+        victim: u32,
+    ) -> Result<()> {
         let chip = self.chips[local].chip;
         let valid_pages: Vec<u32> = self.chips[local].blocks[victim as usize]
             .valid
@@ -636,6 +668,16 @@ impl Region {
             self.invalidate(old)?;
             self.map(Lba(lba), new)?;
             self.stats.gc_page_migrations += 1;
+        }
+        // Re-verify under the guard before reclaiming: the nested activity
+        // above must not have retired or freed the victim. With the
+        // `collecting` exclusion this cannot happen — the check keeps the
+        // erase/free-list push from ever double-freeing if it somehow does.
+        {
+            let info = &self.chips[local].blocks[victim as usize];
+            if info.retired || info.free {
+                return Ok(());
+            }
         }
         if dev.observing() {
             dev.set_obs_ctx(Some(self.id), None);
@@ -680,6 +722,7 @@ impl Region {
                 .filter(|(b, info)| {
                     !info.free
                         && !info.retired
+                        && !info.collecting
                         && Some(*b as u32) != self.chips[local].active
                         && max.saturating_sub(counts[*b]) > threshold
                 })
@@ -1049,6 +1092,90 @@ mod tests {
         r.write_delta(&mut dev, Lba(3), 202, &[0x56], IoCtx::host()).unwrap();
         assert_eq!(r.stats.host_delta_writes, 1);
         assert_eq!(r.stats.delta_fallbacks, 1);
+    }
+
+    /// Structural invariants that a double-collected victim violates:
+    /// duplicate free-list entries, free blocks still holding valid pages,
+    /// and orphan p2l entries (two physical copies mapped for one LBA).
+    fn assert_region_invariants(r: &Region) {
+        for state in &r.chips {
+            let mut seen = std::collections::HashSet::new();
+            for &b in &state.free_blocks {
+                assert!(seen.insert(b), "duplicate free-list entry for block {b}");
+                let info = &state.blocks[b as usize];
+                assert!(info.free, "free-list block {b} not marked free");
+                assert!(!info.retired, "retired block {b} on the free list");
+                assert_eq!(info.valid_count, 0, "free block {b} holds valid pages");
+            }
+            for (b, info) in state.blocks.iter().enumerate() {
+                let n = info.valid.iter().filter(|&&v| v).count() as u32;
+                assert_eq!(info.valid_count, n, "valid_count mismatch on block {b}");
+                assert!(!info.collecting, "collecting flag leaked on block {b}");
+            }
+        }
+        let mut mapped = 0;
+        for (lba, ppa) in r.l2p.iter().enumerate() {
+            if let Some(ppa) = ppa {
+                assert_eq!(r.p2l.get(ppa), Some(&(lba as u64)), "l2p/p2l disagree for lba {lba}");
+                mapped += 1;
+            }
+        }
+        assert_eq!(r.p2l.len(), mapped, "orphan p2l entries (duplicate physical copies)");
+    }
+
+    #[test]
+    fn nested_gc_during_migration_fault_never_double_collects_the_victim() {
+        // A permanent program fault on a GC *migration* write makes
+        // `program_healed` retire the faulted block and run a nested
+        // `garbage_collect_chip` while the outer victim is mid-collection.
+        // The nested pass must not re-select that victim: double-collecting
+        // erases it under the outer loop, pushes a duplicate free-list
+        // entry and leaves stale duplicate p2l copies that later resurrect
+        // old data.
+        //
+        // Discovery pass (no faults): find the per-class program index of
+        // the first GC migration write. GC runs before the host program of
+        // the triggering write, so the first program op inside that write
+        // is the first migration.
+        let churn = |dev: &mut FlashDevice,
+                         r: &mut Region,
+                         latest: &mut [u8; 120],
+                         rounds: u64,
+                         stop_at_first_migration: bool|
+         -> Option<u64> {
+            for round in 0..=rounds {
+                for lba in 0..120u64 {
+                    if round == 0 || in_round(lba, round) {
+                        let before = dev.stats().host_programs + dev.stats().gc_programs;
+                        latest[lba as usize] = round as u8;
+                        r.write(dev, Lba(lba), &page(round as u8), IoCtx::host()).unwrap();
+                        if stop_at_first_migration && r.stats.gc_page_migrations > 0 {
+                            return Some(before);
+                        }
+                    }
+                }
+            }
+            None
+        };
+        let (mut dev, mut r) = small_region(IpaMode::Slc, CellType::Slc);
+        let mut latest = [0u8; 120];
+        let nth = churn(&mut dev, &mut r, &mut latest, 60, true)
+            .expect("churn must trigger a GC migration");
+
+        // Faulted pass: the same deterministic workload, with the first
+        // migration program failing permanently.
+        let plan = FaultPlan::default().with_scripted(FaultOp::Program, nth, true);
+        let (mut dev, mut r) =
+            small_region_with(IpaMode::Slc, CellType::Slc, plan, FaultPolicy::default());
+        let mut latest = [0u8; 120];
+        churn(&mut dev, &mut r, &mut latest, 40, false);
+        assert!(r.stats.retired_blocks >= 1, "the scripted fault must retire a block");
+        assert!(r.stats.gc_erases > 0, "collection must survive the nested pass");
+        assert_region_invariants(&r);
+        for lba in 0..120u64 {
+            let (data, _) = r.read(&mut dev, Lba(lba), IoCtx::host()).unwrap();
+            assert_eq!(data, page(latest[lba as usize]), "lba {lba}");
+        }
     }
 
     #[test]
