@@ -19,7 +19,7 @@ pub enum Severity {
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Lint code (`L000` ... `L005`).
+    /// Lint code (`L000` ... `L006`).
     pub code: &'static str,
     /// Gating severity.
     pub severity: Severity,

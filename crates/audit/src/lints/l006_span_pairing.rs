@@ -1,0 +1,88 @@
+//! L006 — every opened trace span must be closed on all exit paths.
+//!
+//! The causal-tracing API (`open_span` / `open_span_under` -> `SpanId`,
+//! then `close_span`) can leak spans: a function that opens a span but
+//! never closes it leaves the span on the device's span stack forever, so
+//! every later I/O is mis-attributed to the leaked span and the offline
+//! analyzer reports the transaction as unclosed. This lint requires that
+//! every non-test function containing an `open_span` / `open_span_under`
+//! call satisfies one of:
+//!
+//! * it also calls `close_span` — the single-exit shape
+//!   (`let r = inner(); close_span(id); r`) the live call sites use;
+//! * its own name starts with `open` or `begin` — it *is* the
+//!   producer-side API, deferring the close to its caller by convention
+//!   (e.g. `Database::begin` opens the transaction span that `commit` /
+//!   `abort` close);
+//! * `SpanId` appears in its signature — it hands the span id back to the
+//!   caller, who owns the close.
+//!
+//! Like L004 this is a per-function token heuristic, not a CFG analysis:
+//! an early `return` between open and close escapes it, but it pins the
+//! repo-wide convention that span open/close responsibilities are never
+//! silently split across unrelated functions.
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct SpanPairing;
+
+impl Lint for SpanPairing {
+    fn code(&self) -> &'static str {
+        "L006"
+    }
+    fn name(&self) -> &'static str {
+        "span-pairing"
+    }
+    fn description(&self) -> &'static str {
+        "every open_span/open_span_under call is paired with close_span in the \
+         same function, or the function visibly defers the close \
+         (open*/begin* name, SpanId in signature)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.krate == "audit" || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for f in file.functions() {
+                if file.is_test(f.body.0) {
+                    continue;
+                }
+                if f.name.starts_with("open") || f.name.starts_with("begin") {
+                    continue;
+                }
+                let body = &t[f.body.0..f.body.1];
+                let Some(open_tok) = body.iter().zip(body.iter().skip(1)).find_map(|(a, b)| {
+                    let id = a.ident()?;
+                    let is_open = id == "open_span" || id == "open_span_under";
+                    (is_open && b.is_punct('(')).then_some(a)
+                }) else {
+                    continue;
+                };
+                let sig = &t[f.sig.0..f.sig.1];
+                if sig.iter().any(|tok| tok.is_ident("SpanId")) {
+                    continue;
+                }
+                if body.iter().any(|tok| tok.is_ident("close_span")) {
+                    continue;
+                }
+                out.push(Finding {
+                    code: "L006",
+                    severity: Severity::Error,
+                    file: file.path.clone(),
+                    line: open_tok.line,
+                    message: format!(
+                        "fn `{}` opens a trace span but never closes it; pair the \
+                         open_span with close_span, return the SpanId, or rename to \
+                         open_*/begin_* to defer the close to the caller",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -14,12 +14,14 @@ mod l002_no_panic;
 mod l003_layering;
 mod l004_queue_pairing;
 mod l005_must_use;
+mod l006_span_pairing;
 
 pub use l001_raw_cell_access::RawCellAccess;
 pub use l002_no_panic::NoPanic;
 pub use l003_layering::Layering;
 pub use l004_queue_pairing::QueuePairing;
 pub use l005_must_use::MustUse;
+pub use l006_span_pairing::SpanPairing;
 
 /// One audit lint.
 pub trait Lint {
@@ -41,6 +43,7 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(Layering),
         Box::new(QueuePairing),
         Box::new(MustUse),
+        Box::new(SpanPairing),
     ]
 }
 

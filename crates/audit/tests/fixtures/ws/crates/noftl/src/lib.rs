@@ -33,3 +33,27 @@ mod tests {
         assert_eq!(v.unwrap(), 1);
     }
 }
+
+// L006 seeds (appended so the pragma line numbers above stay stable).
+// Mentioning `open_span` in a comment must not trip anything either.
+pub fn leaky_episode(dev: &mut Dev) {
+    let span = dev.open_span(3);
+    dev.submit_write(5);
+    dev.drain_completions();
+    let _ = span;
+}
+
+pub fn traced_episode(dev: &mut Dev) {
+    let span = dev.open_span(3);
+    dev.submit_write(5);
+    dev.drain_completions();
+    dev.close_span(span);
+}
+
+pub fn begin_episode(dev: &mut Dev) -> u64 {
+    dev.open_span(1)
+}
+
+pub fn reparent(dev: &mut Dev, parent: SpanId) {
+    dev.open_span_under(1, parent);
+}

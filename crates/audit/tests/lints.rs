@@ -47,6 +47,8 @@ fn seeded_violations_are_all_reported() {
     assert!(has(&r, "L004", "crates/noftl/src/lib.rs", 11), "fire_and_forget leaks");
     // L005 — public measurement type without #[must_use].
     assert!(has(&r, "L005", "crates/flash/src/lib.rs", 13), "EraseStats lacks must_use");
+    // L006 — span opened without a close path.
+    assert!(has(&r, "L006", "crates/noftl/src/lib.rs", 40), "leaky_episode leaks a span");
 }
 
 #[test]
@@ -71,8 +73,11 @@ fn false_positive_guards_hold() {
     assert_eq!(count(&r, "L003"), 3, "L003: one manifest + two source edges");
     assert_eq!(count(&r, "L004"), 1, "L004: only fire_and_forget");
     assert_eq!(count(&r, "L005"), 1, "L005: only EraseStats");
+    // Paired open+close, begin_*-named producers, and SpanId-in-signature
+    // handoffs are exempt (L006).
+    assert_eq!(count(&r, "L006"), 1, "L006: only leaky_episode");
     assert_eq!(count(&r, "L000"), 1, "L000: only the unused engine pragma");
-    assert_eq!(r.errors(), 12);
+    assert_eq!(r.errors(), 13);
     assert_eq!(r.warnings(), 1);
     assert!(!r.clean(false));
 }
@@ -110,10 +115,11 @@ fn json_report_reflects_the_fixture() {
     let r = fixture_report();
     let json = r.to_json(true);
     assert!(json.contains("\"experiment\": \"ipa-audit\""));
-    assert!(json.contains("\"errors\": 12"));
+    assert!(json.contains("\"errors\": 13"));
     assert!(json.contains("\"warnings\": 1"));
     assert!(json.contains("\"clean\": false"));
     assert!(json.contains("\"lint\": \"L004\""));
+    assert!(json.contains("\"lint\": \"L006\""));
     assert!(json.contains("single suppression"));
 }
 

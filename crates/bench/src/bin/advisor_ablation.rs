@@ -9,12 +9,16 @@
 //! 3. **write_delta vs page write cost**: the device-level latency gap
 //!    that makes appends worthwhile.
 
-use ipa_bench::{banner, fmt, run_workload, scale, scheme_name, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, run_workload, scale, scheme_name, ExperimentReport,
+    Table,
+};
 use ipa_core::{AdvisorGoal, IpaAdvisor, NxM};
 use ipa_flash::{FlashConfig, FlashDevice, OpOrigin, Ppa};
 use ipa_workloads::{SystemConfig, TpcC};
 
 fn main() {
+    init_trace("advisor_ablation");
     banner(
         "IPA advisor + design ablations",
         "paper §8.4 (advisor), §6.1 (byte-level metadata, 49% claim), §4 (append cost)",
@@ -96,4 +100,5 @@ fn main() {
     );
     report.set_payload(serde_json::Value::Object(json));
     report.save();
+    finish_trace();
 }

@@ -11,10 +11,16 @@
 //!
 //! `IPA_BENCH_SMOKE=1` shrinks the run for CI; the scripted bursts keep
 //! the fault counters non-zero so the CI step can assert on the JSON.
+//!
+//! The host queue runs at depth 4, so `--trace` yields a queued-I/O span
+//! trace — crash recovery included — for `ipa-trace` latency attribution.
 
 use std::sync::{Arc, Mutex};
 
-use ipa_bench::{banner, scale, smoke, ExperimentReport, Table, SEED};
+use ipa_bench::{
+    banner, finish_trace, init_trace, scale, smoke, trace_sink, ExperimentReport, FanoutObserver,
+    Table, SEED,
+};
 use ipa_core::NxM;
 use ipa_flash::{FaultOp, FaultPlan};
 use ipa_noftl::FaultPolicy;
@@ -51,6 +57,7 @@ impl Observer for FaultEventCounter {
 }
 
 fn main() {
+    init_trace("fault_storm");
     banner(
         "Fault storm — TPC-B under seeded program/erase/delta failures",
         "§7 reliability machinery (no paper table; pass criteria: zero committed-data loss)",
@@ -71,9 +78,15 @@ fn main() {
         .with_scripted(FaultOp::DeltaProgram, 2, false)
         .with_scripted(FaultOp::Erase, 0, true);
 
-    let mut cfg = SystemConfig::emulator(NxM::tpcb(), 0.10);
+    // 20% buffer: the eager cleaner keeps ~12.5% of the pool dirty, so
+    // the end-of-storm checkpoint has more dirty frames than the queue
+    // has slots — real admission waits for the latency attribution.
+    let mut cfg = SystemConfig::emulator(NxM::tpcb(), 0.20);
     cfg.fault_plan = plan;
     cfg.fault_policy = FaultPolicy { program_retries: 1, scrub_threshold: 0.5 };
+    // Queue depth 4: faults land while other commands are in flight, and a
+    // `--trace` run carries real queue-wait time for latency attribution.
+    cfg.queue_depth = 4;
 
     // Drive the run by hand instead of through `run_workload_observed`:
     // the observer attaches *before* the load phase, so the trace tallies
@@ -84,7 +97,12 @@ fn main() {
     let mut db = cfg.build_for(&w).expect("database builds");
     let mut runner = Runner::new(SEED);
     runner.cpu_ns_per_txn = cfg.cpu_ns_per_txn;
-    db.attach_observer(Box::new(counter.clone()));
+    let mut observers: Vec<Box<dyn Observer>> = vec![Box::new(counter.clone())];
+    if let Some(sink) = trace_sink() {
+        db.ftl_mut().set_cmd_tracing(true);
+        observers.push(sink.observer());
+    }
+    db.attach_observer(Box::new(FanoutObserver::new(observers)));
     runner.setup(&mut db, &mut w).expect("TPC-B loads under the storm");
     let mut registry = MetricsRegistry::new();
     let every = (measured / 20).max(1);
@@ -95,16 +113,26 @@ fn main() {
             }
         })
         .expect("TPC-B survives the storm");
-    db.detach_observer();
+    // Checkpoint the dirty pool as one queued batch: at depth 4 the page
+    // writes overlap across chips and the trace picks up real host-queue
+    // admission waits for `ipa-trace` latency attribution.
+    db.flush_all().expect("post-storm checkpoint flushes");
     let series = registry.to_json();
 
     // Zero-committed-data-loss audit #1: live database after the storm.
     let live_sum = w.verify_balances(&mut db).expect("post-storm balance audit");
 
     // Audit #2: the same invariant must survive a crash/recovery cycle on
-    // top of the fault-scarred device.
+    // top of the fault-scarred device. The observer stays attached so a
+    // `--trace` run records the recovery span too.
     db.simulate_crash();
     db.recover().expect("recovery after fault storm");
+    // Device histograms at the instant tracing stops: `ipa-trace` windows
+    // its attribution after the post-warmup stats reset, so these sums are
+    // the counters its queue-wait + busy + service totals must reproduce.
+    let traced_window = Snapshot::capture(&db);
+    db.detach_observer();
+    db.ftl_mut().set_cmd_tracing(false);
     let recovered_sum = w.verify_balances(&mut db).expect("post-recovery balance audit");
     assert_eq!(live_sum, recovered_sum, "recovery changed the committed balance total");
 
@@ -183,6 +211,17 @@ fn main() {
         "read_retries": snap.engine.read_retries,
         "recovery_page_rebuilds": snap.engine.recovery_page_rebuilds,
     });
+    // Ground truth for `ipa-trace` reconciliation over the traced window.
+    let tw = &traced_window.flash;
+    let latency_json = serde_json::json!({
+        "read_count": tw.read_latency.count(),
+        "read_sum_ns": tw.read_latency.sum_ns() as u64,
+        "write_count": tw.write_latency.count(),
+        "write_sum_ns": tw.write_latency.sum_ns() as u64,
+        "queue_wait_ns_total": tw.queue_wait_ns_total,
+        "queue_waits": tw.queue_waits,
+        "queue_highwater": tw.queue_highwater,
+    });
     rep.set_payload(serde_json::json!({
         "commits": report.commits,
         "committed_balance_total": live_sum,
@@ -192,7 +231,9 @@ fn main() {
         "region": region_json,
         "trace": trace_json,
         "engine": engine_json,
+        "latency": latency_json,
     }));
     rep.push_timeseries(serde_json::json!({ "run": "fault_storm", "points": series }));
     rep.save();
+    finish_trace();
 }

@@ -6,11 +6,14 @@
 //! measures each layer on a live TPC-B run without IPA, then shows the
 //! same chain with the `[2×4]` scheme.
 
-use ipa_bench::{banner, fmt, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{SystemConfig, TpcB};
 
 fn main() {
+    init_trace("fig1_amplification");
     banner(
         "Figure 1 — write amplification of small updates",
         "paper Figure 1: a <10B update causes a 4-8KB page write, 400-800x amplification",
@@ -82,4 +85,5 @@ fn main() {
     );
     out.set_payload(serde_json::Value::Object(json));
     out.save();
+    finish_trace();
 }

@@ -1,11 +1,14 @@
 //! Figure 6 — fraction of update I/Os performed as in-place appends in
 //! LinkBench, across buffer sizes and `[N×M]` schemes.
 
-use ipa_bench::{banner, run_workload, scale, scheme_name, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, init_trace, run_workload, scale, scheme_name, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig};
 
 fn main() {
+    init_trace("fig6_linkbench_ipa");
     banner(
         "Figure 6 — IPA fraction of update I/Os in LinkBench",
         "paper Figure 6 / Table 5 black numbers (e.g. [2x125] ~ 35-43%)",
@@ -43,4 +46,5 @@ fn main() {
     println!("size (accumulated updates overflow the delta area).");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

@@ -5,7 +5,7 @@
 //! LinkBench (Fig 10) at several buffer sizes, as ASCII tables plus
 //! sparkline-style bars.
 
-use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{banner, finish_trace, init_trace, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcB, TpcC, Workload};
 
@@ -58,6 +58,7 @@ fn print_figure(
 }
 
 fn main() {
+    init_trace("fig7_10_cdfs");
     banner("Figures 7-10 — update-size CDFs", "paper Appendix A figures");
     let s = scale();
     let mut out = ExperimentReport::new("fig7_10_cdfs");
@@ -111,4 +112,5 @@ fn main() {
         serde_json::json!({ "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10 }),
     );
     out.save();
+    finish_trace();
 }

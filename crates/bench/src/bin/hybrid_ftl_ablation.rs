@@ -7,7 +7,9 @@
 //! the engine and replays it through the FAST-style [`HybridFtl`] with and
 //! without an `[2×3]`-equivalent append rule, on identical hardware.
 
-use ipa_bench::{banner, fmt, scale, ExperimentReport, Table, SEED};
+use ipa_bench::{
+    attach_trace, banner, finish_trace, fmt, init_trace, scale, ExperimentReport, Table, SEED,
+};
 use ipa_core::NxM;
 use ipa_engine::TraceEvent;
 use ipa_flash::FlashConfig;
@@ -15,6 +17,7 @@ use ipa_noftl::{HybridConfig, HybridFtl};
 use ipa_workloads::{Runner, SystemConfig, TpcC};
 
 fn main() {
+    init_trace("hybrid_ftl_ablation");
     banner(
         "Hybrid-FTL ablation — IPA on a FAST-style SSD",
         "paper §8.4: appends postpone hybrid-FTL merges; OP can shrink",
@@ -30,7 +33,12 @@ fn main() {
     runner.setup(&mut db, &mut w).expect("setup");
     runner.run(&mut db, &mut w, 0, 1_000 * s).expect("warmup");
     db.enable_tracing();
+    let traced = attach_trace(&mut db);
     runner.run(&mut db, &mut w, 0, 8_000 * s).expect("measured");
+    if traced {
+        db.detach_observer();
+        db.ftl_mut().set_cmd_tracing(false);
+    }
     let trace: Vec<(u64, u32, bool)> = db
         .take_trace()
         .into_iter()
@@ -120,4 +128,5 @@ fn main() {
         "ipa_half_op": stats_json(&results[2].1),
     }));
     out.save();
+    finish_trace();
 }

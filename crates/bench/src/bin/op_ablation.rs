@@ -7,11 +7,14 @@
 //! GC pressure — showing that IPA at a *small* OP matches or beats the
 //! baseline at a *large* OP, compensating the delta-area space cost.
 
-use ipa_bench::{banner, fmt, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{SystemConfig, TpcC};
 
 fn main() {
+    init_trace("op_ablation");
     banner(
         "Ablation — over-provisioning vs IPA",
         "paper §8.4: 'the space overhead due to the delta-record area may be \
@@ -73,4 +76,5 @@ fn main() {
     }
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

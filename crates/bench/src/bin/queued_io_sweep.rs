@@ -8,7 +8,7 @@
 //! behaviour exactly; at depth >= chips the per-chip latencies overlap
 //! fully and device time drops by ~the chip count.
 
-use ipa_bench::{banner, fmt, ExperimentReport, Table};
+use ipa_bench::{banner, finish_trace, fmt, init_trace, trace_sink, ExperimentReport, Table};
 use ipa_flash::FlashConfig;
 use ipa_noftl::{IoCtx, IpaMode, Lba, NoFtl, NoFtlConfig, PageIo, RegionId};
 
@@ -24,6 +24,10 @@ fn run(depth: u32) -> u64 {
         .build()
         .expect("config validates");
     let mut ftl = NoFtl::new(cfg).expect("ftl builds");
+    if let Some(sink) = trace_sink() {
+        ftl.set_cmd_tracing(true);
+        ftl.attach_observer(sink.observer());
+    }
     let cap = ftl.capacity(RegionId(0)).expect("region exists");
     let data = vec![0x5Au8; 512];
     let lbas: Vec<u64> = (0..cap / 2).collect();
@@ -37,6 +41,7 @@ fn run(depth: u32) -> u64 {
 }
 
 fn main() {
+    init_trace("queued_io_sweep");
     banner(
         "Queued I/O sweep — host queue depth vs simulated device time",
         "beyond the paper: per-chip command queues on the 4-chip emulator profile",
@@ -63,4 +68,5 @@ fn main() {
     println!("the chip count ({CHIPS}x) once every chip in a batch can be in flight.");
     report.set_payload(serde_json::Value::Array(json));
     report.save();
+    finish_trace();
 }

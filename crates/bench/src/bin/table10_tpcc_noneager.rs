@@ -2,7 +2,9 @@
 //! policy: updates accumulate in the buffer, so larger `M` values are
 //! needed ([2×10] at small buffers through [2×40] at large ones).
 
-use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, rel, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcC};
 
@@ -30,6 +32,7 @@ fn metrics(r: &RunReport) -> [f64; 6] {
 }
 
 fn main() {
+    init_trace("table10_tpcc_noneager");
     banner(
         "Table 10 — TPC-C, non-eager eviction, buffers 10%-90%: [0x0] vs [2xM]",
         "paper Table 10 (eviction threshold 75%, log reclamation 100%)",
@@ -84,4 +87,5 @@ fn main() {
     println!("host writes remain appendable, keeping >20% GC reductions.");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

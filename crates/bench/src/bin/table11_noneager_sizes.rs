@@ -4,7 +4,7 @@
 //! ≤ 6 bytes, but with a 90% buffer almost none do — pages absorb many
 //! transactions before being flushed.
 
-use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{banner, finish_trace, init_trace, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{SystemConfig, TpcC};
 
@@ -19,6 +19,7 @@ const PAPER: [[u32; 5]; 5] = [
 ];
 
 fn main() {
+    init_trace("table11_noneager_sizes");
     banner(
         "Table 11 — TPC-C update sizes, non-eager eviction",
         "paper Table 11 + Figure 9 (update accumulation with large buffers)",
@@ -57,4 +58,5 @@ fn main() {
         serde_json::json!({ "thresholds": THRESHOLDS, "buffers": buffers, "cdfs": cdfs }),
     );
     out.save();
+    finish_trace();
 }

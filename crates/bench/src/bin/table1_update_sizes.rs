@@ -3,7 +3,7 @@
 //! Paper: the percentile of update I/Os changing at most 3 / 7 / 20 / 100 /
 //! 125 bytes, for TPC-B and TPC-C (net data) and LinkBench (gross data).
 
-use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{banner, finish_trace, init_trace, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcB, TpcC, Workload};
 
@@ -21,6 +21,7 @@ fn measure(name: &str, cfg: &SystemConfig, w: &mut dyn Workload, txns: u64) -> V
 }
 
 fn main() {
+    init_trace("table1_update_sizes");
     banner(
         "Table 1 — update sizes in TPC-B/-C and LinkBench (buffer 75%, eager)",
         "paper Table 1 (percentile of update I/Os changing <= N bytes)",
@@ -70,4 +71,5 @@ fn main() {
         "tpcb": tpcb_cdf, "tpcc": tpcc_cdf, "linkbench": lb_cdf,
     }));
     out.save();
+    finish_trace();
 }

@@ -6,7 +6,9 @@
 //! Appendix B formula sets. The runs use 8 KiB logical pages matching the
 //! original IPL configuration (4 × 2 KiB physical pages, `ppl = 4`).
 
-use ipa_bench::{banner, fmt, scale, ExperimentReport, Table, SEED};
+use ipa_bench::{
+    attach_trace, banner, finish_trace, fmt, init_trace, scale, ExperimentReport, Table, SEED,
+};
 use ipa_core::NxM;
 use ipa_ipl::{Amplification, IplConfig, IplSimulator};
 use ipa_workloads::{Runner, SystemConfig, Tatp, TpcB, TpcC, Workload};
@@ -34,7 +36,12 @@ fn run_one(name: &'static str, scheme: NxM, w: &mut dyn Workload, txns: u64) -> 
     runner.setup(&mut db, w).expect("setup");
     runner.run(&mut db, w, 0, txns / 5).expect("warmup");
     db.enable_tracing();
+    let traced = attach_trace(&mut db);
     let report = runner.run(&mut db, w, 0, txns).expect("measured");
+    if traced {
+        db.detach_observer();
+        db.ftl_mut().set_cmd_tracing(false);
+    }
     let trace = db.take_trace();
 
     // IPL side: replay the identical trace.
@@ -61,6 +68,7 @@ fn run_one(name: &'static str, scheme: NxM, w: &mut dyn Workload, txns: u64) -> 
 }
 
 fn main() {
+    init_trace("table2_ipl_vs_ipa");
     banner(
         "Table 2 — comparison of IPA to IPL",
         "paper Table 2 + Appendix B formulas; same traces replayed through both models",
@@ -129,4 +137,5 @@ fn main() {
     }
     out.set_payload(serde_json::Value::Object(json));
     out.save();
+    finish_trace();
 }

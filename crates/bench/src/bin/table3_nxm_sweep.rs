@@ -5,7 +5,7 @@
 //! erases per host write versus the `[0×0]` baseline (blue). TPC-C on
 //! 4 KiB pages and LinkBench on 8 KiB pages, 75% buffers.
 
-use ipa_bench::{banner, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{banner, finish_trace, init_trace, run_workload, scale, ExperimentReport, Table};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcC, Workload};
 
@@ -58,6 +58,7 @@ fn sweep(
 }
 
 fn main() {
+    init_trace("table3_nxm_sweep");
     banner(
         "Table 3 — [NxM] scheme selection and space utilization",
         "paper Table 3: IPA fraction (black), space overhead (red), erase reduction (blue)",
@@ -88,4 +89,5 @@ fn main() {
     println!("space overhead grows linearly with N*M; erase reduction tracks IPA fraction.");
     out.set_payload(serde_json::json!({ "tpcc": tpcc, "linkbench": lb }));
     out.save();
+    finish_trace();
 }

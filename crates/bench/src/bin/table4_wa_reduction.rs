@@ -5,7 +5,9 @@
 //! baseline for TPC-B (M=4), TPC-C (M=3) and LinkBench (M=125) at 75% and
 //! 90% buffers.
 
-use ipa_bench::{banner, fmt, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, TpcB, TpcC, Workload};
 
@@ -22,6 +24,7 @@ fn wa(cfg: &SystemConfig, w: &mut dyn Workload, txns: u64) -> f64 {
 }
 
 fn main() {
+    init_trace("table4_wa_reduction");
     banner(
         "Table 4 — write amplification reduction (x times)",
         "paper Table 4: [2xM] and [3xM] vs [0x0], buffers 75% and 90%",
@@ -80,4 +83,5 @@ fn main() {
     println!("LinkBench reductions smaller (larger updates), [3xM] > [2xM] everywhere.");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

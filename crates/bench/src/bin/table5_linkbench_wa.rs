@@ -1,11 +1,14 @@
 //! Table 5 — LinkBench: space overhead and DBMS write-amplification
 //! reduction across `[N×M]` schemes and buffer sizes.
 
-use ipa_bench::{banner, run_workload, scale, scheme_name, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, init_trace, run_workload, scale, scheme_name, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{LinkBench, SystemConfig, Workload};
 
 fn main() {
+    init_trace("table5_linkbench_wa");
     banner(
         "Table 5 — LinkBench space overhead and WA reduction",
         "paper Table 5: schemes 1x100..3x125, buffers 20%..90%",
@@ -58,4 +61,5 @@ fn main() {
     println!("and shrinks with buffer size (updates accumulate before eviction).");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

@@ -5,7 +5,9 @@
 //! 1.5% buffer — the configuration under which the paper reports its
 //! largest relative gains.
 
-use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, rel, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcB};
 
@@ -25,6 +27,7 @@ fn run(cfg: &SystemConfig, s: u64) -> RunReport {
 }
 
 fn main() {
+    init_trace("table6_tpcb_openssd");
     banner("Table 6 — TPC-B on OpenSSD: [0x0] vs [2x4] pSLC / odd-MLC", "paper Table 6");
     let s = scale();
     let base = run(&SystemConfig::openssd(NxM::disabled(), false), s);
@@ -72,4 +75,5 @@ fn main() {
     println!("(odd-MLC can only append on LSB residencies); throughput up in both.");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

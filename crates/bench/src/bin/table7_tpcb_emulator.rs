@@ -7,8 +7,8 @@
 //! each run equals the end-of-run counters behind the table).
 
 use ipa_bench::{
-    banner, fmt, rel, run_workload, run_workload_observed, scale, smoke, ExperimentReport,
-    JsonlSink, Table,
+    banner, finish_trace, fmt, init_trace, rel, run_workload, run_workload_observed, scale, smoke,
+    ExperimentReport, Table,
 };
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcB};
@@ -41,28 +41,14 @@ fn main() {
         "Table 7 — TPC-B on the flash emulator: [0x0] vs [2x4] and [3x4]",
         "paper Table 7 (buffers 10% / 20%)",
     );
-    let trace = std::env::args().any(|a| a == "--trace");
+    let sink = init_trace("table7_tpcb_emulator");
+    let trace = sink.is_some();
     // Smoke mode (IPA_BENCH_SMOKE): a tiny run that still exercises the
     // observed pipeline, so CI can assert the result JSON carries a
     // populated `timeseries` array.
     let smoke = smoke();
     let s = scale();
     let txns = if smoke { 400 } else { 12_000 * s };
-
-    let sink = if trace {
-        match JsonlSink::file("bench-results/table7_tpcb_emulator.trace.jsonl") {
-            Ok(sink) => {
-                println!("tracing to bench-results/table7_tpcb_emulator.trace.jsonl");
-                Some(sink)
-            }
-            Err(e) => {
-                eprintln!("warning: cannot open trace file: {e}");
-                None
-            }
-        }
-    } else {
-        None
-    };
 
     let mut report = ExperimentReport::new("table7_tpcb_emulator");
     let mut json = Vec::new();
@@ -127,7 +113,5 @@ fn main() {
         report.push_timeseries(run_series);
     }
     report.save();
-    if let Some(sink) = sink {
-        let _ = sink.flush();
-    }
+    finish_trace();
 }

@@ -1,7 +1,9 @@
 //! Table 8 — TPC-C on the OpenSSD profile: `[0×0]` vs `[2×3]` in pSLC and
 //! odd-MLC modes.
 
-use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, rel, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcC};
 
@@ -21,6 +23,7 @@ fn run(cfg: &SystemConfig, s: u64) -> RunReport {
 }
 
 fn main() {
+    init_trace("table8_tpcc_openssd");
     banner("Table 8 — TPC-C on OpenSSD: [0x0] vs [2x3] pSLC / odd-MLC", "paper Table 8");
     let s = scale();
     let base = run(&SystemConfig::openssd(NxM::disabled(), false), s);
@@ -68,4 +71,5 @@ fn main() {
     println!("odd-MLC captures roughly half the appends pSLC does.");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

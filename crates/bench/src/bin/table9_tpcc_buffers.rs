@@ -6,7 +6,9 @@
 //! (`migrations / erases per host write`) keep improving by ~29–49% even
 //! at 90% buffers — the longevity benefit is buffer-independent.
 
-use ipa_bench::{banner, fmt, rel, run_workload, scale, ExperimentReport, Table};
+use ipa_bench::{
+    banner, finish_trace, fmt, init_trace, rel, run_workload, scale, ExperimentReport, Table,
+};
 use ipa_core::NxM;
 use ipa_workloads::{RunReport, SystemConfig, TpcC};
 
@@ -32,6 +34,7 @@ fn metrics(r: &RunReport) -> [f64; 6] {
 }
 
 fn main() {
+    init_trace("table9_tpcc_buffers");
     banner("Table 9 — TPC-C, eager eviction, buffers 10%-90%: [0x0] vs [2x3]", "paper Table 9");
     let s = scale();
     let buffers = [0.10, 0.20, 0.50, 0.75, 0.90];
@@ -78,4 +81,5 @@ fn main() {
     println!("while throughput and read-latency gains fade as the buffer grows.");
     out.set_payload(serde_json::Value::Array(json));
     out.save();
+    finish_trace();
 }

@@ -31,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
 use ipa_core::NxM;
 use ipa_engine::Database;
-use ipa_obs::{MetricsRegistry, Observer, Snapshot};
+use ipa_obs::{MetricsRegistry, ObsEvent, Observer, Snapshot};
 use ipa_workloads::{RunReport, Runner, SystemConfig, Workload};
 
 pub use ipa_obs::{ExperimentReport, JsonlSink, Table, TraceHandle};
@@ -41,6 +43,92 @@ pub use ipa_obs::{ExperimentReport, JsonlSink, Table, TraceHandle};
 /// Scale multiplier from `IPA_BENCH_SCALE` (default 1).
 pub fn scale() -> u64 {
     std::env::var("IPA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+static TRACE: OnceLock<Option<JsonlSink>> = OnceLock::new();
+
+/// Honour a `--trace` command-line flag: stream every flash/engine event
+/// (spans, command lifecycles, faults) of this process to
+/// `bench-results/<bin>.trace.jsonl` for offline analysis with `ipa-trace`.
+///
+/// Call once at the top of `main`. Runs started through [`run_workload`] /
+/// [`run_workload_observed`] then attach the sink automatically (with
+/// command lifecycle tracing enabled); hand-driven harnesses attach it via
+/// [`attach_trace`] or [`trace_sink`]. Call [`finish_trace`] before exit
+/// to terminate the file with its `trace_end` accounting trailer.
+pub fn init_trace(bin: &str) -> Option<JsonlSink> {
+    let sink = if std::env::args().any(|a| a == "--trace") {
+        let path = format!("bench-results/{bin}.trace.jsonl");
+        match JsonlSink::file(&path) {
+            Ok(sink) => {
+                println!("tracing to {path}");
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open trace file {path}: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let _ = TRACE.set(sink.clone());
+    sink
+}
+
+/// The process-wide `--trace` sink, when [`init_trace`] enabled one.
+pub fn trace_sink() -> Option<JsonlSink> {
+    TRACE.get().and_then(Clone::clone)
+}
+
+/// Attach the process-wide `--trace` sink (when enabled) to a hand-built
+/// database and switch command lifecycle tracing on. Returns whether a
+/// sink was attached.
+pub fn attach_trace(db: &mut Database) -> bool {
+    let Some(sink) = trace_sink() else { return false };
+    db.ftl_mut().set_cmd_tracing(true);
+    db.attach_observer(sink.observer());
+    true
+}
+
+/// Finalize the process-wide trace: write the `trace_end` trailer (event
+/// and drop accounting) and flush. Dropped events are reported on stderr —
+/// analyzers treat such traces as lower bounds.
+pub fn finish_trace() {
+    let Some(sink) = trace_sink() else { return };
+    if sink.dropped() > 0 {
+        eprintln!("warning: trace dropped {} of {} events", sink.dropped(), sink.written());
+    }
+    match sink.finish() {
+        Ok(()) => {
+            println!(
+                "trace complete: {} events written, {} dropped",
+                sink.written(),
+                sink.dropped()
+            );
+        }
+        Err(e) => eprintln!("warning: could not finalize trace: {e}"),
+    }
+}
+
+/// Fan-out observer: forwards every event to each inner observer, so a
+/// harness can keep its own counters while the `--trace` sink records.
+pub struct FanoutObserver(Vec<Box<dyn Observer>>);
+
+impl FanoutObserver {
+    /// Fan out to `observers`.
+    #[must_use]
+    pub fn new(observers: Vec<Box<dyn Observer>>) -> Self {
+        FanoutObserver(observers)
+    }
+}
+
+impl Observer for FanoutObserver {
+    fn on_event(&mut self, event: ObsEvent) {
+        for obs in &mut self.0 {
+            obs.on_event(event);
+        }
+    }
 }
 
 /// Whether `IPA_BENCH_SMOKE` is set: harnesses that honour it shrink their
@@ -54,7 +142,9 @@ pub fn smoke() -> bool {
 pub const SEED: u64 = 0x1DA5EED;
 
 /// Run one configured workload end to end: build, load, warm up, measure.
-/// Returns the report and the database (for profile inspection).
+/// Returns the report and the database (for profile inspection). When the
+/// process-wide `--trace` sink is enabled ([`init_trace`]) it observes the
+/// warm-up and measured phases with command lifecycle tracing on.
 pub fn run_workload(
     cfg: &SystemConfig,
     w: &mut dyn Workload,
@@ -65,7 +155,12 @@ pub fn run_workload(
     let mut runner = Runner::new(SEED);
     runner.cpu_ns_per_txn = cfg.cpu_ns_per_txn;
     runner.setup(&mut db, w).expect("workload loads");
+    let traced = attach_trace(&mut db);
     let report = runner.run(&mut db, w, warmup, measured).expect("workload runs");
+    if traced {
+        db.detach_observer();
+        db.ftl_mut().set_cmd_tracing(false);
+    }
     (report, db)
 }
 
@@ -103,7 +198,9 @@ pub fn run_workload_observed(
     let mut runner = Runner::new(SEED);
     runner.cpu_ns_per_txn = cfg.cpu_ns_per_txn;
     runner.setup(&mut db, w).expect("workload loads");
+    let observer = observer.or_else(|| trace_sink().map(|s| s.observer()));
     if let Some(obs) = observer {
+        db.ftl_mut().set_cmd_tracing(true);
         db.attach_observer(obs);
     }
     let every = sample_every.max(1);
@@ -116,6 +213,7 @@ pub fn run_workload_observed(
         })
         .expect("workload runs");
     db.detach_observer();
+    db.ftl_mut().set_cmd_tracing(false);
     (report, db, registry.to_json())
 }
 

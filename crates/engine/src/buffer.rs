@@ -46,6 +46,9 @@ pub struct SweepStats {
     pub ref_bits_cleared: u64,
     /// Victims found.
     pub victims: u64,
+    /// Victims that were dirty — each one puts a write-back flush on the
+    /// critical path of the fetch that triggered the eviction.
+    pub dirty_victims: u64,
 }
 
 impl SweepStats {
@@ -55,6 +58,7 @@ impl SweepStats {
             frames_scanned: self.frames_scanned.saturating_sub(earlier.frames_scanned),
             ref_bits_cleared: self.ref_bits_cleared.saturating_sub(earlier.ref_bits_cleared),
             victims: self.victims.saturating_sub(earlier.victims),
+            dirty_victims: self.dirty_victims.saturating_sub(earlier.dirty_victims),
         }
     }
 }
@@ -178,6 +182,9 @@ impl BufferPool {
                     self.sweep.ref_bits_cleared += 1;
                 } else {
                     self.sweep.victims += 1;
+                    if frame.is_dirty() {
+                        self.sweep.dirty_victims += 1;
+                    }
                     return Some(idx);
                 }
             }
@@ -325,6 +332,7 @@ mod tests {
         assert!(v.is_some());
         let s = pool.sweep_stats();
         assert_eq!(s.victims, 1);
+        assert_eq!(s.dirty_victims, 0);
         assert_eq!(s.ref_bits_cleared, 2);
         assert!(s.frames_scanned >= 3);
         let d = s.delta_since(&s);

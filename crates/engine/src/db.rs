@@ -3,7 +3,7 @@
 //! every dirty-page flush.
 
 use ipa_core::{ecc, ChangeTracker, DbPage, FlushDecision, NxM, PageLayout, UpdateSizeProfile};
-use ipa_noftl::{EventKind, IoCtx, Lba, NoFtl, NoFtlConfig, Observer, OpOrigin, RegionId};
+use ipa_noftl::{EventKind, IoCtx, Lba, NoFtl, NoFtlConfig, Observer, RegionId, SpanCategory};
 
 use crate::buffer::{BufferPool, Frame, SweepStats};
 use crate::error::EngineError;
@@ -304,7 +304,7 @@ impl Database {
         }
         let victim = self.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
         let vpid = self.pool.frame_mut(victim).map(|f| f.page_id);
-        self.flush_frame(victim, OpOrigin::Host)?;
+        self.flush_frame(victim, IoCtx::host())?;
         self.pool.remove(victim);
         self.stats.evictions += 1;
         if self.ftl.observing() {
@@ -386,8 +386,8 @@ impl Database {
     /// Flush one frame if dirty, waiting for the device. This is the
     /// synchronous wrapper around [`Self::stage_flush`]; batched paths
     /// (`flush_all`, the cleaner) stage several frames and drain once.
-    pub(crate) fn flush_frame(&mut self, idx: usize, origin: OpOrigin) -> Result<()> {
-        let staged = self.stage_flush(idx, origin);
+    pub(crate) fn flush_frame(&mut self, idx: usize, ctx: IoCtx) -> Result<()> {
+        let staged = self.stage_flush(idx, ctx);
         self.ftl.drain_completions();
         staged
     }
@@ -398,7 +398,7 @@ impl Database {
     /// and a traditional out-of-place page write. Buffer-pool and tracker
     /// state advance at submission; the caller owns the eventual
     /// [`NoFtl::drain_completions`].
-    pub(crate) fn stage_flush(&mut self, idx: usize, origin: OpOrigin) -> Result<()> {
+    pub(crate) fn stage_flush(&mut self, idx: usize, ctx: IoCtx) -> Result<()> {
         let frame = match self.pool.frame_mut(idx) {
             Some(f) => f,
             None => return Ok(()),
@@ -451,7 +451,7 @@ impl Database {
                 );
             }
             for (slot_idx, offset, encoded) in staged {
-                self.ftl.submit_write_delta(rid, pid.lba, offset, &encoded, origin.into())?;
+                self.ftl.submit_write_delta(rid, pid.lba, offset, &encoded, ctx)?;
                 self.stats.gross_written_bytes += encoded.len() as u64;
                 self.stats.delta_records_written += 1;
                 if self.config.verify_ecc {
@@ -479,7 +479,7 @@ impl Database {
             if self.ftl.observing() {
                 self.ftl.emit(EventKind::FlushOop, Some(pid.region as u32), Some(pid.lba.0));
             }
-            self.ftl.submit_write(rid, pid.lba, &image, origin.into())?;
+            self.ftl.submit_write(rid, pid.lba, &image, ctx)?;
             self.stats.gross_written_bytes += image.len() as u64;
             if self.config.verify_ecc {
                 if let Some(oob_layout) = &self.oob_layouts[pid.region] {
@@ -501,24 +501,27 @@ impl Database {
 
     /// Flush a specific page (test/checkpoint aid).
     pub fn flush_page(&mut self, pid: PageId) -> Result<()> {
-        if let Some(idx) = self.pool.index_of(pid) {
-            self.flush_frame(idx, OpOrigin::Host)?;
-        }
-        Ok(())
+        let Some(idx) = self.pool.index_of(pid) else { return Ok(()) };
+        let span = self.ftl.open_span(SpanCategory::Flush);
+        let result = self.flush_frame(idx, IoCtx::host().with_span(span));
+        self.ftl.close_span(span);
+        result
     }
 
     /// Flush every dirty page (shutdown / quiesce). Flushes are staged as
     /// one queued batch and drained once, so on a multi-chip device with
     /// queue depth > 1 the page writes overlap across chips.
     pub fn flush_all(&mut self) -> Result<()> {
+        let span = self.ftl.open_span(SpanCategory::Flush);
         let mut staged = Ok(());
         for idx in self.pool.dirty_indices() {
-            staged = self.stage_flush(idx, OpOrigin::Host);
+            staged = self.stage_flush(idx, IoCtx::host().with_span(span));
             if staged.is_err() {
                 break;
             }
         }
         self.ftl.drain_completions();
+        self.ftl.close_span(span);
         staged
     }
 
@@ -535,11 +538,12 @@ impl Database {
                 as usize;
             let mut dirty = self.pool.dirty_count();
             let mut staged = Ok(());
+            let span = self.ftl.open_span(SpanCategory::Flush);
             for idx in self.pool.dirty_indices().into_iter().take(self.config.cleaner_batch) {
                 if dirty <= target {
                     break;
                 }
-                staged = self.stage_flush(idx, OpOrigin::HostAsync);
+                staged = self.stage_flush(idx, IoCtx::host_async().with_span(span));
                 if staged.is_err() {
                     break;
                 }
@@ -547,6 +551,7 @@ impl Database {
                 dirty -= 1;
             }
             self.ftl.drain_completions();
+            self.ftl.close_span(span);
             staged?;
         }
         if self.wal.used_fraction() >= self.config.log_reclaim_threshold {
@@ -560,13 +565,15 @@ impl Database {
     /// the oldest record still needed for active-transaction undo.
     pub(crate) fn reclaim_log_space(&mut self) -> Result<()> {
         let mut staged = Ok(());
+        let span = self.ftl.open_span(SpanCategory::Flush);
         for idx in self.pool.dirty_indices() {
-            staged = self.stage_flush(idx, OpOrigin::HostAsync);
+            staged = self.stage_flush(idx, IoCtx::host_async().with_span(span));
             if staged.is_err() {
                 break;
             }
         }
         self.ftl.drain_completions();
+        self.ftl.close_span(span);
         staged?;
         self.checkpoint()?;
         let keep = self
@@ -647,9 +654,12 @@ impl Database {
         Ok(lsn)
     }
 
-    /// Begin a transaction.
+    /// Begin a transaction. Opens a root trace span covering the
+    /// transaction's lifetime; the matching close happens at commit/abort.
     pub fn begin(&mut self) -> crate::txn::TxId {
         let tx = self.txns.begin();
+        let span = self.ftl.open_span_under(SpanCategory::Txn, None);
+        self.txns.set_span(tx, span);
         let lsn = self.wal.append(Lsn::NULL, LogPayload::Begin { tx });
         self.txns.set_last_lsn(tx, lsn);
         tx
@@ -660,6 +670,9 @@ impl Database {
         let lsn = self.log_for_tx(tx, LogPayload::Commit { tx })?;
         self.wal.flush_to(lsn);
         self.locks.release_all(tx);
+        if let Some(span) = self.txns.span(tx) {
+            self.ftl.close_span(span);
+        }
         self.txns.finish(tx);
         self.stats.commits += 1;
         Ok(())
@@ -674,6 +687,9 @@ impl Database {
         let lsn = self.log_for_tx(tx, LogPayload::Abort { tx })?;
         self.wal.flush_to(lsn);
         self.locks.release_all(tx);
+        if let Some(span) = self.txns.span(tx) {
+            self.ftl.close_span(span);
+        }
         self.txns.finish(tx);
         self.stats.aborts += 1;
         Ok(())

@@ -105,7 +105,7 @@ fn ensure_page(db: &mut Database, pid: PageId) -> Result<()> {
     // Make room first.
     if !db.pool.has_free_slot() {
         let victim = db.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
-        db.flush_frame(victim, ipa_noftl::OpOrigin::Host)?;
+        db.flush_frame(victim, ipa_noftl::IoCtx::host())?;
         db.pool.remove(victim);
     }
     let idx = db.pool.insert(frame).ok_or(EngineError::Internal("no free frame after eviction"))?;
@@ -255,7 +255,17 @@ impl Database {
     }
 
     /// ARIES restart: analysis, redo, undo.
+    ///
+    /// The whole restart runs under one root `Recovery` trace span, so
+    /// every page rebuild and flush it triggers is attributed to it.
     pub fn recover(&mut self) -> Result<()> {
+        let span = self.ftl.open_span_under(ipa_noftl::SpanCategory::Recovery, None);
+        let result = self.recover_inner();
+        self.ftl.close_span(span);
+        result
+    }
+
+    fn recover_inner(&mut self) -> Result<()> {
         // --- Analysis ---
         let start = self.wal.tail();
         let mut losers: std::collections::HashMap<TxId, Lsn> = std::collections::HashMap::new();

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use ipa_noftl::SpanId;
+
 use crate::wal::Lsn;
 
 /// Transaction identifier.
@@ -13,6 +15,10 @@ pub struct TxId(pub u64);
 pub struct TxInfo {
     /// Most recent log record of this transaction (head of the undo chain).
     pub last_lsn: Lsn,
+    /// Causal trace span covering the transaction's lifetime, when span
+    /// tracing is active. Commands the transaction issues (and GC they
+    /// trigger) are attributed under it.
+    pub span: Option<SpanId>,
 }
 
 /// The active-transaction table.
@@ -32,8 +38,20 @@ impl TxnTable {
     pub fn begin(&mut self) -> TxId {
         let tx = TxId(self.next);
         self.next += 1;
-        self.active.insert(tx, TxInfo { last_lsn: Lsn::NULL });
+        self.active.insert(tx, TxInfo { last_lsn: Lsn::NULL, span: None });
         tx
+    }
+
+    /// Attach the trace span covering this transaction.
+    pub fn set_span(&mut self, tx: TxId, span: SpanId) {
+        if let Some(info) = self.active.get_mut(&tx) {
+            info.span = Some(span);
+        }
+    }
+
+    /// The trace span covering this transaction, if tracing is active.
+    pub fn span(&self, tx: TxId) -> Option<SpanId> {
+        self.active.get(&tx).and_then(|i| i.span)
     }
 
     /// Whether a transaction is active.
@@ -73,7 +91,7 @@ impl TxnTable {
     /// Re-register a transaction discovered during recovery analysis.
     pub fn register_recovered(&mut self, tx: TxId, last_lsn: Lsn) {
         self.next = self.next.max(tx.0 + 1);
-        self.active.insert(tx, TxInfo { last_lsn });
+        self.active.insert(tx, TxInfo { last_lsn, span: None });
     }
 }
 
@@ -90,6 +108,10 @@ mod tests {
         assert!(t.is_active(a));
         t.set_last_lsn(a, Lsn(5));
         assert_eq!(t.last_lsn(a), Lsn(5));
+        assert_eq!(t.span(a), None);
+        t.set_span(a, SpanId(7));
+        assert_eq!(t.span(a), Some(SpanId(7)));
+        assert_eq!(t.span(b), None);
         assert_eq!(t.last_lsn(b), Lsn::NULL);
         t.finish(a);
         assert!(!t.is_active(a));

@@ -9,7 +9,7 @@ use crate::chip::{Chip, ChipCounters};
 use crate::error::FlashError;
 use crate::fault::{FaultInjector, FaultOp, FaultPlan, FaultVerdict};
 use crate::geometry::{CellType, FlashGeometry, PageKind, Ppa};
-use crate::obs::{EventKind, ObsCtx, ObsEvent, Observer};
+use crate::obs::{EventKind, ObsCtx, ObsEvent, Observer, OpClass, SpanCategory, SpanId};
 use crate::page::PageState;
 use crate::reliability::{BitError, ErrorKind, ErrorLedger, ReadOutcome, ReliabilityConfig};
 use crate::sched::{CmdId, Completion, IoCmdKind, IoCommand, IoScheduler};
@@ -22,7 +22,7 @@ use crate::Result;
 /// the statistics bucket and the scheduling policy: host operations are
 /// synchronous (they advance the simulated host clock by their full waiting
 /// + execution time), background operations only occupy chip time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpOrigin {
     /// Host-issued synchronous I/O (a DBMS read, or a blocking eviction
     /// write): waits for the chip and advances the host clock.
@@ -176,8 +176,20 @@ enum LatClass {
     None,
 }
 
+impl OpClass {
+    /// The latency histogram an operation of this class lands in (refresh
+    /// re-programs are device hygiene, not host-visible latency).
+    fn latency_class(self) -> LatClass {
+        match self {
+            OpClass::Read => LatClass::Read,
+            OpClass::Program | OpClass::ProgramDelta => LatClass::Write,
+            OpClass::Erase | OpClass::Refresh => LatClass::None,
+        }
+    }
+}
+
 /// Erase-count distribution across all blocks of a device.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[must_use]
 pub struct WearHistogram {
     /// Lowest per-block erase count.
@@ -207,6 +219,20 @@ pub struct FlashDevice {
     observer: Option<Box<dyn Observer>>,
     obs_seq: u64,
     obs_ctx: ObsCtx,
+    /// Innermost-open-first stack of causal spans (transaction, flush,
+    /// recovery, GC episode). Ids are minted here so they are unique and
+    /// creation-ordered per device.
+    span_stack: Vec<SpanId>,
+    next_span: u64,
+    /// Span staged by the most recent [`FlashDevice::take_obs_ctx`],
+    /// consumed by the next dispatched command's lifecycle event.
+    staged_span: Option<SpanId>,
+    /// Clock time the host spent in full-queue admission waits, not yet
+    /// attributed to a command (consumed by the next host dispatch).
+    pending_queue_wait_ns: u64,
+    /// Whether per-command submit/complete lifecycle events are emitted
+    /// (opt-in: they multiply trace volume and change no statistics).
+    cmd_tracing: bool,
 }
 
 impl std::fmt::Debug for FlashDevice {
@@ -237,6 +263,11 @@ impl FlashDevice {
             observer: None,
             obs_seq: 0,
             obs_ctx: ObsCtx::default(),
+            span_stack: Vec::new(),
+            next_span: 0,
+            staged_span: None,
+            pending_queue_wait_ns: 0,
+            cmd_tracing: false,
         }
     }
 
@@ -263,6 +294,10 @@ impl FlashDevice {
         for chip in &mut self.chips {
             *chip.counters_mut() = ChipCounters::default();
         }
+        // Mark the reset in the trace so offline analyzers can window
+        // their attribution to the post-warm-up interval the counters
+        // cover.
+        self.emit(EventKind::StatsReset, None, None);
     }
 
     /// Attach a trace observer. Every subsequent flash operation (and every
@@ -290,7 +325,15 @@ impl FlashDevice {
     /// Consumed — and cleared — by that operation when it emits its event.
     #[inline]
     pub fn set_obs_ctx(&mut self, region: Option<u32>, lba: Option<u64>) {
-        self.obs_ctx = ObsCtx { region, lba };
+        self.obs_ctx = ObsCtx { region, lba, span: self.obs_ctx.span };
+    }
+
+    /// Stage the causal span for the next device operation alongside the
+    /// attribution set by [`FlashDevice::set_obs_ctx`]. Consumed — and
+    /// cleared — together with it.
+    #[inline]
+    pub fn set_obs_span(&mut self, span: Option<SpanId>) {
+        self.obs_ctx.span = span;
     }
 
     /// Emit one trace event through the device's sequence counter and
@@ -306,10 +349,63 @@ impl FlashDevice {
     }
 
     /// Consume the staged attribution context (cleared so it can never leak
-    /// onto an unrelated later operation).
+    /// onto an unrelated later operation). The staged span — explicit
+    /// [`ObsCtx::span`], or the innermost open span — is kept aside for
+    /// the operation's lifecycle event.
     #[inline]
     fn take_obs_ctx(&mut self) -> ObsCtx {
-        std::mem::take(&mut self.obs_ctx)
+        let ctx = std::mem::take(&mut self.obs_ctx);
+        self.staged_span = ctx.span;
+        ctx
+    }
+
+    /// Enable or disable per-command lifecycle tracing: with an observer
+    /// attached and tracing on, every dispatched command additionally
+    /// emits [`EventKind::CmdSubmit`] at admission and
+    /// [`EventKind::CmdComplete`] at retirement. Off by default — the
+    /// events triple trace volume and change no statistics or timing.
+    pub fn set_cmd_tracing(&mut self, on: bool) {
+        self.cmd_tracing = on;
+    }
+
+    /// Whether per-command lifecycle tracing is enabled.
+    pub fn cmd_tracing(&self) -> bool {
+        self.cmd_tracing
+    }
+
+    /// Open a causal span nested under the innermost open span (GC
+    /// episodes, recovery). Returns the minted id; the caller must pass
+    /// it back to [`FlashDevice::close_span`] on every exit path.
+    pub fn open_span(&mut self, cat: SpanCategory) -> SpanId {
+        let parent = self.span_stack.last().copied();
+        self.open_span_under(cat, parent)
+    }
+
+    /// Open a causal span with an explicit parent (`None` for a root
+    /// span). The engine uses this for transaction spans — which are
+    /// roots even when another transaction's span is still open — and
+    /// for flushes that belong to a known transaction.
+    pub fn open_span_under(&mut self, cat: SpanCategory, parent: Option<SpanId>) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.emit(EventKind::SpanOpen { id, parent, cat }, None, None);
+        self.span_stack.push(id);
+        id
+    }
+
+    /// Close a span. Spans may close out of stack order (interleaved
+    /// transactions): the id is removed wherever it sits; unknown ids are
+    /// ignored so a double close cannot corrupt the stack.
+    pub fn close_span(&mut self, id: SpanId) {
+        if let Some(pos) = self.span_stack.iter().rposition(|&s| s == id) {
+            self.span_stack.remove(pos);
+            self.emit(EventKind::SpanClose { id }, None, None);
+        }
+    }
+
+    /// The innermost open span, if any.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.span_stack.last().copied()
     }
 
     /// Per-chip cumulative operation counters, indexed by chip id.
@@ -345,10 +441,10 @@ impl FlashDevice {
         &mut self,
         chip: u32,
         origin: OpOrigin,
+        class: OpClass,
         duration_ns: u64,
         read_outcome: ReadOutcome,
         data: Option<Vec<u8>>,
-        lat: LatClass,
     ) -> CmdId {
         let now = self.clock.now_ns();
         let (start, done) = self.sched.dispatch(chip, origin, now, duration_ns);
@@ -359,7 +455,7 @@ impl FlashDevice {
             self.clock.advance_to(done - self.config.backpressure_ns);
         }
         let latency_ns = done - now;
-        match lat {
+        match class.latency_class() {
             LatClass::Read if origin == OpOrigin::Host => {
                 self.stats.read_latency.record(latency_ns)
             }
@@ -368,18 +464,54 @@ impl FlashDevice {
             }
             _ => {}
         }
+        // Admission stalls were accumulated by `reserve_host_slot`; the
+        // host command dispatched right after the wait owns them.
+        let queue_wait_ns = if origin == OpOrigin::Host {
+            std::mem::take(&mut self.pending_queue_wait_ns)
+        } else {
+            0
+        };
+        self.stats.queue_wait_ns_total += queue_wait_ns;
         let id = self.sched.push(Completion {
             id: CmdId(0), // assigned by the scheduler
             chip,
             origin,
             submitted_at_ns: now,
             started_at_ns: start,
+            queue_wait_ns,
             result: OpResult { latency_ns, completed_at_ns: done, read_outcome },
             data,
         });
         self.stats.queue_highwater =
             self.stats.queue_highwater.max(self.sched.host_inflight() as u64);
+        if self.cmd_tracing {
+            let span = self.staged_span.take().or_else(|| self.current_span());
+            self.emit(
+                EventKind::CmdSubmit { cmd: id.0, class, origin, chip, queue_wait_ns, span },
+                None,
+                None,
+            );
+        }
         id
+    }
+
+    /// Emit the retirement half of a command's lifecycle (opt-in; see
+    /// [`FlashDevice::set_cmd_tracing`]). Carries the chip-schedule
+    /// timestamps so the latency decomposition — queue wait, chip-busy
+    /// inheritance, op service — is reconstructible offline.
+    fn emit_cmd_complete(&mut self, c: &Completion) {
+        if self.cmd_tracing {
+            self.emit(
+                EventKind::CmdComplete {
+                    cmd: c.id.0,
+                    submitted_ns: c.submitted_at_ns,
+                    start_ns: c.started_at_ns,
+                    done_ns: c.result.completed_at_ns,
+                },
+                None,
+                None,
+            );
+        }
     }
 
     /// Block until a host queue slot is free, counting any full-queue
@@ -387,7 +519,9 @@ impl FlashDevice {
     /// happen at the post-wait clock (e.g. GC triggered by an allocation
     /// for a queued write); [`FlashDevice::submit`] calls it implicitly.
     pub fn reserve_host_slot(&mut self) {
+        let t0 = self.clock.now_ns();
         self.stats.queue_waits += self.sched.admit_host(&mut self.clock);
+        self.pending_queue_wait_ns += self.clock.now_ns() - t0;
     }
 
     /// Submit a typed command; returns its id for later completion.
@@ -421,13 +555,18 @@ impl FlashDevice {
         if c.origin == OpOrigin::Host {
             self.clock.advance_to(c.result.completed_at_ns);
         }
+        self.emit_cmd_complete(&c);
         Ok(c)
     }
 
     /// Retire every command whose completion time has already passed the
     /// current clock, in completion order. Never advances the clock.
     pub fn poll_completions(&mut self) -> Vec<Completion> {
-        self.sched.poll_ready(self.clock.now_ns())
+        let out = self.sched.poll_ready(self.clock.now_ns());
+        for c in &out {
+            self.emit_cmd_complete(c);
+        }
+        out
     }
 
     /// Retire *all* in-flight commands, advancing the clock to the last
@@ -441,6 +580,9 @@ impl FlashDevice {
             .max()
         {
             self.clock.advance_to(t);
+        }
+        for c in &out {
+            self.emit_cmd_complete(c);
         }
         out
     }
@@ -515,7 +657,7 @@ impl FlashDevice {
             self.emit(EventKind::HostRead, ctx.region, ctx.lba);
         }
         let latency = self.config.timing.read_latency(data.len());
-        Ok(self.finish_submit(ppa.chip, origin, latency, outcome, Some(data), LatClass::Read))
+        Ok(self.finish_submit(ppa.chip, origin, OpClass::Read, latency, outcome, Some(data)))
     }
 
     /// Read a page's main area synchronously (submit + complete one).
@@ -576,7 +718,14 @@ impl FlashDevice {
         self.emit(kind, ctx.region, ctx.lba);
         self.apply_interference(ppa);
         let latency = self.config.timing.program_latency(data.len(), msb);
-        Ok(self.finish_submit(ppa.chip, origin, latency, ReadOutcome::Clean, None, LatClass::Write))
+        Ok(self.finish_submit(
+            ppa.chip,
+            origin,
+            OpClass::Program,
+            latency,
+            ReadOutcome::Clean,
+            None,
+        ))
     }
 
     /// Full-page program, synchronously (submit + complete one).
@@ -641,7 +790,8 @@ impl FlashDevice {
         self.emit(kind, ctx.region, ctx.lba);
         self.apply_interference(ppa);
         let latency = self.config.timing.delta_latency(data.len());
-        Ok(self.finish_submit(ppa.chip, origin, latency, ReadOutcome::Clean, None, LatClass::Write))
+        let class = OpClass::ProgramDelta;
+        Ok(self.finish_submit(ppa.chip, origin, class, latency, ReadOutcome::Clean, None))
     }
 
     /// ISPP partial program, synchronously (submit + complete one).
@@ -692,7 +842,7 @@ impl FlashDevice {
         self.chips[chip as usize].counters_mut().erases += 1;
         self.emit(EventKind::Erase, ctx.region, ctx.lba);
         let latency = self.config.timing.erase_ns;
-        Ok(self.finish_submit(chip, origin, latency, ReadOutcome::Clean, None, LatClass::None))
+        Ok(self.finish_submit(chip, origin, OpClass::Erase, latency, ReadOutcome::Clean, None))
     }
 
     /// Erase a block synchronously as background work (submit + complete
@@ -754,6 +904,10 @@ impl FlashDevice {
         if origin == OpOrigin::Host {
             self.reserve_host_slot();
         }
+        // Refresh emits no physical event of its own, but consuming the
+        // staged context keeps the span attribution of its lifecycle
+        // event current and honours the consume-and-clear contract.
+        let _ctx = self.take_obs_ctx();
         self.check(ppa)?;
         let state = self.page_state(ppa)?;
         if state == PageState::Erased {
@@ -772,7 +926,8 @@ impl FlashDevice {
         // Refresh programs the same values back: identical re-program is
         // ISPP-legal and does not consume the append budget on real parts.
         let latency = self.config.timing.program_latency(self.config.geometry.page_size, false);
-        Ok(self.finish_submit(ppa.chip, origin, latency, ReadOutcome::Clean, None, LatClass::None))
+        let class = OpClass::Refresh;
+        Ok(self.finish_submit(ppa.chip, origin, class, latency, ReadOutcome::Clean, None))
     }
 
     /// Correct-and-Refresh, synchronously as background work (submit +
@@ -839,10 +994,9 @@ impl FlashDevice {
     /// bucketed counts — the wear-leveling quality picture.
     pub fn wear_histogram(&self) -> WearHistogram {
         let mut counts = Vec::new();
-        for (ci, chip) in self.chips.iter().enumerate() {
+        for chip in &self.chips {
             for b in 0..self.config.geometry.blocks_per_chip {
                 counts.push(chip.block(b).erase_count());
-                let _ = ci;
             }
         }
         let min = counts.iter().copied().min().unwrap_or(0);

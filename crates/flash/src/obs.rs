@@ -17,6 +17,75 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Correlation token of one causal span (a transaction, a flush, a
+/// recovery pass, a GC episode). Minted by the device so ids are unique
+/// per trace and totally ordered by creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span#{}", self.0)
+    }
+}
+
+/// What kind of causal episode a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanCategory {
+    /// One engine transaction, `begin` to `commit`/`abort`.
+    Txn,
+    /// One buffer-manager flush (page eviction or batch flush).
+    Flush,
+    /// One ARIES restart (analysis + redo + undo).
+    Recovery,
+    /// One garbage-collection episode (victim migration + erase).
+    Gc,
+}
+
+impl SpanCategory {
+    /// Stable lower-case name (trace/report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCategory::Txn => "txn",
+            SpanCategory::Flush => "flush",
+            SpanCategory::Recovery => "recovery",
+            SpanCategory::Gc => "gc",
+        }
+    }
+}
+
+/// The operation class of a queued command, as recorded in its
+/// [`EventKind::CmdSubmit`] lifecycle event. Combined with
+/// [`crate::OpOrigin`] this distinguishes every row of the paper's
+/// per-op accounting (host reads vs. GC reads, full programs vs. delta
+/// appends, erases, refreshes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Page read.
+    Read,
+    /// Full-page program.
+    Program,
+    /// ISPP partial program (delta append).
+    ProgramDelta,
+    /// Block erase.
+    Erase,
+    /// Correct-and-Refresh.
+    Refresh,
+}
+
+impl OpClass {
+    /// Stable lower-case name (trace/report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Program => "program",
+            OpClass::ProgramDelta => "program_delta",
+            OpClass::Erase => "erase",
+            OpClass::Refresh => "refresh",
+        }
+    }
+}
+
 /// What happened. Physical kinds are emitted by the device itself;
 /// `Flush{Ipa,Oop}` and `Evict` are logical kinds emitted by the storage
 /// engine through the same sequence/clock source.
@@ -73,6 +142,59 @@ pub enum EventKind {
     /// The NoFTL scrubber scheduled a Correct-and-Refresh because a read's
     /// corrected-bit count crossed the configured threshold.
     ScrubRefresh,
+    /// A causal span opened (transaction begun, flush started, recovery
+    /// entered, GC episode triggered).
+    SpanOpen {
+        /// The new span.
+        id: SpanId,
+        /// Enclosing span, if any (explicit parent or the innermost open
+        /// span at the time).
+        parent: Option<SpanId>,
+        /// What kind of episode the span covers.
+        cat: SpanCategory,
+    },
+    /// A causal span closed.
+    SpanClose {
+        /// The span that closed.
+        id: SpanId,
+    },
+    /// A command entered the device queue (per-command lifecycle tracing;
+    /// opt-in via [`crate::FlashDevice::set_cmd_tracing`]). The event's
+    /// `t_ns` is the post-admission submission time; `queue_wait_ns` is
+    /// how long the submitter stalled on a full host queue beforehand.
+    CmdSubmit {
+        /// The command id (`CmdId.0`).
+        cmd: u64,
+        /// Operation class.
+        class: OpClass,
+        /// Scheduling origin (host, async host, background).
+        origin: crate::OpOrigin,
+        /// Chip the command occupies.
+        chip: u32,
+        /// Full-host-queue admission stall attributed to this command, ns.
+        queue_wait_ns: u64,
+        /// Span the command executes under (staged [`ObsCtx`] span, or the
+        /// innermost open span at submission).
+        span: Option<SpanId>,
+    },
+    /// A command retired (per-command lifecycle tracing; opt-in). Carries
+    /// the chip-schedule timestamps so latency decomposes offline:
+    /// `start_ns - submit.t_ns` is chip-busy inheritance, `done_ns -
+    /// start_ns` is op service time.
+    CmdComplete {
+        /// The command id (`CmdId.0`).
+        cmd: u64,
+        /// When the command was submitted (post-admission clock).
+        submitted_ns: u64,
+        /// When the chip started executing the command.
+        start_ns: u64,
+        /// When the command finished on the chip.
+        done_ns: u64,
+    },
+    /// Device statistics were reset (benchmark warm-up boundary). Offline
+    /// analyzers window their attribution after the last reset so totals
+    /// reconcile with the run's end-of-run counters.
+    StatsReset,
 }
 
 /// One trace event.
@@ -108,6 +230,9 @@ pub struct ObsCtx {
     pub region: Option<u32>,
     /// Logical page address of the upcoming operation.
     pub lba: Option<u64>,
+    /// Causal span the upcoming operation executes under. When unset the
+    /// device attributes the operation to its innermost open span.
+    pub span: Option<SpanId>,
 }
 
 #[cfg(test)]

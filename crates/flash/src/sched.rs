@@ -14,7 +14,7 @@
 
 use crate::device::{OpOrigin, OpResult};
 use crate::geometry::Ppa;
-use crate::obs::ObsCtx;
+use crate::obs::{ObsCtx, SpanId};
 use crate::timing::{ChipSchedule, HostProfile, SimClock};
 
 /// Identifier of a submitted command, unique per device for its lifetime.
@@ -126,9 +126,16 @@ impl IoCommand {
         self
     }
 
-    /// Attach trace attribution (region id, LBA).
+    /// Attach trace attribution (region id, LBA). Keeps any span already
+    /// attached via [`IoCommand::with_span`].
     pub fn with_obs(mut self, region: Option<u32>, lba: Option<u64>) -> Self {
-        self.obs = ObsCtx { region, lba };
+        self.obs = ObsCtx { region, lba, span: self.obs.span };
+        self
+    }
+
+    /// Attach the causal span this command executes under.
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.obs.span = Some(span);
         self
     }
 }
@@ -146,6 +153,12 @@ pub struct Completion {
     pub submitted_at_ns: u64,
     /// Simulated time the chip started executing the command.
     pub started_at_ns: u64,
+    /// Time the submitter stalled on a full host queue before this
+    /// command was admitted, in nanoseconds (0 for background/async
+    /// commands and whenever a slot was free). Reported separately from
+    /// [`OpResult::latency_ns`], which covers chip-busy inheritance plus
+    /// op service time only — exactly as the synchronous path records it.
+    pub queue_wait_ns: u64,
     /// Timing and ECC outcome (identical to the synchronous methods').
     pub result: OpResult,
     /// Page data for reads; `None` for all other commands.
@@ -305,6 +318,7 @@ mod tests {
             origin,
             submitted_at_ns: start,
             started_at_ns: start,
+            queue_wait_ns: 0,
             result: OpResult {
                 latency_ns: done - start,
                 completed_at_ns: done,

@@ -36,6 +36,13 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Exact sum of all recorded samples in nanoseconds. Paired with
+    /// [`Self::count`], this lets offline tooling reconcile an attributed
+    /// latency breakdown against the histogram without mean-rounding error.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
     /// Mean latency in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         if self.count == 0 {
@@ -154,6 +161,14 @@ pub struct FlashStats {
     /// Host submissions that found the host queue full and had to wait for
     /// an in-flight command to retire (queued-I/O admission stalls).
     pub queue_waits: u64,
+    /// Total simulated time host submissions spent stalled on a full
+    /// queue, in nanoseconds. The queue-wait column of the latency
+    /// attribution: [`FlashStats::read_latency`]/
+    /// [`FlashStats::write_latency`] cover chip-busy inheritance plus op
+    /// service only, so end-to-end host latency is histogram time plus
+    /// this, and an offline trace's per-command `queue_wait_ns` sums back
+    /// to it exactly.
+    pub queue_wait_ns_total: u64,
     /// Highest number of host commands simultaneously in flight (the
     /// observed queue depth; 1 on a fully synchronous workload).
     pub queue_highwater: u64,
@@ -204,6 +219,7 @@ impl FlashStats {
         self.erase_failures += other.erase_failures;
         self.retired_blocks += other.retired_blocks;
         self.queue_waits += other.queue_waits;
+        self.queue_wait_ns_total += other.queue_wait_ns_total;
         self.queue_highwater = self.queue_highwater.max(other.queue_highwater);
         self.read_latency.merge(&other.read_latency);
         self.write_latency.merge(&other.write_latency);
@@ -236,6 +252,9 @@ impl FlashStats {
             erase_failures: self.erase_failures.saturating_sub(earlier.erase_failures),
             retired_blocks: self.retired_blocks.saturating_sub(earlier.retired_blocks),
             queue_waits: self.queue_waits.saturating_sub(earlier.queue_waits),
+            queue_wait_ns_total: self
+                .queue_wait_ns_total
+                .saturating_sub(earlier.queue_wait_ns_total),
             queue_highwater: self.queue_highwater.saturating_sub(earlier.queue_highwater),
             read_latency: self.read_latency.diff(&earlier.read_latency),
             write_latency: self.write_latency.diff(&earlier.write_latency),

@@ -1,16 +1,19 @@
 //! Per-call I/O context and batch descriptors for the NoFTL interface.
 
-use ipa_flash::OpOrigin;
+use ipa_flash::{OpOrigin, SpanId};
 
 use crate::region::Lba;
 
 /// Context attached to a NoFTL I/O call: the scheduling/statistics origin
-/// plus an optional trace-attribution override.
+/// plus an optional trace-attribution override and the causal span the
+/// call executes under.
 ///
-/// The default (`Host` origin, no override) matches the behaviour of the
-/// former context-less `read_page`/`write_page`/`write_delta` methods; the
-/// region layer attributes events with its own region id and the call's
-/// LBA unless `obs` overrides them.
+/// The default (`Host` origin, no override, no span) matches the
+/// behaviour of the former context-less `read_page`/`write_page`/
+/// `write_delta` methods; the region layer attributes events with its own
+/// region id and the call's LBA unless `obs` overrides them. A span set
+/// here flows down to the device's per-command lifecycle events; without
+/// one the device attributes commands to its innermost open span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoCtx {
     /// Whether the op is synchronous host I/O, asynchronous host I/O
@@ -18,11 +21,14 @@ pub struct IoCtx {
     pub origin: OpOrigin,
     /// Optional `(region, lba)` trace-attribution override.
     pub obs: Option<(u32, u64)>,
+    /// Causal span (transaction, flush, recovery, GC episode) the call
+    /// belongs to.
+    pub span: Option<SpanId>,
 }
 
 impl Default for IoCtx {
     fn default() -> Self {
-        IoCtx { origin: OpOrigin::Host, obs: None }
+        IoCtx { origin: OpOrigin::Host, obs: None, span: None }
     }
 }
 
@@ -35,12 +41,12 @@ impl IoCtx {
     /// Asynchronous host I/O: counted and latency-tracked as host work,
     /// but the host clock does not block on it.
     pub fn host_async() -> Self {
-        IoCtx { origin: OpOrigin::HostAsync, obs: None }
+        IoCtx { origin: OpOrigin::HostAsync, ..IoCtx::default() }
     }
 
     /// Background management work (GC, wear leveling, cleaners).
     pub fn background() -> Self {
-        IoCtx { origin: OpOrigin::Background, obs: None }
+        IoCtx { origin: OpOrigin::Background, ..IoCtx::default() }
     }
 
     /// Override the trace attribution carried by the resulting event.
@@ -48,11 +54,17 @@ impl IoCtx {
         self.obs = Some((region, lba));
         self
     }
+
+    /// Attach the causal span this call executes under.
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = Some(span);
+        self
+    }
 }
 
 impl From<OpOrigin> for IoCtx {
     fn from(origin: OpOrigin) -> Self {
-        IoCtx { origin, obs: None }
+        IoCtx { origin, ..IoCtx::default() }
     }
 }
 
@@ -93,6 +105,7 @@ mod tests {
         let ctx = IoCtx::default();
         assert_eq!(ctx.origin, OpOrigin::Host);
         assert_eq!(ctx.obs, None);
+        assert_eq!(ctx.span, None);
         assert_eq!(ctx, IoCtx::host());
     }
 
@@ -100,9 +113,10 @@ mod tests {
     fn from_origin_and_overrides() {
         let ctx: IoCtx = OpOrigin::Background.into();
         assert_eq!(ctx, IoCtx::background());
-        let ctx = IoCtx::host_async().with_obs(3, 17);
+        let ctx = IoCtx::host_async().with_obs(3, 17).with_span(SpanId(5));
         assert_eq!(ctx.origin, OpOrigin::HostAsync);
         assert_eq!(ctx.obs, Some((3, 17)));
+        assert_eq!(ctx.span, Some(SpanId(5)));
     }
 
     #[test]

@@ -46,15 +46,15 @@ pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
 pub use io::{IoCtx, PageIo};
 pub use manager::{NoFtl, RegionId};
 pub use region::Lba;
-pub use stats::RegionStats;
+pub use stats::{HeatSummary, RegionStats};
 
 // Vocabulary types that travel through this crate's API: queued-I/O
 // handles, op attribution/outcome, device configuration and the observer
 // hooks. Re-exported so upper layers (the engine in particular) never
 // import `ipa_flash` directly — the L003 layering lint enforces this.
 pub use ipa_flash::{
-    CmdId, Completion, EventKind, FaultOp, FaultPlan, FlashConfig, ObsEvent, Observer, OpOrigin,
-    OpResult, ScriptedFault,
+    CmdId, Completion, EventKind, FaultOp, FaultPlan, FlashConfig, ObsEvent, Observer, OpClass,
+    OpOrigin, OpResult, ScriptedFault, SpanCategory, SpanId, WearHistogram,
 };
 
 /// Crate-wide result alias.

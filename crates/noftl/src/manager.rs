@@ -1,12 +1,15 @@
 //! The public NoFTL facade: a flash device plus its regions.
 
-use ipa_flash::{CmdId, Completion, EventKind, FlashDevice, Observer, OpResult};
+use ipa_flash::{
+    CmdId, Completion, EventKind, FlashDevice, Observer, OpResult, SpanCategory, SpanId,
+    WearHistogram,
+};
 
 use crate::config::NoFtlConfig;
 use crate::error::NoFtlError;
 use crate::io::{IoCtx, PageIo};
 use crate::region::{Lba, Region};
-use crate::stats::RegionStats;
+use crate::stats::{HeatSummary, RegionStats};
 use crate::Result;
 
 /// Handle to a region within a [`NoFtl`] device.
@@ -283,6 +286,53 @@ impl NoFtl {
     /// time), letting background chip activity drain.
     pub fn advance_clock(&mut self, delta_ns: u64) {
         self.dev.advance_clock(delta_ns);
+    }
+
+    /// Open a causal span nested under the innermost currently-open span.
+    /// Emits a `SpanOpen` event when observing. Callers must pair every
+    /// open with a [`NoFtl::close_span`] on all exit paths (lint L006).
+    pub fn open_span(&mut self, cat: SpanCategory) -> SpanId {
+        self.dev.open_span(cat)
+    }
+
+    /// Open a causal span under an explicit parent (`None` for a root
+    /// span — e.g. a transaction).
+    pub fn open_span_under(&mut self, cat: SpanCategory, parent: Option<SpanId>) -> SpanId {
+        self.dev.open_span_under(cat, parent)
+    }
+
+    /// Close a previously opened span, emitting a `SpanClose` event.
+    pub fn close_span(&mut self, id: SpanId) {
+        self.dev.close_span(id);
+    }
+
+    /// Enable or disable per-command lifecycle events (`CmdSubmit` /
+    /// `CmdComplete`) on the underlying device. Off by default: logical
+    /// and physical events alone preserve the pre-tracing trace shape.
+    pub fn set_cmd_tracing(&mut self, on: bool) {
+        self.dev.set_cmd_tracing(on);
+    }
+
+    /// Whether per-command lifecycle tracing is enabled.
+    pub fn cmd_tracing(&self) -> bool {
+        self.dev.cmd_tracing()
+    }
+
+    /// Erase-count distribution across all blocks of the device — the
+    /// wear-telemetry export for observability snapshots.
+    pub fn wear_histogram(&self) -> WearHistogram {
+        self.dev.wear_histogram()
+    }
+
+    /// Per-LBA update heat of a region: `(lba, update_count)` for every
+    /// logical page updated at least once, hottest first.
+    pub fn update_heat(&self, rid: RegionId) -> Result<Vec<(u64, u64)>> {
+        Ok(self.region(rid)?.update_heat())
+    }
+
+    /// Aggregate update-heat telemetry for a region.
+    pub fn heat_summary(&self, rid: RegionId) -> Result<HeatSummary> {
+        Ok(self.region(rid)?.heat_summary())
     }
 
     /// Free blocks across a region (diagnostics).

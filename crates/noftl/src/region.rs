@@ -5,13 +5,13 @@ use std::collections::HashMap;
 
 use ipa_flash::{
     CmdId, EventKind, FlashDevice, FlashError, OpOrigin, OpResult, PageKind, PageState, Ppa,
-    ReadOutcome,
+    ReadOutcome, SpanCategory,
 };
 
 use crate::config::{FaultPolicy, IpaMode, RegionSpec};
 use crate::error::NoFtlError;
 use crate::io::IoCtx;
-use crate::stats::RegionStats;
+use crate::stats::{HeatSummary, RegionStats};
 use crate::Result;
 
 /// Logical block (page) address within a region's exported address space.
@@ -77,6 +77,10 @@ pub(crate) struct Region {
     /// Degradation policy: program-retry budget and scrub threshold.
     fault_policy: FaultPolicy,
     pub(crate) stats: RegionStats,
+    /// Per-LBA update counts (full-page writes + delta appends) since the
+    /// region was created — update-heat telemetry, cumulative like wear
+    /// (not cleared by a stats reset).
+    heat: Vec<u64>,
 }
 
 impl Region {
@@ -135,7 +139,42 @@ impl Region {
             gc_low_watermark,
             fault_policy,
             stats: RegionStats::default(),
+            heat: vec![0; capacity as usize],
         })
+    }
+
+    /// Count one logical update (page write or delta append) of `lba` in
+    /// the region's update-heat telemetry.
+    fn note_update(&mut self, lba: Lba) {
+        self.heat[lba.0 as usize] += 1;
+    }
+
+    /// Per-LBA update counts, non-zero entries only, hottest first (ties
+    /// by ascending LBA for determinism).
+    pub(crate) fn update_heat(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .heat
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, &c)| (l as u64, c))
+            .collect();
+        v.sort_by_key(|&(lba, count)| (std::cmp::Reverse(count), lba));
+        v
+    }
+
+    /// Aggregate update-heat summary (the snapshot-friendly form of
+    /// [`Region::update_heat`]).
+    pub(crate) fn heat_summary(&self) -> HeatSummary {
+        let mut s = HeatSummary::default();
+        for &c in &self.heat {
+            s.updates += c;
+            if c > 0 {
+                s.updated_lbas += 1;
+            }
+            s.hottest = s.hottest.max(c);
+        }
+        s
     }
 
     pub(crate) fn spec(&self) -> &RegionSpec {
@@ -177,6 +216,7 @@ impl Region {
         if dev.observing() {
             let (region, attr_lba) = ctx.obs.unwrap_or((self.id, lba.0));
             dev.set_obs_ctx(Some(region), Some(attr_lba));
+            dev.set_obs_span(ctx.span);
         }
     }
 
@@ -261,6 +301,7 @@ impl Region {
         }
         self.map(lba, ppa)?;
         self.stats.host_page_writes += 1;
+        self.note_update(lba);
         Ok(id)
     }
 
@@ -360,6 +401,7 @@ impl Region {
             Ok(id) => {
                 self.stats.host_delta_writes += 1;
                 self.stats.delta_bytes += data.len() as u64;
+                self.note_update(lba);
                 Ok(id)
             }
             // A delta-append status failure is transient for the block and
@@ -413,6 +455,7 @@ impl Region {
         self.map(lba, new)?;
         self.stats.delta_fallbacks += 1;
         self.stats.host_page_writes += 1;
+        self.note_update(lba);
         Ok(id)
     }
 
@@ -613,9 +656,14 @@ impl Region {
     /// collection of the same block would erase it under the outer loop,
     /// push a duplicate free-list entry and resurrect stale data.
     fn collect_block(&mut self, dev: &mut FlashDevice, local: usize, victim: u32) -> Result<()> {
+        // One GC episode = one causal span, nested under whatever host
+        // span (flush, transaction) triggered the collection. Closed on
+        // every exit path by the single-exit shape below.
+        let span = dev.open_span(SpanCategory::Gc);
         self.chips[local].blocks[victim as usize].collecting = true;
         let result = self.collect_block_guarded(dev, local, victim);
         self.chips[local].blocks[victim as usize].collecting = false;
+        dev.close_span(span);
         result
     }
 
@@ -1138,10 +1186,10 @@ mod tests {
         // the triggering write, so the first program op inside that write
         // is the first migration.
         let churn = |dev: &mut FlashDevice,
-                         r: &mut Region,
-                         latest: &mut [u8; 120],
-                         rounds: u64,
-                         stop_at_first_migration: bool|
+                     r: &mut Region,
+                     latest: &mut [u8; 120],
+                     rounds: u64,
+                     stop_at_first_migration: bool|
          -> Option<u64> {
             for round in 0..=rounds {
                 for lba in 0..120u64 {

@@ -6,6 +6,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Aggregate of one region's per-LBA update-heat counters.
+///
+/// Heat is cumulative over the life of the region (like wear, it is *not*
+/// cleared by a stats reset), so every field is monotone and snapshot-safe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
+pub struct HeatSummary {
+    /// Total host updates (out-of-place writes + in-place appends +
+    /// delta fallbacks) across all logical pages.
+    pub updates: u64,
+    /// Number of distinct logical pages updated at least once.
+    pub updated_lbas: u64,
+    /// Update count of the hottest logical page.
+    pub hottest: u64,
+}
+
 /// Counters for one region.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[must_use]

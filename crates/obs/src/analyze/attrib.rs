@@ -1,0 +1,179 @@
+//! Latency attribution: where did each command's life go?
+//!
+//! For every completed command the decomposition is exact by
+//! construction: `queue_wait` (host-queue admission), `busy` (waiting for
+//! the chip to finish earlier work) and `service` (the op itself), with
+//! `busy + service` equal to the latency the device histograms recorded
+//! for host I/O.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Map, Value};
+
+use crate::Table;
+
+use super::Segment;
+
+/// Accumulated decomposition for one group of commands.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Bucket {
+    /// Commands in the group.
+    pub count: u64,
+    /// Total host-queue admission wait.
+    pub queue_wait_ns: u64,
+    /// Total chip-busy inheritance.
+    pub busy_ns: u64,
+    /// Total op service time.
+    pub service_ns: u64,
+}
+
+impl Bucket {
+    fn add(&mut self, queue: u64, busy: u64, service: u64) {
+        self.count += 1;
+        self.queue_wait_ns += queue;
+        self.busy_ns += busy;
+        self.service_ns += service;
+    }
+
+    /// Everything attributed to the group.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_wait_ns + self.busy_ns + self.service_ns
+    }
+
+    fn to_json(self) -> Value {
+        json!({
+            "count": self.count,
+            "queue_wait_ns": self.queue_wait_ns,
+            "busy_ns": self.busy_ns,
+            "service_ns": self.service_ns,
+            "total_ns": self.total_ns(),
+        })
+    }
+}
+
+/// The attribution result: per-op-class and per-span-category buckets.
+#[derive(Debug, Default)]
+pub struct Attribution {
+    /// Buckets keyed by op class wire name.
+    pub by_op: BTreeMap<String, Bucket>,
+    /// Buckets keyed by the *root* span category (`txn`, `flush`,
+    /// `recovery`); `unattributed` for commands outside any span.
+    pub by_span_cat: BTreeMap<String, Bucket>,
+    /// Buckets keyed by `origin/op` (`host/read`, `gc/program`, ...).
+    /// The device's latency histograms cover host-origin commands only, so
+    /// reconciling against them needs the origin split the coarser
+    /// [`Self::by_op`] buckets erase.
+    pub by_origin_op: BTreeMap<String, Bucket>,
+    /// Grand total over all completed commands in the window.
+    pub total: Bucket,
+    /// Commands skipped because their completion never arrived.
+    pub incomplete: u64,
+}
+
+/// Decompose the segment's commands. With `full` false the window is the
+/// post-warm-up steady state (after the last `stats_reset`), matching the
+/// counters the bench harness reports.
+pub fn attribution(seg: &Segment, full: bool) -> Attribution {
+    let mut a = Attribution::default();
+    for cmd in seg.windowed_cmds(full) {
+        if !cmd.complete() {
+            a.incomplete += 1;
+            continue;
+        }
+        let (q, b, s) = (cmd.queue_wait_ns, cmd.busy_ns(), cmd.service_ns());
+        a.by_op.entry(cmd.class.clone()).or_default().add(q, b, s);
+        a.by_origin_op.entry(format!("{}/{}", cmd.origin, cmd.class)).or_default().add(q, b, s);
+        let cat = cmd
+            .span
+            .and_then(|id| seg.root_of(id))
+            .map_or_else(|| "unattributed".to_string(), |root| root.cat.clone());
+        a.by_span_cat.entry(cat).or_default().add(q, b, s);
+        a.total.add(q, b, s);
+    }
+    a
+}
+
+impl Attribution {
+    /// Render as the paper-table format (`by op class` rows first, then
+    /// `by span category`, then the total).
+    pub fn table(&self) -> Table {
+        let mut t =
+            Table::new(&["group", "cmds", "queue_wait_ms", "busy_ms", "service_ms", "total_ms"]);
+        let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+        let push = |t: &mut Table, label: String, b: &Bucket| {
+            t.row(vec![
+                label,
+                b.count.to_string(),
+                ms(b.queue_wait_ns),
+                ms(b.busy_ns),
+                ms(b.service_ns),
+                ms(b.total_ns()),
+            ]);
+        };
+        for (op, b) in &self.by_op {
+            push(&mut t, format!("op:{op}"), b);
+        }
+        for (key, b) in &self.by_origin_op {
+            push(&mut t, format!("origin:{key}"), b);
+        }
+        for (cat, b) in &self.by_span_cat {
+            push(&mut t, format!("span:{cat}"), b);
+        }
+        push(&mut t, "total".into(), &self.total);
+        t
+    }
+
+    /// JSON payload for the `ExperimentReport`.
+    pub fn to_json(&self) -> Value {
+        let mut by_op = Map::new();
+        for (k, b) in &self.by_op {
+            by_op.insert(k.clone(), b.to_json());
+        }
+        let mut by_cat = Map::new();
+        for (k, b) in &self.by_span_cat {
+            by_cat.insert(k.clone(), b.to_json());
+        }
+        let mut by_origin_op = Map::new();
+        for (k, b) in &self.by_origin_op {
+            by_origin_op.insert(k.clone(), b.to_json());
+        }
+        json!({
+            "by_op": by_op,
+            "by_origin_op": by_origin_op,
+            "by_span_cat": by_cat,
+            "total": self.total.to_json(),
+            "incomplete": self.incomplete,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_lines;
+    use super::*;
+
+    #[test]
+    fn buckets_decompose_exactly() {
+        let trace = parse_lines(vec![
+            r#"{"seq":0,"t_ns":0,"kind":"span_open","span":1,"cat":"txn"}"#.to_string(),
+            r#"{"seq":1,"t_ns":1,"kind":"span_open","span":2,"parent":1,"cat":"gc"}"#.to_string(),
+            r#"{"seq":2,"t_ns":2,"kind":"cmd_submit","cmd":1,"class":"read","origin":"host","chip":0,"queue_wait_ns":4,"span":2}"#.to_string(),
+            r#"{"seq":3,"t_ns":12,"kind":"cmd_complete","cmd":1,"submitted_ns":2,"start_ns":5,"done_ns":12}"#.to_string(),
+            r#"{"seq":4,"t_ns":13,"kind":"cmd_submit","cmd":2,"class":"program","origin":"host","chip":0,"queue_wait_ns":0}"#.to_string(),
+        ]);
+        let a = attribution(&trace.segments[0], true);
+        assert_eq!(a.incomplete, 1);
+        assert_eq!(a.total.count, 1);
+        assert_eq!(a.total.queue_wait_ns, 4);
+        assert_eq!(a.total.busy_ns, 3);
+        assert_eq!(a.total.service_ns, 7);
+        assert_eq!(a.total.total_ns(), 14);
+        // Root-span attribution: the gc span's root is the txn.
+        assert_eq!(a.by_span_cat.get("txn").unwrap().count, 1);
+        assert!(a.by_op.contains_key("read"));
+        assert_eq!(a.by_origin_op.get("host/read").unwrap().count, 1);
+        let table = a.table();
+        // op:read, origin:host/read, span:txn, total.
+        assert_eq!(table.rows().len(), 1 + 1 + 1 + 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Chrome trace-event (Perfetto-loadable) export.
+//!
+//! Layout: process 1 carries one thread per flash chip (command
+//! executions as `X` complete events, service time only — the queue wait
+//! and busy inheritance live in `args`); process 2 carries one thread per
+//! span category (`txn` / `flush` / `recovery` / `gc`).
+
+use serde_json::{json, Map, Value};
+
+use super::Segment;
+
+/// Thread id of a span category on the span process.
+fn cat_tid(cat: &str) -> u64 {
+    match cat {
+        "txn" => 0,
+        "flush" => 1,
+        "recovery" => 2,
+        "gc" => 3,
+        _ => 4,
+    }
+}
+
+const CHIP_PID: u64 = 1;
+const SPAN_PID: u64 = 2;
+
+fn metadata(pid: u64, tid: Option<u64>, name: &str) -> Value {
+    let mut m = Map::new();
+    m.insert("ph".into(), Value::from("M"));
+    m.insert("pid".into(), Value::from(pid));
+    m.insert(
+        "name".into(),
+        Value::from(if tid.is_some() { "thread_name" } else { "process_name" }),
+    );
+    if let Some(tid) = tid {
+        m.insert("tid".into(), Value::from(tid));
+    }
+    m.insert("args".into(), json!({ "name": name }));
+    Value::Object(m)
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Render one segment as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}`). Timestamps are the simulated clock in
+/// microseconds.
+pub fn chrome_trace(seg: &Segment) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(metadata(CHIP_PID, None, "flash chips"));
+    events.push(metadata(SPAN_PID, None, "spans"));
+
+    let mut chips: Vec<u32> = seg.cmds.iter().map(|c| c.chip).collect();
+    chips.sort_unstable();
+    chips.dedup();
+    for chip in &chips {
+        events.push(metadata(CHIP_PID, Some(*chip as u64), &format!("chip {chip}")));
+    }
+    let mut cats: Vec<&str> = seg.spans.iter().map(|s| s.cat.as_str()).collect();
+    cats.sort_unstable();
+    cats.dedup();
+    for cat in &cats {
+        events.push(metadata(SPAN_PID, Some(cat_tid(cat)), &format!("{cat} spans")));
+    }
+
+    for span in &seg.spans {
+        let Some(close) = span.close_ns else { continue };
+        events.push(json!({
+            "ph": "X",
+            "pid": SPAN_PID,
+            "tid": cat_tid(&span.cat),
+            "ts": us(span.open_ns),
+            "dur": us(close.saturating_sub(span.open_ns)),
+            "name": span.cat.clone(),
+            "cat": "span",
+            "args": { "span": span.id, "parent": span.parent },
+        }));
+    }
+
+    for cmd in &seg.cmds {
+        let (Some(start), Some(done)) = (cmd.start_ns, cmd.done_ns) else { continue };
+        events.push(json!({
+            "ph": "X",
+            "pid": CHIP_PID,
+            "tid": cmd.chip,
+            "ts": us(start),
+            "dur": us(done.saturating_sub(start)),
+            "name": cmd.class.clone(),
+            "cat": "cmd",
+            "args": {
+                "cmd": cmd.cmd,
+                "origin": cmd.origin.clone(),
+                "queue_wait_ns": cmd.queue_wait_ns,
+                "busy_ns": cmd.busy_ns(),
+                "span": cmd.span,
+                "lba": cmd.lba,
+            },
+        }));
+    }
+
+    json!({ "traceEvents": events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_lines;
+    use super::*;
+
+    #[test]
+    fn one_track_per_chip_and_per_category() {
+        let trace = parse_lines(vec![
+            r#"{"seq":0,"t_ns":0,"kind":"span_open","span":1,"cat":"txn"}"#.to_string(),
+            r#"{"seq":1,"t_ns":2,"kind":"cmd_submit","cmd":1,"class":"program","origin":"host","chip":0,"queue_wait_ns":0,"span":1}"#.to_string(),
+            r#"{"seq":2,"t_ns":3,"kind":"cmd_submit","cmd":2,"class":"read","origin":"host","chip":3,"queue_wait_ns":0,"span":1}"#.to_string(),
+            r#"{"seq":3,"t_ns":9,"kind":"cmd_complete","cmd":1,"submitted_ns":2,"start_ns":2,"done_ns":9}"#.to_string(),
+            r#"{"seq":4,"t_ns":10,"kind":"cmd_complete","cmd":2,"submitted_ns":3,"start_ns":3,"done_ns":10}"#.to_string(),
+            r#"{"seq":5,"t_ns":11,"kind":"span_close","span":1}"#.to_string(),
+        ]);
+        let doc = chrome_trace(&trace.segments[0]);
+        let events = doc["traceEvents"].as_array().unwrap();
+        let chip_threads: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["ph"] == "M" && e["name"] == "thread_name" && e["pid"] == 1)
+            .collect();
+        assert_eq!(chip_threads.len(), 2, "one metadata track per chip");
+        let slices: Vec<&Value> = events.iter().filter(|e| e["ph"] == "X").collect();
+        // One span slice + two command slices.
+        assert_eq!(slices.len(), 3);
+        let span_slice = slices.iter().find(|e| e["cat"] == "span").unwrap();
+        assert_eq!(span_slice["pid"], 2);
+        assert_eq!(span_slice["dur"], 0.011);
+    }
+}

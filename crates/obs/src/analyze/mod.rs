@@ -1,0 +1,319 @@
+//! Offline trace analysis for `.trace.jsonl` files — the library half of
+//! the `ipa-trace` binary.
+//!
+//! A trace file is a sequence of JSON lines as written by
+//! [`crate::JsonlSink`]. One file may contain several *segments*: bench
+//! binaries reuse one sink across runs, and every run starts a fresh
+//! device whose event sequence number restarts at zero. The parser splits
+//! segments on a decreasing `seq` and, within a segment, joins each
+//! command's `cmd_submit`/`cmd_complete` pair into one [`CmdRec`] with the
+//! full queue-wait / chip-busy / service decomposition.
+//!
+//! Three analyses build on the parsed model:
+//!
+//! * [`chrome::chrome_trace`] — Chrome trace-event / Perfetto JSON with
+//!   one track per chip and one per span category;
+//! * [`critical::critical_path`] — per-transaction latency attribution;
+//! * [`attrib::attribution`] — the queue/busy/service table by op class
+//!   and span category.
+
+pub mod attrib;
+pub mod chrome;
+pub mod critical;
+
+use std::collections::HashMap;
+
+use serde_json::Value;
+
+/// One causal span reconstructed from `span_open`/`span_close` events.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Span id (unique within a segment).
+    pub id: u64,
+    /// Parent span id, `None` for roots (transactions, recovery).
+    pub parent: Option<u64>,
+    /// Category wire name: `txn`, `flush`, `recovery` or `gc`.
+    pub cat: String,
+    /// Simulated time of the open event.
+    pub open_ns: u64,
+    /// Simulated time of the close event; `None` if the trace ended with
+    /// the span still open.
+    pub close_ns: Option<u64>,
+}
+
+/// One I/O command's full lifecycle, joined from its submit and complete
+/// events.
+#[derive(Debug, Clone)]
+pub struct CmdRec {
+    /// Device command id.
+    pub cmd: u64,
+    /// Op class wire name: `read`, `program`, `program_delta`, `erase`,
+    /// `refresh`.
+    pub class: String,
+    /// Origin wire name: `host`, `host_async`, `background`.
+    pub origin: String,
+    /// Chip the command executed on.
+    pub chip: u32,
+    /// Host-queue admission wait charged to this command.
+    pub queue_wait_ns: u64,
+    /// Span the command was attributed to, if any.
+    pub span: Option<u64>,
+    /// Sequence number of the submit event (for windowing).
+    pub submit_seq: u64,
+    /// Simulated time the command was submitted.
+    pub submitted_ns: Option<u64>,
+    /// Time the chip actually started the op (busy inheritance ends).
+    pub start_ns: Option<u64>,
+    /// Completion time.
+    pub done_ns: Option<u64>,
+    /// Region attribution, when staged by the NoFTL layer.
+    pub region: Option<u64>,
+    /// LBA attribution, when staged by the NoFTL layer.
+    pub lba: Option<u64>,
+}
+
+impl CmdRec {
+    /// Whether both lifecycle halves were seen.
+    pub fn complete(&self) -> bool {
+        self.done_ns.is_some()
+    }
+
+    /// Chip-busy inheritance: time between submit and the chip becoming
+    /// free to start this op.
+    pub fn busy_ns(&self) -> u64 {
+        match (self.start_ns, self.submitted_ns) {
+            (Some(s), Some(sub)) => s.saturating_sub(sub),
+            _ => 0,
+        }
+    }
+
+    /// Op service time on the chip.
+    pub fn service_ns(&self) -> u64 {
+        match (self.done_ns, self.start_ns) {
+            (Some(d), Some(s)) => d.saturating_sub(s),
+            _ => 0,
+        }
+    }
+
+    /// The full attributed latency: queue wait + busy inheritance +
+    /// service. For synchronous host I/O, busy + service equals the
+    /// latency the device recorded in its histograms.
+    pub fn attributed_ns(&self) -> u64 {
+        self.queue_wait_ns + self.busy_ns() + self.service_ns()
+    }
+}
+
+/// One device lifetime within a trace file.
+#[derive(Debug, Default)]
+pub struct Segment {
+    /// Spans in open order.
+    pub spans: Vec<SpanRec>,
+    /// Commands in submit order.
+    pub cmds: Vec<CmdRec>,
+    /// `(seq, t_ns)` of every `stats_reset` event (warm-up boundaries).
+    pub resets: Vec<(u64, u64)>,
+    /// Total events in the segment (all kinds).
+    pub events: u64,
+}
+
+impl Segment {
+    /// Span lookup by id.
+    pub fn span(&self, id: u64) -> Option<&SpanRec> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Walk a span's parent chain to its root.
+    pub fn root_of(&self, id: u64) -> Option<&SpanRec> {
+        let mut cur = self.span(id)?;
+        let mut hops = 0;
+        while let Some(parent) = cur.parent {
+            match self.span(parent) {
+                Some(p) => cur = p,
+                None => break,
+            }
+            hops += 1;
+            if hops > self.spans.len() {
+                break; // defensive: malformed parent cycle
+            }
+        }
+        Some(cur)
+    }
+
+    /// Commands in the analysis window: after the last `stats_reset` when
+    /// one exists (the post-warm-up steady state the bench counters also
+    /// cover), the whole segment otherwise or when `full` is set.
+    pub fn windowed_cmds(&self, full: bool) -> Vec<&CmdRec> {
+        let cutoff = if full { None } else { self.resets.last().map(|&(seq, _)| seq) };
+        self.cmds.iter().filter(|c| cutoff.is_none_or(|seq| c.submit_seq > seq)).collect()
+    }
+}
+
+/// A parsed trace file.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Segments in file order (one per device lifetime).
+    pub segments: Vec<Segment>,
+    /// `(written, dropped)` from the `trace_end` trailer, when present.
+    pub trailer: Option<(u64, u64)>,
+}
+
+/// Parse a trace from its lines. Lines that are not valid JSON objects
+/// are skipped (a crashed run may truncate the last line).
+pub fn parse_lines<I: IntoIterator<Item = String>>(lines: I) -> Trace {
+    let mut trace = Trace::default();
+    let mut seg = Segment::default();
+    let mut open_cmds: HashMap<u64, usize> = HashMap::new();
+    let mut last_seq: Option<u64> = None;
+
+    let flush_seg =
+        |seg: &mut Segment, open_cmds: &mut HashMap<u64, usize>, out: &mut Vec<Segment>| {
+            if seg.events > 0 {
+                out.push(std::mem::take(seg));
+            } else {
+                *seg = Segment::default();
+            }
+            open_cmds.clear();
+        };
+
+    for line in lines {
+        let Ok(v) = serde_json::from_str::<Value>(&line) else { continue };
+        let Some(kind) = v.get("kind").and_then(Value::as_str) else { continue };
+        if kind == "trace_end" {
+            trace.trailer = Some((
+                v.get("written").and_then(Value::as_u64).unwrap_or(0),
+                v.get("dropped").and_then(Value::as_u64).unwrap_or(0),
+            ));
+            continue;
+        }
+        let seq = v.get("seq").and_then(Value::as_u64).unwrap_or(0);
+        let t_ns = v.get("t_ns").and_then(Value::as_u64).unwrap_or(0);
+        if last_seq.is_some_and(|prev| seq < prev) {
+            flush_seg(&mut seg, &mut open_cmds, &mut trace.segments);
+        }
+        last_seq = Some(seq);
+        seg.events += 1;
+        match kind {
+            "span_open" => {
+                seg.spans.push(SpanRec {
+                    id: v.get("span").and_then(Value::as_u64).unwrap_or(0),
+                    parent: v.get("parent").and_then(Value::as_u64),
+                    cat: v.get("cat").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    open_ns: t_ns,
+                    close_ns: None,
+                });
+            }
+            "span_close" => {
+                let id = v.get("span").and_then(Value::as_u64).unwrap_or(0);
+                if let Some(s) =
+                    seg.spans.iter_mut().rev().find(|s| s.id == id && s.close_ns.is_none())
+                {
+                    s.close_ns = Some(t_ns);
+                }
+            }
+            "cmd_submit" => {
+                let cmd = v.get("cmd").and_then(Value::as_u64).unwrap_or(0);
+                open_cmds.insert(cmd, seg.cmds.len());
+                seg.cmds.push(CmdRec {
+                    cmd,
+                    class: v.get("class").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    origin: v.get("origin").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    chip: v.get("chip").and_then(Value::as_u64).unwrap_or(0) as u32,
+                    queue_wait_ns: v.get("queue_wait_ns").and_then(Value::as_u64).unwrap_or(0),
+                    span: v.get("span").and_then(Value::as_u64),
+                    submit_seq: seq,
+                    submitted_ns: Some(t_ns),
+                    start_ns: None,
+                    done_ns: None,
+                    region: v.get("region").and_then(Value::as_u64),
+                    lba: v.get("lba").and_then(Value::as_u64),
+                });
+            }
+            "cmd_complete" => {
+                let cmd = v.get("cmd").and_then(Value::as_u64).unwrap_or(0);
+                if let Some(&idx) = open_cmds.get(&cmd) {
+                    let rec = &mut seg.cmds[idx];
+                    rec.submitted_ns =
+                        v.get("submitted_ns").and_then(Value::as_u64).or(rec.submitted_ns);
+                    rec.start_ns = v.get("start_ns").and_then(Value::as_u64);
+                    rec.done_ns = v.get("done_ns").and_then(Value::as_u64);
+                    open_cmds.remove(&cmd);
+                }
+            }
+            "stats_reset" => seg.resets.push((seq, t_ns)),
+            _ => {}
+        }
+    }
+    flush_seg(&mut seg, &mut open_cmds, &mut trace.segments);
+    trace
+}
+
+/// Parse a trace file from disk.
+pub fn parse_file(path: &std::path::Path) -> std::io::Result<Trace> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_lines(text.lines().map(str::to_string)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(s: &str) -> String {
+        s.to_string()
+    }
+
+    #[test]
+    fn segments_split_on_seq_restart_and_cmds_join() {
+        let trace = parse_lines(vec![
+            line(r#"{"seq":0,"t_ns":0,"kind":"span_open","span":1,"cat":"txn"}"#),
+            line(
+                r#"{"seq":1,"t_ns":5,"kind":"cmd_submit","cmd":1,"class":"read","origin":"host","chip":0,"queue_wait_ns":2,"span":1}"#,
+            ),
+            line(
+                r#"{"seq":2,"t_ns":30,"kind":"cmd_complete","cmd":1,"submitted_ns":5,"start_ns":10,"done_ns":30}"#,
+            ),
+            line(r#"{"seq":3,"t_ns":31,"kind":"span_close","span":1}"#),
+            // seq restarts: a second device lifetime.
+            line(r#"{"seq":0,"t_ns":0,"kind":"stats_reset"}"#),
+            line(
+                r#"{"seq":1,"t_ns":4,"kind":"cmd_submit","cmd":1,"class":"erase","origin":"background","chip":2,"queue_wait_ns":0}"#,
+            ),
+            line(r#"{"kind":"trace_end","written":6,"dropped":0}"#),
+        ]);
+        assert_eq!(trace.segments.len(), 2);
+        assert_eq!(trace.trailer, Some((6, 0)));
+
+        let s0 = &trace.segments[0];
+        assert_eq!(s0.spans.len(), 1);
+        assert_eq!(s0.spans[0].cat, "txn");
+        assert_eq!(s0.spans[0].close_ns, Some(31));
+        assert_eq!(s0.cmds.len(), 1);
+        let c = &s0.cmds[0];
+        assert!(c.complete());
+        assert_eq!(c.queue_wait_ns, 2);
+        assert_eq!(c.busy_ns(), 5);
+        assert_eq!(c.service_ns(), 20);
+        assert_eq!(c.attributed_ns(), 27);
+
+        let s1 = &trace.segments[1];
+        assert_eq!(s1.resets.len(), 1);
+        assert_eq!(s1.cmds.len(), 1);
+        assert!(!s1.cmds[0].complete());
+        // The windowed view excludes the pre-reset prefix.
+        assert_eq!(s1.windowed_cmds(false).len(), 1);
+        assert_eq!(s1.windowed_cmds(true).len(), 1);
+    }
+
+    #[test]
+    fn root_walk_and_malformed_lines() {
+        let trace = parse_lines(vec![
+            line(r#"{"seq":0,"t_ns":0,"kind":"span_open","span":1,"cat":"txn"}"#),
+            line(r#"{"seq":1,"t_ns":1,"kind":"span_open","span":2,"parent":1,"cat":"flush"}"#),
+            line("not json at all"),
+            line(r#"{"seq":2,"t_ns":2,"kind":"span_open","span":3,"parent":2,"cat":"gc"}"#),
+        ]);
+        let seg = &trace.segments[0];
+        assert_eq!(seg.root_of(3).unwrap().id, 1);
+        assert_eq!(seg.root_of(3).unwrap().cat, "txn");
+        assert_eq!(seg.events, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! `ipa-trace` — offline analyzer for `.trace.jsonl` files.
+//!
+//! ```text
+//! ipa-trace <trace.jsonl> [options]
+//!   --chrome <out.json>   write Chrome trace-event / Perfetto JSON
+//!   --segment <n>         analyze segment n (0-based; default: last)
+//!   --full                attribute the whole segment, not just the
+//!                         post-warm-up window (after the last stats_reset)
+//!   --report <name>       save an ExperimentReport under bench-results/
+//!                         as <name>.json / <name>.txt
+//!   --top <n>             rows in the critical-path table (default 20)
+//! ```
+//!
+//! Prints the latency-attribution table (queue wait vs chip busy vs
+//! service, by op class and span category) and the per-transaction
+//! critical-path report; exits non-zero on unreadable or empty traces.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ipa_obs::analyze::{attrib, chrome, critical, parse_file};
+use ipa_obs::{ExperimentReport, Table};
+use serde_json::json;
+
+struct Args {
+    trace: PathBuf,
+    chrome_out: Option<PathBuf>,
+    segment: Option<usize>,
+    full: bool,
+    report: Option<String>,
+    top: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: ipa-trace <trace.jsonl> [--chrome OUT] [--segment N] [--full] [--report NAME] [--top N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut trace = None;
+    let mut out = Args {
+        trace: PathBuf::new(),
+        chrome_out: None,
+        segment: None,
+        full: false,
+        report: None,
+        top: 20,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome" => {
+                out.chrome_out = Some(args.next().ok_or("--chrome needs a path")?.into());
+            }
+            "--segment" => {
+                let n = args.next().ok_or("--segment needs a number")?;
+                out.segment = Some(n.parse().map_err(|_| format!("bad segment: {n}"))?);
+            }
+            "--full" => out.full = true,
+            "--report" => out.report = Some(args.next().ok_or("--report needs a name")?),
+            "--top" => {
+                let n = args.next().ok_or("--top needs a number")?;
+                out.top = n.parse().map_err(|_| format!("bad top: {n}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if trace.is_none() && !other.starts_with('-') => {
+                trace = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument: {other}\n{}", usage())),
+        }
+    }
+    out.trace = trace.ok_or(usage())?;
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match parse_file(&args.trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ipa-trace: cannot read {}: {e}", args.trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace.segments.is_empty() {
+        eprintln!("ipa-trace: {} holds no trace events", args.trace.display());
+        return ExitCode::FAILURE;
+    }
+    let seg_idx = args.segment.unwrap_or(trace.segments.len() - 1);
+    let Some(seg) = trace.segments.get(seg_idx) else {
+        eprintln!("ipa-trace: segment {seg_idx} out of range ({} segments)", trace.segments.len());
+        return ExitCode::FAILURE;
+    };
+
+    println!(
+        "trace {}: {} segment(s); analyzing segment {seg_idx} ({} events, {} cmds, {} spans, {} resets)",
+        args.trace.display(),
+        trace.segments.len(),
+        seg.events,
+        seg.cmds.len(),
+        seg.spans.len(),
+        seg.resets.len(),
+    );
+    if let Some((written, dropped)) = trace.trailer {
+        println!("trace_end trailer: {written} written, {dropped} dropped");
+        if dropped > 0 {
+            eprintln!("warning: the trace lost {dropped} events; attribution is a lower bound");
+        }
+    } else {
+        eprintln!("warning: no trace_end trailer — the trace may be truncated");
+    }
+
+    let mut report = ExperimentReport::new(args.report.as_deref().unwrap_or("ipa_trace"));
+
+    let a = attrib::attribution(seg, args.full);
+    println!(
+        "\nlatency attribution ({} window):",
+        if args.full || seg.resets.is_empty() { "full-segment" } else { "post-warm-up" }
+    );
+    report.print_table(&a.table());
+
+    let cp = critical::critical_path(seg);
+    println!(
+        "\ncritical path: {} closed root span(s), {} unclosed; flash-attributed {:.3} ms of {:.3} ms wall",
+        cp.txns.len(),
+        cp.unclosed,
+        cp.attributed_total_ns() as f64 / 1e6,
+        cp.e2e_total_ns() as f64 / 1e6,
+    );
+    report.print_table(&cp.table(Some(args.top)));
+
+    let mut summary = Table::new(&["metric", "value"]);
+    summary.row(vec!["segments".into(), trace.segments.len().to_string()]);
+    summary.row(vec!["events".into(), seg.events.to_string()]);
+    summary.row(vec!["incomplete_cmds".into(), a.incomplete.to_string()]);
+    summary.row(vec![
+        "dropped_events".into(),
+        trace.trailer.map_or_else(|| "unknown".into(), |(_, d)| d.to_string()),
+    ]);
+    println!();
+    report.print_table(&summary);
+
+    report.set_payload(json!({
+        "trace": args.trace.display().to_string(),
+        "segment": seg_idx,
+        "segments": trace.segments.len(),
+        "window": if args.full { "full" } else { "after_last_reset" },
+        "attribution": a.to_json(),
+        "critical_path": cp.to_json(),
+        "trace_end": trace.trailer.map(|(w, d)| json!({ "written": w, "dropped": d })),
+    }));
+
+    if let Some(out) = &args.chrome_out {
+        let doc = chrome::chrome_trace(seg);
+        let text = match serde_json::to_string(&doc) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ipa-trace: chrome encode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("ipa-trace: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("chrome trace written to {}", out.display());
+    }
+
+    if args.report.is_some() {
+        report.save();
+    }
+    ExitCode::SUCCESS
+}

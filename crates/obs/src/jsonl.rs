@@ -27,6 +27,20 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::BlockRetired => "block_retired",
         EventKind::DeltaFallback => "delta_fallback",
         EventKind::ScrubRefresh => "scrub_refresh",
+        EventKind::SpanOpen { .. } => "span_open",
+        EventKind::SpanClose { .. } => "span_close",
+        EventKind::CmdSubmit { .. } => "cmd_submit",
+        EventKind::CmdComplete { .. } => "cmd_complete",
+        EventKind::StatsReset => "stats_reset",
+    }
+}
+
+/// Stable wire name of an op origin.
+fn origin_name(origin: ipa_flash::OpOrigin) -> &'static str {
+    match origin {
+        ipa_flash::OpOrigin::Host => "host",
+        ipa_flash::OpOrigin::HostAsync => "host_async",
+        ipa_flash::OpOrigin::Background => "background",
     }
 }
 
@@ -53,9 +67,41 @@ pub fn event_to_json(event: &ObsEvent) -> Value {
         EventKind::ProgramFault { permanent } => {
             m.insert("permanent".into(), Value::from(permanent));
         }
+        EventKind::SpanOpen { id, parent, cat } => {
+            m.insert("span".into(), Value::from(id.0));
+            if let Some(parent) = parent {
+                m.insert("parent".into(), Value::from(parent.0));
+            }
+            m.insert("cat".into(), Value::from(cat.name()));
+        }
+        EventKind::SpanClose { id } => {
+            m.insert("span".into(), Value::from(id.0));
+        }
+        EventKind::CmdSubmit { cmd, class, origin, chip, queue_wait_ns, span } => {
+            m.insert("cmd".into(), Value::from(cmd));
+            m.insert("class".into(), Value::from(class.name()));
+            m.insert("origin".into(), Value::from(origin_name(origin)));
+            m.insert("chip".into(), Value::from(chip));
+            m.insert("queue_wait_ns".into(), Value::from(queue_wait_ns));
+            if let Some(span) = span {
+                m.insert("span".into(), Value::from(span.0));
+            }
+        }
+        EventKind::CmdComplete { cmd, submitted_ns, start_ns, done_ns } => {
+            m.insert("cmd".into(), Value::from(cmd));
+            m.insert("submitted_ns".into(), Value::from(submitted_ns));
+            m.insert("start_ns".into(), Value::from(start_ns));
+            m.insert("done_ns".into(), Value::from(done_ns));
+        }
         _ => {}
     }
     Value::Object(m)
+}
+
+struct SinkState {
+    w: Box<dyn Write + Send>,
+    written: u64,
+    dropped: u64,
 }
 
 /// A shared JSONL destination. Like [`crate::TraceHandle`], the sink stays
@@ -63,7 +109,7 @@ pub fn event_to_json(event: &ObsEvent) -> Value {
 /// layers.
 #[derive(Clone)]
 pub struct JsonlSink {
-    inner: Arc<Mutex<Box<dyn Write + Send>>>,
+    inner: Arc<Mutex<SinkState>>,
 }
 
 impl JsonlSink {
@@ -82,7 +128,7 @@ impl JsonlSink {
 
     /// Stream to an arbitrary writer.
     pub fn writer(w: Box<dyn Write + Send>) -> Self {
-        JsonlSink { inner: Arc::new(Mutex::new(w)) }
+        JsonlSink { inner: Arc::new(Mutex::new(SinkState { w, written: 0, dropped: 0 })) }
     }
 
     /// An [`Observer`] writing one JSON line per event into this sink.
@@ -90,22 +136,50 @@ impl JsonlSink {
         Box::new(JsonlObserver { inner: Arc::clone(&self.inner) })
     }
 
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.inner.lock().expect("jsonl sink lock").written
+    }
+
+    /// Events lost to write errors (e.g. a full disk) so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("jsonl sink lock").dropped
+    }
+
     /// Flush buffered output (call once the run is over).
     pub fn flush(&self) -> std::io::Result<()> {
-        self.inner.lock().expect("jsonl sink lock").flush()
+        self.inner.lock().expect("jsonl sink lock").w.flush()
+    }
+
+    /// Terminate the trace: append a `{"kind":"trace_end",...}` trailer
+    /// carrying the written/dropped accounting, then flush. Analyzers use
+    /// the trailer to tell a complete trace from a truncated one.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let mut s = self.inner.lock().expect("jsonl sink lock");
+        let trailer = serde_json::json!({
+            "kind": "trace_end",
+            "written": s.written,
+            "dropped": s.dropped,
+        });
+        writeln!(s.w, "{trailer}")?;
+        s.w.flush()
     }
 }
 
 struct JsonlObserver {
-    inner: Arc<Mutex<Box<dyn Write + Send>>>,
+    inner: Arc<Mutex<SinkState>>,
 }
 
 impl Observer for JsonlObserver {
     fn on_event(&mut self, event: ObsEvent) {
         let line = event_to_json(&event).to_string();
-        let mut w = self.inner.lock().expect("jsonl sink lock");
-        // Trace export is best-effort; a full disk must not abort the run.
-        let _ = writeln!(w, "{line}");
+        let mut s = self.inner.lock().expect("jsonl sink lock");
+        // Trace export is best-effort; a full disk must not abort the run —
+        // but the loss is counted and surfaces in the trace_end trailer.
+        match writeln!(s.w, "{line}") {
+            Ok(()) => s.written += 1,
+            Err(_) => s.dropped += 1,
+        }
     }
 }
 
@@ -169,5 +243,70 @@ mod tests {
             assert_eq!(v["seq"], i as u64);
             assert_eq!(v["kind"], "flush_oop");
         }
+        assert_eq!(sink.written(), 3);
+        assert_eq!(sink.dropped(), 0);
+        sink.finish().unwrap();
+        let text = String::from_utf8(store.0.lock().unwrap().clone()).unwrap();
+        let last: Value = serde_json::from_str(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last["kind"], "trace_end");
+        assert_eq!(last["written"], 3);
+        assert_eq!(last["dropped"], 0);
+    }
+
+    #[test]
+    fn span_and_cmd_events_inline_payloads() {
+        use ipa_flash::{OpClass, OpOrigin, SpanCategory, SpanId};
+        let open = ObsEvent {
+            seq: 0,
+            t_ns: 10,
+            region: None,
+            lba: None,
+            kind: EventKind::SpanOpen {
+                id: SpanId(4),
+                parent: Some(SpanId(2)),
+                cat: SpanCategory::Gc,
+            },
+        };
+        let v = event_to_json(&open);
+        assert_eq!(v["kind"], "span_open");
+        assert_eq!(v["span"], 4);
+        assert_eq!(v["parent"], 2);
+        assert_eq!(v["cat"], "gc");
+
+        let submit = ObsEvent {
+            seq: 1,
+            t_ns: 20,
+            region: Some(0),
+            lba: Some(9),
+            kind: EventKind::CmdSubmit {
+                cmd: 7,
+                class: OpClass::ProgramDelta,
+                origin: OpOrigin::Host,
+                chip: 3,
+                queue_wait_ns: 150,
+                span: Some(SpanId(4)),
+            },
+        };
+        let v = event_to_json(&submit);
+        assert_eq!(v["kind"], "cmd_submit");
+        assert_eq!(v["cmd"], 7);
+        assert_eq!(v["class"], "program_delta");
+        assert_eq!(v["origin"], "host");
+        assert_eq!(v["chip"], 3);
+        assert_eq!(v["queue_wait_ns"], 150);
+        assert_eq!(v["span"], 4);
+
+        let done = ObsEvent {
+            seq: 2,
+            t_ns: 30,
+            region: None,
+            lba: None,
+            kind: EventKind::CmdComplete { cmd: 7, submitted_ns: 20, start_ns: 25, done_ns: 30 },
+        };
+        let v = event_to_json(&done);
+        assert_eq!(v["kind"], "cmd_complete");
+        assert_eq!(v["submitted_ns"], 20);
+        assert_eq!(v["start_ns"], 25);
+        assert_eq!(v["done_ns"], 30);
     }
 }

@@ -27,13 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod jsonl;
 mod registry;
 mod report;
 mod ring;
 mod snapshot;
 
-pub use ipa_flash::{EventKind, ObsEvent, Observer};
+pub use ipa_flash::{EventKind, ObsEvent, Observer, OpClass, SpanCategory, SpanId};
 pub use jsonl::{event_to_json, kind_name, JsonlSink};
 pub use registry::{MetricsRegistry, SamplePoint};
 pub use report::{ExperimentReport, Table};

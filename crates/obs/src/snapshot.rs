@@ -2,8 +2,8 @@
 //! interval deltas and derived gauges.
 
 use ipa_engine::{Database, EngineStats, SweepStats};
-use ipa_flash::{ChipCounters, FlashDevice, FlashStats, LatencyHistogram};
-use ipa_noftl::{NoFtl, RegionId, RegionStats};
+use ipa_flash::{ChipCounters, FlashDevice, FlashStats, LatencyHistogram, WearHistogram};
+use ipa_noftl::{HeatSummary, NoFtl, RegionId, RegionStats};
 use serde_json::{Map, Value};
 
 /// All counters of the stack at one instant of simulated time. Layers the
@@ -24,6 +24,17 @@ pub struct Snapshot {
     pub regions: Vec<RegionStats>,
     /// Per-chip operation counters, indexed by chip id.
     pub chips: Vec<ChipCounters>,
+    /// Per-block erase-count distribution at capture. Distributions don't
+    /// subtract, so a delta snapshot carries `None`.
+    pub wear: Option<WearHistogram>,
+    /// Per-region update-heat aggregates, indexed by region id.
+    pub heat: Vec<HeatSummary>,
+    /// Host commands in flight on the device queue at capture (gauge).
+    pub host_inflight: u64,
+    /// Events the trace ring sink has evicted so far (see
+    /// [`crate::TraceHandle::dropped`]); zero when no ring is wired in via
+    /// [`Snapshot::with_trace_dropped`].
+    pub trace_dropped: u64,
 }
 
 /// Derived metrics over one snapshot (cumulative or interval) — the
@@ -83,6 +94,8 @@ impl Snapshot {
         snap.regions = (0..ftl.region_count())
             .filter_map(|i| ftl.region_stats(RegionId(i)).ok().cloned())
             .collect();
+        snap.heat =
+            (0..ftl.region_count()).filter_map(|i| ftl.heat_summary(RegionId(i)).ok()).collect();
         snap
     }
 
@@ -92,8 +105,16 @@ impl Snapshot {
             at_ns: dev.clock().now_ns(),
             flash: dev.stats().clone(),
             chips: dev.chip_counters(),
+            wear: Some(dev.wear_histogram()),
+            host_inflight: dev.host_inflight() as u64,
             ..Snapshot::default()
         }
+    }
+
+    /// Record the trace ring's dropped-event count in this snapshot.
+    pub fn with_trace_dropped(mut self, dropped: u64) -> Snapshot {
+        self.trace_dropped = dropped;
+        self
     }
 
     /// Interval counters `self - earlier`: every field subtracts
@@ -120,6 +141,22 @@ impl Snapshot {
                 .enumerate()
                 .map(|(i, c)| c.delta_since(earlier.chips.get(i).unwrap_or(&zero_chip)))
                 .collect(),
+            wear: None,
+            heat: self
+                .heat
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    let e = earlier.heat.get(i).copied().unwrap_or_default();
+                    HeatSummary {
+                        updates: h.updates.saturating_sub(e.updates),
+                        updated_lbas: h.updated_lbas.saturating_sub(e.updated_lbas),
+                        hottest: h.hottest.saturating_sub(e.hottest),
+                    }
+                })
+                .collect(),
+            host_inflight: self.host_inflight.saturating_sub(earlier.host_inflight),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
         }
     }
 
@@ -176,7 +213,16 @@ impl Snapshot {
             "regions".into(),
             Value::from(self.regions.iter().map(region_json).collect::<Vec<_>>()),
         );
-        m.insert("chips".into(), Value::from(self.chips.iter().map(chip_json).collect::<Vec<_>>()));
+        m.insert(
+            "chips".into(),
+            Value::from(self.chips.iter().map(|c| chip_json(c, self.at_ns)).collect::<Vec<_>>()),
+        );
+        if let Some(wear) = &self.wear {
+            m.insert("wear".into(), wear_json(wear));
+        }
+        m.insert("heat".into(), Value::from(self.heat.iter().map(heat_json).collect::<Vec<_>>()));
+        m.insert("host_inflight".into(), Value::from(self.host_inflight));
+        m.insert("trace_dropped".into(), Value::from(self.trace_dropped));
         Value::Object(m)
     }
 }
@@ -234,6 +280,7 @@ fn flash_json(f: &FlashStats) -> Value {
     m.insert("erase_failures".into(), Value::from(f.erase_failures));
     m.insert("retired_blocks".into(), Value::from(f.retired_blocks));
     m.insert("queue_waits".into(), Value::from(f.queue_waits));
+    m.insert("queue_wait_ns_total".into(), Value::from(f.queue_wait_ns_total));
     m.insert("queue_highwater".into(), Value::from(f.queue_highwater));
     m.insert("read_latency".into(), hist_json(&f.read_latency));
     m.insert("write_latency".into(), hist_json(&f.write_latency));
@@ -266,6 +313,7 @@ fn sweep_json(s: &SweepStats) -> Value {
     m.insert("frames_scanned".into(), Value::from(s.frames_scanned));
     m.insert("ref_bits_cleared".into(), Value::from(s.ref_bits_cleared));
     m.insert("victims".into(), Value::from(s.victims));
+    m.insert("dirty_victims".into(), Value::from(s.dirty_victims));
     Value::Object(m)
 }
 
@@ -287,12 +335,34 @@ fn region_json(r: &RegionStats) -> Value {
     Value::Object(m)
 }
 
-fn chip_json(c: &ChipCounters) -> Value {
+fn chip_json(c: &ChipCounters, at_ns: u64) -> Value {
     let mut m = Map::new();
     m.insert("reads".into(), Value::from(c.reads));
     m.insert("programs".into(), Value::from(c.programs));
     m.insert("erases".into(), Value::from(c.erases));
     m.insert("busy_ns".into(), Value::from(c.busy_ns));
+    // Busy fraction of the captured window: busy/now for a cumulative
+    // snapshot, busy-delta/interval for a delta (`at_ns` is the interval
+    // there). 0 for an empty window.
+    let util = if at_ns == 0 { 0.0 } else { c.busy_ns as f64 / at_ns as f64 };
+    m.insert("utilization".into(), Value::from(util));
+    Value::Object(m)
+}
+
+fn wear_json(w: &WearHistogram) -> Value {
+    let mut m = Map::new();
+    m.insert("min".into(), Value::from(w.min));
+    m.insert("max".into(), Value::from(w.max));
+    m.insert("mean".into(), Value::from(w.mean));
+    m.insert("buckets".into(), Value::from(w.buckets.to_vec()));
+    Value::Object(m)
+}
+
+fn heat_json(h: &HeatSummary) -> Value {
+    let mut m = Map::new();
+    m.insert("updates".into(), Value::from(h.updates));
+    m.insert("updated_lbas".into(), Value::from(h.updated_lbas));
+    m.insert("hottest".into(), Value::from(h.hottest));
     Value::Object(m)
 }
 

@@ -1,0 +1,146 @@
+//! Causal-span tracing properties under queued I/O.
+//!
+//! Batches of page writes are submitted at host queue depth 4, each batch
+//! wrapped in its own root span. The properties pin the lifecycle
+//! invariants the offline analyzer depends on:
+//!
+//! * trace sequence numbers are strictly increasing and the clock is
+//!   monotone;
+//! * every `CmdSubmit` is attributed to exactly one span that is open at
+//!   submission time, and every submit has exactly one `CmdComplete`;
+//! * the per-command decomposition is exact: queue wait (admission stall)
+//!   plus chip-busy inheritance plus op service equals the observed
+//!   command latency, event-for-event identical to the [`Completion`]s
+//!   the caller drained;
+//! * the trace's queue-wait total equals the device's
+//!   `queue_wait_ns_total` counter.
+
+use std::collections::{HashMap, HashSet};
+
+use ipa_flash::FlashConfig;
+use ipa_noftl::{
+    Completion, IoCtx, IpaMode, Lba, NoFtl, NoFtlConfig, PageIo, RegionId, SpanCategory,
+};
+use ipa_obs::{EventKind, ObsEvent, TraceHandle};
+use proptest::prelude::*;
+
+const DEPTH: u32 = 4;
+const CHIPS: u32 = 4;
+
+fn ftl(depth: u32) -> NoFtl {
+    let cfg = NoFtlConfig::builder(FlashConfig::emulator_slc(16, 8, 512))
+        .chips(CHIPS)
+        .queue_depth(depth)
+        .single_region(IpaMode::Slc, 0.3)
+        .build()
+        .expect("config validates");
+    NoFtl::new(cfg).expect("ftl builds")
+}
+
+/// Submit each batch of LBA writes under its own root span at depth 4 and
+/// return the trace plus the drained completions.
+fn drive(batches: &[Vec<u8>]) -> (Vec<ObsEvent>, Vec<Completion>, u64) {
+    let mut ftl = ftl(DEPTH);
+    let trace = TraceHandle::new(1 << 16);
+    ftl.attach_observer(trace.observer());
+    ftl.set_cmd_tracing(true);
+    let cap = ftl.capacity(RegionId(0)).expect("region exists");
+    let data = vec![0xA5u8; 512];
+    let mut completions = Vec::new();
+    for batch in batches {
+        let span = ftl.open_span_under(SpanCategory::Txn, None);
+        let ops: Vec<PageIo> =
+            batch.iter().map(|&l| PageIo::Write(Lba(u64::from(l) % cap), data.clone())).collect();
+        ftl.submit_batch(RegionId(0), &ops, IoCtx::host().with_span(span)).expect("batch submits");
+        completions.extend(ftl.drain_completions());
+        ftl.close_span(span);
+    }
+    let queue_wait_total = ftl.device().stats().queue_wait_ns_total;
+    (trace.snapshot(), completions, queue_wait_total)
+}
+
+fn check_case(batches: &[Vec<u8>]) {
+    let (events, completions, queue_wait_total) = drive(batches);
+
+    for pair in events.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "seq strictly increasing");
+        assert!(pair[1].t_ns >= pair[0].t_ns, "clock monotone");
+    }
+
+    // Walk the trace: track the open-span set, join submits to completes.
+    let mut open: HashSet<u64> = HashSet::new();
+    let mut submits: HashMap<u64, (u64, u64)> = HashMap::new(); // cmd -> (queue_wait, span)
+    let mut completes: HashMap<u64, (u64, u64, u64)> = HashMap::new();
+    for e in &events {
+        match e.kind {
+            EventKind::SpanOpen { id, .. } => {
+                assert!(open.insert(id.0), "span ids are unique while open");
+            }
+            EventKind::SpanClose { id } => {
+                assert!(open.remove(&id.0), "closes only open spans");
+            }
+            EventKind::CmdSubmit { cmd, queue_wait_ns, span, .. } => {
+                let span = span.expect("every command here runs under a span");
+                assert!(open.contains(&span.0), "attributed span is open at submit");
+                let prev = submits.insert(cmd, (queue_wait_ns, span.0));
+                assert!(prev.is_none(), "one submit per command id");
+            }
+            EventKind::CmdComplete { cmd, submitted_ns, start_ns, done_ns } => {
+                assert!(submits.contains_key(&cmd), "completion follows its submit");
+                assert!(submitted_ns <= start_ns && start_ns <= done_ns, "lifecycle ordered");
+                assert!(done_ns <= e.t_ns, "completion emitted at or after the done time");
+                let prev = completes.insert(cmd, (submitted_ns, start_ns, done_ns));
+                assert!(prev.is_none(), "one completion per command id");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "all spans closed");
+    assert_eq!(submits.len(), completes.len(), "every lifecycle completes");
+    let total_ops: usize = batches.iter().map(Vec::len).sum();
+    assert_eq!(submits.len(), total_ops, "one lifecycle per page write");
+    assert_eq!(completions.len(), total_ops, "caller drained every completion");
+
+    // The decomposition is exact and event-identical to the completions:
+    // queue wait from the submit event, busy + service from the complete
+    // event, their sum the end-to-end latency the scheduler reported.
+    let mut trace_queue_wait = 0u64;
+    for c in &completions {
+        let (queue_wait_ns, _span) = submits[&c.id.0];
+        let (submitted_ns, start_ns, done_ns) = completes[&c.id.0];
+        assert_eq!(queue_wait_ns, c.queue_wait_ns, "queue wait matches the completion");
+        assert_eq!(submitted_ns, c.submitted_at_ns);
+        assert_eq!(start_ns, c.started_at_ns);
+        assert_eq!(done_ns, c.result.completed_at_ns);
+        let busy = start_ns - submitted_ns;
+        let service = done_ns - start_ns;
+        assert_eq!(busy + service, c.result.latency_ns, "busy + service == observed latency");
+        trace_queue_wait += queue_wait_ns;
+    }
+    assert_eq!(trace_queue_wait, queue_wait_total, "trace queue wait sums to the counter");
+}
+
+#[test]
+fn lifecycles_nest_in_spans_fixed_sequence() {
+    // Enough writes per batch to overflow depth 4 and force queue waits.
+    let batches: Vec<Vec<u8>> =
+        vec![(0..24).collect(), vec![1, 1, 2, 3, 5, 8, 13, 21], (0..12).rev().collect()];
+    let (events, ..) = drive(&batches);
+    assert!(
+        events.iter().any(
+            |e| matches!(e.kind, EventKind::CmdSubmit { queue_wait_ns, .. } if queue_wait_ns > 0)
+        ),
+        "deep batches actually stall on the host queue"
+    );
+    check_case(&batches);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn lifecycles_nest_in_spans(
+        batches in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..6)
+    ) {
+        check_case(&batches);
+    }
+}
