@@ -19,7 +19,7 @@ pub enum Severity {
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Lint code (`L000` ... `L006`).
+    /// Lint code (`L000` ... `L007`).
     pub code: &'static str,
     /// Gating severity.
     pub severity: Severity,

@@ -1,0 +1,95 @@
+//! L007 — transaction identity is the engine's business.
+//!
+//! The session redesign (see DESIGN.md, "Concurrency & group commit")
+//! made the RAII [`Txn`] guard the only sanctioned way to run a
+//! transaction: `db.txn()` hands out a guard whose drop path aborts, so
+//! a transaction can never leak. Conjuring a `TxId` by hand, or calling
+//! the deprecated shims, reopens exactly the leak the guard closed. This
+//! lint forbids, in non-test code of every crate except `ipa-engine`
+//! (where the id type and the shims live):
+//!
+//! * `TxId(...)` — raw transaction-id construction (the tuple
+//!   constructor; `TxId` in type position or use-trees does not match);
+//! * zero-argument `.begin()` calls — the deprecated
+//!   `Database::begin` shim (a `fn begin(...)` definition or a call
+//!   with arguments does not match);
+//! * `.commit(arg)` / `.abort(arg)` calls **with** an argument — the
+//!   deprecated id-threading shims. The guard's own `tx.commit()` /
+//!   `tx.abort()` are zero-argument and stay legal.
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::lexer::Token;
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct TxDiscipline;
+
+impl Lint for TxDiscipline {
+    fn code(&self) -> &'static str {
+        "L007"
+    }
+    fn name(&self) -> &'static str {
+        "tx-session-discipline"
+    }
+    fn description(&self) -> &'static str {
+        "no raw TxId construction or deprecated begin/commit(tx)/abort(tx) \
+         shims outside ipa-engine; transactions run through the Txn guard"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.krate == "engine" || file.krate == "audit" || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                let what = if is_txid_construction(t, i) {
+                    Some("raw `TxId(...)` construction".to_string())
+                } else if super::pat::is_nullary_method(t, i, "begin") {
+                    Some("deprecated `.begin()` shim".to_string())
+                } else if is_unary_method(t, i, "commit") {
+                    Some("deprecated id-threading `.commit(tx)` shim".to_string())
+                } else if is_unary_method(t, i, "abort") {
+                    Some("deprecated id-threading `.abort(tx)` shim".to_string())
+                } else {
+                    None
+                };
+                if let Some(what) = what {
+                    out.push(Finding {
+                        code: "L007",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: t[i].line,
+                        message: format!(
+                            "{what} outside ipa-engine; run transactions through the \
+                             RAII guard from `Database::txn()` (drop = abort, no leaks)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `TxId` immediately followed by `(` — the tuple constructor (in
+/// expression or pattern position). Type ascriptions (`: TxId`),
+/// signatures (`-> TxId`) and use-trees never put a `(` right after the
+/// name, so they do not match.
+fn is_txid_construction(t: &[Token], i: usize) -> bool {
+    t[i].is_ident("TxId") && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// `t[i..]` starts with `.name(` and the call has at least one argument
+/// (the token after `(` is not `)`). Distinguishes the deprecated
+/// `db.commit(tx)` from the guard's legal `tx.commit()`.
+fn is_unary_method(t: &[Token], i: usize, name: &str) -> bool {
+    i + 3 < t.len()
+        && t[i].is_punct('.')
+        && t[i + 1].is_ident(name)
+        && t[i + 2].is_punct('(')
+        && !t[i + 3].is_punct(')')
+}

@@ -15,6 +15,7 @@ mod l003_layering;
 mod l004_queue_pairing;
 mod l005_must_use;
 mod l006_span_pairing;
+mod l007_tx_discipline;
 
 pub use l001_raw_cell_access::RawCellAccess;
 pub use l002_no_panic::NoPanic;
@@ -22,6 +23,7 @@ pub use l003_layering::Layering;
 pub use l004_queue_pairing::QueuePairing;
 pub use l005_must_use::MustUse;
 pub use l006_span_pairing::SpanPairing;
+pub use l007_tx_discipline::TxDiscipline;
 
 /// One audit lint.
 pub trait Lint {
@@ -44,6 +46,7 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(QueuePairing),
         Box::new(MustUse),
         Box::new(SpanPairing),
+        Box::new(TxDiscipline),
     ]
 }
 

@@ -14,7 +14,7 @@ use crate::lexer::Comment;
 pub struct Pragma {
     /// 1-indexed line the pragma comment starts on.
     pub line: u32,
-    /// Lint code it targets (`L001` ... `L006`).
+    /// Lint code it targets (`L001` ... `L007`).
     pub code: String,
     /// The mandatory justification.
     pub reason: String,

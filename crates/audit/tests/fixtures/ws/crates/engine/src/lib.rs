@@ -13,3 +13,7 @@ pub fn read_lsn(buf: &[u8]) -> u64 {
 
 // audit:allow(L001, reason = "fixture: this pragma matches nothing")
 pub fn clean() {}
+
+pub fn engine_owns_ids() -> TxId {
+    TxId(1)
+}

@@ -57,3 +57,29 @@ pub fn begin_episode(dev: &mut Dev) -> u64 {
 pub fn reparent(dev: &mut Dev, parent: SpanId) {
     dev.open_span_under(1, parent);
 }
+
+// L007 seeds: transaction discipline. Mentioning `TxId(7)` or `db.begin()`
+// in a comment must not trip anything.
+pub fn forge_tx(db: &mut Db) {
+    let ghost = TxId(99);
+    let tx = db.begin();
+    db.commit(tx);
+    db.abort(ghost);
+}
+
+pub fn guarded(db: &mut Db) {
+    let tx = db.txn();
+    tx.commit();
+}
+
+pub fn hand_off(id: TxId) -> TxId {
+    id
+}
+
+pub fn begin(x: u8) -> u8 {
+    begin_with(x)
+}
+
+pub fn begin_with(x: u8) -> u8 {
+    x
+}

@@ -49,6 +49,11 @@ fn seeded_violations_are_all_reported() {
     assert!(has(&r, "L005", "crates/flash/src/lib.rs", 13), "EraseStats lacks must_use");
     // L006 — span opened without a close path.
     assert!(has(&r, "L006", "crates/noftl/src/lib.rs", 40), "leaky_episode leaks a span");
+    // L007 — transaction discipline outside ipa-engine.
+    assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 64), "raw TxId construction");
+    assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 65), "deprecated .begin() shim");
+    assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 66), "id-threading .commit(tx)");
+    assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 67), "id-threading .abort(ghost)");
 }
 
 #[test]
@@ -76,8 +81,12 @@ fn false_positive_guards_hold() {
     // Paired open+close, begin_*-named producers, and SpanId-in-signature
     // handoffs are exempt (L006).
     assert_eq!(count(&r, "L006"), 1, "L006: only leaky_episode");
+    // The guard's zero-argument tx.commit(), TxId in type position, plain
+    // `begin`-named functions, and TxId construction inside ipa-engine are
+    // all exempt (L007).
+    assert_eq!(count(&r, "L007"), 4, "L007: exactly the four seeded shims");
     assert_eq!(count(&r, "L000"), 1, "L000: only the unused engine pragma");
-    assert_eq!(r.errors(), 13);
+    assert_eq!(r.errors(), 17);
     assert_eq!(r.warnings(), 1);
     assert!(!r.clean(false));
 }
@@ -115,7 +124,7 @@ fn json_report_reflects_the_fixture() {
     let r = fixture_report();
     let json = r.to_json(true);
     assert!(json.contains("\"experiment\": \"ipa-audit\""));
-    assert!(json.contains("\"errors\": 13"));
+    assert!(json.contains("\"errors\": 17"));
     assert!(json.contains("\"warnings\": 1"));
     assert!(json.contains("\"clean\": false"));
     assert!(json.contains("\"lint\": \"L004\""));

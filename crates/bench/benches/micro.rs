@@ -202,31 +202,33 @@ fn bench_engine(c: &mut Criterion) {
             .single_region(IpaMode::Slc, 0.2)
             .build()
             .unwrap();
-        Database::open(cfg, &[scheme], DbConfig::eager(64)).unwrap()
+        Database::builder(cfg).scheme(scheme).config(DbConfig::eager(64)).open().unwrap()
     }
 
     g.bench_function("heap_update_commit_ipa", |b| {
         let mut db = small_db(NxM::tpcc());
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[7u8; 32]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[7u8; 32]).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
         let mut v = 0u8;
         b.iter(|| {
             v = v.wrapping_add(1);
-            let tx = db.begin();
+            let mut tx = db.txn();
             let mut t = [7u8; 32];
             t[0] = v;
-            db.heap_update(tx, heap, rid, &t).unwrap();
-            db.commit(tx).unwrap();
+            tx.heap_update(heap, rid, &t).unwrap();
+            tx.commit().unwrap();
             db.flush_page(rid.page).unwrap();
         })
     });
     g.bench_function("btree_insert", |b| {
         let mut db = small_db(NxM::disabled());
         let idx = db.create_index(0).unwrap();
-        let mut tx = db.begin();
+        // The open transaction outlives each closure call, so it rides the
+        // park/resume path between iterations.
+        let mut id = db.txn().park();
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
@@ -234,24 +236,27 @@ fn bench_engine(c: &mut Criterion) {
             // arbitrarily many criterion iterations: cycle a fixed key
             // space (delete-then-insert) and commit periodically.
             let key = k % 4096;
+            let mut tx = db.resume(id).unwrap();
             if k > 4096 {
-                db.index_delete(tx, idx, key).unwrap();
+                tx.index_delete(idx, key).unwrap();
             }
-            db.index_insert(tx, idx, black_box(key), k).unwrap();
+            tx.index_insert(idx, black_box(key), k).unwrap();
             if k.is_multiple_of(1024) {
-                db.commit(tx).unwrap();
-                tx = db.begin();
+                tx.commit().unwrap();
+                id = db.txn().park();
+            } else {
+                id = tx.park();
             }
         })
     });
     g.bench_function("btree_lookup", |b| {
         let mut db = small_db(NxM::disabled());
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let mut tx = db.txn();
         for k in 0..5_000u64 {
-            db.index_insert(tx, idx, k, k).unwrap();
+            tx.index_insert(idx, k, k).unwrap();
         }
-        db.commit(tx).unwrap();
+        tx.commit().unwrap();
         let mut k = 0u64;
         b.iter(|| {
             k = (k + 997) % 5_000;
@@ -261,9 +266,9 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("buffer_hit_fetch", |b| {
         let mut db = small_db(NxM::tpcc());
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[1u8; 16]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[1u8; 16]).unwrap();
+        tx.commit().unwrap();
         b.iter(|| db.heap_read_unlocked(black_box(rid)).unwrap())
     });
     g.finish();

@@ -21,6 +21,11 @@
 //! | `fig6_linkbench_ipa`  | Figure 6 — IPA fraction in LinkBench |
 //! | `fig7_10_cdfs`        | Figures 7–10 — update-size CDFs |
 //! | `advisor_ablation`    | §8.4 — IPA advisor + design ablations |
+//! | `op_ablation`         | §8.4 — over-provisioning reduction ablation |
+//! | `hybrid_ftl_ablation` | §8.4 ext. — IPA on a hybrid-mapping SSD |
+//! | `queued_io_sweep`     | queued submit/complete at depths 1–8 |
+//! | `fault_storm`         | §7 — fault injection + self-healing under TPC-B |
+//! | `group_commit_sweep`  | K clients × batch × queue depth group commit |
 //!
 //! Scales are simulation-sized (the substrate is a simulator, not the
 //! authors' 50 GB testbed); set `IPA_BENCH_SCALE=2` (or higher) to grow

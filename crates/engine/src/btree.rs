@@ -362,11 +362,11 @@ mod tests {
     fn insert_lookup_small() {
         let mut db = test_db(NxM::disabled(), 64);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         for k in [5u64, 1, 9, 3, 7] {
             db.index_insert(tx, idx, k, k * 100).unwrap();
         }
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         assert_eq!(db.index_lookup(idx, 3).unwrap(), Some(300));
         assert_eq!(db.index_lookup(idx, 4).unwrap(), None);
         assert_eq!(db.index_count(idx).unwrap(), 5);
@@ -376,7 +376,7 @@ mod tests {
     fn duplicate_key_rejected() {
         let mut db = test_db(NxM::disabled(), 64);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         db.index_insert(tx, idx, 1, 10).unwrap();
         assert!(matches!(db.index_insert(tx, idx, 1, 20), Err(EngineError::IndexError(_))));
     }
@@ -385,7 +385,7 @@ mod tests {
     fn splits_preserve_order_and_lookup() {
         let mut db = test_db(NxM::disabled(), 128);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         // Enough keys to force multiple levels (node capacity ~53 on
         // 1 KiB pages).
         let n = 2_000u64;
@@ -393,7 +393,7 @@ mod tests {
             let key = (k * 2_654_435_761) % 1_000_003; // pseudo-random unique
             db.index_insert(tx, idx, key, k).unwrap();
         }
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         // Root must have grown beyond a single leaf.
         let root_pid = db.index_root(idx);
         let root = load_node(&mut db, root_pid).unwrap();
@@ -413,11 +413,11 @@ mod tests {
     fn sequential_inserts_split_correctly() {
         let mut db = test_db(NxM::disabled(), 128);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         for k in 0..500u64 {
             db.index_insert(tx, idx, k, k).unwrap();
         }
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         assert_eq!(db.index_count(idx).unwrap(), 500);
         let sub = db.index_range(idx, 100, 199).unwrap();
         assert_eq!(sub.len(), 100);
@@ -429,7 +429,7 @@ mod tests {
     fn delete_removes_and_returns_value() {
         let mut db = test_db(NxM::disabled(), 64);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         for k in 0..100u64 {
             db.index_insert(tx, idx, k, k + 1).unwrap();
         }
@@ -437,18 +437,18 @@ mod tests {
         assert_eq!(db.index_delete(tx, idx, 50).unwrap(), None);
         assert_eq!(db.index_lookup(idx, 50).unwrap(), None);
         assert_eq!(db.index_count(idx).unwrap(), 99);
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
     }
 
     #[test]
     fn tree_survives_flush_and_refetch() {
         let mut db = test_db(NxM::tpcc(), 16);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         for k in 0..300u64 {
             db.index_insert(tx, idx, k, k).unwrap();
         }
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         db.flush_all().unwrap();
         // Evict everything by touching fresh pages.
         for _ in 0..16 {
@@ -465,17 +465,17 @@ mod tests {
         // the same position) changes few bytes -> IPA flush.
         let mut db = test_db(NxM::new(2, 16, 12), 16);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         for k in 0..10u64 {
             db.index_insert(tx, idx, k, 0).unwrap();
         }
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         db.flush_all().unwrap();
         db.reset_stats();
-        let tx = db.begin();
+        let tx = db.start_tx();
         db.index_delete(tx, idx, 9).unwrap();
         db.index_insert(tx, idx, 9, 1).unwrap();
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         db.flush_all().unwrap();
         assert!(db.stats().ipa_flushes >= 1, "stats: {:?}", db.stats());
     }

@@ -49,6 +49,22 @@ pub struct DbConfig {
     pub log_reclaim_threshold: f64,
     /// Verify per-section ECC codes on every fetch.
     pub verify_ecc: bool,
+    /// Group-commit batch threshold: commit requests park until this many
+    /// are waiting, then one log force acknowledges them all. `<= 1`
+    /// disables batching — every commit forces the log immediately
+    /// (byte-identical to the pre-group-commit engine).
+    pub group_commit_batch: usize,
+    /// Group-commit timeout: a partially filled batch is flushed by
+    /// [`Database::background_work`] once the oldest parked commit has
+    /// waited this long on the simulated clock. `0` means no timeout
+    /// (batch fills or an explicit flush/quiesce drains it).
+    pub group_commit_timeout_ns: u64,
+    /// Simulated cost of one log force, in nanoseconds. The WAL models a
+    /// separate log device that is not part of the flash simulation, so
+    /// this models its fsync latency: every *real* force (one that
+    /// advances the durable horizon) on the commit path advances the
+    /// device clock by this much. `0` keeps the legacy free-force model.
+    pub log_force_ns: u64,
 }
 
 impl DbConfig {
@@ -61,6 +77,9 @@ impl DbConfig {
             log_capacity_bytes: 64 << 20,
             log_reclaim_threshold: 0.375,
             verify_ecc: false,
+            group_commit_batch: 1,
+            group_commit_timeout_ns: 0,
+            log_force_ns: 0,
         }
     }
 
@@ -74,8 +93,49 @@ impl DbConfig {
             log_capacity_bytes: 64 << 20,
             log_reclaim_threshold: 1.0,
             verify_ecc: false,
+            group_commit_batch: 1,
+            group_commit_timeout_ns: 0,
+            log_force_ns: 0,
         }
     }
+
+    /// Enable group commit with the given batch threshold and timeout
+    /// (builder-style helper for sweeps).
+    pub fn with_group_commit(mut self, batch: usize, timeout_ns: u64) -> Self {
+        self.group_commit_batch = batch;
+        self.group_commit_timeout_ns = timeout_ns;
+        self
+    }
+
+    /// Set the simulated log-force latency (builder-style helper).
+    pub fn with_log_force_ns(mut self, ns: u64) -> Self {
+        self.log_force_ns = ns;
+        self
+    }
+}
+
+/// One commit request parked in the group-commit stage: its `Commit`
+/// record is appended (locks already released) but the log force — and
+/// with it the durability acknowledgement — is deferred to the batch.
+#[derive(Debug, Clone, Copy)]
+struct ParkedCommit {
+    tx: crate::txn::TxId,
+    lsn: Lsn,
+}
+
+/// Group-commit stage state. Commits park here until the batch threshold
+/// or timeout fires one log force for all of them.
+#[derive(Debug, Default)]
+struct GroupCommitState {
+    /// FIFO of parked commit requests.
+    parked: Vec<ParkedCommit>,
+    /// Acknowledged (durable) transactions awaiting pickup by the caller
+    /// via [`Database::drain_group_acks`].
+    acks: Vec<crate::txn::TxId>,
+    /// Device clock when the oldest currently parked commit entered.
+    oldest_park_ns: u64,
+    /// Size of every flushed batch, in arrival order (sweep histogram).
+    batch_sizes: Vec<u32>,
 }
 
 /// Per-region page allocator (bump pointer + free list from drops).
@@ -102,6 +162,7 @@ pub struct Database {
     pub(crate) stats: EngineStats,
     pub(crate) config: DbConfig,
     trace: Option<Vec<TraceEvent>>,
+    gcommit: GroupCommitState,
 }
 
 impl std::fmt::Debug for Database {
@@ -161,7 +222,15 @@ impl Database {
             stats: EngineStats::default(),
             config,
             trace: None,
+            gcommit: GroupCommitState::default(),
         })
+    }
+
+    /// Start building a database over a NoFTL device: configuration,
+    /// observers, tracing and lock policy in one fluent chain (replaces
+    /// `Database::open` + post-hoc `attach_observer`/`enable_tracing`).
+    pub fn builder(ftl_config: NoFtlConfig) -> DbBuilder {
+        DbBuilder::new(ftl_config)
     }
 
     /// Start recording fetch/evict trace events (for baseline replay).
@@ -529,6 +598,17 @@ impl Database {
     /// log-space reclamation (§8.4). Benchmark drivers call this between
     /// transactions, standing in for Shore-MT's background threads.
     pub fn background_work(&mut self) -> Result<()> {
+        // Group-commit timeout: fire a partial batch whose oldest parked
+        // commit has waited long enough. Checked before the cleaner so the
+        // batch force is attributed here, not absorbed into a page flush's
+        // WAL-rule force.
+        if !self.gcommit.parked.is_empty() && self.config.group_commit_timeout_ns > 0 {
+            let waited =
+                self.ftl.device().clock().now_ns().saturating_sub(self.gcommit.oldest_park_ns);
+            if waited >= self.config.group_commit_timeout_ns {
+                self.flush_group_commit();
+            }
+        }
         if self.pool.dirty_fraction() >= self.config.cleaner_dirty_threshold {
             // Flush coldest-first, but only *down to* the threshold: hot
             // pages stay buffered and keep accumulating updates (Shore-MT
@@ -656,8 +736,9 @@ impl Database {
 
     /// Begin a transaction. Opens a root trace span covering the
     /// transaction's lifetime; the matching close happens at commit/abort.
-    pub fn begin(&mut self) -> crate::txn::TxId {
+    pub(crate) fn start_tx(&mut self) -> crate::txn::TxId {
         let tx = self.txns.begin();
+        // audit:allow(L006, reason = "close is deferred: the SpanId is stored in the txn table and closed by finish_tx at commit/abort")
         let span = self.ftl.open_span_under(SpanCategory::Txn, None);
         self.txns.set_span(tx, span);
         let lsn = self.wal.append(Lsn::NULL, LogPayload::Begin { tx });
@@ -665,34 +746,252 @@ impl Database {
         tx
     }
 
-    /// Commit: force the log, release locks.
-    pub fn commit(&mut self, tx: crate::txn::TxId) -> Result<()> {
-        let lsn = self.log_for_tx(tx, LogPayload::Commit { tx })?;
-        self.wal.flush_to(lsn);
-        self.locks.release_all(tx);
-        if let Some(span) = self.txns.span(tx) {
-            self.ftl.close_span(span);
+    /// Force the WAL up to `lsn` on the commit path, counting only *real*
+    /// forces (those that advance the durable horizon) and charging the
+    /// configured log-device latency for them.
+    fn force_wal_to(&mut self, lsn: Lsn) -> bool {
+        if !self.wal.flush_to(lsn) {
+            return false;
         }
-        self.txns.finish(tx);
-        self.stats.commits += 1;
+        self.stats.wal_forces += 1;
+        if self.config.log_force_ns > 0 {
+            self.ftl.advance_clock(self.config.log_force_ns);
+        }
+        true
+    }
+
+    /// Commit a transaction. With batching disabled
+    /// (`group_commit_batch <= 1`) the log is forced before this returns.
+    /// With group commit enabled the `Commit` record is appended, locks
+    /// are released (safe under WAL prefix durability — once the batch
+    /// force covers this LSN everything the transaction did is durable)
+    /// and the request parks; the durability acknowledgement arrives via
+    /// [`Database::drain_group_acks`] after the batch flush.
+    pub(crate) fn commit_tx(&mut self, tx: crate::txn::TxId) -> Result<()> {
+        let lsn = self.log_for_tx(tx, LogPayload::Commit { tx })?;
+        if self.config.group_commit_batch <= 1 {
+            self.force_wal_to(lsn);
+            self.finish_tx(tx);
+            self.stats.commits += 1;
+            return Ok(());
+        }
+        self.finish_tx(tx);
+        self.stats.tx_parked += 1;
+        if self.ftl.observing() {
+            self.ftl.emit(EventKind::TxParked, None, None);
+        }
+        if self.gcommit.parked.is_empty() {
+            self.gcommit.oldest_park_ns = self.ftl.device().clock().now_ns();
+        }
+        self.gcommit.parked.push(ParkedCommit { tx, lsn });
+        if self.gcommit.parked.len() >= self.config.group_commit_batch {
+            self.flush_group_commit();
+        }
         Ok(())
     }
 
     /// Abort: roll back via the undo chain, write CLRs, release locks.
-    pub fn abort(&mut self, tx: crate::txn::TxId) -> Result<()> {
+    pub(crate) fn abort_tx(&mut self, tx: crate::txn::TxId) -> Result<()> {
         if !self.txns.is_active(tx) {
             return Err(EngineError::UnknownTx(tx));
         }
         crate::recovery::rollback(self, tx)?;
         let lsn = self.log_for_tx(tx, LogPayload::Abort { tx })?;
         self.wal.flush_to(lsn);
+        self.finish_tx(tx);
+        self.stats.aborts += 1;
+        Ok(())
+    }
+
+    /// Shared commit/abort epilogue: release locks, close the transaction
+    /// span, retire the table entry.
+    fn finish_tx(&mut self, tx: crate::txn::TxId) {
         self.locks.release_all(tx);
         if let Some(span) = self.txns.span(tx) {
             self.ftl.close_span(span);
         }
         self.txns.finish(tx);
-        self.stats.aborts += 1;
-        Ok(())
+    }
+
+    /// Flush the group-commit stage: one log force covering every parked
+    /// commit, then acknowledge them all. A no-op when nothing is parked.
+    pub fn flush_group_commit(&mut self) {
+        if self.gcommit.parked.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.gcommit.parked);
+        let horizon = batch.iter().map(|p| p.lsn).max().unwrap_or(Lsn::NULL);
+        let span = self.ftl.open_span(SpanCategory::Flush);
+        self.force_wal_to(horizon);
+        if self.ftl.observing() {
+            self.ftl.emit(EventKind::GroupCommitFlush { txns: batch.len() as u32 }, None, None);
+        }
+        self.ftl.close_span(span);
+        self.stats.group_commits += 1;
+        self.stats.commits += batch.len() as u64;
+        self.gcommit.batch_sizes.push(batch.len() as u32);
+        self.gcommit.acks.extend(batch.iter().map(|p| p.tx));
+    }
+
+    /// Take the transactions acknowledged (made durable) by group-commit
+    /// flushes since the last drain, in commit order.
+    pub fn drain_group_acks(&mut self) -> Vec<crate::txn::TxId> {
+        std::mem::take(&mut self.gcommit.acks)
+    }
+
+    /// Commit requests currently parked in the group-commit stage.
+    pub fn group_commit_pending(&self) -> usize {
+        self.gcommit.parked.len()
+    }
+
+    /// Sizes of every group-commit batch flushed so far, in flush order
+    /// (the sweep harness builds its batch-size histogram from this).
+    pub fn group_batch_sizes(&self) -> &[u32] {
+        &self.gcommit.batch_sizes
+    }
+
+    /// Whether a transaction is still active (has neither committed nor
+    /// aborted). Parked group commits count as finished — their fate is
+    /// commit, pending only the durability acknowledgement.
+    pub fn txn_is_active(&self, tx: crate::txn::TxId) -> bool {
+        self.txns.is_active(tx)
+    }
+
+    /// Switch the row-lock conflict policy (no-wait vs. wait-die).
+    pub fn set_lock_policy(&mut self, policy: crate::lock::LockPolicy) {
+        self.locks.set_policy(policy);
+    }
+
+    /// Record a guard-drop auto-abort (called from [`crate::Txn`]'s
+    /// destructor after the rollback).
+    pub(crate) fn note_drop_abort(&mut self) {
+        self.stats.drop_aborts += 1;
+    }
+
+    /// Clear the group-commit stage at a simulated crash: parked commits
+    /// lose their (unforced) `Commit` records and will roll back during
+    /// recovery; undrained acks die with the host that never saw them.
+    pub(crate) fn clear_group_commit(&mut self) {
+        self.gcommit.parked.clear();
+        self.gcommit.acks.clear();
+    }
+
+    /// Begin a transaction, returning its raw id.
+    #[deprecated(note = "use `Database::txn()` — the RAII guard aborts on drop")]
+    pub fn begin(&mut self) -> crate::txn::TxId {
+        self.start_tx()
+    }
+
+    /// Commit by raw id.
+    #[deprecated(note = "use `Txn::commit(self)` on the guard from `Database::txn()`")]
+    pub fn commit(&mut self, tx: crate::txn::TxId) -> Result<()> {
+        self.commit_tx(tx)
+    }
+
+    /// Abort by raw id.
+    #[deprecated(note = "use `Txn::abort(self)` on the guard from `Database::txn()`")]
+    pub fn abort(&mut self, tx: crate::txn::TxId) -> Result<()> {
+        self.abort_tx(tx)
+    }
+}
+
+/// Fluent constructor for [`Database`]: device + schemes + engine config +
+/// observability in one chain, replacing `Database::open` followed by
+/// post-hoc `attach_observer`/`enable_tracing` calls.
+///
+/// ```ignore
+/// let db = Database::builder(ftl_config)
+///     .scheme(NxM::tpcc())
+///     .config(DbConfig::eager(256).with_group_commit(8, 2_000_000))
+///     .lock_policy(LockPolicy::WaitDie)
+///     .observer(sink.observer())
+///     .open()?;
+/// ```
+pub struct DbBuilder {
+    ftl_config: NoFtlConfig,
+    schemes: Vec<NxM>,
+    config: DbConfig,
+    observer: Option<Box<dyn Observer>>,
+    tracing: bool,
+    lock_policy: crate::lock::LockPolicy,
+}
+
+impl std::fmt::Debug for DbBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbBuilder")
+            .field("schemes", &self.schemes)
+            .field("config", &self.config)
+            .field("observer", &self.observer.is_some())
+            .field("tracing", &self.tracing)
+            .field("lock_policy", &self.lock_policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DbBuilder {
+    /// Start a builder over a NoFTL device configuration. Defaults: no
+    /// schemes (add one per region), [`DbConfig::eager`] with 64 frames,
+    /// no observer, tracing off, no-wait locking.
+    pub fn new(ftl_config: NoFtlConfig) -> Self {
+        DbBuilder {
+            ftl_config,
+            schemes: Vec::new(),
+            config: DbConfig::eager(64),
+            observer: None,
+            tracing: false,
+            lock_policy: crate::lock::LockPolicy::default(),
+        }
+    }
+
+    /// Append the `[N×M]` scheme of the next region (call once per
+    /// region, in region order).
+    pub fn scheme(mut self, scheme: NxM) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// Replace the full per-region scheme list.
+    pub fn schemes(mut self, schemes: &[NxM]) -> Self {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Set the engine configuration.
+    pub fn config(mut self, config: DbConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach a trace observer to the device under the engine (the last
+    /// one set wins; fan out externally for multiple sinks).
+    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Record logical fetch/evict trace events (for baseline replay).
+    pub fn tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Set the row-lock conflict policy.
+    pub fn lock_policy(mut self, policy: crate::lock::LockPolicy) -> Self {
+        self.lock_policy = policy;
+        self
+    }
+
+    /// Build the database.
+    pub fn open(self) -> Result<Database> {
+        let mut db = Database::open(self.ftl_config, &self.schemes, self.config)?;
+        if let Some(observer) = self.observer {
+            db.attach_observer(observer);
+        }
+        if self.tracing {
+            db.enable_tracing();
+        }
+        db.set_lock_policy(self.lock_policy);
+        Ok(db)
     }
 }
 
@@ -820,10 +1119,81 @@ pub(crate) mod tests {
     #[test]
     fn commit_forces_log() {
         let mut db = test_db(NxM::tpcc(), 8);
-        let tx = db.begin();
+        let tx = db.start_tx();
         let lsn = db.log_for_tx(tx, LogPayload::Commit { tx }).unwrap();
         db.wal.flush_to(lsn);
         assert_eq!(db.wal.flushed(), lsn);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let mut db = test_db(NxM::tpcc(), 8);
+        let tx = db.begin();
+        db.commit(tx).unwrap();
+        let tx = db.begin();
+        db.abort(tx).unwrap();
+        assert_eq!(db.stats().commits, 1);
+        assert_eq!(db.stats().aborts, 1);
+    }
+
+    #[test]
+    fn group_commit_batches_forces() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        db.config.group_commit_batch = 4;
+        let heap = db.create_heap(0);
+        let mut parked = Vec::new();
+        for i in 0..4u8 {
+            let tx = db.start_tx();
+            db.heap_insert(tx, heap, &[i; 8]).unwrap();
+            db.commit_tx(tx).unwrap();
+            parked.push(tx);
+        }
+        // Batch of 4 fired exactly one real force and acked everyone.
+        assert_eq!(db.stats().tx_parked, 4);
+        assert_eq!(db.stats().group_commits, 1);
+        assert_eq!(db.stats().wal_forces, 1);
+        assert_eq!(db.stats().commits, 4);
+        assert_eq!(db.group_commit_pending(), 0);
+        assert_eq!(db.drain_group_acks(), parked);
+        assert_eq!(db.group_batch_sizes(), &[4]);
+        // Drain is one-shot.
+        assert!(db.drain_group_acks().is_empty());
+    }
+
+    #[test]
+    fn group_commit_timeout_fires_partial_batch() {
+        let mut db = test_db(NxM::tpcc(), 16);
+        db.config.group_commit_batch = 8;
+        db.config.group_commit_timeout_ns = 1_000;
+        let tx = db.start_tx();
+        db.commit_tx(tx).unwrap();
+        assert_eq!(db.group_commit_pending(), 1);
+        db.background_work().unwrap();
+        assert_eq!(db.group_commit_pending(), 1, "timeout not yet reached");
+        db.advance_clock(2_000);
+        db.background_work().unwrap();
+        assert_eq!(db.group_commit_pending(), 0);
+        assert_eq!(db.drain_group_acks(), vec![tx]);
+        assert_eq!(db.group_batch_sizes(), &[1]);
+    }
+
+    #[test]
+    fn log_force_latency_charged_per_real_force() {
+        let mut db = test_db(NxM::tpcc(), 8);
+        db.config.log_force_ns = 500;
+        let t0 = db.ftl().device().clock().now_ns();
+        let tx = db.start_tx();
+        db.commit_tx(tx).unwrap();
+        let t1 = db.ftl().device().clock().now_ns();
+        assert_eq!(t1 - t0, 500);
+        assert_eq!(db.stats().wal_forces, 1);
+        // A commit whose LSN horizon is already durable costs nothing.
+        db.force_log();
+        let tx = db.start_tx();
+        // No writes: the Commit record itself still advances the horizon.
+        db.commit_tx(tx).unwrap();
+        assert_eq!(db.stats().wal_forces, 2);
     }
 
     #[test]

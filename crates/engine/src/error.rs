@@ -26,6 +26,19 @@ pub enum EngineError {
         /// Lock space / key that conflicted.
         key: (u64, u64),
     },
+    /// Under the wait-die policy, an *older* transaction hit a lock held
+    /// by a younger one: the requester should park and retry the same
+    /// operation once the holder finishes (it must not abort). Only the
+    /// multi-client executor surfaces this; the no-wait policy maps every
+    /// conflict to [`EngineError::LockConflict`].
+    LockWait {
+        /// Requesting (older) transaction.
+        tx: TxId,
+        /// Younger holder of the conflicting lock.
+        holder: TxId,
+        /// Lock space / key that conflicted.
+        key: (u64, u64),
+    },
     /// Reference to a dead or out-of-range tuple.
     BadRid(Rid),
     /// No page in the heap file can host the tuple and growing failed.
@@ -64,6 +77,11 @@ impl std::fmt::Display for EngineError {
             EngineError::LockConflict { tx, holder, key } => write!(
                 f,
                 "tx {} lock conflict with tx {} on ({}, {})",
+                tx.0, holder.0, key.0, key.1
+            ),
+            EngineError::LockWait { tx, holder, key } => write!(
+                f,
+                "tx {} must wait for younger tx {} on ({}, {})",
                 tx.0, holder.0, key.0, key.1
             ),
             EngineError::BadRid(rid) => write!(f, "bad rid {rid:?}"),

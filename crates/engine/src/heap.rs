@@ -227,14 +227,14 @@ mod tests {
     fn insert_read_update_delete() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
+        let tx = db.start_tx();
         let rid = db.heap_insert(tx, heap, b"hello world").unwrap();
         assert_eq!(db.heap_read(tx, heap, rid).unwrap(), b"hello world");
         db.heap_update(tx, heap, rid, b"hello swirl").unwrap();
         assert_eq!(db.heap_read(tx, heap, rid).unwrap(), b"hello swirl");
         db.heap_delete(tx, heap, rid).unwrap();
         assert!(matches!(db.heap_read(tx, heap, rid), Err(EngineError::BadRid(_))));
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         assert_eq!(db.stats().commits, 1);
     }
 
@@ -242,12 +242,12 @@ mod tests {
     fn inserts_spill_to_new_pages() {
         let mut db = test_db(NxM::tpcc(), 32);
         let heap = db.create_heap(0);
-        let tx = db.begin();
+        let tx = db.start_tx();
         let tuple = vec![7u8; 100];
         for _ in 0..50 {
             db.heap_insert(tx, heap, &tuple).unwrap();
         }
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         assert!(db.heap_pages(heap).len() > 1);
         assert_eq!(db.heap_count(heap).unwrap(), 50);
     }
@@ -256,7 +256,7 @@ mod tests {
     fn oversized_tuple_rejected() {
         let mut db = test_db(NxM::tpcc(), 8);
         let heap = db.create_heap(0);
-        let tx = db.begin();
+        let tx = db.start_tx();
         let err = db.heap_insert(tx, heap, &vec![0u8; 4096]).unwrap_err();
         assert!(matches!(err, EngineError::TupleTooLarge(4096)));
     }
@@ -265,11 +265,11 @@ mod tests {
     fn scan_sees_only_live_tuples() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
+        let tx = db.start_tx();
         let a = db.heap_insert(tx, heap, b"a").unwrap();
         let _b = db.heap_insert(tx, heap, b"b").unwrap();
         db.heap_delete(tx, heap, a).unwrap();
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         let mut seen = Vec::new();
         db.heap_scan(heap, |_, t| seen.push(t.to_vec())).unwrap();
         assert_eq!(seen, vec![b"b".to_vec()]);
@@ -279,30 +279,30 @@ mod tests {
     fn lock_conflict_between_txs() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx1 = db.begin();
+        let tx1 = db.start_tx();
         let rid = db.heap_insert(tx1, heap, b"x").unwrap();
-        let tx2 = db.begin();
+        let tx2 = db.start_tx();
         assert!(matches!(
             db.heap_update(tx2, heap, rid, b"y"),
             Err(EngineError::LockConflict { .. })
         ));
-        db.commit(tx1).unwrap();
+        db.commit_tx(tx1).unwrap();
         // Lock released: tx2 can proceed now.
         db.heap_update(tx2, heap, rid, b"y").unwrap();
-        db.commit(tx2).unwrap();
+        db.commit_tx(tx2).unwrap();
     }
 
     #[test]
     fn update_survives_eviction_roundtrip() {
         let mut db = test_db(NxM::tpcc(), 4);
         let heap = db.create_heap(0);
-        let tx = db.begin();
+        let tx = db.start_tx();
         let rid = db.heap_insert(tx, heap, &[9u8, 7, 7, 7]).unwrap();
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         db.flush_all().unwrap();
-        let tx = db.begin();
+        let tx = db.start_tx();
         db.heap_update(tx, heap, rid, &[3u8, 7, 7, 7]).unwrap();
-        db.commit(tx).unwrap();
+        db.commit_tx(tx).unwrap();
         db.flush_all().unwrap();
         // Push the page out by touching many others.
         for _ in 0..8 {
@@ -317,8 +317,8 @@ mod tests {
     fn operations_require_active_tx() {
         let mut db = test_db(NxM::tpcc(), 8);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        db.commit(tx).unwrap();
+        let tx = db.start_tx();
+        db.commit_tx(tx).unwrap();
         assert!(matches!(db.heap_insert(tx, heap, b"x"), Err(EngineError::UnknownTx(_))));
     }
 }

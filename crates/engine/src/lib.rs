@@ -25,6 +25,14 @@
 //!   interplay between delta records and recovery.
 //! * Per-region [`ipa_core::UpdateSizeProfile`] collection — the raw data
 //!   behind the paper's update-size CDFs (Figures 7–10, Tables 1 and 11).
+//! * [`Database::txn`] — the RAII [`Txn`] guard API (commit/abort consume
+//!   the guard, drop rolls back); [`Database::builder`] ([`DbBuilder`])
+//!   assembles device, schemes, config and observability in one chain.
+//! * [`ClientPool`] — a deterministic multi-client executor interleaving
+//!   K clients at page-operation granularity under seeded schedules, with
+//!   wait-die deadlock avoidance ([`LockPolicy::WaitDie`]) and a group
+//!   commit stage that amortizes log forces across concurrent commits
+//!   ([`DbConfig::group_commit_batch`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,17 +43,21 @@ mod db;
 mod error;
 mod heap;
 mod lock;
+mod pool;
 mod recovery;
+mod session;
 mod stats;
 mod txn;
 mod wal;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, Frame, SweepStats};
-pub use db::{Database, DbConfig, PageId};
+pub use db::{Database, DbBuilder, DbConfig, PageId};
 pub use error::EngineError;
 pub use heap::{HeapFile, Rid};
-pub use lock::{LockManager, LockMode};
+pub use lock::{LockManager, LockMode, LockPolicy};
+pub use pool::{ClientPool, InterleavedClient, PoolConfig, PoolRunReport, Schedule, StepOutcome};
+pub use session::Txn;
 pub use stats::{EngineStats, TraceEvent};
 pub use txn::{TxId, TxnTable};
 pub use wal::{LogPayload, LogRecord, Lsn, Wal};

@@ -1,10 +1,17 @@
-//! Row-level lock manager (S/X, no-wait).
+//! Row-level lock manager (S/X) with pluggable conflict policy.
 //!
-//! The benchmark drivers execute transactions serially (the simulated
-//! clock, not thread concurrency, models parallel hardware), so conflicts
-//! are rare; the lock table still enforces correct S/X semantics with a
-//! no-wait policy — a conflicting request fails immediately and the caller
-//! aborts, which doubles as trivial deadlock avoidance.
+//! The default policy is **no-wait**: a conflicting request fails
+//! immediately with [`EngineError::LockConflict`] and the caller aborts,
+//! which doubles as trivial deadlock avoidance — the right behaviour for
+//! the serial benchmark drivers, where conflicts are rare.
+//!
+//! The multi-client executor switches the table to **wait-die** (Rosenkrantz
+//! et al.): on conflict the transaction ids decide — an *older* requester
+//! (smaller id) gets [`EngineError::LockWait`] and parks until the holder
+//! finishes; a *younger* requester "dies" with
+//! [`EngineError::LockConflict`] and restarts. Wait-for edges then only
+//! ever point from older to younger transactions, so no cycle (deadlock)
+//! can form, deterministically and without a waits-for graph.
 
 use std::collections::HashMap;
 
@@ -19,6 +26,18 @@ pub enum LockMode {
     Shared,
     /// Exclusive (write).
     Exclusive,
+}
+
+/// Conflict-resolution policy of the lock table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockPolicy {
+    /// Fail every conflicting request immediately (the requester aborts).
+    #[default]
+    NoWait,
+    /// Wait-die deadlock avoidance: older requesters wait, younger ones
+    /// die. Ids are the priority — [`TxId`]s are assigned monotonically,
+    /// so a smaller id means an older transaction.
+    WaitDie,
 }
 
 #[derive(Debug)]
@@ -36,21 +55,65 @@ pub struct LockManager {
     table: HashMap<LockKey, LockEntry>,
     /// Reverse index for fast release-all at commit/abort.
     by_tx: HashMap<TxId, Vec<LockKey>>,
+    policy: LockPolicy,
+    /// Conflicts resolved as "wait" (older requester parked).
+    waits: u64,
+    /// Conflicts resolved as "die" (younger requester killed) — the
+    /// deadlock-avoidance abort counter.
+    deaths: u64,
 }
 
 impl LockManager {
-    /// An empty lock table.
+    /// An empty lock table with the no-wait policy.
     pub fn new() -> Self {
         LockManager::default()
     }
 
+    /// Switch the conflict policy (keeps held locks).
+    pub fn set_policy(&mut self, policy: LockPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active conflict policy.
+    pub fn policy(&self) -> LockPolicy {
+        self.policy
+    }
+
+    /// Conflicts resolved as "wait" under wait-die.
+    pub fn wait_count(&self) -> u64 {
+        self.waits
+    }
+
+    /// Conflicts resolved as "die" under wait-die (deadlock-avoidance
+    /// aborts).
+    pub fn death_count(&self) -> u64 {
+        self.deaths
+    }
+
+    /// Resolve a conflict per policy: no-wait always dies; wait-die parks
+    /// the requester when it is older than the holder.
+    fn conflict(&mut self, tx: TxId, holder: TxId, key: LockKey) -> EngineError {
+        match self.policy {
+            LockPolicy::NoWait => EngineError::LockConflict { tx, holder, key },
+            LockPolicy::WaitDie => {
+                if tx < holder {
+                    self.waits += 1;
+                    EngineError::LockWait { tx, holder, key }
+                } else {
+                    self.deaths += 1;
+                    EngineError::LockConflict { tx, holder, key }
+                }
+            }
+        }
+    }
+
     /// Acquire a lock, upgrading S→X when the requester is the sole holder.
     pub fn lock(&mut self, tx: TxId, key: LockKey, mode: LockMode) -> Result<()> {
-        match self.table.get_mut(&key) {
+        let conflict_holder = match self.table.get_mut(&key) {
             None => {
                 self.table.insert(key, LockEntry { mode, holders: vec![tx] });
                 self.by_tx.entry(tx).or_default().push(key);
-                Ok(())
+                return Ok(());
             }
             Some(entry) => {
                 if entry.holders.contains(&tx) {
@@ -60,24 +123,24 @@ impl LockManager {
                             entry.mode = LockMode::Exclusive;
                             return Ok(());
                         }
-                        return Err(EngineError::LockConflict {
-                            tx,
-                            // holders.len() > 1 here, so another holder
-                            // exists; fall back to `tx` defensively.
-                            holder: entry.holders.iter().copied().find(|&h| h != tx).unwrap_or(tx),
-                            key,
-                        });
+                    } else {
+                        return Ok(());
                     }
-                    return Ok(());
-                }
-                if entry.mode == LockMode::Shared && mode == LockMode::Shared {
+                } else if entry.mode == LockMode::Shared && mode == LockMode::Shared {
                     entry.holders.push(tx);
                     self.by_tx.entry(tx).or_default().push(key);
                     return Ok(());
                 }
-                Err(EngineError::LockConflict { tx, holder: entry.holders[0], key })
+                // Wait-die compares against the *oldest* conflicting
+                // holder: the requester may wait only if it is older than
+                // every holder, otherwise a wait-for edge from a younger
+                // to an older transaction could close a cycle.
+                // holders.len() >= 1 and excludes-self is non-empty on the
+                // upgrade path too; fall back to `tx` defensively.
+                entry.holders.iter().copied().filter(|&h| h != tx).min().unwrap_or(tx)
             }
-        }
+        };
+        Err(self.conflict(tx, conflict_holder, key))
     }
 
     /// Release every lock of a transaction (commit/abort).
@@ -163,5 +226,54 @@ mod tests {
         assert_eq!(lm.held_count(), 1);
         // Tx2 can now upgrade.
         lm.lock(TxId(2), K, LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn wait_die_old_waits_young_dies() {
+        let mut lm = LockManager::new();
+        lm.set_policy(LockPolicy::WaitDie);
+        lm.lock(TxId(5), K, LockMode::Exclusive).unwrap();
+        // Older requester (smaller id) waits...
+        assert!(matches!(
+            lm.lock(TxId(3), K, LockMode::Shared),
+            Err(EngineError::LockWait { tx: TxId(3), holder: TxId(5), .. })
+        ));
+        // ...a younger one dies.
+        assert!(matches!(
+            lm.lock(TxId(9), K, LockMode::Shared),
+            Err(EngineError::LockConflict { tx: TxId(9), holder: TxId(5), .. })
+        ));
+        assert_eq!(lm.wait_count(), 1);
+        assert_eq!(lm.death_count(), 1);
+    }
+
+    #[test]
+    fn wait_die_upgrade_conflict_follows_ages() {
+        let mut lm = LockManager::new();
+        lm.set_policy(LockPolicy::WaitDie);
+        lm.lock(TxId(2), K, LockMode::Shared).unwrap();
+        lm.lock(TxId(7), K, LockMode::Shared).unwrap();
+        // Tx2 upgrading against the younger sharer Tx7: waits.
+        assert!(matches!(
+            lm.lock(TxId(2), K, LockMode::Exclusive),
+            Err(EngineError::LockWait { tx: TxId(2), holder: TxId(7), .. })
+        ));
+        // Tx7 upgrading against the older sharer Tx2: dies.
+        assert!(matches!(
+            lm.lock(TxId(7), K, LockMode::Exclusive),
+            Err(EngineError::LockConflict { tx: TxId(7), holder: TxId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn no_wait_never_emits_lock_wait() {
+        let mut lm = LockManager::new();
+        lm.lock(TxId(9), K, LockMode::Exclusive).unwrap();
+        assert!(matches!(
+            lm.lock(TxId(1), K, LockMode::Exclusive),
+            Err(EngineError::LockConflict { .. })
+        ));
+        assert_eq!(lm.wait_count(), 0);
+        assert_eq!(lm.death_count(), 0);
     }
 }

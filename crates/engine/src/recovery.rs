@@ -247,6 +247,9 @@ impl Database {
         self.pool.clear();
         self.wal.lose_unflushed();
         self.locks = crate::lock::LockManager::new();
+        // Parked group commits lose their unforced Commit records (they
+        // roll back during recovery); undrained acks die with the host.
+        self.clear_group_commit();
         // Active transactions are rediscovered by analysis.
         let active: Vec<TxId> = self.txns.snapshot().into_iter().map(|(t, _)| t).collect();
         for tx in active {
@@ -342,13 +345,13 @@ mod tests {
     fn abort_rolls_back_update() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[1u8, 2, 3]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[1u8, 2, 3]).unwrap();
+        tx.commit().unwrap();
 
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, &[9u8, 9, 9]).unwrap();
-        db.abort(tx).unwrap();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[9u8, 9, 9]).unwrap();
+        tx.abort().unwrap();
         assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1, 2, 3]);
         assert_eq!(db.stats().aborts, 1);
     }
@@ -357,14 +360,14 @@ mod tests {
     fn abort_rolls_back_insert_and_delete() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let keep = db.heap_insert(tx, heap, b"keep").unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let keep = tx.heap_insert(heap, b"keep").unwrap();
+        tx.commit().unwrap();
 
-        let tx = db.begin();
-        let gone = db.heap_insert(tx, heap, b"gone").unwrap();
-        db.heap_delete(tx, heap, keep).unwrap();
-        db.abort(tx).unwrap();
+        let mut tx = db.txn();
+        let gone = tx.heap_insert(heap, b"gone").unwrap();
+        tx.heap_delete(heap, keep).unwrap();
+        tx.abort().unwrap();
         assert!(matches!(db.heap_read_unlocked(gone), Err(EngineError::BadRid(_))));
         assert_eq!(db.heap_read_unlocked(keep).unwrap(), b"keep");
     }
@@ -373,15 +376,15 @@ mod tests {
     fn crash_recovery_redoes_committed_work() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[1u8, 1, 1, 1]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[1u8, 1, 1, 1]).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
 
         // Committed update that never reached flash as a page write.
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, &[2u8, 1, 1, 1]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[2u8, 1, 1, 1]).unwrap();
+        tx.commit().unwrap();
 
         db.simulate_crash();
         db.recover().unwrap();
@@ -392,15 +395,17 @@ mod tests {
     fn crash_recovery_undoes_loser() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[5u8, 5]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[5u8, 5]).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
 
         // Loser: updates, log flushed (so the update survives the crash in
-        // the log), page flushed too (steal) — undo must revert it.
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, &[7u8, 5]).unwrap();
+        // the log), page flushed too (steal) — undo must revert it. The
+        // guard is detached so the crash, not a drop-abort, ends it.
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[7u8, 5]).unwrap();
+        let _loser = tx.park();
         db.flush_all().unwrap(); // steal: dirty page reaches flash
         db.wal.flush_to(db.wal.head());
 
@@ -417,21 +422,21 @@ mod tests {
         // them before redo.
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[9u8, 7, 7, 7]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[9u8, 7, 7, 7]).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap(); // out-of-place (fresh page)
 
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, &[3u8, 7, 7, 7]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[3u8, 7, 7, 7]).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap(); // IPA append
         assert!(db.stats().ipa_flushes >= 1);
 
         // Another committed update, in the log only.
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, &[4u8, 7, 7, 7]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[4u8, 7, 7, 7]).unwrap();
+        tx.commit().unwrap();
 
         db.simulate_crash();
         db.recover().unwrap();
@@ -442,14 +447,15 @@ mod tests {
     fn uncommitted_unflushed_work_simply_vanishes() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, b"base").unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, b"base").unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
         db.wal.flush_to(db.wal.head());
 
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, b"temp").unwrap();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, b"temp").unwrap();
+        let _loser = tx.park();
         // Neither the log suffix nor the page flushed.
         db.simulate_crash();
         db.recover().unwrap();
@@ -464,15 +470,15 @@ mod tests {
         // the surviving redo history.
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[6u8, 6, 6, 6]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[6u8, 6, 6, 6]).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
 
         // Committed update in the log only.
-        let tx = db.begin();
-        db.heap_update(tx, heap, rid, &[8u8, 6, 6, 6]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[8u8, 6, 6, 6]).unwrap();
+        tx.commit().unwrap();
 
         // 48 raw bit errors > the default 40-bit ECC capability.
         let bits: Vec<usize> = (0..48).collect();
@@ -491,14 +497,14 @@ mod tests {
     fn index_ops_rollback_on_abort() {
         let mut db = test_db(NxM::disabled(), 32);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
-        db.index_insert(tx, idx, 10, 100).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        tx.index_insert(idx, 10, 100).unwrap();
+        tx.commit().unwrap();
 
-        let tx = db.begin();
-        db.index_insert(tx, idx, 20, 200).unwrap();
-        db.index_delete(tx, idx, 10).unwrap();
-        db.abort(tx).unwrap();
+        let mut tx = db.txn();
+        tx.index_insert(idx, 20, 200).unwrap();
+        tx.index_delete(idx, 10).unwrap();
+        tx.abort().unwrap();
         assert_eq!(db.index_lookup(idx, 20).unwrap(), None);
         assert_eq!(db.index_lookup(idx, 10).unwrap(), Some(100));
     }
@@ -507,11 +513,11 @@ mod tests {
     fn index_recovery_after_crash() {
         let mut db = test_db(NxM::disabled(), 32);
         let idx = db.create_index(0).unwrap();
-        let tx = db.begin();
+        let mut tx = db.txn();
         for k in 0..50u64 {
-            db.index_insert(tx, idx, k, k).unwrap();
+            tx.index_insert(idx, k, k).unwrap();
         }
-        db.commit(tx).unwrap();
+        tx.commit().unwrap();
         db.simulate_crash();
         db.recover().unwrap();
         for k in 0..50u64 {
@@ -523,13 +529,65 @@ mod tests {
     fn double_crash_is_idempotent() {
         let mut db = test_db(NxM::tpcc(), 16);
         let heap = db.create_heap(0);
-        let tx = db.begin();
-        let rid = db.heap_insert(tx, heap, &[1u8]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[1u8]).unwrap();
+        tx.commit().unwrap();
         db.simulate_crash();
         db.recover().unwrap();
         db.simulate_crash();
         db.recover().unwrap();
         assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn acked_group_commits_survive_crash_parked_ones_roll_back() {
+        // The group-commit durability contract: transactions acknowledged
+        // by a batch flush survive a crash; commits still parked (their
+        // Commit records never forced) roll back during recovery.
+        let mut db = test_db(NxM::tpcc(), 32);
+        let heap = db.create_heap(0);
+        let mut rids = Vec::new();
+        let mut seed = db.txn();
+        for _ in 0..6 {
+            rids.push(seed.heap_insert(heap, &[0u8; 4]).unwrap());
+        }
+        seed.commit().unwrap();
+        db.flush_all().unwrap();
+        db.force_log();
+        // Batching on from here: the seed txn committed synchronously.
+        db.config.group_commit_batch = 4;
+
+        // Four commits fill a batch -> flushed and acked.
+        for (i, rid) in rids.iter().take(4).enumerate() {
+            let mut tx = db.txn();
+            tx.heap_update(heap, *rid, &[i as u8 + 10; 4]).unwrap();
+            tx.commit().unwrap();
+        }
+        assert_eq!(db.drain_group_acks().len(), 4);
+        // Two more park and never reach the batch threshold.
+        for (i, rid) in rids.iter().skip(4).enumerate() {
+            let mut tx = db.txn();
+            tx.heap_update(heap, *rid, &[i as u8 + 20; 4]).unwrap();
+            tx.commit().unwrap();
+        }
+        assert_eq!(db.group_commit_pending(), 2);
+
+        db.simulate_crash();
+        db.recover().unwrap();
+        for (i, rid) in rids.iter().take(4).enumerate() {
+            assert_eq!(
+                db.heap_read_unlocked(*rid).unwrap(),
+                vec![i as u8 + 10; 4],
+                "acked txn {i} must survive"
+            );
+        }
+        for rid in rids.iter().skip(4) {
+            assert_eq!(
+                db.heap_read_unlocked(*rid).unwrap(),
+                vec![0u8; 4],
+                "parked txn must roll back"
+            );
+        }
+        assert_eq!(db.group_commit_pending(), 0, "crash clears the stage");
     }
 }

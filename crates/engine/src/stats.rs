@@ -51,6 +51,25 @@ pub struct EngineStats {
     pub commits: u64,
     /// Aborted transactions.
     pub aborts: u64,
+    /// Transactions aborted by dropping a [`crate::Txn`] guard without an
+    /// explicit commit/abort (RAII auto-abort; a subset of `aborts`).
+    pub drop_aborts: u64,
+    /// Real WAL forces: [`crate::Wal::flush_to`] calls on the commit path
+    /// that actually advanced the durable horizon. Group commit amortizes
+    /// these — `wal_forces / commits` is the headline metric of the
+    /// `group_commit_sweep` harness.
+    pub wal_forces: u64,
+    /// Commit requests parked in the group-commit stage (deferred ack).
+    pub tx_parked: u64,
+    /// Group-commit batches flushed (each acknowledges >= 1 parked
+    /// transaction with a single log force).
+    pub group_commits: u64,
+    /// Lock conflicts resolved as "wait" under the wait-die policy (the
+    /// older requester parked and retried).
+    pub lock_waits: u64,
+    /// Lock conflicts resolved as "die" under the wait-die policy (the
+    /// younger requester restarted) — deadlock-avoidance aborts.
+    pub deadlock_aborts: u64,
     /// Net changed bytes across all dirty-page flushes (body + metadata) —
     /// the denominator of the paper's DB write amplification.
     pub net_changed_bytes: u64,
@@ -118,6 +137,12 @@ impl EngineStats {
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
+            drop_aborts: self.drop_aborts.saturating_sub(earlier.drop_aborts),
+            wal_forces: self.wal_forces.saturating_sub(earlier.wal_forces),
+            tx_parked: self.tx_parked.saturating_sub(earlier.tx_parked),
+            group_commits: self.group_commits.saturating_sub(earlier.group_commits),
+            lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
+            deadlock_aborts: self.deadlock_aborts.saturating_sub(earlier.deadlock_aborts),
             net_changed_bytes: self.net_changed_bytes.saturating_sub(earlier.net_changed_bytes),
             gross_written_bytes: self
                 .gross_written_bytes
@@ -161,12 +186,29 @@ mod tests {
 
     #[test]
     fn delta_since_subtracts_field_wise() {
-        let a = EngineStats { fetches: 10, commits: 3, ..EngineStats::default() };
-        let b = EngineStats { fetches: 25, commits: 3, aborts: 1, ..EngineStats::default() };
+        let a = EngineStats { fetches: 10, commits: 3, wal_forces: 2, ..EngineStats::default() };
+        let b = EngineStats {
+            fetches: 25,
+            commits: 3,
+            aborts: 1,
+            wal_forces: 5,
+            group_commits: 2,
+            tx_parked: 8,
+            lock_waits: 4,
+            deadlock_aborts: 1,
+            drop_aborts: 1,
+            ..EngineStats::default()
+        };
         let d = b.delta_since(&a);
         assert_eq!(d.fetches, 15);
         assert_eq!(d.commits, 0);
         assert_eq!(d.aborts, 1);
+        assert_eq!(d.wal_forces, 3);
+        assert_eq!(d.group_commits, 2);
+        assert_eq!(d.tx_parked, 8);
+        assert_eq!(d.lock_waits, 4);
+        assert_eq!(d.deadlock_aborts, 1);
+        assert_eq!(d.drop_aborts, 1);
         let z = b.delta_since(&b);
         assert_eq!(z.fetches, 0);
         assert_eq!(z.aborts, 0);

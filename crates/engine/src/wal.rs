@@ -249,9 +249,17 @@ impl Wal {
     }
 
     /// Durably flush the log up to `lsn` (the WAL rule: call before writing
-    /// a page whose PageLSN is `lsn`).
-    pub fn flush_to(&mut self, lsn: Lsn) {
-        self.flushed = self.flushed.max(lsn);
+    /// a page whose PageLSN is `lsn`). Returns whether the durable horizon
+    /// actually advanced — a *real* log force, as opposed to a no-op
+    /// because everything up to `lsn` was already stable. Group commit
+    /// counts real forces to report WAL-forces-per-transaction.
+    pub fn flush_to(&mut self, lsn: Lsn) -> bool {
+        if lsn > self.flushed {
+            self.flushed = lsn;
+            true
+        } else {
+            false
+        }
     }
 
     /// Highest durably flushed LSN.
@@ -359,8 +367,9 @@ mod tests {
     fn flush_tracks_high_water_mark() {
         let mut wal = Wal::new(1 << 20);
         let a = wal.append(Lsn::NULL, upd(1));
-        wal.flush_to(a);
-        wal.flush_to(Lsn(0));
+        assert!(wal.flush_to(a), "first force advances the horizon");
+        assert!(!wal.flush_to(Lsn(0)), "stale force is a no-op");
+        assert!(!wal.flush_to(a), "repeated force is a no-op");
         assert_eq!(wal.flushed(), a);
     }
 

@@ -142,6 +142,20 @@ pub enum EventKind {
     /// The NoFTL scrubber scheduled a Correct-and-Refresh because a read's
     /// corrected-bit count crossed the configured threshold.
     ScrubRefresh,
+    /// The engine's group-commit stage forced the log once and
+    /// acknowledged `txns` parked transactions together (emitted under a
+    /// `Flush`-category span covering the batch).
+    GroupCommitFlush {
+        /// Transactions acknowledged by this batch flush.
+        txns: u32,
+    },
+    /// An older transaction hit a lock held by a younger one under the
+    /// wait-die policy and parked until the holder finished.
+    LockWait,
+    /// A commit request entered the engine's group-commit stage: its log
+    /// records are written (and its locks released) but the durability
+    /// acknowledgement is deferred to the next batch flush.
+    TxParked,
     /// A causal span opened (transaction begun, flush started, recovery
     /// entered, GC episode triggered).
     SpanOpen {

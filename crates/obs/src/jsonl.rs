@@ -27,6 +27,9 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::BlockRetired => "block_retired",
         EventKind::DeltaFallback => "delta_fallback",
         EventKind::ScrubRefresh => "scrub_refresh",
+        EventKind::GroupCommitFlush { .. } => "group_commit_flush",
+        EventKind::LockWait => "lock_wait",
+        EventKind::TxParked => "tx_parked",
         EventKind::SpanOpen { .. } => "span_open",
         EventKind::SpanClose { .. } => "span_close",
         EventKind::CmdSubmit { .. } => "cmd_submit",
@@ -66,6 +69,9 @@ pub fn event_to_json(event: &ObsEvent) -> Value {
         }
         EventKind::ProgramFault { permanent } => {
             m.insert("permanent".into(), Value::from(permanent));
+        }
+        EventKind::GroupCommitFlush { txns } => {
+            m.insert("txns".into(), Value::from(txns));
         }
         EventKind::SpanOpen { id, parent, cat } => {
             m.insert("span".into(), Value::from(id.0));

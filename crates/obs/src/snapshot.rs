@@ -300,6 +300,12 @@ fn engine_json(e: &EngineStats) -> Value {
     m.insert("checkpoints".into(), Value::from(e.checkpoints));
     m.insert("commits".into(), Value::from(e.commits));
     m.insert("aborts".into(), Value::from(e.aborts));
+    m.insert("drop_aborts".into(), Value::from(e.drop_aborts));
+    m.insert("wal_forces".into(), Value::from(e.wal_forces));
+    m.insert("tx_parked".into(), Value::from(e.tx_parked));
+    m.insert("group_commits".into(), Value::from(e.group_commits));
+    m.insert("lock_waits".into(), Value::from(e.lock_waits));
+    m.insert("deadlock_aborts".into(), Value::from(e.deadlock_aborts));
     m.insert("net_changed_bytes".into(), Value::from(e.net_changed_bytes));
     m.insert("gross_written_bytes".into(), Value::from(e.gross_written_bytes));
     m.insert("ecc_verified".into(), Value::from(e.ecc_verified));

@@ -1,7 +1,10 @@
 //! Shared benchmark machinery: system sizing, the run loop and the report.
 
 use ipa_core::NxM;
-use ipa_engine::{Database, DbConfig, EngineStats, Result};
+use ipa_engine::{
+    ClientPool, Database, DbConfig, EngineStats, InterleavedClient, LockPolicy, PoolConfig,
+    PoolRunReport, Result, Schedule,
+};
 use ipa_flash::FlashConfig;
 use ipa_noftl::{FaultPlan, FaultPolicy, IpaMode, NoFtlConfig, RegionStats};
 use rand::rngs::StdRng;
@@ -52,6 +55,18 @@ pub struct SystemConfig {
     /// Self-healing policy of the flash-management layer (program retry
     /// budget, scrub threshold).
     pub fault_policy: FaultPolicy,
+    /// Group-commit batch threshold (`<= 1` disables batching; both
+    /// testbed constructors pin it to 1 — the serial behaviour the paper
+    /// measured).
+    pub group_commit_batch: usize,
+    /// Group-commit timeout on the simulated clock (0 = none).
+    pub group_commit_timeout_ns: u64,
+    /// Simulated log-device force latency (0 = the legacy free-force
+    /// model; multi-client sweeps set it to expose the amortization).
+    pub log_force_ns: u64,
+    /// Row-lock conflict policy. Serial runs keep no-wait; multi-client
+    /// runs switch to wait-die.
+    pub lock_policy: LockPolicy,
 }
 
 impl SystemConfig {
@@ -72,6 +87,10 @@ impl SystemConfig {
             growth_override: None,
             fault_plan: FaultPlan::default(),
             fault_policy: FaultPolicy::default(),
+            group_commit_batch: 1,
+            group_commit_timeout_ns: 0,
+            log_force_ns: 0,
+            lock_policy: LockPolicy::NoWait,
         }
     }
 
@@ -99,6 +118,10 @@ impl SystemConfig {
             growth_override: None,
             fault_plan: FaultPlan::default(),
             fault_policy: FaultPolicy::default(),
+            group_commit_batch: 1,
+            group_commit_timeout_ns: 0,
+            log_force_ns: 0,
+            lock_policy: LockPolicy::NoWait,
         }
     }
 
@@ -153,8 +176,14 @@ impl SystemConfig {
             DbConfig::eager(buffer_frames)
         } else {
             DbConfig::non_eager(buffer_frames)
-        };
-        Database::open(ftl_cfg, &[self.scheme], db_cfg)
+        }
+        .with_group_commit(self.group_commit_batch, self.group_commit_timeout_ns)
+        .with_log_force_ns(self.log_force_ns);
+        Database::builder(ftl_cfg)
+            .scheme(self.scheme)
+            .config(db_cfg)
+            .lock_policy(self.lock_policy)
+            .open()
     }
 }
 
@@ -303,6 +332,79 @@ impl Runner {
         db.advance_clock(self.cpu_ns_per_txn);
         db.background_work()?;
         Ok(())
+    }
+}
+
+/// Result of one multi-client run: the pool's own accounting plus the
+/// engine/region counters of the measured window.
+#[derive(Debug, Clone)]
+pub struct MultiRunReport {
+    /// Commits, restarts, waits and commit latencies from the executor.
+    pub pool: PoolRunReport,
+    /// Engine counters (group commits, WAL forces, flush decisions).
+    pub engine: EngineStats,
+    /// Region counters (host I/O, GC migrations/erases).
+    pub region: RegionStats,
+    /// Simulated seconds spanned by the run.
+    pub sim_seconds: f64,
+    /// Committed transactions per simulated second.
+    pub tps: f64,
+}
+
+impl MultiRunReport {
+    /// Real log forces per committed transaction — the group-commit
+    /// headline metric (1.0 serial; `~1/batch` with batching).
+    pub fn wal_forces_per_commit(&self) -> f64 {
+        if self.engine.commits == 0 {
+            0.0
+        } else {
+            self.engine.wal_forces as f64 / self.engine.commits as f64
+        }
+    }
+}
+
+/// Deterministic multi-client runner: drives K [`InterleavedClient`]s
+/// through an [`ClientPool`] over a database built by
+/// [`SystemConfig::build_for`]. With one client, a round-robin schedule
+/// and batching disabled, the engine call sequence — and therefore the
+/// trace — is identical to [`Runner`] with the same seed.
+pub struct MultiRunner {
+    /// Scheduling seed (client RNGs are seeded by the client factory).
+    pub seed: u64,
+    /// Simulated CPU time per committed transaction, ns.
+    pub cpu_ns_per_txn: u64,
+    /// Client-selection policy.
+    pub schedule: Schedule,
+}
+
+impl MultiRunner {
+    /// A round-robin runner with the default per-transaction CPU cost.
+    pub fn new(seed: u64) -> Self {
+        MultiRunner { seed, cpu_ns_per_txn: 50_000, schedule: Schedule::RoundRobin }
+    }
+
+    /// Run every client to completion over a freshly reset measurement
+    /// window and report on it.
+    pub fn run(
+        &self,
+        db: &mut Database,
+        clients: Vec<Box<dyn InterleavedClient + '_>>,
+    ) -> Result<MultiRunReport> {
+        // Settle setup-era parked commits outside the measured window, so
+        // the report's group-commit counters cover only this run.
+        db.flush_group_commit();
+        db.drain_group_acks();
+        db.reset_stats();
+        let pool = ClientPool::new(PoolConfig {
+            seed: self.seed,
+            schedule: self.schedule.clone(),
+            cpu_ns_per_txn: self.cpu_ns_per_txn,
+        });
+        let report = pool.run(db, clients)?;
+        let engine = db.stats().clone();
+        let region = db.region_stats(0)?.clone();
+        let sim_seconds = report.elapsed_ns as f64 / 1e9;
+        Ok(MultiRunReport { tps: report.tps(), pool: report, engine, region, sim_seconds })
     }
 }
 

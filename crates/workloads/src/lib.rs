@@ -33,8 +33,10 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod util;
 
-pub use driver::{Platform, RunReport, Runner, SystemConfig, Workload};
+pub use driver::{
+    MultiRunReport, MultiRunner, Platform, RunReport, Runner, SystemConfig, Workload,
+};
 pub use linkbench::LinkBench;
 pub use tatp::Tatp;
-pub use tpcb::TpcB;
+pub use tpcb::{SharedTpcB, TpcB, TpcBClient};
 pub use tpcc::TpcC;

@@ -11,7 +11,7 @@
 //!
 //! Run on 8 KiB pages, as in the paper's LinkBench experiments.
 
-use ipa_engine::{Database, Result, Rid};
+use ipa_engine::{Database, Result, Rid, Txn};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -120,40 +120,40 @@ impl Workload for LinkBench {
         self.count_index = db.create_index(0)?;
 
         while self.next_node < self.nodes {
-            let tx = db.begin();
+            let mut tx = db.txn();
             for _ in 0..200.min(self.nodes - self.next_node) {
                 let id = self.next_node;
                 self.next_node += 1;
                 let mut rec = Record::new(NODE_HEADER_BYTES + Self::node_payload(rng));
                 rec.put_u64(0, id).put_u32(N_VERSION, 0).put_u32(N_TIME, 0);
-                let rid = db.heap_insert(tx, self.heap_node, &rec.0)?;
-                db.index_insert(tx, self.node_index, id, rid.encode())?;
+                let rid = tx.heap_insert(self.heap_node, &rec.0)?;
+                tx.index_insert(self.node_index, id, rid.encode())?;
                 for lt in 0..self.link_types {
                     let mut crec = Record::new(COUNT_REC);
                     crec.put_u64(0, self.count_key(id, lt)).put_u64(C_COUNT, 0);
-                    let crid = db.heap_insert(tx, self.heap_count, &crec.0)?;
-                    db.index_insert(tx, self.count_index, self.count_key(id, lt), crid.encode())?;
+                    let crid = tx.heap_insert(self.heap_count, &crec.0)?;
+                    tx.index_insert(self.count_index, self.count_key(id, lt), crid.encode())?;
                 }
             }
-            db.commit(tx)?;
+            tx.commit()?;
         }
         // Initial links between random nodes.
         let total_links = self.nodes * self.links_per_node;
         let mut created = 0u64;
         while created < total_links {
-            let tx = db.begin();
+            let mut tx = db.txn();
             for _ in 0..200.min(total_links - created) {
                 let id1 = uniform(rng, 0, self.nodes - 1);
                 let id2 = uniform(rng, 0, self.nodes - 1);
                 let lt = uniform(rng, 0, self.link_types - 1);
                 created += 1;
                 let key = self.link_key(id1, lt, id2);
-                if db.index_lookup(self.link_index, key)?.is_some() {
+                if tx.index_lookup(self.link_index, key)?.is_some() {
                     continue;
                 }
-                self.add_link_inner(db, tx, id1, lt, id2, rng)?;
+                self.add_link_inner(&mut tx, id1, lt, id2, rng)?;
             }
-            db.commit(tx)?;
+            tx.commit()?;
         }
         Ok(())
     }
@@ -179,8 +179,7 @@ impl Workload for LinkBench {
 impl LinkBench {
     fn add_link_inner(
         &mut self,
-        db: &mut Database,
-        tx: ipa_engine::TxId,
+        tx: &mut Txn<'_>,
         id1: u64,
         lt: u64,
         id2: u64,
@@ -189,27 +188,27 @@ impl LinkBench {
         let key = self.link_key(id1, lt, id2);
         let mut rec = Record::new(LINK_KEY_BYTES + Self::link_payload(rng));
         rec.put_u64(0, id1).put_u64(8, id2).put_u32(16, lt as u32).put_u32(L_TIME, 1);
-        let rid = db.heap_insert(tx, self.heap_link, &rec.0)?;
-        db.index_insert(tx, self.link_index, key, rid.encode())?;
+        let rid = tx.heap_insert(self.heap_link, &rec.0)?;
+        tx.index_insert(self.link_index, key, rid.encode())?;
         // Bump the association count.
-        if let Some(enc) = db.index_lookup(self.count_index, self.count_key(id1, lt))? {
+        if let Some(enc) = tx.index_lookup(self.count_index, self.count_key(id1, lt))? {
             let crid = Rid::decode(0, enc);
-            let count = db.heap_read(tx, self.heap_count, crid)?;
+            let count = tx.heap_read(self.heap_count, crid)?;
             let v = Record::get_u64(&count, C_COUNT);
             let mut r = Record(count);
             r.put_u64(C_COUNT, v + 1);
-            db.heap_update(tx, self.heap_count, crid, &r.0)?;
+            tx.heap_update(self.heap_count, crid, &r.0)?;
         }
         Ok(())
     }
 
     fn get_node(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let id = self.pick_node(rng);
-        let tx = db.begin();
-        if let Some(enc) = db.index_lookup(self.node_index, id)? {
-            let _ = db.heap_read(tx, self.heap_node, Rid::decode(0, enc));
+        let mut tx = db.txn();
+        if let Some(enc) = tx.index_lookup(self.node_index, id)? {
+            let _ = tx.heap_read(self.heap_node, Rid::decode(0, enc));
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn get_link_list(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
@@ -217,55 +216,55 @@ impl LinkBench {
         let lt = uniform(rng, 0, self.link_types - 1);
         let lo = self.link_key(id1, lt, 0);
         let hi = self.link_key(id1, lt, (1 << 26) - 1);
-        let tx = db.begin();
-        let links = db.index_range(self.link_index, lo, hi)?;
+        let mut tx = db.txn();
+        let links = tx.index_range(self.link_index, lo, hi)?;
         for (_, enc) in links.iter().take(10) {
-            let _ = db.heap_read(tx, self.heap_link, Rid::decode(0, *enc));
+            let _ = tx.heap_read(self.heap_link, Rid::decode(0, *enc));
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn count_links(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let id1 = self.pick_node(rng);
         let lt = uniform(rng, 0, self.link_types - 1);
-        let tx = db.begin();
-        if let Some(enc) = db.index_lookup(self.count_index, self.count_key(id1, lt))? {
-            let _ = db.heap_read(tx, self.heap_count, Rid::decode(0, enc));
+        let mut tx = db.txn();
+        if let Some(enc) = tx.index_lookup(self.count_index, self.count_key(id1, lt))? {
+            let _ = tx.heap_read(self.heap_count, Rid::decode(0, enc));
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn add_node(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let id = self.next_node;
         self.next_node += 1;
-        let tx = db.begin();
+        let mut tx = db.txn();
         let mut rec = Record::new(NODE_HEADER_BYTES + Self::node_payload(rng));
         rec.put_u64(0, id).put_u32(N_VERSION, 0).put_u32(N_TIME, 0);
-        let rid = db.heap_insert(tx, self.heap_node, &rec.0)?;
-        db.index_insert(tx, self.node_index, id, rid.encode())?;
+        let rid = tx.heap_insert(self.heap_node, &rec.0)?;
+        tx.index_insert(self.node_index, id, rid.encode())?;
         for lt in 0..self.link_types {
             let mut crec = Record::new(COUNT_REC);
             crec.put_u64(0, self.count_key(id, lt)).put_u64(C_COUNT, 0);
-            let crid = db.heap_insert(tx, self.heap_count, &crec.0)?;
-            db.index_insert(tx, self.count_index, self.count_key(id, lt), crid.encode())?;
+            let crid = tx.heap_insert(self.heap_count, &crec.0)?;
+            tx.index_insert(self.count_index, self.count_key(id, lt), crid.encode())?;
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     /// Over a third of node updates change only numeric fields; the rest
     /// resize the payload slightly.
     fn update_node(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let id = self.pick_node(rng);
-        let tx = db.begin();
-        if let Some(enc) = db.index_lookup(self.node_index, id)? {
+        let mut tx = db.txn();
+        if let Some(enc) = tx.index_lookup(self.node_index, id)? {
             let rid = Rid::decode(0, enc);
-            let node = db.heap_read(tx, self.heap_node, rid)?;
+            let node = tx.heap_read(self.heap_node, rid)?;
             if rng.gen_bool(0.35) {
                 // Numeric-only: version++ and timestamp.
                 let mut r = Record(node);
                 let v = Record::get_u32(&r.0, N_VERSION);
                 r.put_u32(N_VERSION, v + 1).put_u32(N_TIME, v + 2);
-                db.heap_update(tx, self.heap_node, rid, &r.0)?;
+                tx.heap_update(self.heap_node, rid, &r.0)?;
             } else {
                 // Payload rewrite with a slightly different size.
                 let new_len = NODE_HEADER_BYTES + Self::node_payload(rng);
@@ -276,14 +275,14 @@ impl LinkBench {
                 for b in &mut r.0[NODE_HEADER_BYTES..] {
                     *b = rng.gen();
                 }
-                let new_rid = db.heap_update(tx, self.heap_node, rid, &r.0)?;
+                let new_rid = tx.heap_update(self.heap_node, rid, &r.0)?;
                 if new_rid != rid {
-                    db.index_delete(tx, self.node_index, id)?;
-                    db.index_insert(tx, self.node_index, id, new_rid.encode())?;
+                    tx.index_delete(self.node_index, id)?;
+                    tx.index_insert(self.node_index, id, new_rid.encode())?;
                 }
             }
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn add_link(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
@@ -291,11 +290,11 @@ impl LinkBench {
         let id2 = uniform(rng, 0, self.next_node.max(1) - 1);
         let lt = uniform(rng, 0, self.link_types - 1);
         let key = self.link_key(id1, lt, id2);
-        let tx = db.begin();
-        if db.index_lookup(self.link_index, key)?.is_none() {
-            self.add_link_inner(db, tx, id1, lt, id2, rng)?;
+        let mut tx = db.txn();
+        if tx.index_lookup(self.link_index, key)?.is_none() {
+            self.add_link_inner(&mut tx, id1, lt, id2, rng)?;
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn update_link(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
@@ -303,17 +302,17 @@ impl LinkBench {
         let lt = uniform(rng, 0, self.link_types - 1);
         let lo = self.link_key(id1, lt, 0);
         let hi = self.link_key(id1, lt, (1 << 26) - 1);
-        let tx = db.begin();
-        let links = db.index_range(self.link_index, lo, hi)?;
+        let mut tx = db.txn();
+        let links = tx.index_range(self.link_index, lo, hi)?;
         if let Some((_, enc)) = links.first() {
             let rid = Rid::decode(0, *enc);
-            let link = db.heap_read(tx, self.heap_link, rid)?;
+            let link = tx.heap_read(self.heap_link, rid)?;
             let mut r = Record(link);
             let t = Record::get_u32(&r.0, L_TIME);
             r.put_u32(L_TIME, t + 1);
-            db.heap_update(tx, self.heap_link, rid, &r.0)?;
+            tx.heap_update(self.heap_link, rid, &r.0)?;
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn delete_link(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
@@ -321,22 +320,22 @@ impl LinkBench {
         let lt = uniform(rng, 0, self.link_types - 1);
         let lo = self.link_key(id1, lt, 0);
         let hi = self.link_key(id1, lt, (1 << 26) - 1);
-        let tx = db.begin();
-        let links = db.index_range(self.link_index, lo, hi)?;
+        let mut tx = db.txn();
+        let links = tx.index_range(self.link_index, lo, hi)?;
         if let Some((key, enc)) = links.first().copied() {
-            db.heap_delete(tx, self.heap_link, Rid::decode(0, enc))?;
-            db.index_delete(tx, self.link_index, key)?;
+            tx.heap_delete(self.heap_link, Rid::decode(0, enc))?;
+            tx.index_delete(self.link_index, key)?;
             // Decrement the count.
-            if let Some(cenc) = db.index_lookup(self.count_index, self.count_key(id1, lt))? {
+            if let Some(cenc) = tx.index_lookup(self.count_index, self.count_key(id1, lt))? {
                 let crid = Rid::decode(0, cenc);
-                let count = db.heap_read(tx, self.heap_count, crid)?;
+                let count = tx.heap_read(self.heap_count, crid)?;
                 let mut r = Record(count);
                 let v = Record::get_u64(&r.0, C_COUNT);
                 r.put_u64(C_COUNT, v.saturating_sub(1));
-                db.heap_update(tx, self.heap_count, crid, &r.0)?;
+                tx.heap_update(self.heap_count, crid, &r.0)?;
             }
         }
-        db.commit(tx)
+        tx.commit()
     }
 }
 

@@ -86,23 +86,23 @@ impl Workload for Tatp {
 
         let mut sid = 0u64;
         while sid < self.subscribers {
-            let tx = db.begin();
+            let mut tx = db.txn();
             for _ in 0..500.min(self.subscribers - sid) {
                 let mut rec = Record::new(SUBSCRIBER_REC);
                 rec.put_u64(0, sid).put_u32(S_VLR_LOCATION, rng.gen());
-                let rid = db.heap_insert(tx, self.heap_subscriber, &rec.0)?;
-                db.index_insert(tx, self.sub_index, sid, rid.encode())?;
+                let rid = tx.heap_insert(self.heap_subscriber, &rec.0)?;
+                tx.index_insert(self.sub_index, sid, rid.encode())?;
                 // 1–4 access-info rows per subscriber (avg 2.5 per spec;
                 // fixed 2 here).
                 for ai in 0..2u64 {
                     let mut rec = Record::new(ACCESS_INFO_REC);
                     rec.put_u64(0, Self::ai_key(sid, ai));
-                    let rid = db.heap_insert(tx, self.heap_access_info, &rec.0)?;
-                    db.index_insert(tx, self.ai_index, Self::ai_key(sid, ai), rid.encode())?;
+                    let rid = tx.heap_insert(self.heap_access_info, &rec.0)?;
+                    tx.index_insert(self.ai_index, Self::ai_key(sid, ai), rid.encode())?;
                 }
                 sid += 1;
             }
-            db.commit(tx)?;
+            tx.commit()?;
         }
         Ok(())
     }
@@ -112,86 +112,86 @@ impl Workload for Tatp {
         match rng.gen_range(0..100u32) {
             // GET_SUBSCRIBER_DATA 35%
             0..=34 => {
-                let tx = db.begin();
-                if let Some(enc) = db.index_lookup(self.sub_index, sid)? {
-                    let _ = db.heap_read(tx, self.heap_subscriber, Rid::decode(0, enc))?;
+                let mut tx = db.txn();
+                if let Some(enc) = tx.index_lookup(self.sub_index, sid)? {
+                    let _ = tx.heap_read(self.heap_subscriber, Rid::decode(0, enc))?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
             // GET_NEW_DESTINATION 10% (read call forwarding)
             35..=44 => {
-                let tx = db.begin();
+                let mut tx = db.txn();
                 let sf = uniform(rng, 0, 3);
                 let start = uniform(rng, 0, 7);
-                if let Some(enc) = db.index_lookup(self.cf_index, Self::cf_key(sid, sf, start))? {
-                    let _ = db.heap_read(tx, self.heap_call_fwd, Rid::decode(0, enc))?;
+                if let Some(enc) = tx.index_lookup(self.cf_index, Self::cf_key(sid, sf, start))? {
+                    let _ = tx.heap_read(self.heap_call_fwd, Rid::decode(0, enc))?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
             // GET_ACCESS_DATA 35%
             45..=79 => {
-                let tx = db.begin();
+                let mut tx = db.txn();
                 let ai = uniform(rng, 0, 1);
-                if let Some(enc) = db.index_lookup(self.ai_index, Self::ai_key(sid, ai))? {
-                    let _ = db.heap_read(tx, self.heap_access_info, Rid::decode(0, enc))?;
+                if let Some(enc) = tx.index_lookup(self.ai_index, Self::ai_key(sid, ai))? {
+                    let _ = tx.heap_read(self.heap_access_info, Rid::decode(0, enc))?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
             // UPDATE_SUBSCRIBER_DATA 2%: 1 bit + 1 data byte.
             80..=81 => {
-                let tx = db.begin();
-                if let Some(enc) = db.index_lookup(self.sub_index, sid)? {
+                let mut tx = db.txn();
+                if let Some(enc) = tx.index_lookup(self.sub_index, sid)? {
                     let rid = Rid::decode(0, enc);
-                    let mut sub = db.heap_read(tx, self.heap_subscriber, rid)?;
+                    let mut sub = tx.heap_read(self.heap_subscriber, rid)?;
                     sub[S_BIT_1] ^= 1;
-                    db.heap_update(tx, self.heap_subscriber, rid, &sub)?;
+                    tx.heap_update(self.heap_subscriber, rid, &sub)?;
                 }
                 let ai = uniform(rng, 0, 1);
-                if let Some(enc) = db.index_lookup(self.ai_index, Self::ai_key(sid, ai))? {
+                if let Some(enc) = tx.index_lookup(self.ai_index, Self::ai_key(sid, ai))? {
                     let rid = Rid::decode(0, enc);
-                    let mut info = db.heap_read(tx, self.heap_access_info, rid)?;
+                    let mut info = tx.heap_read(self.heap_access_info, rid)?;
                     info[AI_DATA1] = rng.gen();
-                    db.heap_update(tx, self.heap_access_info, rid, &info)?;
+                    tx.heap_update(self.heap_access_info, rid, &info)?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
             // UPDATE_LOCATION 14%: one 4-byte field.
             82..=95 => {
-                let tx = db.begin();
-                if let Some(enc) = db.index_lookup(self.sub_index, sid)? {
+                let mut tx = db.txn();
+                if let Some(enc) = tx.index_lookup(self.sub_index, sid)? {
                     let rid = Rid::decode(0, enc);
-                    let mut sub = db.heap_read(tx, self.heap_subscriber, rid)?;
+                    let mut sub = tx.heap_read(self.heap_subscriber, rid)?;
                     let mut rec = Record(sub.clone());
                     rec.put_u32(S_VLR_LOCATION, rng.gen());
                     sub = rec.0;
-                    db.heap_update(tx, self.heap_subscriber, rid, &sub)?;
+                    tx.heap_update(self.heap_subscriber, rid, &sub)?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
             // INSERT_CALL_FORWARDING 2%
             96..=97 => {
-                let tx = db.begin();
+                let mut tx = db.txn();
                 let key = Self::cf_key(sid, self.next_cf % 4, (self.next_cf / 4) % 8);
                 self.next_cf += 1;
-                if db.index_lookup(self.cf_index, key)?.is_none() {
+                if tx.index_lookup(self.cf_index, key)?.is_none() {
                     let mut rec = Record::new(CALL_FWD_REC);
                     rec.put_u64(0, key);
-                    let rid = db.heap_insert(tx, self.heap_call_fwd, &rec.0)?;
-                    db.index_insert(tx, self.cf_index, key, rid.encode())?;
+                    let rid = tx.heap_insert(self.heap_call_fwd, &rec.0)?;
+                    tx.index_insert(self.cf_index, key, rid.encode())?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
             // DELETE_CALL_FORWARDING 2%
             _ => {
-                let tx = db.begin();
+                let mut tx = db.txn();
                 let sf = uniform(rng, 0, 3);
                 let start = uniform(rng, 0, 7);
                 let key = Self::cf_key(sid, sf, start);
-                if let Some(enc) = db.index_lookup(self.cf_index, key)? {
-                    db.heap_delete(tx, self.heap_call_fwd, Rid::decode(0, enc))?;
-                    db.index_delete(tx, self.cf_index, key)?;
+                if let Some(enc) = tx.index_lookup(self.cf_index, key)? {
+                    tx.heap_delete(self.heap_call_fwd, Rid::decode(0, enc))?;
+                    tx.index_delete(self.cf_index, key)?;
                 }
-                db.commit(tx)
+                tx.commit()
             }
         }
     }

@@ -11,9 +11,12 @@
 //! The account is located through a B+-tree, branches and tellers through
 //! cached RIDs (they are tiny and fully buffered in the paper's runs too).
 
-use ipa_engine::{Database, Result, Rid};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ipa_engine::{Database, InterleavedClient, Result, Rid, StepOutcome, Txn};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::driver::Workload;
 use crate::util::{patch_i32, uniform, Record};
@@ -67,6 +70,12 @@ impl TpcB {
 
     fn accounts(&self) -> u64 {
         self.branches * self.accounts_per_branch
+    }
+
+    /// Id of the account B+-tree (valid after [`Workload::setup`]) — lets
+    /// external audits resolve accounts the way the workload does.
+    pub fn account_index(&self) -> u32 {
+        self.account_index
     }
 
     /// Audit the TPC-B money-conservation invariant: every committed
@@ -139,30 +148,30 @@ impl Workload for TpcB {
         self.heap_history = db.create_heap(0);
         self.account_index = db.create_index(0)?;
 
-        let tx = db.begin();
+        let mut tx = db.txn();
         for b in 0..self.branches {
             let mut rec = Record::new(BRANCH_REC);
             rec.put_u64(0, b).put_i32(BALANCE_OFF, 0);
-            self.branch_rids.push(db.heap_insert(tx, self.heap_branch, &rec.0)?);
+            self.branch_rids.push(tx.heap_insert(self.heap_branch, &rec.0)?);
             for t in 0..self.tellers_per_branch {
                 let mut rec = Record::new(TELLER_REC);
                 rec.put_u64(0, b * self.tellers_per_branch + t).put_i32(BALANCE_OFF, 0);
-                self.teller_rids.push(db.heap_insert(tx, self.heap_teller, &rec.0)?);
+                self.teller_rids.push(tx.heap_insert(self.heap_teller, &rec.0)?);
             }
         }
-        db.commit(tx)?;
+        tx.commit()?;
         // Accounts in batches to bound transaction size.
         let mut aid = 0u64;
         while aid < self.accounts() {
-            let tx = db.begin();
+            let mut tx = db.txn();
             for _ in 0..1000.min(self.accounts() - aid) {
                 let mut rec = Record::new(ACCOUNT_REC);
                 rec.put_u64(0, aid).put_i32(BALANCE_OFF, 0);
-                let rid = db.heap_insert(tx, self.heap_account, &rec.0)?;
-                db.index_insert(tx, self.account_index, aid, rid.encode())?;
+                let rid = tx.heap_insert(self.heap_account, &rec.0)?;
+                tx.index_insert(self.account_index, aid, rid.encode())?;
                 aid += 1;
             }
-            db.commit(tx)?;
+            tx.commit()?;
         }
         Ok(())
     }
@@ -173,34 +182,179 @@ impl Workload for TpcB {
         let tid = uniform(rng, 0, self.branches * self.tellers_per_branch - 1);
         let delta: i32 = rng.gen_range(-99_999..=99_999);
 
-        let tx = db.begin();
+        let mut tx = db.txn();
         // Account via index lookup (exercises index pages).
-        let encoded = db.index_lookup(self.account_index, aid)?.expect("loaded account exists");
+        let encoded = tx.index_lookup(self.account_index, aid)?.expect("loaded account exists");
         let arid = Rid::decode(0, encoded);
-        let mut acct = db.heap_read(tx, self.heap_account, arid)?;
+        let mut acct = tx.heap_read(self.heap_account, arid)?;
         patch_i32(&mut acct, BALANCE_OFF, |v| v.wrapping_add(delta));
-        db.heap_update(tx, self.heap_account, arid, &acct)?;
+        tx.heap_update(self.heap_account, arid, &acct)?;
 
         // Teller and branch via cached RIDs.
         let trid = self.teller_rids[tid as usize];
-        let mut tel = db.heap_read(tx, self.heap_teller, trid)?;
+        let mut tel = tx.heap_read(self.heap_teller, trid)?;
         patch_i32(&mut tel, BALANCE_OFF, |v| v.wrapping_add(delta));
-        db.heap_update(tx, self.heap_teller, trid, &tel)?;
+        tx.heap_update(self.heap_teller, trid, &tel)?;
 
         let brid = self.branch_rids[bid as usize];
-        let mut br = db.heap_read(tx, self.heap_branch, brid)?;
+        let mut br = tx.heap_read(self.heap_branch, brid)?;
         patch_i32(&mut br, BALANCE_OFF, |v| v.wrapping_add(delta));
-        db.heap_update(tx, self.heap_branch, brid, &br)?;
+        tx.heap_update(self.heap_branch, brid, &br)?;
 
         // History append (~20 net bytes of payload in the paper's account;
         // a 50-byte record here).
         let mut hist = Record::new(HISTORY_REC);
         hist.put_u64(0, aid).put_u64(8, tid).put_u64(16, bid).put_i32(24, delta);
-        db.heap_insert(tx, self.heap_history, &hist.0)?;
+        tx.heap_insert(self.heap_history, &hist.0)?;
 
-        db.commit(tx)?;
+        tx.commit()?;
         self.committed_delta += i64::from(delta);
         Ok(())
+    }
+}
+
+/// Shared handle over a [`TpcB`] instance for multi-client execution:
+/// every [`TpcBClient`] draws its own transaction parameters but updates
+/// the common committed-delta ledger, so [`TpcB::verify_balances`] audits
+/// the interleaved run as a whole.
+pub type SharedTpcB = Rc<RefCell<TpcB>>;
+
+impl TpcB {
+    /// Wrap the (already set-up) workload for multi-client execution.
+    pub fn into_shared(self) -> SharedTpcB {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Spawn `k` clients, each running `txns_per_client` Account_Update
+    /// transactions. Client 0's RNG is seeded with exactly `seed`, so a
+    /// single-client pool replays the very transaction sequence the serial
+    /// [`crate::Runner`] would execute with that seed.
+    pub fn spawn_clients(
+        shared: &SharedTpcB,
+        k: usize,
+        txns_per_client: u64,
+        seed: u64,
+    ) -> Vec<Box<dyn InterleavedClient>> {
+        (0..k)
+            .map(|i| {
+                let client_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                Box::new(TpcBClient::new(Rc::clone(shared), client_seed, txns_per_client))
+                    as Box<dyn InterleavedClient>
+            })
+            .collect()
+    }
+}
+
+/// The per-transaction cursor of one in-flight Account_Update: parameters
+/// drawn at begin, resolved RID and read buffers filled step by step.
+#[derive(Debug, Default)]
+struct AccountUpdate {
+    aid: u64,
+    bid: u64,
+    tid: u64,
+    delta: i32,
+    arid: Option<Rid>,
+    buf: Vec<u8>,
+    step: u8,
+}
+
+/// One TPC-B client for [`ipa_engine::ClientPool`]: the Account_Update
+/// transaction decomposed into page-operation steps (index lookup, three
+/// read/update pairs, history append) so the pool can interleave clients
+/// mid-transaction. A wait-die restart rewinds the step cursor but keeps
+/// the drawn parameters, so the retry performs the same logical work.
+pub struct TpcBClient {
+    shared: SharedTpcB,
+    rng: StdRng,
+    remaining: u64,
+    cur: AccountUpdate,
+}
+
+impl TpcBClient {
+    /// A client over the shared workload, with its own RNG stream.
+    pub fn new(shared: SharedTpcB, seed: u64, txns: u64) -> Self {
+        TpcBClient {
+            shared,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: txns,
+            cur: AccountUpdate::default(),
+        }
+    }
+}
+
+impl InterleavedClient for TpcBClient {
+    fn begin_txn(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        let w = self.shared.borrow();
+        // Same draw order as `TpcB::transaction`: aid, bid, tid, delta.
+        self.cur = AccountUpdate {
+            aid: uniform(&mut self.rng, 0, w.accounts() - 1),
+            bid: uniform(&mut self.rng, 0, w.branches - 1),
+            tid: uniform(&mut self.rng, 0, w.branches * w.tellers_per_branch - 1),
+            delta: self.rng.gen_range(-99_999..=99_999),
+            ..AccountUpdate::default()
+        };
+        true
+    }
+
+    fn step(&mut self, tx: &mut Txn<'_>) -> Result<StepOutcome> {
+        let w = self.shared.borrow();
+        let cur = &mut self.cur;
+        match cur.step {
+            0 => {
+                let encoded =
+                    tx.index_lookup(w.account_index, cur.aid)?.expect("loaded account exists");
+                cur.arid = Some(Rid::decode(0, encoded));
+            }
+            1 => {
+                let arid = cur.arid.expect("resolved in step 0");
+                cur.buf = tx.heap_read(w.heap_account, arid)?;
+                let delta = cur.delta;
+                patch_i32(&mut cur.buf, BALANCE_OFF, |v| v.wrapping_add(delta));
+            }
+            2 => {
+                tx.heap_update(w.heap_account, cur.arid.expect("resolved"), &cur.buf)?;
+            }
+            3 => {
+                cur.buf = tx.heap_read(w.heap_teller, w.teller_rids[cur.tid as usize])?;
+                let delta = cur.delta;
+                patch_i32(&mut cur.buf, BALANCE_OFF, |v| v.wrapping_add(delta));
+            }
+            4 => {
+                tx.heap_update(w.heap_teller, w.teller_rids[cur.tid as usize], &cur.buf)?;
+            }
+            5 => {
+                cur.buf = tx.heap_read(w.heap_branch, w.branch_rids[cur.bid as usize])?;
+                let delta = cur.delta;
+                patch_i32(&mut cur.buf, BALANCE_OFF, |v| v.wrapping_add(delta));
+            }
+            6 => {
+                tx.heap_update(w.heap_branch, w.branch_rids[cur.bid as usize], &cur.buf)?;
+            }
+            _ => {
+                let mut hist = Record::new(HISTORY_REC);
+                hist.put_u64(0, cur.aid)
+                    .put_u64(8, cur.tid)
+                    .put_u64(16, cur.bid)
+                    .put_i32(24, cur.delta);
+                tx.heap_insert(w.heap_history, &hist.0)?;
+                let delta = i64::from(cur.delta);
+                drop(w);
+                self.shared.borrow_mut().committed_delta += delta;
+                return Ok(StepOutcome::Done);
+            }
+        }
+        cur.step += 1;
+        Ok(StepOutcome::Progress)
+    }
+
+    fn restart(&mut self) {
+        self.cur.step = 0;
+        self.cur.arid = None;
+        self.cur.buf.clear();
     }
 }
 

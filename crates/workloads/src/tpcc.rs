@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use ipa_engine::{Database, Result, Rid};
+use ipa_engine::{Database, Result, Rid, Txn};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -147,40 +147,39 @@ impl Workload for TpcC {
         // Items (shared across warehouses).
         let mut iid = 0u64;
         while iid < self.items {
-            let tx = db.begin();
+            let mut tx = db.txn();
             for _ in 0..500.min(self.items - iid) {
                 let mut rec = Record::new(ITEM_REC);
                 rec.put_u64(0, iid).put_i32(8, (iid % 9999) as i32);
-                self.item_rids.push(db.heap_insert(tx, self.heap_item, &rec.0)?);
+                self.item_rids.push(tx.heap_insert(self.heap_item, &rec.0)?);
                 iid += 1;
             }
-            db.commit(tx)?;
+            tx.commit()?;
         }
         // Warehouses, districts, customers, stock.
         for w in 0..self.warehouses {
-            let tx = db.begin();
+            let mut tx = db.txn();
             let mut rec = Record::new(WAREHOUSE_REC);
             rec.put_u64(0, w).put_i32(W_YTD, 0);
-            self.warehouse_rids.push(db.heap_insert(tx, self.heap_warehouse, &rec.0)?);
+            self.warehouse_rids.push(tx.heap_insert(self.heap_warehouse, &rec.0)?);
             for d in 0..self.districts_per_w {
                 let mut rec = Record::new(DISTRICT_REC);
                 rec.put_u64(0, w * 10 + d).put_i32(D_YTD, 0).put_i32(D_NEXT_O_ID, 1);
-                self.district_rids.push(db.heap_insert(tx, self.heap_district, &rec.0)?);
+                self.district_rids.push(tx.heap_insert(self.heap_district, &rec.0)?);
                 self.new_orders.push(VecDeque::new());
             }
-            db.commit(tx)?;
+            tx.commit()?;
 
             let mut c = 0u64;
             while c < self.districts_per_w * self.customers_per_district {
-                let tx = db.begin();
+                let mut tx = db.txn();
                 for _ in 0..200.min(self.districts_per_w * self.customers_per_district - c) {
                     let d = c / self.customers_per_district;
                     let cid = c % self.customers_per_district;
                     let mut rec = Record::new(CUSTOMER_REC);
                     rec.put_u64(0, self.customer_key(w, d, cid)).put_i32(C_BALANCE, -10);
-                    let rid = db.heap_insert(tx, self.heap_customer, &rec.0)?;
-                    db.index_insert(
-                        tx,
+                    let rid = tx.heap_insert(self.heap_customer, &rec.0)?;
+                    tx.index_insert(
                         self.customer_index,
                         self.customer_key(w, d, cid),
                         rid.encode(),
@@ -188,12 +187,12 @@ impl Workload for TpcC {
                     self.last_order.push(None);
                     c += 1;
                 }
-                db.commit(tx)?;
+                tx.commit()?;
             }
 
             let mut i = 0u64;
             while i < self.items {
-                let tx = db.begin();
+                let mut tx = db.txn();
                 for _ in 0..200.min(self.items - i) {
                     let mut rec = Record::new(STOCK_REC);
                     rec.put_u64(0, self.stock_key(w, i))
@@ -201,11 +200,11 @@ impl Workload for TpcC {
                         .put_i32(S_YTD, 0)
                         .put_u16(S_ORDER_CNT, 0)
                         .put_u16(S_REMOTE_CNT, 0);
-                    let rid = db.heap_insert(tx, self.heap_stock, &rec.0)?;
-                    db.index_insert(tx, self.stock_index, self.stock_key(w, i), rid.encode())?;
+                    let rid = tx.heap_insert(self.heap_stock, &rec.0)?;
+                    tx.index_insert(self.stock_index, self.stock_key(w, i), rid.encode())?;
                     i += 1;
                 }
-                db.commit(tx)?;
+                tx.commit()?;
             }
         }
         Ok(())
@@ -224,9 +223,9 @@ impl Workload for TpcC {
 }
 
 impl TpcC {
-    fn lookup_customer(&mut self, db: &mut Database, w: u64, d: u64, c: u64) -> Result<Rid> {
+    fn lookup_customer(&self, tx: &mut Txn<'_>, w: u64, d: u64, c: u64) -> Result<Rid> {
         let key = self.customer_key(w, d, c);
-        let enc = db.index_lookup(self.customer_index, key)?.expect("customer exists");
+        let enc = tx.index_lookup(self.customer_index, key)?.expect("customer exists");
         Ok(Rid::decode(0, enc))
     }
 
@@ -237,23 +236,23 @@ impl TpcC {
         let c = nurand(rng, 1023, 0, self.customers_per_district - 1);
         let ol_cnt = uniform(rng, 5, 15);
 
-        let tx = db.begin();
+        let mut tx = db.txn();
         // District: read + bump D_NEXT_O_ID.
         let drid = self.district_rids[self.district_slot(w, d)];
-        let mut dist = db.heap_read(tx, self.heap_district, drid)?;
+        let mut dist = tx.heap_read(self.heap_district, drid)?;
         let o_id = Record::get_i32(&dist, D_NEXT_O_ID) as u64;
         patch_i32(&mut dist, D_NEXT_O_ID, |v| v.wrapping_add(1));
-        db.heap_update(tx, self.heap_district, drid, &dist)?;
+        tx.heap_update(self.heap_district, drid, &dist)?;
 
         // Warehouse + customer reads (tax/discount).
-        let _w = db.heap_read(tx, self.heap_warehouse, self.warehouse_rids[w as usize])?;
-        let crid = self.lookup_customer(db, w, d, c)?;
-        let _cust = db.heap_read(tx, self.heap_customer, crid)?;
+        let _w = tx.heap_read(self.heap_warehouse, self.warehouse_rids[w as usize])?;
+        let crid = self.lookup_customer(&mut tx, w, d, c)?;
+        let _cust = tx.heap_read(self.heap_customer, crid)?;
 
         // Order + lines.
         let mut orec = Record::new(ORDER_REC);
         orec.put_u64(0, o_id).put_u64(16, self.customer_key(w, d, c));
-        let order_rid = db.heap_insert(tx, self.heap_order, &orec.0)?;
+        let order_rid = tx.heap_insert(self.heap_order, &orec.0)?;
         let cust_slot = (self.customer_key(w, d, c) % self.last_order.len() as u64) as usize;
         self.last_order[cust_slot] = Some(order_rid);
         let dslot = self.district_slot(w, d);
@@ -269,13 +268,13 @@ impl TpcC {
             };
             let remote = supply_w != w;
             // Item read.
-            let _item = db.heap_read(tx, self.heap_item, self.item_rids[item as usize])?;
+            let _item = tx.heap_read(self.heap_item, self.item_rids[item as usize])?;
             // Stock read + 3-field small update.
-            let senc = db
+            let senc = tx
                 .index_lookup(self.stock_index, self.stock_key(supply_w, item))?
                 .expect("stock exists");
             let srid = Rid::decode(0, senc);
-            let mut stock = db.heap_read(tx, self.heap_stock, srid)?;
+            let mut stock = tx.heap_read(self.heap_stock, srid)?;
             let qty = uniform(rng, 1, 10) as u16;
             patch_u16(
                 &mut stock,
@@ -294,13 +293,13 @@ impl TpcC {
             } else {
                 patch_u16(&mut stock, S_ORDER_CNT, |v| v.wrapping_add(1));
             }
-            db.heap_update(tx, self.heap_stock, srid, &stock)?;
+            tx.heap_update(self.heap_stock, srid, &stock)?;
 
             let mut lrec = Record::new(ORDER_LINE_REC);
             lrec.put_u64(0, o_id).put_u16(8, ol as u16).put_u64(10, item);
-            db.heap_insert(tx, self.heap_order_line, &lrec.0)?;
+            tx.heap_insert(self.heap_order_line, &lrec.0)?;
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn payment(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
@@ -309,19 +308,19 @@ impl TpcC {
         let c = nurand(rng, 1023, 0, self.customers_per_district - 1);
         let amount: i32 = rng.gen_range(100..=500_000);
 
-        let tx = db.begin();
+        let mut tx = db.txn();
         let wrid = self.warehouse_rids[w as usize];
-        let mut wh = db.heap_read(tx, self.heap_warehouse, wrid)?;
+        let mut wh = tx.heap_read(self.heap_warehouse, wrid)?;
         patch_i32(&mut wh, W_YTD, |v| v.wrapping_add(amount));
-        db.heap_update(tx, self.heap_warehouse, wrid, &wh)?;
+        tx.heap_update(self.heap_warehouse, wrid, &wh)?;
 
         let drid = self.district_rids[self.district_slot(w, d)];
-        let mut dist = db.heap_read(tx, self.heap_district, drid)?;
+        let mut dist = tx.heap_read(self.heap_district, drid)?;
         patch_i32(&mut dist, D_YTD, |v| v.wrapping_add(amount));
-        db.heap_update(tx, self.heap_district, drid, &dist)?;
+        tx.heap_update(self.heap_district, drid, &dist)?;
 
-        let crid = self.lookup_customer(db, w, d, c)?;
-        let mut cust = db.heap_read(tx, self.heap_customer, crid)?;
+        let crid = self.lookup_customer(&mut tx, w, d, c)?;
+        let mut cust = tx.heap_read(self.heap_customer, crid)?;
         patch_i32(&mut cust, C_BALANCE, |v| v.wrapping_sub(amount));
         // 10% of customers have bad credit: C_DATA is rewritten (a large
         // update — the paper's exception to TPC-C's small-update rule).
@@ -331,56 +330,56 @@ impl TpcC {
                 cust[C_DATA + i] = tag[i % 4].wrapping_add(i as u8);
             }
         }
-        db.heap_update(tx, self.heap_customer, crid, &cust)?;
+        tx.heap_update(self.heap_customer, crid, &cust)?;
 
         let mut hist = Record::new(HISTORY_REC);
         hist.put_u64(0, self.customer_key(w, d, c)).put_i32(8, amount);
-        db.heap_insert(tx, self.heap_history, &hist.0)?;
-        db.commit(tx)
+        tx.heap_insert(self.heap_history, &hist.0)?;
+        tx.commit()
     }
 
     fn order_status(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let w = uniform(rng, 0, self.warehouses - 1);
         let d = uniform(rng, 0, self.districts_per_w - 1);
         let c = nurand(rng, 1023, 0, self.customers_per_district - 1);
-        let tx = db.begin();
-        let crid = self.lookup_customer(db, w, d, c)?;
-        let _cust = db.heap_read(tx, self.heap_customer, crid)?;
+        let mut tx = db.txn();
+        let crid = self.lookup_customer(&mut tx, w, d, c)?;
+        let _cust = tx.heap_read(self.heap_customer, crid)?;
         let slot = (self.customer_key(w, d, c) % self.last_order.len() as u64) as usize;
         if let Some(orid) = self.last_order[slot] {
-            let _ = db.heap_read(tx, self.heap_order, orid);
+            let _ = tx.heap_read(self.heap_order, orid);
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn delivery(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let w = uniform(rng, 0, self.warehouses - 1);
-        let tx = db.begin();
+        let mut tx = db.txn();
         for d in 0..self.districts_per_w {
             let dslot = self.district_slot(w, d);
             let Some((_, orid)) = self.new_orders[dslot].pop_front() else {
                 continue;
             };
-            let mut order = db.heap_read(tx, self.heap_order, orid)?;
+            let mut order = tx.heap_read(self.heap_order, orid)?;
             patch_u16(&mut order, O_CARRIER_ID, |_| uniform(rng, 1, 10) as u16);
-            db.heap_update(tx, self.heap_order, orid, &order)?;
+            tx.heap_update(self.heap_order, orid, &order)?;
         }
-        db.commit(tx)
+        tx.commit()
     }
 
     fn stock_level(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
         let w = uniform(rng, 0, self.warehouses - 1);
         let d = uniform(rng, 0, self.districts_per_w - 1);
-        let tx = db.begin();
+        let mut tx = db.txn();
         let _dist =
-            db.heap_read(tx, self.heap_district, self.district_rids[self.district_slot(w, d)])?;
+            tx.heap_read(self.heap_district, self.district_rids[self.district_slot(w, d)])?;
         for _ in 0..20 {
             let item = uniform(rng, 0, self.items - 1);
-            if let Some(enc) = db.index_lookup(self.stock_index, self.stock_key(w, item))? {
-                let _ = db.heap_read(tx, self.heap_stock, Rid::decode(0, enc))?;
+            if let Some(enc) = tx.index_lookup(self.stock_index, self.stock_key(w, item))? {
+                let _ = tx.heap_read(self.heap_stock, Rid::decode(0, enc))?;
             }
         }
-        db.commit(tx)
+        tx.commit()
     }
 }
 

@@ -17,35 +17,37 @@ use ipa::noftl::{IpaMode, NoFtlConfig};
 fn main() {
     let flash = FlashConfig::small_slc();
     let ftl_cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
-    let mut db = Database::open(ftl_cfg, &[NxM::tpcb()], DbConfig::eager(64)).unwrap();
+    let mut db =
+        Database::builder(ftl_cfg).scheme(NxM::tpcb()).config(DbConfig::eager(64)).open().unwrap();
     let heap = db.create_heap(0);
     let idx = db.create_index(0).unwrap();
 
     // Committed base state, flushed out-of-place.
-    let tx = db.begin();
-    let rid = db.heap_insert(tx, heap, &[10u8, 0, 0, 0]).unwrap();
-    db.index_insert(tx, idx, 10, rid.encode()).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let rid = tx.heap_insert(heap, &[10u8, 0, 0, 0]).unwrap();
+    tx.index_insert(idx, 10, rid.encode()).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     println!("step 1: tuple inserted and flushed (out-of-place)");
 
     // Committed small update, flushed as an in-place append.
-    let tx = db.begin();
-    db.heap_update(tx, heap, rid, &[20u8, 0, 0, 0]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    tx.heap_update(heap, rid, &[20u8, 0, 0, 0]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     println!("step 2: small update flushed as IPA (ipa_flushes = {})", db.stats().ipa_flushes);
 
     // Committed update that only lives in the (durable) log.
-    let tx = db.begin();
-    db.heap_update(tx, heap, rid, &[30u8, 0, 0, 0]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    tx.heap_update(heap, rid, &[30u8, 0, 0, 0]).unwrap();
+    tx.commit().unwrap();
     println!("step 3: committed update exists only in the WAL");
 
     // A loser: updates the same tuple, even reaches flash (steal), but
     // never commits.
-    let tx_loser = db.begin();
-    db.heap_update(tx_loser, heap, rid, &[99u8, 0, 0, 0]).unwrap();
+    let mut tx_loser = db.txn();
+    tx_loser.heap_update(heap, rid, &[99u8, 0, 0, 0]).unwrap();
+    let _loser = tx_loser.park(); // still in flight at crash time
     db.flush_all().unwrap();
     db.force_log();
     println!("step 4: uncommitted update stolen to flash");

@@ -52,17 +52,18 @@ fn main() {
     let flash = FlashConfig::small_slc();
     let ftl_cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
     // [2x3]: up to 2 delta records per page, 3 changed body bytes each.
-    let mut db = Database::open(ftl_cfg, &[NxM::tpcc()], DbConfig::eager(64)).unwrap();
+    let mut db =
+        Database::builder(ftl_cfg).scheme(NxM::tpcc()).config(DbConfig::eager(64)).open().unwrap();
     let heap = db.create_heap(0);
 
-    let tx = db.begin();
-    let rid = db.heap_insert(tx, heap, &[9u8, 7, 7, 7]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let rid = tx.heap_insert(heap, &[9u8, 7, 7, 7]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap(); // first write: out-of-place (fresh page)
 
-    let tx = db.begin();
-    db.heap_update(tx, heap, rid, &[3u8, 7, 7, 7]).unwrap(); // 1 byte changes
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    tx.heap_update(heap, rid, &[3u8, 7, 7, 7]).unwrap(); // 1 byte changes
+    tx.commit().unwrap();
     db.flush_all().unwrap(); // second write: an in-place append!
 
     let e = db.stats();

@@ -81,26 +81,30 @@ fn profiles_are_per_region() {
         gc_low_watermark: 2,
         fault_policy: Default::default(),
     };
-    let mut db =
-        Database::open(cfg, &[NxM::tpcb(), NxM::new(2, 64, 12)], DbConfig::eager(32)).unwrap();
+    let mut db = Database::builder(cfg)
+        .scheme(NxM::tpcb())
+        .scheme(NxM::new(2, 64, 12))
+        .config(DbConfig::eager(32))
+        .open()
+        .unwrap();
     let small = db.create_heap(0);
     let large = db.create_heap(1);
-    let tx = db.begin();
-    let s_rid = db.heap_insert(tx, small, &[0u8; 64]).unwrap();
-    let l_rid = db.heap_insert(tx, large, &[0u8; 200]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let s_rid = tx.heap_insert(small, &[0u8; 64]).unwrap();
+    let l_rid = tx.heap_insert(large, &[0u8; 200]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     for round in 0..20u8 {
-        let tx = db.begin();
-        let mut rec = db.heap_read_unlocked(s_rid).unwrap();
+        let mut tx = db.txn();
+        let mut rec = tx.db().heap_read_unlocked(s_rid).unwrap();
         rec[0] = round; // 1-byte updates in region 0
-        db.heap_update(tx, small, s_rid, &rec).unwrap();
-        let mut rec = db.heap_read_unlocked(l_rid).unwrap();
+        tx.heap_update(small, s_rid, &rec).unwrap();
+        let mut rec = tx.db().heap_read_unlocked(l_rid).unwrap();
         for b in rec.iter_mut().take(60) {
             *b = round; // 60-byte updates in region 1
         }
-        db.heap_update(tx, large, l_rid, &rec).unwrap();
-        db.commit(tx).unwrap();
+        tx.heap_update(large, l_rid, &rec).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
     }
     let p_small = db.profile(0);

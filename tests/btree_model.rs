@@ -15,7 +15,7 @@ fn db() -> Database {
     let mut flash = FlashConfig::small_slc();
     flash.geometry.page_size = 1024;
     let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
-    Database::open(cfg, &[NxM::new(2, 16, 12)], DbConfig::eager(48)).unwrap()
+    Database::builder(cfg).scheme(NxM::new(2, 16, 12)).config(DbConfig::eager(48)).open().unwrap()
 }
 
 #[derive(Debug, Clone)]
@@ -45,11 +45,11 @@ proptest! {
         let mut d = db();
         let idx = d.create_index(0).unwrap();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        let tx = d.begin();
+        let mut tx = d.txn();
         for op in ops {
             match op {
                 Op::Insert(k, v) => {
-                    let r = d.index_insert(tx, idx, k, v);
+                    let r = tx.index_insert(idx, k, v);
                     if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
                         r.unwrap();
                         e.insert(v);
@@ -58,25 +58,25 @@ proptest! {
                     }
                 }
                 Op::Delete(k) => {
-                    let got = d.index_delete(tx, idx, k).unwrap();
+                    let got = tx.index_delete(idx, k).unwrap();
                     prop_assert_eq!(got, model.remove(&k));
                 }
                 Op::Lookup(k) => {
-                    prop_assert_eq!(d.index_lookup(idx, k).unwrap(), model.get(&k).copied());
+                    prop_assert_eq!(tx.index_lookup(idx, k).unwrap(), model.get(&k).copied());
                 }
                 Op::Range(lo, hi) => {
-                    let got = d.index_range(idx, lo, hi).unwrap();
+                    let got = tx.index_range(idx, lo, hi).unwrap();
                     let want: Vec<(u64, u64)> =
                         model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
                     prop_assert_eq!(got, want);
                 }
                 Op::FlushAll => {
-                    d.flush_all().unwrap();
+                    tx.db().flush_all().unwrap();
                 }
             }
         }
         // Final full-range equivalence.
-        let got = d.index_range(idx, u64::MIN, u64::MAX).unwrap();
+        let got = tx.index_range(idx, u64::MIN, u64::MAX).unwrap();
         let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
         prop_assert_eq!(got, want);
     }
@@ -86,19 +86,19 @@ proptest! {
 fn btree_survives_flush_evict_cycles_with_many_keys() {
     let mut d = db();
     let idx = d.create_index(0).unwrap();
-    let tx = d.begin();
+    let mut tx = d.txn();
     let mut model = BTreeMap::new();
     for i in 0..3_000u64 {
         let k = i.wrapping_mul(0x9E37_79B9).rotate_left(11) % 1_000_000;
         if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
             e.insert(i);
-            d.index_insert(tx, idx, k, i).unwrap();
+            tx.index_insert(idx, k, i).unwrap();
         }
         if i % 500 == 0 {
-            d.flush_all().unwrap();
+            tx.db().flush_all().unwrap();
         }
     }
-    d.commit(tx).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
     // Evict everything; lookups must come back from flash.
     for _ in 0..48 {

@@ -12,7 +12,7 @@ fn small_db(scheme: NxM) -> Database {
     flash.geometry.page_size = 1024;
     flash.geometry.pages_per_block = 16;
     let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
-    Database::open(cfg, &[scheme], DbConfig::eager(32)).unwrap()
+    Database::builder(cfg).scheme(scheme).config(DbConfig::eager(32)).open().unwrap()
 }
 
 #[test]
@@ -66,31 +66,31 @@ fn durability_through_heavy_churn_with_gc() {
     let mut db = small_db(NxM::new(2, 8, 12));
     let heap = db.create_heap(0);
     let mut rids = Vec::new();
-    let tx = db.begin();
+    let mut tx = db.txn();
     for i in 0..400u32 {
         let mut rec = [0u8; 40];
         rec[..4].copy_from_slice(&i.to_le_bytes());
         rec[4..8].copy_from_slice(&i.to_le_bytes()); // value field starts at i
-        rids.push(db.heap_insert(tx, heap, &rec).unwrap());
+        rids.push(tx.heap_insert(heap, &rec).unwrap());
     }
-    db.commit(tx).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
 
     // Many rounds of small updates to pseudo-random tuples.
     let mut expected: Vec<u32> = (0..400).collect();
     for round in 1..=40u32 {
-        let tx = db.begin();
+        let mut tx = db.txn();
         for k in 0..40u32 {
             let i = (k.wrapping_mul(2_654_435_761).wrapping_add(round * 97) % 400) as usize;
-            let mut rec = db.heap_read_unlocked(rids[i]).unwrap();
+            let mut rec = tx.db().heap_read_unlocked(rids[i]).unwrap();
             let v = expected[i].wrapping_add(round);
             rec[4..8].copy_from_slice(&v.to_le_bytes());
             expected[i] = v;
             // Keep bytes 0..4 as the identity.
-            let new_rid = db.heap_update(tx, heap, rids[i], &rec).unwrap();
+            let new_rid = tx.heap_update(heap, rids[i], &rec).unwrap();
             rids[i] = new_rid;
         }
-        db.commit(tx).unwrap();
+        tx.commit().unwrap();
         db.background_work().unwrap();
     }
     db.flush_all().unwrap();
@@ -157,15 +157,15 @@ fn ecc_verification_full_stack() {
     let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
     let mut db_cfg = DbConfig::eager(16);
     db_cfg.verify_ecc = true;
-    let mut db = Database::open(cfg, &[NxM::tpcc()], db_cfg).unwrap();
+    let mut db = Database::builder(cfg).scheme(NxM::tpcc()).config(db_cfg).open().unwrap();
     let heap = db.create_heap(0);
-    let tx = db.begin();
-    let rid = db.heap_insert(tx, heap, &[1u8, 2, 3, 4]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let rid = tx.heap_insert(heap, &[1u8, 2, 3, 4]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
-    let tx = db.begin();
-    db.heap_update(tx, heap, rid, &[9u8, 2, 3, 4]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    tx.heap_update(heap, rid, &[9u8, 2, 3, 4]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     assert!(db.stats().ipa_flushes >= 1);
     // Evict everything and re-read: ECC paths must verify.

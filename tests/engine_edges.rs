@@ -12,7 +12,7 @@ fn db(frames: usize, scheme: NxM) -> Database {
     flash.geometry.page_size = 1024;
     flash.geometry.pages_per_block = 16;
     let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
-    Database::open(cfg, &[scheme], DbConfig::eager(frames)).unwrap()
+    Database::builder(cfg).scheme(scheme).config(DbConfig::eager(frames)).open().unwrap()
 }
 
 #[test]
@@ -22,9 +22,9 @@ fn delta_records_are_physically_erased_until_appended() {
     // programmed and slot 1 still erased.
     let mut d = db(16, NxM::tpcc());
     let heap = d.create_heap(0);
-    let tx = d.begin();
-    let rid = d.heap_insert(tx, heap, &[9u8, 7, 7, 7]).unwrap();
-    d.commit(tx).unwrap();
+    let mut tx = d.txn();
+    let rid = tx.heap_insert(heap, &[9u8, 7, 7, 7]).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
 
     let layout = *d.layout(0);
@@ -36,9 +36,9 @@ fn delta_records_are_physically_erased_until_appended() {
     let area = read_delta_area(&mut d);
     assert!(area.iter().all(|&b| b == 0xFF), "fresh page: delta area erased");
 
-    let tx = d.begin();
-    d.heap_update(tx, heap, rid, &[3u8, 7, 7, 7]).unwrap();
-    d.commit(tx).unwrap();
+    let mut tx = d.txn();
+    tx.heap_update(heap, rid, &[3u8, 7, 7, 7]).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
     assert_eq!(d.stats().ipa_flushes, 1);
 
@@ -61,6 +61,7 @@ fn pool_exhaustion_is_reported_not_hung() {
 }
 
 #[test]
+#[allow(deprecated)] // the legacy TxId surface must keep rejecting ghosts
 fn unknown_tx_is_rejected_everywhere() {
     let mut d = db(8, NxM::disabled());
     let heap = d.create_heap(0);
@@ -71,23 +72,40 @@ fn unknown_tx_is_rejected_everywhere() {
 }
 
 #[test]
+fn dropped_guard_auto_aborts_and_is_counted() {
+    let mut d = db(8, NxM::disabled());
+    let heap = d.create_heap(0);
+    let mut tx = d.txn();
+    let rid = tx.heap_insert(heap, &[5u8; 8]).unwrap();
+    tx.commit().unwrap();
+
+    {
+        let mut tx = d.txn();
+        tx.heap_update(heap, rid, &[6u8; 8]).unwrap();
+        // falls out of scope without commit() — RAII abort
+    }
+    assert_eq!(d.stats().drop_aborts, 1, "drop must count as an implicit abort");
+    assert_eq!(d.heap_read_unlocked(rid).unwrap(), vec![5u8; 8], "update rolled back");
+}
+
+#[test]
 fn ecc_initial_is_stable_across_ipa_flushes() {
     // The whole point of sectioned ECC: appends must not invalidate the
     // initial image's code.
     let mut d = db(16, NxM::tpcc());
     let heap = d.create_heap(0);
-    let tx = d.begin();
-    let rid = d.heap_insert(tx, heap, &[1u8, 2, 3, 4]).unwrap();
-    d.commit(tx).unwrap();
+    let mut tx = d.txn();
+    let rid = tx.heap_insert(heap, &[1u8, 2, 3, 4]).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
 
     let layout = *d.layout(0);
     let (img0, _) = d.ftl_mut().read_page(RegionId(0), rid.page.lba, IoCtx::default()).unwrap();
     let code0 = ecc::initial_code(&img0, &layout);
 
-    let tx = d.begin();
-    d.heap_update(tx, heap, rid, &[2u8, 2, 3, 4]).unwrap();
-    d.commit(tx).unwrap();
+    let mut tx = d.txn();
+    tx.heap_update(heap, rid, &[2u8, 2, 3, 4]).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
     assert_eq!(d.stats().ipa_flushes, 1);
 
@@ -101,11 +119,11 @@ fn ecc_initial_is_stable_across_ipa_flushes() {
 fn wear_leveling_callable_through_database() {
     let mut d = db(16, NxM::disabled());
     let heap = d.create_heap(0);
-    let tx = d.begin();
+    let mut tx = d.txn();
     for i in 0..64u8 {
-        d.heap_insert(tx, heap, &[i; 48]).unwrap();
+        tx.heap_insert(heap, &[i; 48]).unwrap();
     }
-    d.commit(tx).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
     // Static wear leveling with threshold 0 relocates the coldest block.
     let moved = d.wear_level(0, 0).unwrap();

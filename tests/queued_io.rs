@@ -160,7 +160,11 @@ fn flush_device_time(flash: FlashConfig, depth: u32, pages: usize) -> u64 {
         .single_region(IpaMode::None, 0.2)
         .build()
         .unwrap();
-    let mut db = Database::open(cfg, &[NxM::disabled()], DbConfig::eager(pages + 8)).unwrap();
+    let mut db = Database::builder(cfg)
+        .scheme(NxM::disabled())
+        .config(DbConfig::eager(pages + 8))
+        .open()
+        .unwrap();
     for _ in 0..pages {
         db.new_page(0).unwrap();
     }

@@ -14,7 +14,7 @@ fn db(scheme: NxM) -> Database {
     flash.geometry.page_size = 1024;
     flash.geometry.pages_per_block = 16;
     let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
-    Database::open(cfg, &[scheme], DbConfig::eager(24)).unwrap()
+    Database::builder(cfg).scheme(scheme).config(DbConfig::eager(24)).open().unwrap()
 }
 
 /// Same geometry as [`db`], with an operation-fault plan raining on the
@@ -29,7 +29,7 @@ fn faulty_db(scheme: NxM, plan: FaultPlan) -> Database {
         .single_region(IpaMode::Slc, 0.2)
         .build()
         .unwrap();
-    Database::open(cfg, &[scheme], DbConfig::eager(24)).unwrap()
+    Database::builder(cfg).scheme(scheme).config(DbConfig::eager(24)).open().unwrap()
 }
 
 /// One randomized episode: a committed history interleaved with aborted
@@ -45,35 +45,35 @@ fn episode_on(seed: u64, mut d: Database) {
     let heap = d.create_heap(0);
 
     // Committed base population.
-    let tx = d.begin();
+    let mut tx = d.txn();
     let mut rids: Vec<Rid> = Vec::new();
     let mut committed: Vec<Vec<u8>> = Vec::new();
     for i in 0..60u8 {
         let rec = vec![i; 24];
-        rids.push(d.heap_insert(tx, heap, &rec).unwrap());
+        rids.push(tx.heap_insert(heap, &rec).unwrap());
         committed.push(rec);
     }
-    d.commit(tx).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
 
     // Random committed and aborted rounds.
     for round in 0..12 {
-        let tx = d.begin();
+        let mut tx = d.txn();
         let mut staged = committed.clone();
         for _ in 0..rng.gen_range(1..6) {
             let i = rng.gen_range(0..rids.len());
             let mut rec = staged[i].clone();
             let pos = rng.gen_range(0..rec.len());
             rec[pos] = rng.gen();
-            d.heap_update(tx, heap, rids[i], &rec).unwrap();
+            tx.heap_update(heap, rids[i], &rec).unwrap();
             staged[i] = rec;
         }
         let commit = rng.gen_bool(0.7);
         if commit {
-            d.commit(tx).unwrap();
+            tx.commit().unwrap();
             committed = staged;
         } else {
-            d.abort(tx).unwrap();
+            tx.abort().unwrap();
         }
         if rng.gen_bool(0.4) {
             d.background_work().unwrap();
@@ -143,12 +143,12 @@ fn fault_episode_accounts_for_every_retired_block() {
     );
     let mut d = faulty_db(NxM::new(2, 8, 12), plan);
     let heap = d.create_heap(0);
-    let tx = d.begin();
+    let mut tx = d.txn();
     let mut rids = Vec::new();
     for i in 0..200 {
-        rids.push(d.heap_insert(tx, heap, &[i as u8; 24]).unwrap());
+        rids.push(tx.heap_insert(heap, &[i as u8; 24]).unwrap());
     }
-    d.commit(tx).unwrap();
+    tx.commit().unwrap();
     d.flush_all().unwrap();
 
     let region = d.region_stats(0).unwrap().clone();
@@ -169,18 +169,18 @@ fn crash_with_unflushed_log_loses_only_uncommitted_tail() {
     // must still produce a transaction-consistent prefix state.
     let mut d = db(NxM::tpcb());
     let heap = d.create_heap(0);
-    let tx = d.begin();
-    let rid = d.heap_insert(tx, heap, &[1u8, 1, 1, 1]).unwrap();
-    d.commit(tx).unwrap(); // commit forces the log up to here
+    let mut tx = d.txn();
+    let rid = tx.heap_insert(heap, &[1u8, 1, 1, 1]).unwrap();
+    tx.commit().unwrap(); // commit forces the log up to here
     d.flush_all().unwrap();
 
-    let tx = d.begin();
-    d.heap_update(tx, heap, rid, &[2u8, 1, 1, 1]).unwrap();
-    d.commit(tx).unwrap(); // forced
+    let mut tx = d.txn();
+    tx.heap_update(heap, rid, &[2u8, 1, 1, 1]).unwrap();
+    tx.commit().unwrap(); // forced
 
-    let tx = d.begin();
-    d.heap_update(tx, heap, rid, &[3u8, 1, 1, 1]).unwrap();
-    // Not committed, not forced: this change must vanish.
+    let mut tx = d.txn();
+    tx.heap_update(heap, rid, &[3u8, 1, 1, 1]).unwrap();
+    let _in_flight = tx.park(); // still open when the crash hits
     d.simulate_crash();
     d.recover().unwrap();
     assert_eq!(d.heap_read_unlocked(rid).unwrap(), vec![2, 1, 1, 1]);

@@ -99,25 +99,27 @@ fn engine_survives_interference_under_ipa_load() {
     flash.reliability.interference_bit_prob = 0.3;
     flash.reliability.ecc_correctable_bits = 64;
     let cfg = NoFtlConfig::single_region(flash, IpaMode::PSlc, 0.3);
-    let mut db =
-        ipa::engine::Database::open(cfg, &[NxM::new(2, 8, 12)], ipa::engine::DbConfig::eager(24))
-            .unwrap();
+    let mut db = ipa::engine::Database::builder(cfg)
+        .scheme(NxM::new(2, 8, 12))
+        .config(ipa::engine::DbConfig::eager(24))
+        .open()
+        .unwrap();
     let heap = db.create_heap(0);
-    let tx = db.begin();
+    let mut tx = db.txn();
     let mut rids = Vec::new();
     for i in 0..100u8 {
-        rids.push(db.heap_insert(tx, heap, &[i; 24]).unwrap());
+        rids.push(tx.heap_insert(heap, &[i; 24]).unwrap());
     }
-    db.commit(tx).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     for round in 1..=10u8 {
-        let tx = db.begin();
+        let mut tx = db.txn();
         for (i, rid) in rids.iter().enumerate().step_by(3) {
-            let mut rec = db.heap_read_unlocked(*rid).unwrap();
+            let mut rec = tx.db().heap_read_unlocked(*rid).unwrap();
             rec[0] = (i as u8).wrapping_add(round);
-            db.heap_update(tx, heap, *rid, &rec).unwrap();
+            tx.heap_update(heap, *rid, &rec).unwrap();
         }
-        db.commit(tx).unwrap();
+        tx.commit().unwrap();
         db.background_work().unwrap();
     }
     db.flush_all().unwrap();

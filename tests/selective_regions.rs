@@ -27,7 +27,12 @@ fn two_region_db() -> Database {
         fault_policy: Default::default(),
     };
     // Region 0 gets the [2x4] scheme, region 1 the [0x0] baseline layout.
-    Database::open(cfg, &[NxM::tpcb(), NxM::disabled()], DbConfig::eager(48)).unwrap()
+    Database::builder(cfg)
+        .scheme(NxM::tpcb())
+        .scheme(NxM::disabled())
+        .config(DbConfig::eager(48))
+        .open()
+        .unwrap()
 }
 
 #[test]
@@ -37,27 +42,27 @@ fn hot_table_appends_cold_table_does_not() {
     let cold = db.create_heap(1); // lives in rgPlain
 
     // Same access pattern against both tables.
-    let tx = db.begin();
+    let mut tx = db.txn();
     let mut hot_rids = Vec::new();
     let mut cold_rids = Vec::new();
     for i in 0..50u8 {
-        hot_rids.push(db.heap_insert(tx, hot, &[i; 20]).unwrap());
-        cold_rids.push(db.heap_insert(tx, cold, &[i; 20]).unwrap());
+        hot_rids.push(tx.heap_insert(hot, &[i; 20]).unwrap());
+        cold_rids.push(tx.heap_insert(cold, &[i; 20]).unwrap());
     }
-    db.commit(tx).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
 
     for round in 1..=6u8 {
-        let tx = db.begin();
+        let mut tx = db.txn();
         for i in (0..50).step_by(5) {
-            let mut h = db.heap_read_unlocked(hot_rids[i]).unwrap();
+            let mut h = tx.db().heap_read_unlocked(hot_rids[i]).unwrap();
             h[0] = h[0].wrapping_add(round);
-            db.heap_update(tx, hot, hot_rids[i], &h).unwrap();
-            let mut c = db.heap_read_unlocked(cold_rids[i]).unwrap();
+            tx.heap_update(hot, hot_rids[i], &h).unwrap();
+            let mut c = tx.db().heap_read_unlocked(cold_rids[i]).unwrap();
             c[0] = c[0].wrapping_add(round);
-            db.heap_update(tx, cold, cold_rids[i], &c).unwrap();
+            tx.heap_update(cold, cold_rids[i], &c).unwrap();
         }
-        db.commit(tx).unwrap();
+        tx.commit().unwrap();
         db.flush_all().unwrap();
     }
 
@@ -94,18 +99,18 @@ fn per_region_schemes_are_independent() {
     // An index in the IPA region also benefits (the paper: "tables or
     // indices").
     let idx = db.create_index(0).unwrap();
-    let tx = db.begin();
+    let mut tx = db.txn();
     for k in 0..64u64 {
-        db.index_insert(tx, idx, k, k).unwrap();
+        tx.index_insert(idx, k, k).unwrap();
     }
-    db.commit(tx).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     db.reset_stats();
     // A single value change in a leaf is a small update -> delta append.
-    let tx = db.begin();
-    db.index_delete(tx, idx, 63).unwrap();
-    db.index_insert(tx, idx, 63, 999).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    tx.index_delete(idx, 63).unwrap();
+    tx.index_insert(idx, 63, 999).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
     assert!(
         db.stats().ipa_flushes >= 1,
@@ -120,16 +125,16 @@ fn recovery_spans_regions() {
     let mut db = two_region_db();
     let hot = db.create_heap(0);
     let cold = db.create_heap(1);
-    let tx = db.begin();
-    let hr = db.heap_insert(tx, hot, &[1u8; 8]).unwrap();
-    let cr = db.heap_insert(tx, cold, &[2u8; 8]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let hr = tx.heap_insert(hot, &[1u8; 8]).unwrap();
+    let cr = tx.heap_insert(cold, &[2u8; 8]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
 
-    let tx = db.begin();
-    db.heap_update(tx, hot, hr, &[3u8; 8]).unwrap();
-    db.heap_update(tx, cold, cr, &[4u8; 8]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    tx.heap_update(hot, hr, &[3u8; 8]).unwrap();
+    tx.heap_update(cold, cr, &[4u8; 8]).unwrap();
+    tx.commit().unwrap();
 
     db.simulate_crash();
     db.recover().unwrap();

@@ -15,7 +15,7 @@ fn db_with_log(log_bytes: usize, reclaim_at: f64) -> Database {
     let mut dbc = DbConfig::eager(32);
     dbc.log_capacity_bytes = log_bytes;
     dbc.log_reclaim_threshold = reclaim_at;
-    Database::open(cfg, &[NxM::tpcb()], dbc).unwrap()
+    Database::builder(cfg).scheme(NxM::tpcb()).config(dbc).open().unwrap()
 }
 
 #[test]
@@ -24,22 +24,22 @@ fn eager_log_reclamation_forces_flushes_and_checkpoints() {
     // reclamation rounds, each flushing dirty pages and checkpointing.
     let mut db = db_with_log(20_000, 0.375);
     let heap = db.create_heap(0);
-    let tx = db.begin();
+    let mut tx = db.txn();
     let mut rids = Vec::new();
     for i in 0..50u8 {
-        rids.push(db.heap_insert(tx, heap, &[i; 32]).unwrap());
+        rids.push(tx.heap_insert(heap, &[i; 32]).unwrap());
     }
-    db.commit(tx).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
 
     for round in 0..60u8 {
-        let tx = db.begin();
+        let mut tx = db.txn();
         for rid in rids.iter().step_by(7) {
-            let mut rec = db.heap_read_unlocked(*rid).unwrap();
+            let mut rec = tx.db().heap_read_unlocked(*rid).unwrap();
             rec[1] = round;
-            db.heap_update(tx, heap, *rid, &rec).unwrap();
+            tx.heap_update(heap, *rid, &rec).unwrap();
         }
-        db.commit(tx).unwrap();
+        tx.commit().unwrap();
         db.background_work().unwrap();
     }
     let s = db.stats();
@@ -58,18 +58,18 @@ fn non_eager_log_accumulates_until_full() {
     // an append finds it at capacity.
     let mut db = db_with_log(15_000, 1.0);
     let heap = db.create_heap(0);
-    let tx = db.begin();
-    let rid = db.heap_insert(tx, heap, &[0u8; 32]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let rid = tx.heap_insert(heap, &[0u8; 32]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
 
     let mut reclaims_seen = 0;
     for round in 0..400u32 {
-        let tx = db.begin();
-        let mut rec = db.heap_read_unlocked(rid).unwrap();
+        let mut tx = db.txn();
+        let mut rec = tx.db().heap_read_unlocked(rid).unwrap();
         rec[..4].copy_from_slice(&round.to_le_bytes());
-        db.heap_update(tx, heap, rid, &rec).unwrap();
-        db.commit(tx).unwrap();
+        tx.heap_update(heap, rid, &rec).unwrap();
+        tx.commit().unwrap();
         db.background_work().unwrap();
         reclaims_seen = db.stats().log_reclaims;
     }
@@ -86,17 +86,17 @@ fn recovery_after_reclamation_replays_only_retained_log() {
     // sufficient for correct recovery (flushed pages carry their state).
     let mut db = db_with_log(20_000, 0.375);
     let heap = db.create_heap(0);
-    let tx = db.begin();
-    let rid = db.heap_insert(tx, heap, &[7u8; 32]).unwrap();
-    db.commit(tx).unwrap();
+    let mut tx = db.txn();
+    let rid = tx.heap_insert(heap, &[7u8; 32]).unwrap();
+    tx.commit().unwrap();
     db.flush_all().unwrap();
 
     for round in 0..80u8 {
-        let tx = db.begin();
-        let mut rec = db.heap_read_unlocked(rid).unwrap();
+        let mut tx = db.txn();
+        let mut rec = tx.db().heap_read_unlocked(rid).unwrap();
         rec[0] = round;
-        db.heap_update(tx, heap, rid, &rec).unwrap();
-        db.commit(tx).unwrap();
+        tx.heap_update(heap, rid, &rec).unwrap();
+        tx.commit().unwrap();
         db.background_work().unwrap();
     }
     assert!(db.stats().log_reclaims > 0);
@@ -114,28 +114,29 @@ fn active_transaction_pins_the_log_tail() {
     // after many reclaim rounds must still succeed.
     let mut db = db_with_log(20_000, 0.375);
     let heap = db.create_heap(0);
-    let tx0 = db.begin();
-    let rid = db.heap_insert(tx0, heap, &[1u8; 32]).unwrap();
-    db.commit(tx0).unwrap();
+    let mut tx0 = db.txn();
+    let rid = tx0.heap_insert(heap, &[1u8; 32]).unwrap();
+    tx0.commit().unwrap();
     db.flush_all().unwrap();
 
     // Long-running transaction makes one early change and stays open.
-    let long_tx = db.begin();
-    let mut rec = db.heap_read_unlocked(rid).unwrap();
+    let mut long_tx = db.txn();
+    let mut rec = long_tx.db().heap_read_unlocked(rid).unwrap();
     rec[0] = 0xEE;
-    db.heap_update(long_tx, heap, rid, &rec).unwrap();
+    long_tx.heap_update(heap, rid, &rec).unwrap();
+    let long_id = long_tx.park();
 
     // Other transactions churn the log past several reclamation rounds.
     let other = db.create_heap(0);
     for i in 0..60u8 {
-        let tx = db.begin();
-        db.heap_insert(tx, other, &[i; 64]).unwrap();
-        db.commit(tx).unwrap();
+        let mut tx = db.txn();
+        tx.heap_insert(other, &[i; 64]).unwrap();
+        tx.commit().unwrap();
         db.background_work().unwrap();
     }
     assert!(db.stats().log_reclaims > 0);
 
     // The long transaction can still roll back.
-    db.abort(long_tx).unwrap();
+    db.resume(long_id).unwrap().abort().unwrap();
     assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1u8; 32]);
 }
