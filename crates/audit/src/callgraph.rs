@@ -1,0 +1,229 @@
+//! Intra-workspace call graph over the item graph.
+//!
+//! Calls are extracted per function body from the token stream: a plain
+//! `name(`, a method `.name(` (with its receiver ident chain), or a
+//! qualified `Type::name(`. Resolution is by name — within the calling
+//! crate plus every sibling crate the file imports via `use ipa_*` —
+//! which is deliberately over-approximate: for lint purposes a call is
+//! *fallible* if **any** candidate with that name can return a `Result`,
+//! and a path *reaches* the lock manager if any candidate chain does.
+//! Over-approximation errs toward reporting, and the pragma layer absorbs
+//! the rare deliberate exception.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::itemgraph::{FnId, ItemGraph};
+use crate::lexer::{Tok, Token};
+use crate::workspace::Workspace;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (`abort`, `lock`, `submit_read`, ...).
+    pub name: String,
+    /// 1-indexed source line of the callee token.
+    pub line: u32,
+    /// Token index of the callee ident in the file's stream.
+    pub tok: usize,
+    /// Receiver ident chain for method calls (`self.db.abort_tx(..)` →
+    /// `["self", "db"]`); empty for plain calls.
+    pub receiver: Vec<String>,
+    /// Qualifying type for `Type::name(..)` calls.
+    pub qualifier: Option<String>,
+}
+
+/// The workspace call graph: per-function call lists plus resolution.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Caller → its call sites, in body order.
+    pub calls: BTreeMap<FnId, Vec<Call>>,
+}
+
+/// Keywords and control-flow idents that look like `name(` but are not
+/// calls.
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "fn"
+            | "move"
+            | "in"
+            | "let"
+            | "else"
+            | "impl"
+            | "where"
+            | "as"
+            | "ref"
+            | "mut"
+            | "pub"
+            | "use"
+            | "mod"
+            | "box"
+    )
+}
+
+impl CallGraph {
+    /// Extract every call site of every function in the item graph.
+    pub fn build(ws: &Workspace, items: &ItemGraph) -> CallGraph {
+        let mut graph = CallGraph::default();
+        for (id, f) in items.all_fns() {
+            let t = &ws.files[id.0].tokens;
+            graph.calls.insert(id, extract_calls(t, f.body.0, f.body.1));
+        }
+        graph
+    }
+
+    /// Call sites of one function (empty slice if unknown).
+    pub fn calls_of(&self, id: FnId) -> &[Call] {
+        self.calls.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Name-resolution candidates for a call made from `file`: every
+    /// function with that name in the file's visible crates (own crate +
+    /// `use ipa_*` imports). A `Type::name` qualifier narrows candidates
+    /// to methods of that type when any exist.
+    pub fn candidates(
+        &self,
+        ws: &Workspace,
+        items: &ItemGraph,
+        file: usize,
+        call: &Call,
+    ) -> Vec<FnId> {
+        let visible = items.visible_crates(ws, file);
+        let Some(ids) = items.fns_by_name.get(&call.name) else { return Vec::new() };
+        let mut found: Vec<FnId> = ids
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| visible.iter().any(|k| *k == ws.files[fi].krate))
+            .collect();
+        if let Some(q) = &call.qualifier {
+            let narrowed: Vec<FnId> = found
+                .iter()
+                .copied()
+                .filter(|&id| items.fn_item(id).impl_of.as_deref() == Some(q.as_str()))
+                .collect();
+            if !narrowed.is_empty() {
+                found = narrowed;
+            }
+        }
+        found
+    }
+
+    /// Whether a call can fail: some candidate's signature returns a
+    /// `Result` (or workspace error type).
+    pub fn callee_can_fail(
+        &self,
+        ws: &Workspace,
+        items: &ItemGraph,
+        file: usize,
+        call: &Call,
+    ) -> bool {
+        self.candidates(ws, items, file, call).iter().any(|&id| items.fn_item(id).returns_result)
+    }
+
+    /// Every function reachable from `roots` by resolving call names, the
+    /// roots included. Deterministic BFS over `BTreeSet`.
+    pub fn reachable(&self, ws: &Workspace, items: &ItemGraph, roots: &[FnId]) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+        let mut queue: Vec<FnId> = roots.to_vec();
+        while let Some(id) = queue.pop() {
+            for call in self.calls_of(id) {
+                for next in self.candidates(ws, items, id.0, call) {
+                    if seen.insert(next) {
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Scan `t[start..end]` for call sites.
+pub fn extract_calls(t: &[Token], start: usize, end: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in start..end.min(t.len()) {
+        let Some(name) = t[i].ident() else { continue };
+        if is_keyword(name) {
+            continue;
+        }
+        // A call is `name` directly followed by `(` — macros (`name!(`)
+        // and generic turbofish callees are naturally excluded; the
+        // turbofish form `name::<T>(` is rare enough in this workspace
+        // to ignore.
+        if !t.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let mut call = Call {
+            name: name.to_string(),
+            line: t[i].line,
+            tok: i,
+            receiver: Vec::new(),
+            qualifier: None,
+        };
+        if i >= 1 && t[i - 1].is_punct('.') {
+            // Method call: walk the receiver chain backwards through
+            // `ident . ident . ... .` (stopping at anything else).
+            let mut j = i - 1;
+            let mut chain = Vec::new();
+            while j >= 1 {
+                if !t[j].is_punct('.') {
+                    break;
+                }
+                match &t[j - 1].tok {
+                    Tok::Ident(id) => chain.push(id.clone()),
+                    Tok::Punct(')') | Tok::Punct(']') => {
+                        // Chained off a call/index result: receiver chain
+                        // ends here (good enough for the lints).
+                        break;
+                    }
+                    _ => break,
+                }
+                if j < 2 {
+                    break;
+                }
+                j -= 2;
+            }
+            chain.reverse();
+            call.receiver = chain;
+        } else if i >= 3
+            && t[i - 1].is_punct(':')
+            && t[i - 2].is_punct(':')
+            && t[i - 3].ident().is_some()
+        {
+            call.qualifier = t[i - 3].ident().map(str::to_string);
+        }
+        out.push(call);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn calls(src: &str) -> Vec<Call> {
+        let l = lex(src);
+        extract_calls(&l.tokens, 0, l.tokens.len())
+    }
+
+    #[test]
+    fn plain_method_and_qualified_calls() {
+        let c = calls("free(); self.db.abort_tx(id); LockManager::lock(a, b); vec![1].len();");
+        let names: Vec<&str> = c.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "abort_tx", "lock", "len"]);
+        assert_eq!(c[1].receiver, vec!["self", "db"]);
+        assert_eq!(c[2].qualifier.as_deref(), Some("LockManager"));
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let c = calls("if (x) { return (y); } assert!(z); println!(\"w\");");
+        assert!(c.is_empty(), "got: {c:?}");
+    }
+}

@@ -1,0 +1,465 @@
+//! Per-function CFG skeleton: statements, branches and loops as a tree,
+//! plus the open/close path evaluation behind the CFG-aware pairing
+//! lints (L004 queue pairing, L006 span pairing).
+//!
+//! This is not a full control-flow graph — expression-level control flow
+//! (`let x = if c { a } else { b };`, closure bodies) stays folded into
+//! its statement. What the tree does model is exactly what the pairing
+//! lints need: *statement-level* sequencing, `if`/`else if`/`else` and
+//! `match` arms, and loop bodies. Over that shape, [`outcome_after`]
+//! answers: starting **after** the statement that opened a resource
+//! (span, queued command), does every path reach a close before the
+//! function can exit?
+//!
+//! Exit edges are `return` statements and the `?` operator. The opening
+//! statement itself is outside the window (so `let id = submit(..)?;` is
+//! not a leak — the open failed, there is nothing to close), and a
+//! statement that contains the close counts as closing even when it also
+//! carries a `?` (the usual `close_span(id)?;` tail shape).
+
+use crate::lexer::{Tok, Token};
+use crate::source::match_brace;
+
+/// One node of the statement tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A flat statement (or tail expression): half-open token range.
+    Stmt {
+        /// Covered token range.
+        range: (usize, usize),
+        /// 1-indexed line of the statement start.
+        line: u32,
+    },
+    /// `if`/`else if`/`else` chain or a `match`: one node list per arm.
+    Branch {
+        /// Covered token range (header and all arms).
+        range: (usize, usize),
+        /// Arm bodies. An `if` without `else` gets an implicit empty arm.
+        arms: Vec<Vec<Node>>,
+    },
+    /// `loop` / `while` / `for` body (may run zero times).
+    Loop {
+        /// Covered token range.
+        range: (usize, usize),
+        /// Body nodes.
+        body: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn range(&self) -> (usize, usize) {
+        match self {
+            Node::Stmt { range, .. } | Node::Branch { range, .. } | Node::Loop { range, .. } => {
+                *range
+            }
+        }
+    }
+
+    fn contains(&self, tok: usize) -> bool {
+        let (a, b) = self.range();
+        a <= tok && tok < b
+    }
+}
+
+/// Where the paths after an open lead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every path reaches a close.
+    Closed,
+    /// No path closes (falls off the end of the window).
+    Open,
+    /// Some path exits the function (`return` / `?`) before any close;
+    /// carries the line of the escaping statement.
+    Leak(u32),
+    /// A close exists but only on some paths (inside one branch arm or a
+    /// zero-iteration loop).
+    Partial,
+}
+
+/// Build the statement tree for a function body. `open` is the index of
+/// the body `{`; the tree covers the tokens inside the matching braces.
+pub fn build(t: &[Token], open: usize, close: usize) -> Vec<Node> {
+    parse_block(t, open + 1, close.saturating_sub(1))
+}
+
+/// Parse the statements of `t[start..end)` (the inside of a block).
+fn parse_block(t: &[Token], start: usize, end: usize) -> Vec<Node> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        match &t[i].tok {
+            Tok::Punct(';') => i += 1,
+            Tok::Ident(kw) if kw == "if" || kw == "match" => {
+                let (node, next) = parse_branch(t, i, end, kw == "match");
+                out.push(node);
+                i = next;
+            }
+            Tok::Ident(kw) if kw == "loop" || kw == "while" || kw == "for" => {
+                let Some(open) = find_block_open(t, i + 1, end) else {
+                    i = end;
+                    continue;
+                };
+                let close = match_brace(t, open).min(end + 1);
+                out.push(Node::Loop {
+                    range: (i, close),
+                    body: parse_block(t, open + 1, close.saturating_sub(1)),
+                });
+                i = close;
+            }
+            Tok::Punct('{') => {
+                // Bare block: model as a single-arm branch (always taken).
+                let close = match_brace(t, i).min(end + 1);
+                out.push(Node::Branch {
+                    range: (i, close),
+                    arms: vec![parse_block(t, i + 1, close.saturating_sub(1))],
+                });
+                i = close;
+            }
+            _ => {
+                let (node, next) = parse_stmt(t, i, end);
+                out.push(node);
+                i = next;
+            }
+        }
+    }
+    out
+}
+
+/// A flat statement: everything to the `;` at brace/paren/bracket depth 0
+/// (or the end of the block — a tail expression).
+fn parse_stmt(t: &[Token], start: usize, end: usize) -> (Node, usize) {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        match &t[i].tok {
+            Tok::Punct('{' | '(' | '[') => depth += 1,
+            Tok::Punct('}' | ')' | ']') => depth -= 1,
+            Tok::Punct(';') if depth <= 0 => {
+                i += 1;
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (Node::Stmt { range: (start, i), line: t[start].line }, i)
+}
+
+/// The first `{` at paren/bracket depth 0 from `i` — the block opener of
+/// an `if`/`while`/`for`/`match` header. (Rust forbids bare struct
+/// literals in these header expressions, so the first depth-0 `{` is the
+/// block.)
+fn find_block_open(t: &[Token], i: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        match &t[j].tok {
+            Tok::Punct('(' | '[') => depth += 1,
+            Tok::Punct(')' | ']') => depth -= 1,
+            Tok::Punct('{') if depth <= 0 => return Some(j),
+            Tok::Punct(';') if depth <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse an `if`/`else if`/`else` chain (arms; implicit empty arm when no
+/// `else`) or a `match` (one arm per `=> ...`).
+fn parse_branch(t: &[Token], start: usize, end: usize, is_match: bool) -> (Node, usize) {
+    if is_match {
+        let Some(open) = find_block_open(t, start + 1, end) else {
+            return parse_stmt(t, start, end);
+        };
+        let close = match_brace(t, open).min(end + 1);
+        let arms = parse_match_arms(t, open + 1, close.saturating_sub(1));
+        return (Node::Branch { range: (start, close), arms }, close);
+    }
+    // if / else-if / else chain.
+    let mut arms = Vec::new();
+    let mut i = start;
+    let mut has_else = false;
+    loop {
+        // `i` sits on `if` (or the final `else` handled below).
+        let Some(open) = find_block_open(t, i + 1, end) else {
+            return parse_stmt(t, start, end);
+        };
+        let close = match_brace(t, open).min(end + 1);
+        arms.push(parse_block(t, open + 1, close.saturating_sub(1)));
+        i = close;
+        if i < end && t[i].is_ident("else") {
+            if t.get(i + 1).is_some_and(|n| n.is_ident("if")) {
+                i += 1; // chain: loop again from the `if`
+                continue;
+            }
+            // Final `else { ... }`.
+            let Some(eopen) = find_block_open(t, i + 1, end) else { break };
+            let eclose = match_brace(t, eopen).min(end + 1);
+            arms.push(parse_block(t, eopen + 1, eclose.saturating_sub(1)));
+            has_else = true;
+            i = eclose;
+        }
+        break;
+    }
+    if !has_else {
+        arms.push(Vec::new()); // fall-through path
+    }
+    (Node::Branch { range: (start, i), arms }, i)
+}
+
+/// Split the inside of a `match` body into arm node lists. Each arm is
+/// `pattern => body`, the body being a block or an expression ending at a
+/// depth-0 `,`.
+fn parse_match_arms(t: &[Token], start: usize, end: usize) -> Vec<Vec<Node>> {
+    let mut arms = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Find the `=>` of this arm at depth 0.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut j = i;
+        while j < end {
+            match &t[j].tok {
+                Tok::Punct('{' | '(' | '[') => depth += 1,
+                Tok::Punct('}' | ')' | ']') => depth -= 1,
+                Tok::Punct('=') if depth <= 0 && t.get(j + 1).is_some_and(|n| n.is_punct('>')) => {
+                    arrow = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let body_start = arrow + 2;
+        if t.get(body_start).is_some_and(|n| n.is_punct('{')) {
+            let close = match_brace(t, body_start).min(end + 1);
+            arms.push(parse_block(t, body_start + 1, close.saturating_sub(1)));
+            i = close;
+            if i < end && t[i].is_punct(',') {
+                i += 1;
+            }
+        } else {
+            // Expression arm: to the `,` at depth 0 (or end).
+            let mut depth = 0i32;
+            let mut k = body_start;
+            while k < end {
+                match &t[k].tok {
+                    Tok::Punct('{' | '(' | '[') => depth += 1,
+                    Tok::Punct('}' | ')' | ']') => depth -= 1,
+                    Tok::Punct(',') if depth <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k > body_start {
+                arms.push(vec![Node::Stmt { range: (body_start, k), line: t[body_start].line }]);
+            } else {
+                arms.push(Vec::new());
+            }
+            i = k + 1;
+        }
+    }
+    arms
+}
+
+/// Evaluate the paths starting **after** the node containing `open_tok`.
+/// Returns `None` when no node contains the token (shouldn't happen for a
+/// token inside the body the tree was built from).
+pub fn outcome_after(
+    nodes: &[Node],
+    t: &[Token],
+    open_tok: usize,
+    is_close: &dyn Fn(&Token) -> bool,
+) -> Option<Outcome> {
+    let idx = nodes.iter().position(|n| n.contains(open_tok))?;
+    let rest = &nodes[idx + 1..];
+    let inner = match &nodes[idx] {
+        Node::Stmt { range, .. } => {
+            // A close in the opening statement itself (the nested
+            // `complete(submit(..)?)` shape) closes on the spot.
+            if t[range.0..range.1.min(t.len())].iter().any(is_close) {
+                return Some(Outcome::Closed);
+            }
+            return Some(eval_seq(rest, t, is_close));
+        }
+        Node::Branch { arms, .. } => {
+            arms.iter().find_map(|a| outcome_after(a, t, open_tok, is_close))
+        }
+        Node::Loop { body, .. } => outcome_after(body, t, open_tok, is_close),
+    };
+    Some(match inner {
+        Some(Outcome::Closed) => Outcome::Closed,
+        Some(Outcome::Leak(line)) => Outcome::Leak(line),
+        Some(Outcome::Partial) => match eval_seq(rest, t, is_close) {
+            Outcome::Closed => Outcome::Closed,
+            Outcome::Leak(line) => Outcome::Leak(line),
+            _ => Outcome::Partial,
+        },
+        // Open in the inner scope (or the token sat in a branch header):
+        // keep walking the enclosing sequence.
+        Some(Outcome::Open) | None => eval_seq(rest, t, is_close),
+    })
+}
+
+/// Evaluate a node sequence from its start.
+fn eval_seq(nodes: &[Node], t: &[Token], is_close: &dyn Fn(&Token) -> bool) -> Outcome {
+    let mut partial = false;
+    for node in nodes {
+        match node {
+            Node::Stmt { range, line } => {
+                let toks = &t[range.0..range.1.min(t.len())];
+                if toks.iter().any(is_close) {
+                    return Outcome::Closed;
+                }
+                let escapes = toks.iter().any(|tok| tok.is_ident("return") || tok.is_punct('?'));
+                if escapes {
+                    return Outcome::Leak(*line);
+                }
+            }
+            Node::Branch { arms, .. } => {
+                let outs: Vec<Outcome> = arms.iter().map(|a| eval_seq(a, t, is_close)).collect();
+                if let Some(Outcome::Leak(line)) =
+                    outs.iter().find(|o| matches!(o, Outcome::Leak(_)))
+                {
+                    return Outcome::Leak(*line);
+                }
+                if !outs.is_empty() && outs.iter().all(|o| *o == Outcome::Closed) {
+                    return Outcome::Closed;
+                }
+                if outs.iter().any(|o| matches!(o, Outcome::Closed | Outcome::Partial)) {
+                    partial = true;
+                }
+            }
+            Node::Loop { body, .. } => match eval_seq(body, t, is_close) {
+                Outcome::Leak(line) => return Outcome::Leak(line),
+                // A close inside a loop body is conditional: the loop may
+                // run zero times.
+                Outcome::Closed | Outcome::Partial => partial = true,
+                Outcome::Open => {}
+            },
+        }
+    }
+    if partial {
+        Outcome::Partial
+    } else {
+        Outcome::Open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Evaluate `src` as a fn body: the open is the `open_res` ident, the
+    /// close is the `close_res` ident.
+    fn outcome(src: &str) -> Outcome {
+        let l = lex(src);
+        let open = l.tokens.iter().position(|t| t.is_punct('{')).expect("body brace");
+        let close = match_brace(&l.tokens, open);
+        let nodes = build(&l.tokens, open, close);
+        let open_tok = l.tokens.iter().position(|t| t.is_ident("open_res")).expect("open_res site");
+        outcome_after(&nodes, &l.tokens, open_tok, &|t| t.is_ident("close_res"))
+            .expect("open inside body")
+    }
+
+    #[test]
+    fn straight_line_close_is_closed() {
+        assert_eq!(
+            outcome("fn f() { let id = open_res(); work(); close_res(id); }"),
+            Outcome::Closed
+        );
+    }
+
+    #[test]
+    fn no_close_is_open() {
+        assert_eq!(outcome("fn f() { let id = open_res(); work(); }"), Outcome::Open);
+    }
+
+    #[test]
+    fn question_mark_between_open_and_close_leaks() {
+        assert_eq!(
+            outcome("fn f() -> R { let id = open_res(); work()?; close_res(id); Ok(()) }"),
+            Outcome::Leak(1)
+        );
+    }
+
+    #[test]
+    fn early_return_leaks() {
+        assert_eq!(
+            outcome("fn f() { let id = open_res(); if bad { return; } close_res(id); }"),
+            Outcome::Leak(1)
+        );
+    }
+
+    #[test]
+    fn question_on_open_stmt_is_exempt_and_close_stmt_may_fail() {
+        // `?` on the open itself (nothing to close if it fails) and on the
+        // closing statement (close happened) are both fine.
+        assert_eq!(
+            outcome("fn f() -> R { let id = open_res()?; let c = close_res(id)?; Ok(c) }"),
+            Outcome::Closed
+        );
+    }
+
+    #[test]
+    fn nested_close_in_the_opening_statement_is_closed() {
+        assert_eq!(outcome("fn f() -> R { close_res(open_res()?)?; Ok(()) }"), Outcome::Closed);
+    }
+
+    #[test]
+    fn close_in_one_branch_arm_is_partial() {
+        assert_eq!(
+            outcome("fn f() { let id = open_res(); if done { close_res(id); } }"),
+            Outcome::Partial
+        );
+    }
+
+    #[test]
+    fn close_in_both_arms_is_closed() {
+        assert_eq!(
+            outcome(
+                "fn f() { let id = open_res(); if a { close_res(id); } else { close_res(id); } }"
+            ),
+            Outcome::Closed
+        );
+    }
+
+    #[test]
+    fn close_in_every_match_arm_is_closed() {
+        assert_eq!(
+            outcome(
+                "fn f() { let id = open_res(); match r { Ok(v) => close_res(id), Err(e) => { log(e); close_res(id); } } }"
+            ),
+            Outcome::Closed
+        );
+    }
+
+    #[test]
+    fn close_inside_loop_is_partial() {
+        assert_eq!(
+            outcome("fn f() { let id = open_res(); for x in xs { close_res(id); } }"),
+            Outcome::Partial
+        );
+    }
+
+    #[test]
+    fn break_inside_loop_then_close_after_is_closed() {
+        assert_eq!(
+            outcome(
+                "fn f() { let id = open_res(); loop { step(); if done { break; } } close_res(id); }"
+            ),
+            Outcome::Closed
+        );
+    }
+
+    #[test]
+    fn open_inside_branch_close_after_is_closed() {
+        assert_eq!(
+            outcome("fn f() { let mut id = 0; if go { id = open_res(); } close_res(id); }"),
+            Outcome::Closed
+        );
+    }
+}

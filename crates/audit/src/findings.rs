@@ -134,6 +134,54 @@ impl Report {
         s.push_str("}\n");
         s
     }
+
+    /// Serialize the report as a SARIF 2.1.0 document for code-scanning
+    /// upload. Deterministic: findings are already sorted by
+    /// (file, line, code), and rules render in registry order.
+    pub fn to_sarif(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        s.push_str("  \"version\": \"2.1.0\",\n");
+        s.push_str("  \"runs\": [\n    {\n");
+        s.push_str("      \"tool\": {\n        \"driver\": {\n");
+        s.push_str("          \"name\": \"ipa-audit\",\n");
+        s.push_str("          \"informationUri\": \"https://example.invalid/ipa-audit\",\n");
+        s.push_str("          \"rules\": [\n");
+        for (i, (code, name, _)) in self.lints.iter().enumerate() {
+            let comma = if i + 1 == self.lints.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "            {{\"id\": {}, \"name\": {}}}{}",
+                json_str(code),
+                json_str(name),
+                comma
+            );
+        }
+        s.push_str("          ]\n        }\n      },\n");
+        s.push_str("      \"results\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 == self.findings.len() { "" } else { "," };
+            let level = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = writeln!(
+                s,
+                "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}",
+                json_str(f.code),
+                json_str(level),
+                json_str(&f.message),
+                json_str(&f.file),
+                f.line,
+                comma
+            );
+        }
+        s.push_str("      ]\n    }\n  ]\n}\n");
+        s
+    }
 }
 
 /// Minimal JSON string escaping.
@@ -184,6 +232,26 @@ mod tests {
         // Balanced braces/brackets.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_names_rule_file_and_line() {
+        let mut r = Report::default();
+        r.lints.push(("L008", "determinism", 1));
+        r.findings.push(Finding {
+            code: "L008",
+            severity: Severity::Error,
+            file: "crates/engine/src/lock.rs".into(),
+            line: 7,
+            message: "hash order".into(),
+        });
+        let s = r.to_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"L008\""));
+        assert!(s.contains("\"uri\": \"crates/engine/src/lock.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 
     #[test]

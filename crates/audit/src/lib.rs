@@ -21,9 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod cfg;
 pub mod findings;
+pub mod itemgraph;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 pub mod pragma;
 pub mod source;
 pub mod workspace;
@@ -34,6 +38,26 @@ use std::path::Path;
 use findings::{Finding, Report, Severity, Suppressed};
 use workspace::Workspace;
 
+/// Shared semantic context handed to every lint: the workspace plus the
+/// item graph and call graph built over it once per audit.
+pub struct Analysis<'a> {
+    /// The loaded workspace (token streams + manifests).
+    pub ws: &'a Workspace,
+    /// Items: crates → files → fns/impls/structs/enums with token spans.
+    pub items: itemgraph::ItemGraph,
+    /// Name-resolved intra-workspace call graph.
+    pub calls: callgraph::CallGraph,
+}
+
+impl<'a> Analysis<'a> {
+    /// Build the item and call graphs for a workspace.
+    pub fn new(ws: &'a Workspace) -> Analysis<'a> {
+        let items = itemgraph::ItemGraph::build(ws);
+        let calls = callgraph::CallGraph::build(ws, &items);
+        Analysis { ws, items, calls }
+    }
+}
+
 /// Load the workspace rooted at `root` and audit it.
 pub fn run(root: &Path) -> io::Result<Report> {
     let ws = Workspace::load(root)?;
@@ -43,11 +67,12 @@ pub fn run(root: &Path) -> io::Result<Report> {
 /// Audit an already-loaded workspace: run every registered lint, apply
 /// suppression pragmas, and assemble the report.
 pub fn audit(ws: &Workspace) -> Report {
+    let cx = Analysis::new(ws);
     let mut report = Report { files_scanned: ws.files.len(), ..Report::default() };
     let mut live: Vec<Finding> = Vec::new();
     for lint in lints::all() {
         let before = live.len();
-        lint.check(ws, &mut live);
+        lint.check(&cx, &mut live);
         report.lints.push((lint.code(), lint.name(), live.len() - before));
     }
     apply_pragmas(ws, &mut live, &mut report);

@@ -20,7 +20,7 @@
 use super::pat;
 use super::Lint;
 use crate::findings::{Finding, Severity};
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// See module docs.
 pub struct NoPanic;
@@ -43,7 +43,8 @@ impl Lint for NoPanic {
          use typed errors"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        let ws = cx.ws;
         for file in &ws.files {
             if !HOT_CRATES.contains(&file.krate.as_str()) || file.test_file {
                 continue;

@@ -26,7 +26,7 @@
 
 use super::Lint;
 use crate::findings::{Finding, Severity};
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// See module docs.
 pub struct Layering;
@@ -74,7 +74,8 @@ impl Lint for Layering {
          directly, core/flash depend on nothing in-workspace"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        let ws = cx.ws;
         for m in &ws.manifests {
             let Some((_, allowed)) = MANIFEST_RULES.iter().find(|(k, _)| *k == m.krate) else {
                 continue;

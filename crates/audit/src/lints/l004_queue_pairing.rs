@@ -4,27 +4,30 @@
 //! `complete` / `poll_completions` / `drain`) makes it possible to leak
 //! commands: a function that submits but never drains leaves work stuck in
 //! the device queues forever, and the chip-parallel scheduler stalls once
-//! the host queue fills. This lint requires that every non-test function
-//! containing a `submit` / `submit_*` call satisfies one of:
+//! the host queue fills. This lint requires that every `submit` /
+//! `submit_*` call site in non-test code satisfies one of:
 //!
-//! * it also calls a completion API (`complete`, `poll_completions`,
-//!   `drain`, `drain_completions`, `drain_all`) — the usual
-//!   submit-then-drain shape;
-//! * its own name starts with `submit` or `stage` — it *is* the
-//!   producer-side API, deferring the drain to its caller by convention
-//!   (e.g. `Db::stage_flush`);
+//! * every path from the submit reaches a completion API (`complete`,
+//!   `poll_completions`, `drain`, `drain_completions`, `drain_all`)
+//!   before the function can exit — checked over the per-function CFG
+//!   skeleton ([`crate::cfg`]), so an early `return` / `?` between
+//!   submit and completion, or a completion on only one branch arm, is a
+//!   finding even when the completion call is textually present;
+//! * the enclosing function's name starts with `submit` or `stage` — it
+//!   *is* the producer-side API, deferring the drain to its caller by
+//!   convention (e.g. `Db::stage_flush`);
 //! * `CmdId` appears in its signature — it hands the command id back to
 //!   the caller, who owns completion.
 //!
-//! The check is a per-function token heuristic, not a CFG analysis: it
-//! cannot see *conditional* leaks, but it pins the repo-wide convention
-//! that submission and completion responsibilities are never silently
-//! split across unrelated functions.
+//! The submit statement itself is outside the checked window: a `?` on
+//! `let id = self.submit_read(..)?;` is not a leak (the submit failed —
+//! there is nothing to complete).
 
 use super::Lint;
+use crate::cfg::{self, Outcome};
 use crate::findings::{Finding, Severity};
 use crate::lexer::Token;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// See module docs.
 pub struct QueuePairing;
@@ -41,58 +44,70 @@ impl Lint for QueuePairing {
         "queue-pairing"
     }
     fn description(&self) -> &'static str {
-        "every submit/submit_* call is paired with complete/poll_completions/drain \
-         in the same function, or the function visibly defers completion \
-         (submit*/stage* name, CmdId in signature)"
+        "every submit/submit_* call reaches complete/poll_completions/drain on \
+         all CFG paths of its function, or the function visibly defers \
+         completion (submit*/stage* name, CmdId in signature)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        let is_close = |tok: &Token| tok.ident().is_some_and(|id| COMPLETION_FNS.contains(&id));
+        for (fi, file) in cx.ws.files.iter().enumerate() {
             if file.krate == "audit" || file.test_file {
                 continue;
             }
             let t = &file.tokens;
-            for f in file.functions() {
+            for (_, f) in cx.items.fns_of_file(fi) {
                 if file.is_test(f.body.0) {
                     continue;
                 }
                 if f.name.starts_with("submit") || f.name.starts_with("stage") {
                     continue;
                 }
-                let body = &t[f.body.0..f.body.1];
-                let Some(submit_tok) = body.iter().zip(body.iter().skip(1)).find_map(|(a, b)| {
-                    let id = a.ident()?;
-                    let is_submit = id == "submit" || id.starts_with("submit_");
-                    (is_submit && b.is_punct('(')).then_some(a)
-                }) else {
-                    continue;
-                };
-                let sig = &t[f.sig.0..f.sig.1];
-                if sig.iter().any(|tok| tok.is_ident("CmdId")) {
+                let sites: Vec<usize> = (f.body.0..f.body.1.min(t.len()))
+                    .filter(|&i| {
+                        t[i].ident().is_some_and(|id| id == "submit" || id.starts_with("submit_"))
+                            && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    })
+                    .collect();
+                if sites.is_empty() {
                     continue;
                 }
-                if body.iter().any(is_completion) {
+                if t[f.sig.0..f.sig.1].iter().any(|tok| tok.is_ident("CmdId")) {
                     continue;
                 }
-                out.push(Finding {
-                    code: "L004",
-                    severity: Severity::Error,
-                    file: file.path.clone(),
-                    line: submit_tok.line,
-                    message: format!(
-                        "fn `{}` submits queued I/O but never completes it; pair the \
-                         submit with complete/poll_completions/drain, return the CmdId, \
-                         or rename to submit_*/stage_* to defer completion to the caller",
-                        f.name
-                    ),
-                });
+                let nodes = cfg::build(t, f.body.0, f.body.1);
+                for site in sites {
+                    let outcome =
+                        cfg::outcome_after(&nodes, t, site, &is_close).unwrap_or(Outcome::Open);
+                    if let Some(why) = describe_leak(outcome) {
+                        out.push(Finding {
+                            code: "L004",
+                            severity: Severity::Error,
+                            file: file.path.clone(),
+                            line: t[site].line,
+                            message: format!(
+                                "fn `{}` submits queued I/O but {why}; pair the submit \
+                                 with complete/poll_completions/drain on every path, \
+                                 return the CmdId, or rename to submit_*/stage_* to \
+                                 defer completion to the caller",
+                                f.name
+                            ),
+                        });
+                    }
+                }
             }
         }
     }
 }
 
-/// Is `tok` a completion-API name? (Cheap containment check — position
-/// relative to `(` is not needed because the names are specific enough.)
-fn is_completion(tok: &Token) -> bool {
-    tok.ident().is_some_and(|id| COMPLETION_FNS.contains(&id))
+/// Human phrasing for a non-Closed outcome; `None` when the path is fine.
+fn describe_leak(outcome: Outcome) -> Option<String> {
+    match outcome {
+        Outcome::Closed => None,
+        Outcome::Open => Some("never completes it".to_string()),
+        Outcome::Leak(line) => {
+            Some(format!("an early exit (`return`/`?`) at line {line} can leave it uncompleted"))
+        }
+        Outcome::Partial => Some("completes it only on some paths".to_string()),
+    }
 }

@@ -14,7 +14,7 @@
 use super::Lint;
 use crate::findings::{Finding, Severity};
 use crate::lexer::Token;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// See module docs.
 pub struct MustUse;
@@ -37,7 +37,8 @@ impl Lint for MustUse {
          obs/flash/noftl carry #[must_use]"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        let ws = cx.ws;
         for file in &ws.files {
             if !MEASURED_CRATES.contains(&file.krate.as_str()) || file.test_file {
                 continue;

@@ -20,7 +20,7 @@
 use super::Lint;
 use crate::findings::{Finding, Severity};
 use crate::lexer::Token;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 /// See module docs.
 pub struct TxDiscipline;
@@ -37,7 +37,8 @@ impl Lint for TxDiscipline {
          shims outside ipa-engine; transactions run through the Txn guard"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        let ws = cx.ws;
         for file in &ws.files {
             if file.krate == "engine" || file.krate == "audit" || file.test_file {
                 continue;

@@ -1,0 +1,287 @@
+//! L008 — the deterministic core must not observe nondeterministic order
+//! or ambient host state.
+//!
+//! Bit-identical replay is a load-bearing property of the stack: the
+//! multi-client pool (PR 7) asserts identical traces per seed, fault
+//! injection (PR 4) replays failure schedules, and every benchmark
+//! comparison assumes the same seed produces the same device history.
+//! Two things silently break it:
+//!
+//! * **unordered container iteration** — `HashMap` / `HashSet` iterate in
+//!   randomized order (std's SipHash seeding), so any iteration whose
+//!   effects are order-sensitive diverges between processes. Keyed
+//!   lookups (`get`, `contains_key`, `insert`, `remove`) are fine; so is
+//!   iteration whose *statement* visibly reduces to an order-insensitive
+//!   value (`sum`, `count`, `len`, `min`/`max`, `all`/`any`, or an
+//!   explicit `sort*`). Everything else should use `BTreeMap` /
+//!   `BTreeSet` or sort before acting.
+//! * **ambient host state** — `Instant::now` / `SystemTime`,
+//!   `thread::spawn`, and `std::env` reads inject wall-clock, scheduler
+//!   or environment nondeterminism into simulated time.
+//!
+//! Scope: non-test code of `flash` / `noftl` / `engine` (the replayed
+//! core). Workloads, bench and obs are free to read clocks. Deliberate
+//! exceptions take `// audit:allow(L008, reason = ...)`.
+
+use std::collections::BTreeSet;
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::lexer::Token;
+use crate::source::SourceFile;
+use crate::Analysis;
+
+/// See module docs.
+pub struct Determinism;
+
+/// Crates that must replay bit-identically.
+const CORE_CRATES: [&str; 3] = ["flash", "noftl", "engine"];
+
+/// Iteration methods whose visit order is the hash order.
+const ITER_METHODS: [&str; 11] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Idents that make an iterating statement order-insensitive.
+const ORDER_INSENSITIVE: [&str; 19] = [
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "sum",
+    "count",
+    "len",
+    "all",
+    "any",
+    "contains",
+    "fold",
+];
+
+impl Lint for Determinism {
+    fn code(&self) -> &'static str {
+        "L008"
+    }
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+    fn description(&self) -> &'static str {
+        "no order-sensitive HashMap/HashSet iteration and no Instant/SystemTime/\
+         thread::spawn/std::env reads in non-test flash/noftl/engine code; use \
+         BTreeMap/BTreeSet or sort, and simulated time"
+    }
+
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        for file in &cx.ws.files {
+            if !CORE_CRATES.contains(&file.krate.as_str()) || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            let hashed = hashed_names(t);
+            for i in 0..t.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                if let Some(msg) = ambient_state(t, i) {
+                    out.push(finding(file, t[i].line, msg));
+                    continue;
+                }
+                if let Some(name) = iteration_site(t, i, &hashed) {
+                    let (lo, hi) = statement_bounds(t, i);
+                    let insensitive = t[lo..hi]
+                        .iter()
+                        .any(|tok| tok.ident().is_some_and(|id| ORDER_INSENSITIVE.contains(&id)));
+                    if !insensitive {
+                        out.push(finding(
+                            file,
+                            t[i].line,
+                            format!(
+                                "iteration over hash-ordered `{name}` in the deterministic \
+                                 core; visit order varies per process — use BTreeMap/\
+                                 BTreeSet, sort the keys first, or reduce to an \
+                                 order-insensitive value in the same statement"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding { code: "L008", severity: Severity::Error, file: file.path.clone(), line, message }
+}
+
+/// Names declared (or assigned) with a `HashMap` / `HashSet` type in this
+/// file: `name: HashMap<..>` fields/params/ascriptions and
+/// `name = HashMap::new()`-style initializations, `std::collections::`
+/// path prefixes included.
+fn hashed_names(t: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..t.len() {
+        if !t[i].ident().is_some_and(|id| id == "HashMap" || id == "HashSet") {
+            continue;
+        }
+        // Walk back over a `std :: collections ::`-style path prefix.
+        let mut k = i;
+        while k >= 3
+            && t[k - 1].is_punct(':')
+            && t[k - 2].is_punct(':')
+            && t[k - 3].ident().is_some()
+        {
+            k -= 3;
+        }
+        // Skip reference/mutability sigils: `name: &mut HashMap<..>`.
+        while k >= 1
+            && (t[k - 1].is_punct('&')
+                || t[k - 1].is_ident("mut")
+                || t[k - 1].tok == crate::lexer::Tok::Lifetime)
+        {
+            k -= 1;
+        }
+        if k < 2 {
+            continue;
+        }
+        // `name : HashMap` (single colon — not a path `::`).
+        if t[k - 1].is_punct(':') && !t[k - 2].is_punct(':') {
+            if let Some(name) = t[k - 2].ident() {
+                names.insert(name.to_string());
+            }
+        }
+        // `name = HashMap::new()` / `= HashMap::with_capacity(..)`.
+        if t[k - 1].is_punct('=') && !t[k - 2].is_punct('=') {
+            if let Some(name) = t[k - 2].ident() {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// If token `i` is a hash-ordered iteration site, the offending name:
+/// either `name.iter_method(` for a known hashed `name`, or a
+/// `for .. in` whose iterated expression mentions a hashed name without
+/// an adapter that restores order.
+fn iteration_site(t: &[Token], i: usize, hashed: &BTreeSet<String>) -> Option<String> {
+    // `name . iter (` — the receiver ident directly before the method.
+    if let Some(name) = t[i].ident() {
+        if hashed.contains(name)
+            && t.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && t.get(i + 2).and_then(Token::ident).is_some_and(|m| ITER_METHODS.contains(&m))
+            && t.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            return Some(name.to_string());
+        }
+    }
+    // `for pat in <expr> {` with a hashed name in the header expression.
+    if t[i].is_ident("for") {
+        let mut j = i + 1;
+        while j < t.len() && !t[j].is_ident("in") {
+            if t[j].is_punct('{') || t[j].is_punct(';') {
+                return None; // not a for-loop header after all
+            }
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        while k < t.len() {
+            match &t[k].tok {
+                crate::lexer::Tok::Punct('(' | '[') => depth += 1,
+                crate::lexer::Tok::Punct(')' | ']') => depth -= 1,
+                crate::lexer::Tok::Punct('{') if depth <= 0 => break,
+                crate::lexer::Tok::Ident(id) if hashed.contains(id) => {
+                    // Already reported at the `name.iter()` site?
+                    let direct = t.get(k + 1).is_some_and(|n| n.is_punct('.'))
+                        && t.get(k + 2)
+                            .and_then(Token::ident)
+                            .is_some_and(|m| ITER_METHODS.contains(&m));
+                    if !direct {
+                        return Some(id.clone());
+                    }
+                    return None;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    None
+}
+
+/// Ambient host-state reads: wall clocks, threads, environment.
+fn ambient_state(t: &[Token], i: usize) -> Option<String> {
+    let path2 = |a: &str, b: &str| {
+        t[i].is_ident(a)
+            && t.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && t.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && t.get(i + 3).is_some_and(|n| n.is_ident(b))
+    };
+    if path2("Instant", "now") {
+        return Some(
+            "`Instant::now` in the deterministic core; use simulated device time".to_string(),
+        );
+    }
+    if t[i].is_ident("SystemTime") {
+        return Some(
+            "`SystemTime` in the deterministic core; use simulated device time".to_string(),
+        );
+    }
+    if path2("thread", "spawn") {
+        return Some(
+            "`thread::spawn` in the deterministic core; scheduling must stay \
+             single-threaded and seeded"
+                .to_string(),
+        );
+    }
+    if path2("std", "env") || path2("env", "var") {
+        return Some(
+            "`std::env` read in the deterministic core; configuration must flow \
+             through explicit config structs"
+                .to_string(),
+        );
+    }
+    None
+}
+
+/// The enclosing statement of token `i`: back to the previous `;`/`{`/`}`
+/// and forward to the next `;` or block `{`.
+fn statement_bounds(t: &[Token], i: usize) -> (usize, usize) {
+    let mut lo = i;
+    while lo > 0 {
+        if t[lo - 1].is_punct(';') || t[lo - 1].is_punct('{') || t[lo - 1].is_punct('}') {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = i;
+    let mut depth = 0i32;
+    while hi < t.len() {
+        match &t[hi].tok {
+            crate::lexer::Tok::Punct('(' | '[') => depth += 1,
+            crate::lexer::Tok::Punct(')' | ']') => depth -= 1,
+            crate::lexer::Tok::Punct(';') if depth <= 0 => break,
+            crate::lexer::Tok::Punct('{') if depth <= 0 => break,
+            _ => {}
+        }
+        hi += 1;
+    }
+    (lo, hi)
+}

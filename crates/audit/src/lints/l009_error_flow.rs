@@ -1,0 +1,204 @@
+//! L009 — fallible results must not be silently swallowed.
+//!
+//! The fault-injection ladder (PR 4) only means something if every
+//! injected failure surfaces: a `let _ = txn.abort();` turns a failed
+//! abort into silence, defeating both the reliability ledger and the
+//! recovery invariants. This lint flags three swallow shapes in non-test
+//! code, each gated on the **call graph**: the discarded call must
+//! resolve (by name, within the calling crate and its `use ipa_*`
+//! imports) to at least one function whose signature returns a `Result`
+//! (or a workspace error type) — discarding an infallible call is not a
+//! finding.
+//!
+//! * `let _ = fallible(..);` — wholesale discard. A `?` anywhere in the
+//!   statement exempts it (the error already propagates; only the Ok
+//!   value is dropped).
+//! * `fallible(..).ok();` as a statement — the `.ok()` exists solely to
+//!   appease `#[must_use]`; the error is still silently gone.
+//! * `if <..>.is_err() { }` with an **empty** arm — the error was
+//!   noticed and then ignored.
+//!
+//! Genuinely-benign drops (best-effort cleanup on shutdown paths) take
+//! `// audit:allow(L009, reason = ...)`.
+
+use super::Lint;
+use crate::callgraph::extract_calls;
+use crate::findings::{Finding, Severity};
+use crate::source::match_brace;
+use crate::Analysis;
+
+/// See module docs.
+pub struct ErrorFlow;
+
+impl Lint for ErrorFlow {
+    fn code(&self) -> &'static str {
+        "L009"
+    }
+    fn name(&self) -> &'static str {
+        "error-flow"
+    }
+    fn description(&self) -> &'static str {
+        "no swallowed Results (`let _ =`, bare `.ok();`, empty `is_err` arm) on \
+         calls the call graph resolves to fallible workspace functions"
+    }
+
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        for (fi, file) in cx.ws.files.iter().enumerate() {
+            if file.krate == "audit" || file.test_file {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                if let Some((line, callee)) = let_underscore_discard(cx, fi, i) {
+                    out.push(finding(
+                        file.path.clone(),
+                        line,
+                        format!(
+                            "`let _ =` discards the Result of fallible `{callee}`; handle \
+                             the error, count it in stats, or annotate a deliberate drop \
+                             with audit:allow(L009, ...)"
+                        ),
+                    ));
+                }
+                if let Some((line, callee)) = bare_ok_statement(cx, fi, i) {
+                    out.push(finding(
+                        file.path.clone(),
+                        line,
+                        format!(
+                            "statement-level `.ok()` swallows the error of fallible \
+                             `{callee}`; handle it or annotate with audit:allow(L009, ...)"
+                        ),
+                    ));
+                }
+                if let Some(line) = empty_is_err_arm(cx, fi, i) {
+                    out.push(finding(
+                        file.path.clone(),
+                        line,
+                        "`is_err()` checked and then ignored (empty arm); handle the \
+                         error or annotate with audit:allow(L009, ...)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: String, line: u32, message: String) -> Finding {
+    Finding { code: "L009", severity: Severity::Error, file, line, message }
+}
+
+/// Does `t[from..to]` contain a call that resolves to a fallible
+/// workspace function? Returns the first such callee name.
+fn fallible_call_in(cx: &Analysis<'_>, fi: usize, from: usize, to: usize) -> Option<String> {
+    let t = &cx.ws.files[fi].tokens;
+    extract_calls(t, from, to.min(t.len()))
+        .into_iter()
+        .find(|c| cx.calls.callee_can_fail(cx.ws, &cx.items, fi, c))
+        .map(|c| c.name)
+}
+
+/// `let _ = <expr>;` (no `?` in the statement) discarding a fallible
+/// call. Returns `(line, callee)`.
+fn let_underscore_discard(cx: &Analysis<'_>, fi: usize, i: usize) -> Option<(u32, String)> {
+    let t = &cx.ws.files[fi].tokens;
+    if !(t[i].is_ident("let")
+        && t.get(i + 1).is_some_and(|n| n.is_ident("_"))
+        && t.get(i + 2).is_some_and(|n| n.is_punct('=')))
+    {
+        return None;
+    }
+    // Not `let _ = ... else`-bindings or compound `_x` names: `_` is the
+    // exact ident. Find the statement end at depth 0.
+    let mut depth = 0i32;
+    let mut j = i + 3;
+    while j < t.len() {
+        match &t[j].tok {
+            crate::lexer::Tok::Punct('(' | '[' | '{') => depth += 1,
+            crate::lexer::Tok::Punct(')' | ']' | '}') => depth -= 1,
+            crate::lexer::Tok::Punct(';') if depth <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if t[i + 3..j].iter().any(|tok| tok.is_punct('?')) {
+        return None; // errors already propagate; only the Ok value is dropped
+    }
+    let callee = fallible_call_in(cx, fi, i + 3, j)?;
+    Some((t[i].line, callee))
+}
+
+/// A statement ending in `.ok();` whose statement contains a fallible
+/// call. Returns `(line, callee)`.
+fn bare_ok_statement(cx: &Analysis<'_>, fi: usize, i: usize) -> Option<(u32, String)> {
+    let t = &cx.ws.files[fi].tokens;
+    if !(t[i].is_punct('.')
+        && t.get(i + 1).is_some_and(|n| n.is_ident("ok"))
+        && t.get(i + 2).is_some_and(|n| n.is_punct('('))
+        && t.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        && t.get(i + 4).is_some_and(|n| n.is_punct(';')))
+    {
+        return None;
+    }
+    // Walk back to the statement start.
+    let mut lo = i;
+    while lo > 0 {
+        if t[lo - 1].is_punct(';') || t[lo - 1].is_punct('{') || t[lo - 1].is_punct('}') {
+            break;
+        }
+        lo -= 1;
+    }
+    // `let x = f().ok();` binds the Option — that is a *conversion*, not a
+    // swallow; only bare statements match.
+    if t[lo..i].iter().any(|tok| tok.is_ident("let")) {
+        return None;
+    }
+    let callee = fallible_call_in(cx, fi, lo, i)?;
+    Some((t[i + 1].line, callee))
+}
+
+/// `if <..>.is_err() { }` with an empty block. Gated on a fallible call
+/// in the condition when one is present; a bare variable check with an
+/// empty arm is flagged unconditionally (the Result was produced
+/// somewhere and is being ignored here).
+fn empty_is_err_arm(cx: &Analysis<'_>, fi: usize, i: usize) -> Option<u32> {
+    let t = &cx.ws.files[fi].tokens;
+    if !(t[i].is_punct('.')
+        && t.get(i + 1).is_some_and(|n| n.is_ident("is_err"))
+        && t.get(i + 2).is_some_and(|n| n.is_punct('('))
+        && t.get(i + 3).is_some_and(|n| n.is_punct(')')))
+    {
+        return None;
+    }
+    // The arm: the next `{` must immediately close.
+    let open = i + 4;
+    if !t.get(open).is_some_and(|n| n.is_punct('{')) {
+        return None;
+    }
+    if match_brace(t, open) != open + 2 {
+        return None; // non-empty arm: the error is handled somehow
+    }
+    // Require an enclosing `if` in the same statement.
+    let mut lo = i;
+    let mut saw_if = false;
+    while lo > 0 {
+        if t[lo - 1].is_punct(';') || t[lo - 1].is_punct('{') || t[lo - 1].is_punct('}') {
+            break;
+        }
+        lo -= 1;
+        if t[lo].is_ident("if") {
+            saw_if = true;
+        }
+    }
+    if !saw_if {
+        return None;
+    }
+    // If the condition contains calls, at least one must be fallible.
+    let calls = extract_calls(t, lo, i);
+    let has_relevant =
+        calls.is_empty() || calls.iter().any(|c| cx.calls.callee_can_fail(cx.ws, &cx.items, fi, c));
+    has_relevant.then_some(t[i + 1].line)
+}

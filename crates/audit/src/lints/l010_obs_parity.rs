@@ -1,0 +1,140 @@
+//! L010 — observability must keep parity with what the core emits.
+//!
+//! Two cross-file consistency checks that `rustc` cannot express:
+//!
+//! * **event parity** — every `EventKind` variant declared in the flash
+//!   crate's obs module must be handled (named) in the obs crate's JSONL
+//!   writer (`obs/src/jsonl.rs`). A variant the writer does not know is
+//!   an event that silently vanishes from every trace. (The writer's
+//!   `match` has no wildcard arm by convention, but a wildcard would
+//!   compile — this lint is what actually pins the parity.)
+//! * **counter parity** — every stats counter bumped (`.field += ..`) in
+//!   flash/noftl/engine non-test code, on a struct whose name marks it as
+//!   a measurement type (`*Stats` / `*Counters`) **exported to the
+//!   snapshot layer** (the struct's name appears in `obs/src/snapshot.rs`),
+//!   must itself appear as a field in the snapshot rendering. A bumped
+//!   but never-rendered counter is work the observability layer throws
+//!   away.
+//!
+//! Structs the snapshot layer never mentions (crate-private bookkeeping
+//! like the hybrid policy's internal tallies) are exempt wholesale: the
+//! contract is "what the snapshot exports is complete", not "everything
+//! must be exported". Files are located by suffix, so the fixture
+//! mini-workspace exercises the same paths as the live tree.
+
+use std::collections::BTreeSet;
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::source::SourceFile;
+use crate::Analysis;
+
+/// See module docs.
+pub struct ObsParity;
+
+/// Crates whose emissions are checked.
+const CORE_CRATES: [&str; 3] = ["flash", "noftl", "engine"];
+
+impl Lint for ObsParity {
+    fn code(&self) -> &'static str {
+        "L010"
+    }
+    fn name(&self) -> &'static str {
+        "obs-parity"
+    }
+    fn description(&self) -> &'static str {
+        "every EventKind variant is handled in obs jsonl; every snapshot-exported \
+         stats counter bumped in flash/noftl/engine appears in the snapshot \
+         rendering"
+    }
+
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        check_event_parity(cx, out);
+        check_counter_parity(cx, out);
+    }
+}
+
+/// Idents present in the first obs-crate file whose path ends with
+/// `suffix` (`None` when the sink does not exist — mini-workspaces).
+fn sink_idents<'a>(
+    cx: &'a Analysis<'_>,
+    suffix: &str,
+) -> Option<(&'a SourceFile, BTreeSet<&'a str>)> {
+    let file = cx.ws.files.iter().find(|f| f.krate == "obs" && f.path.ends_with(suffix))?;
+    Some((file, file.tokens.iter().filter_map(|t| t.ident()).collect()))
+}
+
+/// Every `EventKind` variant in the flash crate must be named in
+/// `obs/src/jsonl.rs`.
+fn check_event_parity(cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+    let Some((_, handled)) = sink_idents(cx, "src/jsonl.rs") else { return };
+    for (fi, e) in cx.items.enums_in_crate("flash") {
+        if e.name != "EventKind" {
+            continue;
+        }
+        let file = &cx.ws.files[fi];
+        for (variant, line) in &e.variants {
+            if !handled.contains(variant.as_str()) {
+                out.push(Finding {
+                    code: "L010",
+                    severity: Severity::Error,
+                    file: file.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "EventKind::{variant} is never handled in obs/src/jsonl.rs; \
+                         events of this kind vanish from every trace — add it to the \
+                         JSONL writer"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Every `.field += ..` bump on a snapshot-exported measurement struct
+/// must have `field` present in `obs/src/snapshot.rs`.
+fn check_counter_parity(cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+    let Some((_, exported)) = sink_idents(cx, "src/snapshot.rs") else { return };
+    for file in &cx.ws.files {
+        if !CORE_CRATES.contains(&file.krate.as_str()) || file.test_file {
+            continue;
+        }
+        let t = &file.tokens;
+        for i in 0..t.len() {
+            if file.is_test(i) {
+                continue;
+            }
+            // `. field + =` — a compound bump on a field access.
+            if !(t[i].is_punct('.')
+                && t.get(i + 1).and_then(|n| n.ident()).is_some()
+                && t.get(i + 2).is_some_and(|n| n.is_punct('+'))
+                && t.get(i + 3).is_some_and(|n| n.is_punct('=')))
+            {
+                continue;
+            }
+            let field = t[i + 1].ident().unwrap_or_default();
+            // Owner: a measurement struct in the same crate declaring this
+            // field, itself exported to the snapshot layer.
+            let Some(owners) = cx.items.field_owners.get(field) else { continue };
+            let exported_owner = owners.iter().find(|(krate, sname)| {
+                krate == &file.krate
+                    && (sname.ends_with("Stats") || sname.ends_with("Counters"))
+                    && exported.contains(sname.as_str())
+            });
+            let Some((_, owner)) = exported_owner else { continue };
+            if !exported.contains(field) {
+                out.push(Finding {
+                    code: "L010",
+                    severity: Severity::Error,
+                    file: file.path.clone(),
+                    line: t[i + 1].line,
+                    message: format!(
+                        "counter `{owner}.{field}` is bumped here but never appears in \
+                         obs/src/snapshot.rs; the measurement is thrown away — add it \
+                         to the snapshot rendering"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! L011 — lock acquisition goes through the wait-die front door.
+//!
+//! The engine's `LockManager` implements NoWait/WaitDie deadlock
+//! avoidance; its correctness argument assumes (a) every acquire flows
+//! through `Database`'s transaction paths (which consult the policy and
+//! record the hold in `by_tx`), and (b) nothing re-enters the lock
+//! manager while its tables are mid-update. Three violations, found via
+//! the call graph:
+//!
+//! * **outside reach** — a `lock(..)` call on a lock-manager receiver
+//!   (`.locks.lock(..)` / `LockManager::lock(..)`) from any crate other
+//!   than `ipa-engine`: the manager is an engine-internal mechanism; a
+//!   foreign acquire bypasses transaction accounting entirely.
+//! * **side-door acquire** — inside the engine, the same call from a
+//!   function that is neither a `Database` nor a `LockManager` method:
+//!   wait-die ordering is enforced by the `Database` wrappers, so a
+//!   free-function or helper-impl acquire bypasses it.
+//! * **re-entrancy** — a function reachable (call graph) from
+//!   `LockManager::lock` that calls back into `lock` / `release_all`:
+//!   the lock table borrow is live across the whole acquire path, so a
+//!   re-entrant call is at best a logic error and at worst an aliasing
+//!   panic.
+//!
+//! Test code is exempt (tests drive the manager directly on purpose).
+
+use super::Lint;
+use crate::findings::{Finding, Severity};
+use crate::itemgraph::FnId;
+use crate::Analysis;
+
+/// See module docs.
+pub struct LockDiscipline;
+
+/// Does this call target the lock manager? Either through a receiver
+/// chain ending at a `locks` field or a `LockManager::` qualified path.
+fn targets_lock_manager(call: &crate::callgraph::Call) -> bool {
+    call.receiver.last().is_some_and(|r| r == "locks")
+        || call.qualifier.as_deref() == Some("LockManager")
+}
+
+impl Lint for LockDiscipline {
+    fn code(&self) -> &'static str {
+        "L011"
+    }
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+    fn description(&self) -> &'static str {
+        "LockManager acquires only from Database/LockManager methods inside \
+         ipa-engine, and never re-entrantly from the acquire path itself"
+    }
+
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>) {
+        let t_of = |id: FnId| &cx.ws.files[id.0];
+        // Rules 1 + 2: direct acquires in the wrong place.
+        for (id, f) in cx.items.all_fns() {
+            let file = t_of(id);
+            if file.krate == "audit" || file.test_file || file.is_test(f.body.0) {
+                continue;
+            }
+            for call in cx.calls.calls_of(id) {
+                if call.name != "lock" || !targets_lock_manager(call) {
+                    continue;
+                }
+                if file.krate != "engine" {
+                    out.push(Finding {
+                        code: "L011",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "fn `{}` acquires through the engine's LockManager from \
+                             crate `{}`; locking is engine-internal — go through the \
+                             transaction API",
+                            f.name, file.krate
+                        ),
+                    });
+                } else if !matches!(f.impl_of.as_deref(), Some("Database" | "LockManager")) {
+                    out.push(Finding {
+                        code: "L011",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "fn `{}` acquires through the LockManager outside the \
+                             Database/LockManager methods; this bypasses wait-die \
+                             ordering and transaction lock accounting",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+        // Rule 3: re-entrancy from the acquire path.
+        let roots: Vec<FnId> = cx
+            .items
+            .all_fns()
+            .filter(|(_, f)| f.name == "lock" && f.impl_of.as_deref() == Some("LockManager"))
+            .map(|(id, _)| id)
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let reach = cx.calls.reachable(cx.ws, &cx.items, &roots);
+        for id in reach {
+            if roots.contains(&id) {
+                continue;
+            }
+            let file = t_of(id);
+            if file.krate != "engine" || file.test_file {
+                continue;
+            }
+            let f = cx.items.fn_item(id);
+            if file.is_test(f.body.0) {
+                continue;
+            }
+            for call in cx.calls.calls_of(id) {
+                let re_enters = (call.name == "lock" || call.name == "release_all")
+                    && (targets_lock_manager(call)
+                        || call.receiver.last().is_some_and(|r| r == "self"));
+                if re_enters {
+                    out.push(Finding {
+                        code: "L011",
+                        severity: Severity::Error,
+                        file: file.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "fn `{}` is reachable from LockManager::lock and calls \
+                             `{}` — re-entering the lock manager while the lock table \
+                             is borrowed",
+                            f.name, call.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,13 +1,15 @@
 //! The pluggable lint set.
 //!
-//! Each lint is a [`Lint`] implementation over the lexed [`Workspace`].
-//! Adding a lint means adding a module here, implementing the trait, and
-//! registering it in [`all`] — see DESIGN.md ("Static analysis & invariant
-//! lints") for the catalog and the conventions a lint must follow (token
-//! stream only, test code exempt, findings must name file and line).
+//! Each lint is a [`Lint`] implementation over the semantic
+//! [`Analysis`] context — the lexed workspace plus the item graph and
+//! call graph built over it. Adding a lint means adding a module here,
+//! implementing the trait, and registering it in [`all`] — see DESIGN.md
+//! ("Static analysis & invariant lints") for the catalog and the
+//! conventions a lint must follow (token stream only, test code exempt,
+//! findings must name file and line).
 
 use crate::findings::Finding;
-use crate::workspace::Workspace;
+use crate::Analysis;
 
 mod l001_raw_cell_access;
 mod l002_no_panic;
@@ -16,6 +18,10 @@ mod l004_queue_pairing;
 mod l005_must_use;
 mod l006_span_pairing;
 mod l007_tx_discipline;
+mod l008_determinism;
+mod l009_error_flow;
+mod l010_obs_parity;
+mod l011_lock_discipline;
 
 pub use l001_raw_cell_access::RawCellAccess;
 pub use l002_no_panic::NoPanic;
@@ -24,6 +30,10 @@ pub use l004_queue_pairing::QueuePairing;
 pub use l005_must_use::MustUse;
 pub use l006_span_pairing::SpanPairing;
 pub use l007_tx_discipline::TxDiscipline;
+pub use l008_determinism::Determinism;
+pub use l009_error_flow::ErrorFlow;
+pub use l010_obs_parity::ObsParity;
+pub use l011_lock_discipline::LockDiscipline;
 
 /// One audit lint.
 pub trait Lint {
@@ -33,8 +43,8 @@ pub trait Lint {
     fn name(&self) -> &'static str;
     /// One-line description for `ipa-audit lints`.
     fn description(&self) -> &'static str;
-    /// Run over the workspace, appending findings.
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+    /// Run over the analyzed workspace, appending findings.
+    fn check(&self, cx: &Analysis<'_>, out: &mut Vec<Finding>);
 }
 
 /// The registered lint set, in code order.
@@ -47,6 +57,10 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(MustUse),
         Box::new(SpanPairing),
         Box::new(TxDiscipline),
+        Box::new(Determinism),
+        Box::new(ErrorFlow),
+        Box::new(ObsParity),
+        Box::new(LockDiscipline),
     ]
 }
 

@@ -1,14 +1,16 @@
 //! `ipa-audit` CLI.
 //!
 //! ```text
-//! cargo run -p ipa-audit -- check [--root DIR] [--json PATH] [--deny-warnings]
+//! cargo run -p ipa-audit -- check [--root DIR] [--json PATH] [--format json|sarif] [--deny-warnings]
 //! cargo run -p ipa-audit -- lints
 //! ```
 //!
 //! `check` audits the workspace, prints findings as `file:line: [code]
-//! message`, writes the JSON report (default
-//! `bench-results/audit-report.json` under the root) and exits 0 when the
-//! gate passes, 1 when it fails. Usage errors exit 2.
+//! message`, writes the report (default
+//! `bench-results/audit-report.json`, or `.sarif` with `--format sarif`,
+//! under the root) and exits 0 when the gate passes, 1 when it fails.
+//! Usage errors exit 2. Reports are byte-stable: two runs over the same
+//! tree produce identical output (CI asserts this).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +36,7 @@ fn main() -> ExitCode {
         Some("lints") => lints(),
         _ => {
             eprintln!(
-                "usage: ipa-audit check [--root DIR] [--json PATH] [--deny-warnings]\n\
+                "usage: ipa-audit check [--root DIR] [--json PATH] [--format json|sarif] [--deny-warnings]\n\
                  \x20      ipa-audit lints"
             );
             ExitCode::from(2)
@@ -46,6 +48,7 @@ fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json: Option<PathBuf> = None;
     let mut deny_warnings = false;
+    let mut sarif = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,6 +59,12 @@ fn check(args: &[String]) -> ExitCode {
             "--json" => match it.next() {
                 Some(path) => json = Some(PathBuf::from(path)),
                 None => return usage("--json needs a path"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => sarif = false,
+                Some("sarif") => sarif = true,
+                Some(other) => return usage(&format!("unknown format `{other}`")),
+                None => return usage("--format needs `json` or `sarif`"),
             },
             "--deny-warnings" => deny_warnings = true,
             other => return usage(&format!("unknown argument `{other}`")),
@@ -92,18 +101,21 @@ fn check(args: &[String]) -> ExitCode {
         report.suppressed.len()
     );
 
-    let json_path = json.unwrap_or_else(|| root.join("bench-results/audit-report.json"));
-    if let Some(dir) = json_path.parent() {
+    let default_name =
+        if sarif { "bench-results/audit-report.sarif" } else { "bench-results/audit-report.json" };
+    let out_path = json.unwrap_or_else(|| root.join(default_name));
+    if let Some(dir) = out_path.parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("ipa-audit: cannot create `{}`: {e}", dir.display());
             return ExitCode::from(2);
         }
     }
-    if let Err(e) = std::fs::write(&json_path, report.to_json(deny_warnings)) {
-        eprintln!("ipa-audit: cannot write `{}`: {e}", json_path.display());
+    let rendered = if sarif { report.to_sarif() } else { report.to_json(deny_warnings) };
+    if let Err(e) = std::fs::write(&out_path, rendered) {
+        eprintln!("ipa-audit: cannot write `{}`: {e}", out_path.display());
         return ExitCode::from(2);
     }
-    say!("ipa-audit: report written to {}", json_path.display());
+    say!("ipa-audit: report written to {}", out_path.display());
 
     if report.clean(deny_warnings) {
         ExitCode::SUCCESS

@@ -17,3 +17,41 @@ pub fn clean() {}
 pub fn engine_owns_ids() -> TxId {
     TxId(1)
 }
+
+// L009 support: a fallible engine API the noftl fixture swallows.
+pub fn flush_meta() -> Result<(), EngineError> {
+    Ok(())
+}
+
+// L011 seeds: a side-door acquire outside Database/LockManager (Helper)
+// and a re-entrant call on the acquire path (admit); the Database method
+// is the front-door FP guard.
+pub struct LockManager;
+
+impl LockManager {
+    pub fn lock(&mut self, tx: u64, key: u64) {
+        self.admit(tx, key);
+    }
+
+    fn admit(&mut self, tx: u64, key: u64) {
+        self.lock(tx, key);
+    }
+}
+
+pub struct Helper;
+
+impl Helper {
+    pub fn side_door(&self, locks: &mut LockManager) {
+        locks.lock(1, 2);
+    }
+}
+
+pub struct Database {
+    locks: LockManager,
+}
+
+impl Database {
+    pub fn acquire(&mut self) {
+        self.locks.lock(1, 2);
+    }
+}

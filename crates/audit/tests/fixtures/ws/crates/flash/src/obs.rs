@@ -1,0 +1,8 @@
+//! Fixture: device event kinds for the L010 parity check. `Orphan` is
+//! never named by the obs jsonl fixture — the seeded violation.
+
+pub enum EventKind {
+    HostRead,
+    HostProgram,
+    Orphan,
+}

@@ -83,3 +83,137 @@ pub fn begin(x: u8) -> u8 {
 pub fn begin_with(x: u8) -> u8 {
     x
 }
+
+// L008 seeds: hash-order iteration and wall-clock reads. Keyed access,
+// same-statement reductions and BTreeMap iteration are the FP guards.
+pub fn unstable_scan(hmap: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_k, v) in hmap.iter() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn unstable_borrow(hmap: &std::collections::HashMap<u32, u32>) -> u32 {
+    let mut last = 0;
+    for (_k, v) in &hmap {
+        last = *v;
+    }
+    last
+}
+
+pub fn wall_clock() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn stable_count(hmap: &std::collections::HashMap<u32, u32>) -> usize {
+    hmap.iter().count()
+}
+
+pub fn ordered_scan(bmap: &std::collections::BTreeMap<u32, u32>) -> Vec<u32> {
+    bmap.values().copied().collect()
+}
+
+pub fn deliberate_scan(hmap: &std::collections::HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    // audit:allow(L008, reason = "fixture: xor-reduction is order-insensitive")
+    for (_k, v) in &hmap {
+        acc ^= *v;
+    }
+    acc
+}
+
+// L009 seeds: swallowed Results on a call the graph resolves to the
+// fallible engine fixture `flush_meta`. Infallible drops, `?` statements,
+// let-bound conversions and non-empty arms are the FP guards.
+pub fn swallow_flush() {
+    let _ = flush_meta();
+}
+
+pub fn appease_must_use() {
+    flush_meta().ok();
+}
+
+pub fn notice_and_ignore() {
+    if flush_meta().is_err() {}
+}
+
+pub fn cheap_hint() -> u8 {
+    7
+}
+
+pub fn infallible_drop() {
+    let _ = cheap_hint();
+}
+
+pub fn propagate_only_value() -> Result<(), EngineError> {
+    let _ = flush_meta()?;
+    Ok(())
+}
+
+pub fn convert_then_use() {
+    let kept = flush_meta().ok();
+    let _ = kept;
+}
+
+pub fn handle_errors() {
+    if flush_meta().is_err() {
+        cheap_hint();
+    }
+}
+
+// L011 seed: a foreign crate reaching the engine's lock manager.
+pub fn sneak_lock(eng: &mut Engine) {
+    eng.locks.lock(1, 2);
+}
+
+// CFG-aware L004 seeds: an early `?` or a one-armed completion between
+// submit and complete leaks even though `complete` is textually present;
+// both-arm completion and `?` on the submit statement itself are fine.
+pub fn risky_write(dev: &mut Dev) -> Result<(), FlashError> {
+    let id = dev.submit_write(1);
+    dev.read_oob()?;
+    dev.complete(id);
+    Ok(())
+}
+
+pub fn sometimes_completes(dev: &mut Dev, flag: bool) {
+    let id = dev.submit_write(2);
+    if flag {
+        dev.complete(id);
+    }
+}
+
+pub fn branch_complete(dev: &mut Dev, flag: bool) {
+    let id = dev.submit_write(3);
+    if flag {
+        dev.complete(id);
+    } else {
+        dev.drain();
+    }
+}
+
+pub fn checked_write(dev: &mut Dev) -> Result<(), FlashError> {
+    let id = dev.submit_write(4)?;
+    dev.complete(id);
+    Ok(())
+}
+
+// CFG-aware L006 seed: a span closed on only one branch arm leaks on the
+// other; closing after a loop on the single exit path is fine.
+pub fn flaky_span(dev: &mut Dev, flag: bool) {
+    let span = dev.open_span(7);
+    if flag {
+        dev.close_span(span);
+    }
+}
+
+pub fn looped_span(dev: &mut Dev) {
+    let span = dev.open_span(2);
+    for i in 0..3 {
+        dev.submit_write(i);
+        dev.drain();
+    }
+    dev.close_span(span);
+}

@@ -1,0 +1,9 @@
+//! Fixture: the JSONL writer names every EventKind variant it handles;
+//! `Orphan` is deliberately absent (seeded L010).
+
+pub fn label(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::HostRead => "host_read",
+        EventKind::HostProgram => "host_program",
+    }
+}

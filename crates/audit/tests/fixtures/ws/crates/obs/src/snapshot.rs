@@ -1,0 +1,6 @@
+//! Fixture: the snapshot rendering. It exports `WearStats` but renders
+//! only `wear_resets` — the missing `wear_skips` is the seeded L010.
+
+pub fn wear_json(w: &WearStats) -> u64 {
+    w.wear_resets
+}

@@ -54,6 +54,39 @@ fn seeded_violations_are_all_reported() {
     assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 65), "deprecated .begin() shim");
     assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 66), "id-threading .commit(tx)");
     assert!(has(&r, "L007", "crates/noftl/src/lib.rs", 67), "id-threading .abort(ghost)");
+    // L008 — hash-order iteration and ambient time in the core.
+    assert!(has(&r, "L008", "crates/noftl/src/lib.rs", 91), "hmap.iter() in a for header");
+    assert!(has(&r, "L008", "crates/noftl/src/lib.rs", 99), "for .. in &hmap");
+    assert!(has(&r, "L008", "crates/noftl/src/lib.rs", 106), "Instant::now");
+    // L009 — swallowed Results, resolved fallible through the call graph.
+    assert!(has(&r, "L009", "crates/noftl/src/lib.rs", 131), "let _ = flush_meta()");
+    assert!(has(&r, "L009", "crates/noftl/src/lib.rs", 135), "flush_meta().ok();");
+    assert!(has(&r, "L009", "crates/noftl/src/lib.rs", 139), "empty is_err arm");
+    // L010 — obs parity, both directions.
+    assert!(has(&r, "L010", "crates/flash/src/obs.rs", 7), "EventKind::Orphan unhandled");
+    assert!(has(&r, "L010", "crates/flash/src/lib.rs", 37), "wear_skips bump unexported");
+    // L011 — lock discipline via the call graph.
+    assert!(has(&r, "L011", "crates/noftl/src/lib.rs", 168), "foreign-crate acquire");
+    assert!(has(&r, "L011", "crates/engine/src/lib.rs", 45), "side-door acquire");
+    assert!(has(&r, "L011", "crates/engine/src/lib.rs", 37), "re-entrant acquire path");
+}
+
+#[test]
+fn cfg_aware_pairing_catches_textually_present_completions() {
+    let r = fixture_report();
+    // The completion/close call exists in all three, but the CFG shows it
+    // is not reached on every path.
+    assert!(has(&r, "L004", "crates/noftl/src/lib.rs", 175), "early ? leaks the submit");
+    let leak =
+        r.findings.iter().find(|f| f.code == "L004" && f.line == 175).expect("risky_write finding");
+    assert!(leak.message.contains("line 176"), "leak names the exit line: {}", leak.message);
+    assert!(has(&r, "L004", "crates/noftl/src/lib.rs", 182), "one-armed completion");
+    assert!(has(&r, "L006", "crates/noftl/src/lib.rs", 206), "one-armed span close");
+    // FP guards: both-arm completion, ? on the submit statement itself,
+    // and a close after a loop are all Closed.
+    assert!(!has(&r, "L004", "crates/noftl/src/lib.rs", 189), "both arms complete");
+    assert!(!has(&r, "L004", "crates/noftl/src/lib.rs", 198), "? on the submit is exempt");
+    assert!(!has(&r, "L006", "crates/noftl/src/lib.rs", 213), "close after loop");
 }
 
 #[test]
@@ -76,17 +109,28 @@ fn false_positive_guards_hold() {
     // measurement types are exempt (L005).
     assert_eq!(count(&r, "L002"), 3, "L002: panic!, .expect, one unsuppressed .unwrap");
     assert_eq!(count(&r, "L003"), 3, "L003: one manifest + two source edges");
-    assert_eq!(count(&r, "L004"), 1, "L004: only fire_and_forget");
+    assert_eq!(count(&r, "L004"), 3, "L004: fire_and_forget + two CFG leaks");
     assert_eq!(count(&r, "L005"), 1, "L005: only EraseStats");
     // Paired open+close, begin_*-named producers, and SpanId-in-signature
     // handoffs are exempt (L006).
-    assert_eq!(count(&r, "L006"), 1, "L006: only leaky_episode");
+    assert_eq!(count(&r, "L006"), 2, "L006: leaky_episode + flaky_span");
     // The guard's zero-argument tx.commit(), TxId in type position, plain
     // `begin`-named functions, and TxId construction inside ipa-engine are
     // all exempt (L007).
     assert_eq!(count(&r, "L007"), 4, "L007: exactly the four seeded shims");
+    // BTreeMap scans, .iter().count()/sum-style reductions, and the
+    // pragma'd xor fold are exempt (L008).
+    assert_eq!(count(&r, "L008"), 3, "L008: two hash scans + one wall clock");
+    // Infallible callees, `let _ = f()?`, a kept `.ok()` value, and a
+    // non-empty is_err arm are exempt (L009).
+    assert_eq!(count(&r, "L009"), 3, "L009: exactly the three swallow shapes");
+    // Handled variants and snapshot-exported counters are exempt; private
+    // counter structs are out of scope (L010).
+    assert_eq!(count(&r, "L010"), 2, "L010: orphan event + unexported counter");
+    // Database methods own the lock manager legitimately (L011).
+    assert_eq!(count(&r, "L011"), 3, "L011: foreign, side-door, re-entrant");
     assert_eq!(count(&r, "L000"), 1, "L000: only the unused engine pragma");
-    assert_eq!(r.errors(), 17);
+    assert_eq!(r.errors(), 31);
     assert_eq!(r.warnings(), 1);
     assert!(!r.clean(false));
 }
@@ -95,14 +139,27 @@ fn false_positive_guards_hold() {
 fn pragma_suppresses_exactly_one_finding() {
     let r = fixture_report();
     // Line 25 of the noftl fixture holds two .unwrap() calls under one
-    // audit:allow(L002) pragma: one is suppressed, one stays live.
-    assert_eq!(r.suppressed.len(), 1);
-    let s = &r.suppressed[0];
-    assert_eq!(s.finding.code, "L002");
-    assert_eq!(s.finding.file, "crates/noftl/src/lib.rs");
-    assert_eq!(s.finding.line, 25);
-    assert!(s.reason.contains("single suppression"), "reason is carried: {}", s.reason);
+    // audit:allow(L002) pragma: one is suppressed, one stays live.  The
+    // deliberate_scan fixture adds a pragma'd L008 hash scan at line 121.
+    assert_eq!(r.suppressed.len(), 2);
+    let l002 = r
+        .suppressed
+        .iter()
+        .find(|s| s.finding.code == "L002")
+        .expect("the unwrap suppression survives");
+    assert_eq!(l002.finding.file, "crates/noftl/src/lib.rs");
+    assert_eq!(l002.finding.line, 25);
+    assert!(l002.reason.contains("single suppression"), "reason is carried: {}", l002.reason);
     assert!(has(&r, "L002", "crates/noftl/src/lib.rs", 25), "second unwrap stays live");
+    let l008 = r
+        .suppressed
+        .iter()
+        .find(|s| s.finding.code == "L008")
+        .expect("the hash-scan suppression survives");
+    assert_eq!(l008.finding.file, "crates/noftl/src/lib.rs");
+    assert_eq!(l008.finding.line, 121);
+    assert!(l008.reason.contains("order-insensitive"), "reason is carried: {}", l008.reason);
+    assert!(!has(&r, "L008", "crates/noftl/src/lib.rs", 121), "pragma'd scan stays quiet");
 }
 
 #[test]
@@ -124,12 +181,35 @@ fn json_report_reflects_the_fixture() {
     let r = fixture_report();
     let json = r.to_json(true);
     assert!(json.contains("\"experiment\": \"ipa-audit\""));
-    assert!(json.contains("\"errors\": 17"));
+    assert!(json.contains("\"errors\": 31"));
     assert!(json.contains("\"warnings\": 1"));
     assert!(json.contains("\"clean\": false"));
     assert!(json.contains("\"lint\": \"L004\""));
     assert!(json.contains("\"lint\": \"L006\""));
+    assert!(json.contains("\"lint\": \"L011\""));
     assert!(json.contains("single suppression"));
+}
+
+#[test]
+fn sarif_report_reflects_the_fixture() {
+    let r = fixture_report();
+    let sarif = r.to_sarif();
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"id\": \"L008\""), "rule catalog covers new lints");
+    assert!(sarif.contains("\"id\": \"L011\""));
+    assert!(sarif.contains("crates/flash/src/obs.rs"), "locations use workspace-relative URIs");
+    // Every error finding becomes a result; suppressed ones do not.
+    assert_eq!(sarif.matches("\"ruleId\"").count(), r.findings.len());
+}
+
+#[test]
+fn reports_are_byte_stable_across_runs() {
+    // Deterministic finding order is a hard requirement for the CI
+    // double-run assert; pin it at the library level too.
+    let a = fixture_report();
+    let b = fixture_report();
+    assert_eq!(a.to_json(true), b.to_json(true));
+    assert_eq!(a.to_sarif(), b.to_sarif());
 }
 
 #[test]

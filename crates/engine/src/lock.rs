@@ -13,7 +13,7 @@
 //! ever point from older to younger transactions, so no cycle (deadlock)
 //! can form, deterministically and without a waits-for graph.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::EngineError;
 use crate::txn::TxId;
@@ -52,9 +52,9 @@ pub type LockKey = (u64, u64);
 /// The lock table.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: HashMap<LockKey, LockEntry>,
+    table: BTreeMap<LockKey, LockEntry>,
     /// Reverse index for fast release-all at commit/abort.
-    by_tx: HashMap<TxId, Vec<LockKey>>,
+    by_tx: BTreeMap<TxId, Vec<LockKey>>,
     policy: LockPolicy,
     /// Conflicts resolved as "wait" (older requester parked).
     waits: u64,

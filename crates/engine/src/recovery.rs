@@ -271,7 +271,7 @@ impl Database {
     fn recover_inner(&mut self) -> Result<()> {
         // --- Analysis ---
         let start = self.wal.tail();
-        let mut losers: std::collections::HashMap<TxId, Lsn> = std::collections::HashMap::new();
+        let mut losers: std::collections::BTreeMap<TxId, Lsn> = std::collections::BTreeMap::new();
         let records: Vec<_> = self.wal.iter_from(start).cloned().collect();
         for rec in &records {
             match &rec.payload {
@@ -320,10 +320,9 @@ impl Database {
                 _ => {}
             }
         }
-        // --- Undo losers ---
-        let mut losers: Vec<(TxId, Lsn)> = losers.into_iter().collect();
-        losers.sort_by_key(|(t, _)| std::cmp::Reverse(t.0));
-        for (tx, last) in losers {
+        // --- Undo losers --- (BTreeMap iteration is TxId-ordered; undo
+        // runs youngest-first, so walk it in reverse.)
+        for (tx, last) in losers.into_iter().rev() {
             self.txns.register_recovered(tx, last);
             rollback(self, tx)?;
             let lsn = self.log_for_tx(tx, LogPayload::Abort { tx })?;

@@ -134,8 +134,11 @@ impl Drop for Txn<'_> {
         }
         // Auto-abort. Rollback failures cannot propagate from a
         // destructor; the transaction is finished either way so its locks
-        // never outlive the guard.
-        let _ = self.db.abort_tx(self.id);
+        // never outlive the guard — but count the failure so it is
+        // observable instead of silently dropped.
+        if self.db.abort_tx(self.id).is_err() {
+            self.db.stats.abort_errors += 1;
+        }
         self.db.note_drop_abort();
     }
 }

@@ -54,6 +54,10 @@ pub struct EngineStats {
     /// Transactions aborted by dropping a [`crate::Txn`] guard without an
     /// explicit commit/abort (RAII auto-abort; a subset of `aborts`).
     pub drop_aborts: u64,
+    /// Rollbacks that themselves failed (the abort path returned an
+    /// error). The transaction is finished either way, but harnesses can
+    /// assert the failure was observed rather than silently dropped.
+    pub abort_errors: u64,
     /// Real WAL forces: [`crate::Wal::flush_to`] calls on the commit path
     /// that actually advanced the durable horizon. Group commit amortizes
     /// these — `wal_forces / commits` is the headline metric of the
@@ -138,6 +142,7 @@ impl EngineStats {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
             drop_aborts: self.drop_aborts.saturating_sub(earlier.drop_aborts),
+            abort_errors: self.abort_errors.saturating_sub(earlier.abort_errors),
             wal_forces: self.wal_forces.saturating_sub(earlier.wal_forces),
             tx_parked: self.tx_parked.saturating_sub(earlier.tx_parked),
             group_commits: self.group_commits.saturating_sub(earlier.group_commits),

@@ -1,6 +1,6 @@
 //! Transaction table.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ipa_noftl::SpanId;
 
@@ -25,13 +25,13 @@ pub struct TxInfo {
 #[derive(Debug, Default)]
 pub struct TxnTable {
     next: u64,
-    active: HashMap<TxId, TxInfo>,
+    active: BTreeMap<TxId, TxInfo>,
 }
 
 impl TxnTable {
     /// An empty table; transaction ids start at 1.
     pub fn new() -> Self {
-        TxnTable { next: 1, active: HashMap::new() }
+        TxnTable { next: 1, active: BTreeMap::new() }
     }
 
     /// Start a transaction.
@@ -76,11 +76,10 @@ impl TxnTable {
         self.active.remove(&tx);
     }
 
-    /// Snapshot of active transactions (for checkpoints).
+    /// Snapshot of active transactions (for checkpoints). `BTreeMap`
+    /// iteration is already TxId-ordered.
     pub fn snapshot(&self) -> Vec<(TxId, Lsn)> {
-        let mut v: Vec<_> = self.active.iter().map(|(&t, i)| (t, i.last_lsn)).collect();
-        v.sort_by_key(|(t, _)| *t);
-        v
+        self.active.iter().map(|(&t, i)| (t, i.last_lsn)).collect()
     }
 
     /// Number of active transactions.

@@ -14,7 +14,7 @@
 //! baseline, optionally applying an `[N×M]`-style append rule so the same
 //! trace can be compared with and without IPA on identical hardware.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ipa_flash::{FlashDevice, Observer, OpOrigin, Ppa};
 use serde::{Deserialize, Serialize};
@@ -80,11 +80,11 @@ pub struct HybridFtl {
     pages_per_block: u64,
     page_size: usize,
     /// Logical block -> physical block holding its data pages.
-    data_map: HashMap<u64, u64>,
+    data_map: BTreeMap<u64, u64>,
     /// Latest residency per logical page (absent = never written).
-    residency: HashMap<u64, Residency>,
+    residency: BTreeMap<u64, Residency>,
     /// Appends consumed per logical page since its last full write.
-    appends: HashMap<u64, u32>,
+    appends: BTreeMap<u64, u32>,
     /// Free physical blocks.
     free_blocks: Vec<u64>,
     /// Log blocks in fill order; the first is the merge victim.
@@ -105,9 +105,9 @@ impl HybridFtl {
         HybridFtl {
             pages_per_block: geom.pages_per_block as u64,
             page_size: geom.page_size,
-            data_map: HashMap::new(),
-            residency: HashMap::new(),
-            appends: HashMap::new(),
+            data_map: BTreeMap::new(),
+            residency: BTreeMap::new(),
+            appends: BTreeMap::new(),
             free_blocks: (0..total_blocks).rev().collect(),
             log_blocks: Vec::new(),
             log_cursor: 0,

@@ -688,35 +688,21 @@ impl Region {
             .filter(|(_, &v)| v)
             .map(|(p, _)| p as u32)
             .collect();
-        let mut batch: Vec<(u32, u64, CmdId)> = Vec::with_capacity(valid_pages.len());
+        // Plan the moves from the mapping tables before any device command
+        // is in flight: a missing mapping aborts the collection with
+        // nothing queued (previously a mid-batch lookup failure stranded
+        // the reads already submitted).
+        let mut plan: Vec<(u32, u64)> = Vec::with_capacity(valid_pages.len());
         for page in valid_pages {
-            let old = Ppa::new(chip, victim, page);
             let lba = self
                 .p2l
-                .get(&old)
+                .get(&Ppa::new(chip, victim, page))
                 .copied()
                 .ok_or(NoFtlError::Internal("valid page has no logical owner"))?;
-            let id = dev.submit_read(old, OpOrigin::Background)?;
-            batch.push((page, lba, id));
+            plan.push((page, lba));
         }
-        for (page, lba, id) in batch {
-            let old = Ppa::new(chip, victim, page);
-            let data = dev
-                .complete(id)?
-                .data
-                .ok_or(NoFtlError::Internal("read completion carries no data"))?;
-            let oob = dev.read_oob(old)?;
-            // Migrations go through the healed program path too: a fault
-            // storm must not abort a collection mid-flight.
-            let (new, id) =
-                self.program_healed(dev, local, Lba(lba), &data, IoCtx::background())?;
-            dev.complete(id)?;
-            // Carry the OOB image along: ECC codes stay with the data.
-            dev.program_oob(new, 0, &oob)?;
-            self.invalidate(old)?;
-            self.map(Lba(lba), new)?;
-            self.stats.gc_page_migrations += 1;
-        }
+        let batch = self.submit_gc_reads(dev, local, victim, plan)?;
+        self.drain_completions(dev, local, victim, batch)?;
         // Re-verify under the guard before reclaiming: the nested activity
         // above must not have retired or freed the victim. With the
         // `collecting` exclusion this cannot happen — the check keeps the
@@ -748,6 +734,97 @@ impl Region {
             }
             Err(e) => return Err(e.into()),
         }
+        Ok(())
+    }
+
+    /// Queue the GC read batch as one burst, so on multi-chip devices a
+    /// collection overlaps with host work queued on other chips instead of
+    /// interleaving read/program round trips. If a submit fails mid-batch
+    /// the reads already queued are completed (best-effort) before the
+    /// error surfaces — nothing stays stuck on the device queue.
+    fn submit_gc_reads(
+        &mut self,
+        dev: &mut FlashDevice,
+        local: usize,
+        victim: u32,
+        plan: Vec<(u32, u64)>,
+    ) -> Result<Vec<(u32, u64, CmdId)>> {
+        let chip = self.chips[local].chip;
+        let mut batch: Vec<(u32, u64, CmdId)> = Vec::with_capacity(plan.len());
+        for (page, lba) in plan {
+            match dev.submit_read(Ppa::new(chip, victim, page), OpOrigin::Background) {
+                Ok(id) => batch.push((page, lba, id)),
+                Err(e) => {
+                    for (_, _, id) in batch {
+                        if dev.complete(id).is_err() {
+                            self.stats.gc_drain_failures += 1;
+                        }
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Complete the queued GC read batch, migrating each page as its read
+    /// arrives. On the first migration error the remaining in-flight reads
+    /// are still completed (best-effort, failures counted in
+    /// `gc_drain_failures`) before the error propagates, so an aborted
+    /// collection leaves no command stranded in the device queues.
+    fn drain_completions(
+        &mut self,
+        dev: &mut FlashDevice,
+        local: usize,
+        victim: u32,
+        batch: Vec<(u32, u64, CmdId)>,
+    ) -> Result<()> {
+        let mut first_err: Option<NoFtlError> = None;
+        let mut pages = batch.into_iter();
+        for (page, lba, id) in pages.by_ref() {
+            if let Err(e) = self.migrate_page(dev, local, victim, page, lba, id) {
+                first_err = Some(e);
+                break;
+            }
+        }
+        for (_, _, id) in pages {
+            if dev.complete(id).is_err() {
+                self.stats.gc_drain_failures += 1;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Move one valid page whose read is already queued as `id`: complete
+    /// the read, re-program through the healed path, carry the OOB image
+    /// along (ECC codes stay with the data), and update the mapping.
+    fn migrate_page(
+        &mut self,
+        dev: &mut FlashDevice,
+        local: usize,
+        victim: u32,
+        page: u32,
+        lba: u64,
+        id: CmdId,
+    ) -> Result<()> {
+        let chip = self.chips[local].chip;
+        let old = Ppa::new(chip, victim, page);
+        let data = dev
+            .complete(id)?
+            .data
+            .ok_or(NoFtlError::Internal("read completion carries no data"))?;
+        let oob = dev.read_oob(old)?;
+        // Migrations go through the healed program path too: a fault
+        // storm must not abort a collection mid-flight.
+        let (new, id) = self.program_healed(dev, local, Lba(lba), &data, IoCtx::background())?;
+        dev.complete(id)?;
+        dev.program_oob(new, 0, &oob)?;
+        self.invalidate(old)?;
+        self.map(Lba(lba), new)?;
+        self.stats.gc_page_migrations += 1;
         Ok(())
     }
 

@@ -55,6 +55,10 @@ pub struct RegionStats {
     /// Correct-and-Refresh operations scheduled by the scrubber after a
     /// heavily-corrected read.
     pub scrub_refreshes: u64,
+    /// Completions that themselves failed while draining the in-flight GC
+    /// read batch after a mid-migration error (the drain is best-effort so
+    /// the first error can propagate; later failures are counted here).
+    pub gc_drain_failures: u64,
 }
 
 impl RegionStats {
@@ -115,6 +119,7 @@ impl RegionStats {
         self.retired_blocks += other.retired_blocks;
         self.delta_fallbacks += other.delta_fallbacks;
         self.scrub_refreshes += other.scrub_refreshes;
+        self.gc_drain_failures += other.gc_drain_failures;
     }
 
     /// Interval counters `self - earlier` (both cumulative).
@@ -135,6 +140,7 @@ impl RegionStats {
             retired_blocks: self.retired_blocks.saturating_sub(earlier.retired_blocks),
             delta_fallbacks: self.delta_fallbacks.saturating_sub(earlier.delta_fallbacks),
             scrub_refreshes: self.scrub_refreshes.saturating_sub(earlier.scrub_refreshes),
+            gc_drain_failures: self.gc_drain_failures.saturating_sub(earlier.gc_drain_failures),
         }
     }
 }
@@ -181,6 +187,7 @@ mod tests {
             retired_blocks: 11,
             delta_fallbacks: 12,
             scrub_refreshes: 13,
+            gc_drain_failures: 14,
         };
         let b = RegionStats {
             host_reads: 10,
@@ -196,6 +203,7 @@ mod tests {
             retired_blocks: 110,
             delta_fallbacks: 120,
             scrub_refreshes: 130,
+            gc_drain_failures: 140,
         };
         a.merge(&b);
         assert_eq!(a.host_reads, 11);
@@ -211,6 +219,7 @@ mod tests {
         assert_eq!(a.retired_blocks, 121);
         assert_eq!(a.delta_fallbacks, 132);
         assert_eq!(a.scrub_refreshes, 143);
+        assert_eq!(a.gc_drain_failures, 154);
     }
 
     #[test]

@@ -301,6 +301,7 @@ fn engine_json(e: &EngineStats) -> Value {
     m.insert("commits".into(), Value::from(e.commits));
     m.insert("aborts".into(), Value::from(e.aborts));
     m.insert("drop_aborts".into(), Value::from(e.drop_aborts));
+    m.insert("abort_errors".into(), Value::from(e.abort_errors));
     m.insert("wal_forces".into(), Value::from(e.wal_forces));
     m.insert("tx_parked".into(), Value::from(e.tx_parked));
     m.insert("group_commits".into(), Value::from(e.group_commits));
@@ -338,6 +339,7 @@ fn region_json(r: &RegionStats) -> Value {
     m.insert("retired_blocks".into(), Value::from(r.retired_blocks));
     m.insert("delta_fallbacks".into(), Value::from(r.delta_fallbacks));
     m.insert("scrub_refreshes".into(), Value::from(r.scrub_refreshes));
+    m.insert("gc_drain_failures".into(), Value::from(r.gc_drain_failures));
     Value::Object(m)
 }
 
