@@ -5,4 +5,6 @@ pub enum EventKind {
     HostRead,
     HostProgram,
     Orphan,
+    // Handled adaptive-IPA event: the parity lint must not flag it.
+    SchemeChange,
 }

@@ -5,5 +5,6 @@ pub fn label(kind: &EventKind) -> &'static str {
     match kind {
         EventKind::HostRead => "host_read",
         EventKind::HostProgram => "host_program",
+        EventKind::SchemeChange => "scheme_change",
     }
 }

@@ -26,6 +26,7 @@
 //! | `queued_io_sweep`     | queued submit/complete at depths 1–8 |
 //! | `fault_storm`         | §7 — fault injection + self-healing under TPC-B |
 //! | `group_commit_sweep`  | K clients × batch × queue depth group commit |
+//! | `adaptive_ipa`        | online re-tuning vs static schemes vs per-phase oracle |
 //!
 //! Scales are simulation-sized (the substrate is a simulator, not the
 //! authors' 50 GB testbed); set `IPA_BENCH_SCALE=2` (or higher) to grow

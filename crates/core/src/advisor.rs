@@ -108,15 +108,36 @@ impl UpdateSizeProfile {
         if self.samples.is_empty() || !scheme.is_enabled() {
             return 0.0;
         }
-        let fit = self
+        let fit =
+            self.samples.iter().filter(|&&(body, meta)| sample_fits(scheme, body, meta)).count();
+        fit as f64 / self.samples.len() as f64
+    }
+
+    /// Predicted steady-state IPA hit rate under `scheme`. Each sample's
+    /// eviction emits `r` records, so `k = ⌊N / r⌋` consecutive evictions
+    /// of that size ride as appends before the slots fill and the next one
+    /// goes out-of-place — a per-sample hit rate of `k / (k + 1)`, or 0
+    /// when the sample does not fit the scheme at all. Unlike
+    /// [`ipa_feasible_fraction`](Self::ipa_feasible_fraction) this is
+    /// sensitive to `N`, which the online re-tune hysteresis needs in
+    /// order to tell apart schemes with equal per-flush feasibility.
+    pub fn predicted_hit_rate(&self, scheme: &NxM) -> f64 {
+        if self.samples.is_empty() || !scheme.is_enabled() {
+            return 0.0;
+        }
+        let sum: f64 = self
             .samples
             .iter()
-            .filter(|&&(body, meta)| {
-                scheme.records_needed(body as usize) <= scheme.n as usize
-                    && meta as usize <= scheme.v as usize
+            .map(|&(body, meta)| {
+                if !sample_fits(scheme, body, meta) {
+                    return 0.0;
+                }
+                let emitted = scheme.records_needed(body as usize).max(1);
+                let k = (scheme.n as usize / emitted) as f64;
+                k / (k + 1.0)
             })
-            .count();
-        fit as f64 / self.samples.len() as f64
+            .sum();
+        sum / self.samples.len() as f64
     }
 
     /// Cumulative distribution point: fraction of evictions changing at
@@ -130,14 +151,32 @@ impl UpdateSizeProfile {
     }
 }
 
+/// Whether one eviction's `(body, meta)` change fits the scheme from a
+/// fully-free delta area. A dirty flush emits at least one record even
+/// when only metadata changed, and metadata pairs spread across the
+/// emitted records with `V` capacity each — comparing the total against a
+/// single record's `V` under-counted multi-record evictions as infeasible.
+fn sample_fits(scheme: &NxM, body: u32, meta: u32) -> bool {
+    let emitted = scheme.records_needed(body as usize).max(1);
+    if emitted > scheme.n as usize {
+        return false; // also bails the usize::MAX sentinel when M = 0
+    }
+    meta as usize <= emitted * scheme.v as usize
+}
+
+/// Ceil-based nearest-rank percentile: the smallest sample value with at
+/// least `p`% of the distribution at or below it. Rounding the fractional
+/// rank (`.round()` over `p·(len−1)`) can select *below* the requested
+/// percentile on small reservoirs, under-sizing M for exactly the short
+/// profiles an online re-tune epoch works with.
 fn percentile(values: impl Iterator<Item = u32>, len: usize, p: f64) -> u32 {
     if len == 0 {
         return 0;
     }
     let mut v: Vec<u32> = values.collect();
     v.sort_unstable();
-    let idx = ((p.clamp(0.0, 100.0) / 100.0) * (len - 1) as f64).round() as usize;
-    v[idx]
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * len as f64).ceil() as usize;
+    v[rank.clamp(1, len) - 1]
 }
 
 /// A scheme recommendation with its predicted characteristics.
@@ -294,13 +333,148 @@ mod tests {
     }
 
     #[test]
+    fn multi_record_meta_capacity_flips_verdict() {
+        // Regression (advisor-math bugfix): a 6-byte body under [4x3]
+        // emits 2 records, so 4 changed metadata bytes fit 2·V = 4 with
+        // V = 2 — the old check compared 4 against a single record's V
+        // and called the eviction infeasible.
+        let mut p = UpdateSizeProfile::default();
+        p.record(6, 4);
+        let scheme = NxM::new(4, 3, 2);
+        assert_eq!(p.ipa_feasible_fraction(&scheme), 1.0);
+        // One metadata byte past the emitted capacity stays infeasible.
+        let mut p2 = UpdateSizeProfile::default();
+        p2.record(6, 5);
+        assert_eq!(p2.ipa_feasible_fraction(&scheme), 0.0);
+    }
+
+    #[test]
+    fn percentile_small_reservoir_uses_nearest_rank() {
+        // 13 samples 0..=12: nearest-rank p85 must cover at least 85% of
+        // the distribution → ⌈0.85·13⌉ = 12th order statistic = 11. The
+        // old `.round()` over p·(len−1) picked 10, under-sizing M.
+        let mut p = UpdateSizeProfile::default();
+        for i in 0..13u32 {
+            p.record(i, 0);
+        }
+        assert_eq!(p.body_percentile(85.0), 11);
+        // 4 samples: p85 → ⌈3.4⌉ = 4th = max; p70 → ⌈2.8⌉ = 3rd.
+        let mut q = UpdateSizeProfile::default();
+        for val in [1u32, 2, 3, 4] {
+            q.record(val, 0);
+        }
+        assert_eq!(q.body_percentile(85.0), 4);
+        assert_eq!(q.body_percentile(70.0), 3);
+        assert_eq!(q.body_percentile(100.0), 4);
+        assert_eq!(q.body_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn percentile_never_selects_below_requested_coverage() {
+        // Property of nearest-rank: at least p% of the sample lies at or
+        // below the selected value, for every reservoir size.
+        for len in 1..=40u32 {
+            let mut p = UpdateSizeProfile::default();
+            for i in 0..len {
+                p.record(i, 0);
+            }
+            for pct in [10.0, 50.0, 70.0, 85.0, 95.0, 99.0] {
+                let chosen = p.body_percentile(pct);
+                let at_or_below = (0..len).filter(|&i| i <= chosen).count() as f64;
+                assert!(
+                    at_or_below / len as f64 >= pct / 100.0 - 1e-9,
+                    "p{pct} of {len} picked {chosen}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_hit_rate_is_n_sensitive() {
+        let p = tpcc_like_profile();
+        // [2x3] and [4x3] have identical per-flush feasibility (the 70%
+        // of 3-byte updates fit both), but [4x3] sustains 4 appends per
+        // out-of-place cycle instead of 2 — only the hit-rate predictor
+        // can tell them apart, which is what the re-tune hysteresis uses.
+        let small = NxM::new(2, 3, 12);
+        let large = NxM::new(4, 3, 12);
+        assert_eq!(p.ipa_feasible_fraction(&small), p.ipa_feasible_fraction(&large));
+        let hr_small = p.predicted_hit_rate(&small);
+        let hr_large = p.predicted_hit_rate(&large);
+        assert!(hr_large > hr_small, "{hr_large} vs {hr_small}");
+        // 70% of evictions emit 1 record: k = 2 → 2/3 per sample.
+        assert!((hr_small - 0.7 * (2.0 / 3.0)).abs() < 0.05, "{hr_small}");
+        assert_eq!(p.predicted_hit_rate(&NxM::disabled()), 0.0);
+    }
+
+    #[test]
+    fn identical_streams_yield_identical_recommendations() {
+        let mut a = UpdateSizeProfile::with_capacity(512);
+        let mut b = UpdateSizeProfile::with_capacity(512);
+        for i in 0..20_000u64 {
+            // Arbitrary but fixed pseudo-stream, longer than the capacity
+            // so the reservoir replacement path is exercised.
+            let body = ((i * 2_654_435_761) % 97) as u32;
+            let meta = ((i * 40_503) % 13) as u32;
+            a.record(body, meta);
+            b.record(body, meta);
+        }
+        let adv = IpaAdvisor::new(4096, 8);
+        for goal in [AdvisorGoal::Performance, AdvisorGoal::Longevity, AdvisorGoal::Space] {
+            assert_eq!(adv.recommend(&a, goal), adv.recommend(&b, goal));
+        }
+        assert_eq!(a.body_percentile(70.0), b.body_percentile(70.0));
+    }
+
+    #[test]
     fn empty_profile_is_safe() {
         let p = UpdateSizeProfile::default();
         assert_eq!(p.body_percentile(50.0), 0);
         assert_eq!(p.body_cdf(10), 0.0);
         assert_eq!(p.ipa_feasible_fraction(&NxM::tpcc()), 0.0);
+        assert_eq!(p.predicted_hit_rate(&NxM::tpcc()), 0.0);
         let adv = IpaAdvisor::new(4096, 4);
         let rec = adv.recommend(&p, AdvisorGoal::Performance);
         assert!(rec.scheme.m >= 1);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn reservoir_sampling_is_unbiased(
+            capacity in 128usize..512,
+            stretch in 4u64..12,
+        ) {
+            // Feed `total = stretch · capacity` observations whose body
+            // value encodes the arrival index, then check the retained
+            // set draws ~uniformly from the whole stream: each quarter of
+            // the arrival order contributes ≈ capacity/4 samples, i.e.
+            // every observation was kept with probability ≈
+            // capacity/total. A head-biased (naive fill) or tail-biased
+            // (sliding window) reservoir fails this. The profile's RNG is
+            // seeded, so each (capacity, stretch) case is deterministic.
+            let total = capacity as u64 * stretch;
+            let mut p = UpdateSizeProfile::with_capacity(capacity);
+            for i in 0..total {
+                p.record(i as u32, 0);
+            }
+            prop_assert_eq!(p.samples.len(), capacity);
+            let mut quarters = [0usize; 4];
+            for &(body, _) in p.samples.iter() {
+                let q = (body as u64 * 4 / total).min(3) as usize;
+                quarters[q] += 1;
+            }
+            let expected = capacity as f64 / 4.0;
+            for (qi, &count) in quarters.iter().enumerate() {
+                let dev = (count as f64 - expected).abs();
+                prop_assert!(
+                    dev < expected * 0.5,
+                    "quarter {} held {} of expected {} (total {}, capacity {})",
+                    qi, count, expected, total, capacity
+                );
+            }
+        }
     }
 }

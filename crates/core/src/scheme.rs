@@ -91,13 +91,18 @@ impl NxM {
     }
 
     /// Number of delta records needed to cover `changed_body_bytes`
-    /// (`⌈U/M⌉`, at least one record once anything — body or metadata —
-    /// changed).
+    /// (`⌈U/M⌉`). An empty update needs zero records: callers modelling a
+    /// flush that also carries metadata-only changes must add their one
+    /// mandatory record themselves (`.max(1)`), since that record is a
+    /// property of the flush, not of the body size.
     pub fn records_needed(&self, changed_body_bytes: usize) -> usize {
-        if self.m == 0 {
-            return if changed_body_bytes == 0 { 1 } else { usize::MAX };
+        if changed_body_bytes == 0 {
+            return 0;
         }
-        changed_body_bytes.div_ceil(self.m as usize).max(1)
+        if self.m == 0 {
+            return usize::MAX;
+        }
+        changed_body_bytes.div_ceil(self.m as usize)
     }
 }
 
@@ -143,11 +148,16 @@ mod tests {
     #[test]
     fn records_needed_rounds_up() {
         let s = NxM::new(3, 4, 2);
-        assert_eq!(s.records_needed(0), 1); // metadata-only change
+        // An empty update covers zero records; the flush-time "at least
+        // one record once anything changed" rule lives at the call sites.
+        assert_eq!(s.records_needed(0), 0);
         assert_eq!(s.records_needed(1), 1);
         assert_eq!(s.records_needed(4), 1);
         assert_eq!(s.records_needed(5), 2);
         assert_eq!(s.records_needed(12), 3);
+        // M = 0 can never cover a non-empty update.
+        assert_eq!(NxM::disabled().records_needed(0), 0);
+        assert_eq!(NxM::disabled().records_needed(7), usize::MAX);
     }
 
     #[test]

@@ -330,6 +330,56 @@ impl DbPage {
     pub fn live_bytes(&self) -> usize {
         self.live_slots().map(|s| self.tuple(s).map(<[u8]>::len).unwrap_or(0)).sum()
     }
+
+    /// Re-encode the page under a different `[N×M]` layout of the same
+    /// page size (online scheme versioning): the tuple body shifts as a
+    /// block by the delta-area size difference, every slot offset — live
+    /// *and* deleted, so recovery undeletes keep working — is adjusted by
+    /// that same shift, and the new delta area is left erased (`0xFF`),
+    /// ready to absorb appends under the new scheme.
+    ///
+    /// Any resident delta records must already be folded into the body
+    /// ([`DbPage::apply_deltas`]); relayout discards the delta area.
+    /// Fails with [`CoreError::PageFull`] when a grown delta area would
+    /// push the body into the slot table — the page is left untouched, so
+    /// callers can simply keep the old scheme for crowded pages.
+    pub fn relayout(&mut self, new_layout: PageLayout) -> Result<()> {
+        assert_eq!(new_layout.page_size, self.layout.page_size, "relayout keeps the page size");
+        if new_layout == self.layout {
+            return Ok(());
+        }
+        let old = self.layout;
+        let slot_count = self.slot_count();
+        let free_lower = HeaderView::free_lower(&self.buf) as usize;
+        let body_len = free_lower - old.body_start();
+        let new_free_lower = new_layout.body_start() + body_len;
+        if new_free_lower > new_layout.footer_start(slot_count) {
+            return Err(CoreError::PageFull {
+                needed: new_free_lower,
+                available: new_layout.footer_start(slot_count),
+            });
+        }
+        let mut buf = vec![0xFF; new_layout.page_size];
+        buf[..crate::layout::HEADER_SIZE].copy_from_slice(&self.buf[..crate::layout::HEADER_SIZE]);
+        HeaderView::set_scheme(&mut buf, new_layout.scheme);
+        HeaderView::set_free_lower(&mut buf, new_free_lower as u16);
+        buf[new_layout.body_start()..new_free_lower]
+            .copy_from_slice(&self.buf[old.body_start()..free_lower]);
+        // Slot entries keep their table position (the footer depends only
+        // on the page size); their offsets shift with the body block.
+        let shift = new_layout.body_start() as i64 - old.body_start() as i64;
+        for slot in 0..slot_count {
+            let r = old.slot_entry_range(slot);
+            let off = u16::from_le_bytes([self.buf[r.start], self.buf[r.start + 1]]);
+            let len = [self.buf[r.start + 2], self.buf[r.start + 3]];
+            let new_off = (off as i64 + shift) as u16;
+            buf[r.start..r.start + 2].copy_from_slice(&new_off.to_le_bytes());
+            buf[r.start + 2..r.start + 4].copy_from_slice(&len);
+        }
+        self.buf = buf;
+        self.layout = new_layout;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +545,79 @@ mod tests {
         assert_eq!(p.delta_record_count().unwrap(), 1);
         p.reset_delta_area();
         assert_eq!(p.delta_record_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn relayout_preserves_tuples_and_slots_both_directions() {
+        let (mut p, mut t) = fresh();
+        let s1 = p.insert_tuple(b"hello", &mut t).unwrap();
+        let s2 = p.insert_tuple(b"world!", &mut t).unwrap();
+        let s3 = p.insert_tuple(b"gone", &mut t).unwrap();
+        p.delete_tuple(s3, &mut t).unwrap();
+        p.set_lsn(77, &mut t);
+        // Grow the delta area ([2x3] → [4x24]), then shrink past the
+        // original ([4x24] → [1x2]).
+        for scheme in [NxM::new(4, 24, 12), NxM::new(1, 2, 4)] {
+            let l = PageLayout::new(4096, scheme).unwrap();
+            p.relayout(l).unwrap();
+            assert_eq!(*p.scheme(), scheme);
+            assert_eq!(HeaderView::scheme(p.bytes()), scheme);
+            assert_eq!(p.page_id(), 4711);
+            assert_eq!(p.lsn(), 77);
+            assert_eq!(p.slot_count(), 3);
+            assert_eq!(p.tuple(s1).unwrap(), b"hello");
+            assert_eq!(p.tuple(s2).unwrap(), b"world!");
+            assert!(!p.is_live(s3));
+            assert_eq!(p.delta_record_count().unwrap(), 0);
+            // New delta area erased, free space erased.
+            assert!(p.bytes()[l.delta_area_start()..l.delta_area_end()].iter().all(|&b| b == 0xFF));
+        }
+        // Deleted slot offsets were shifted too: undelete still lands on
+        // the original bytes.
+        let mut t2 = ChangeTracker::new(*p.scheme(), 0, true);
+        p.undelete_tuple(s3, b"gone", &mut t2).unwrap();
+        assert_eq!(p.tuple(s3).unwrap(), b"gone");
+        // The image is a valid page for from_bytes under the new layout.
+        let reread = DbPage::from_bytes(p.bytes().to_vec(), *p.layout()).unwrap();
+        assert_eq!(reread.tuple(s1).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn relayout_inserts_and_appends_work_after_switch() {
+        use crate::delta::{ChangePair, DeltaRecord};
+        let (mut p, mut t) = fresh();
+        let s = p.insert_tuple(&[9u8, 9], &mut t).unwrap();
+        let big = PageLayout::new(4096, NxM::new(4, 24, 12)).unwrap();
+        p.relayout(big).unwrap();
+        // Appends under the new scheme target the new slot geometry.
+        let (off, _) = (p.layout().body_start() as u16, 0);
+        let r = DeltaRecord::new(vec![ChangePair { offset: off, value: 1 }], vec![]);
+        let (i0, abs, _) = p.append_delta_record(&r).unwrap();
+        assert_eq!(i0, 0);
+        assert_eq!(abs, big.delta_slot_offset(0));
+        assert_eq!(p.apply_deltas().unwrap(), 1);
+        assert_eq!(p.tuple(s).unwrap(), &[1, 9]);
+        // Inserts keep working from the shifted frontier.
+        let mut t2 = ChangeTracker::new(*p.scheme(), 0, true);
+        let s2 = p.insert_tuple(b"post", &mut t2).unwrap();
+        assert_eq!(p.tuple(s2).unwrap(), b"post");
+    }
+
+    #[test]
+    fn relayout_rejects_when_body_would_hit_slot_table() {
+        let l_small = PageLayout::new(1024, NxM::disabled()).unwrap();
+        let mut p = DbPage::format(1, l_small);
+        let mut t = ChangeTracker::new(NxM::disabled(), 0, false);
+        // Fill the body nearly to the footer.
+        let big = vec![7u8; 900];
+        p.insert_tuple(&big, &mut t).unwrap();
+        let before = p.bytes().to_vec();
+        let l_big = PageLayout::new(1024, NxM::new(2, 40, 12)).unwrap();
+        let err = p.relayout(l_big).unwrap_err();
+        assert!(matches!(err, CoreError::PageFull { .. }));
+        // Failed relayout leaves the page untouched.
+        assert_eq!(p.bytes(), &before[..]);
+        assert_eq!(*p.scheme(), NxM::disabled());
     }
 
     #[test]

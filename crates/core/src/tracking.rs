@@ -140,13 +140,16 @@ impl ChangeTracker {
             self.exceeded = true;
             return;
         }
-        if self.meta.len() > self.scheme.v as usize {
+        // All records of one flush must fit into the free slots. A dirty
+        // flush always emits at least one record, even when only metadata
+        // changed (`records_needed` itself reports 0 for an empty body).
+        let emitted = self.scheme.records_needed(u).max(1);
+        if emitted > (self.scheme.n - self.n_existing) as usize {
             self.exceeded = true;
             return;
         }
-        // All records of one flush must fit into the free slots.
-        let needed = self.scheme.records_needed(u);
-        if needed > (self.scheme.n - self.n_existing) as usize {
+        // Metadata pairs spread across the emitted records, V per record.
+        if self.meta.len() > emitted * self.scheme.v as usize {
             self.exceeded = true;
         }
     }
@@ -176,7 +179,7 @@ impl ChangeTracker {
             .iter()
             .map(|&offset| ChangePair { offset, value: page[offset as usize] })
             .collect();
-        let n_records = self.scheme.records_needed(body.len());
+        let n_records = self.scheme.records_needed(body.len()).max(1);
         let mut records: Vec<DeltaRecord> = Vec::with_capacity(n_records);
         if body.is_empty() {
             records.push(DeltaRecord::new(vec![], vec![]));
@@ -185,9 +188,20 @@ impl ChangeTracker {
                 records.push(DeltaRecord::new(chunk.to_vec(), vec![]));
             }
         }
-        // Metadata pairs ride in the last record: applied forward, the
-        // final metadata state wins.
-        records.last_mut().expect("at least one record when dirty").meta = meta;
+        // Metadata pairs spread across the emitted records, at most V per
+        // record, filled from the last record backward: a single chunk
+        // lands in the final record, larger change sets spill into earlier
+        // records. Offsets are distinct, so placement order is immaterial
+        // under forward apply.
+        let v = self.scheme.v as usize;
+        if !meta.is_empty() && v > 0 {
+            let chunks: Vec<&[ChangePair]> = meta.chunks(v).collect();
+            debug_assert!(chunks.len() <= records.len(), "check_capacity bounds meta");
+            let start = records.len() - chunks.len();
+            for (rec, chunk) in records[start..].iter_mut().zip(chunks) {
+                rec.meta = chunk.to_vec();
+            }
+        }
         records
     }
 
@@ -302,12 +316,47 @@ mod tests {
 
     #[test]
     fn meta_budget_v_enforced() {
+        // Metadata-only change emits one record, so V bounds it directly.
         let scheme = NxM::new(2, 3, 2);
         let mut t = ChangeTracker::new(scheme, 0, true);
         t.record_meta(1);
         t.record_meta(2);
         t.record_meta(3);
         assert!(t.exceeded());
+    }
+
+    #[test]
+    fn meta_spreads_across_emitted_records() {
+        // [2x3] with V=2: 4 body bytes emit 2 records, so up to 2·V = 4
+        // metadata bytes fit — 3 of them used to latch out-of-place under
+        // the single-record V bound.
+        let scheme = NxM::new(2, 3, 2);
+        let mut t = ChangeTracker::new(scheme, 0, true);
+        for off in 0..4u16 {
+            t.record_body(300 + off);
+        }
+        t.record_meta(10);
+        t.record_meta(11);
+        t.record_meta(12);
+        assert!(!t.exceeded());
+        match t.decide(&page_with(&[])) {
+            FlushDecision::Ipa(recs) => {
+                assert_eq!(recs.len(), 2);
+                assert!(recs.iter().all(|r| r.meta.len() <= 2));
+                let total: usize = recs.iter().map(|r| r.meta.len()).sum();
+                assert_eq!(total, 3);
+            }
+            other => panic!("expected IPA, got {other:?}"),
+        }
+        // One metadata byte more than 2·V latches as before.
+        let mut t2 = ChangeTracker::new(scheme, 0, true);
+        for off in 0..4u16 {
+            t2.record_body(300 + off);
+        }
+        for off in 0..5u16 {
+            t2.record_meta(10 + off);
+        }
+        assert!(t2.exceeded());
     }
 
     #[test]

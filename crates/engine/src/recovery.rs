@@ -105,10 +105,15 @@ fn ensure_page(db: &mut Database, pid: PageId) -> Result<()> {
     // Make room first.
     if !db.pool.has_free_slot() {
         let victim = db.pool.pick_victim().ok_or(EngineError::PoolExhausted)?;
+        let vpid = db.pool.frame_mut(victim).map(|f| f.page_id);
         db.flush_frame(victim, ipa_noftl::IoCtx::host())?;
         db.pool.remove(victim);
+        if let Some(vpid) = vpid {
+            db.note_evicted(vpid);
+        }
     }
     let idx = db.pool.insert(frame).ok_or(EngineError::Internal("no free frame after eviction"))?;
+    db.note_resident(pid);
     if let Some(f) = db.pool.frame_mut(idx) {
         f.tracker.mark_out_of_place();
     }

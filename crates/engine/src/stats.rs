@@ -87,6 +87,13 @@ pub struct EngineStats {
     /// Pages whose flash residency stayed unreadable after retry and were
     /// rebuilt purely from the WAL redo history during recovery.
     pub recovery_page_rebuilds: u64,
+    /// Advisor re-tune epochs executed by background work (adaptive IPA).
+    pub retune_epochs: u64,
+    /// Region scheme transitions committed by the advisor (adaptive IPA).
+    pub scheme_changes: u64,
+    /// Resident pages re-laid-out to their region's current scheme on the
+    /// flush path after a scheme change (adaptive IPA).
+    pub scheme_upgrades: u64,
 }
 
 impl EngineStats {
@@ -157,6 +164,9 @@ impl EngineStats {
             recovery_page_rebuilds: self
                 .recovery_page_rebuilds
                 .saturating_sub(earlier.recovery_page_rebuilds),
+            retune_epochs: self.retune_epochs.saturating_sub(earlier.retune_epochs),
+            scheme_changes: self.scheme_changes.saturating_sub(earlier.scheme_changes),
+            scheme_upgrades: self.scheme_upgrades.saturating_sub(earlier.scheme_upgrades),
         }
     }
 }

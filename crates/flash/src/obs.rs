@@ -209,6 +209,30 @@ pub enum EventKind {
     /// analyzers window their attribution after the last reset so totals
     /// reconcile with the run's end-of-run counters.
     StatsReset,
+    /// The engine's online advisor re-tuned a region's `[N×M]` scheme at
+    /// the end of a profiling epoch. Newly written and GC-migrated pages
+    /// of the region carry the new layout from here on; resident
+    /// old-scheme pages stay readable through their per-page scheme tag.
+    SchemeChange {
+        /// Monotonic per-region scheme version after the change.
+        epoch: u64,
+        /// Previous scheme (N, M, V).
+        old: (u16, u16, u16),
+        /// New scheme (N, M, V).
+        new: (u16, u16, u16),
+    },
+    /// Summary of a region's live update-size profile at a re-tune epoch
+    /// boundary (reservoir percentiles over the evictions of the epoch).
+    ProfileSnapshot {
+        /// Evictions observed by the region's profile this epoch.
+        observations: u64,
+        /// Median changed body bytes per eviction.
+        body_p50: u32,
+        /// 95th-percentile changed body bytes per eviction.
+        body_p95: u32,
+        /// 99th-percentile changed metadata bytes per eviction.
+        meta_p99: u32,
+    },
 }
 
 /// One trace event.

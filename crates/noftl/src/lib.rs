@@ -38,6 +38,7 @@ pub mod hybrid;
 mod io;
 mod manager;
 mod region;
+mod rewriter;
 mod stats;
 
 pub use config::{FaultPolicy, IpaMode, NoFtlConfig, NoFtlConfigBuilder, RegionSpec};
@@ -46,6 +47,7 @@ pub use hybrid::{HybridConfig, HybridFtl, HybridStats};
 pub use io::{IoCtx, PageIo};
 pub use manager::{NoFtl, RegionId};
 pub use region::Lba;
+pub use rewriter::PageRewriter;
 pub use stats::{HeatSummary, RegionStats};
 
 // Vocabulary types that travel through this crate's API: queued-I/O

@@ -67,6 +67,17 @@ impl NoFtl {
         self.regions.len()
     }
 
+    /// Install a GC-carried page rewriter on every region (see
+    /// [`crate::PageRewriter`]): each valid page moved by garbage
+    /// collection or wear leveling is offered to the hook between its
+    /// migration read and program, so format changes ride I/O the FTL
+    /// performs anyway.
+    pub fn set_page_rewriter(&mut self, rewriter: std::sync::Arc<dyn crate::PageRewriter>) {
+        for region in &mut self.regions {
+            region.set_rewriter(rewriter.clone());
+        }
+    }
+
     /// Exported logical capacity of a region, in pages.
     pub fn capacity(&self, rid: RegionId) -> Result<u64> {
         Ok(self.region(rid)?.capacity())

@@ -11,6 +11,7 @@ use ipa_flash::{
 use crate::config::{FaultPolicy, IpaMode, RegionSpec};
 use crate::error::NoFtlError;
 use crate::io::IoCtx;
+use crate::rewriter::{PageRewriter, RewriterSlot};
 use crate::stats::{HeatSummary, RegionStats};
 use crate::Result;
 
@@ -81,6 +82,8 @@ pub(crate) struct Region {
     /// region was created — update-heat telemetry, cumulative like wear
     /// (not cleared by a stats reset).
     heat: Vec<u64>,
+    /// Optional GC-carried page rewriter (see [`crate::PageRewriter`]).
+    rewriter: RewriterSlot,
 }
 
 impl Region {
@@ -140,7 +143,13 @@ impl Region {
             fault_policy,
             stats: RegionStats::default(),
             heat: vec![0; capacity as usize],
+            rewriter: RewriterSlot::default(),
         })
+    }
+
+    /// Install (or replace) the GC-carried page rewriter for this region.
+    pub(crate) fn set_rewriter(&mut self, rewriter: std::sync::Arc<dyn PageRewriter>) {
+        self.rewriter = RewriterSlot(Some(rewriter));
     }
 
     /// Count one logical update (page write or delta append) of `lba` in
@@ -812,11 +821,19 @@ impl Region {
     ) -> Result<()> {
         let chip = self.chips[local].chip;
         let old = Ppa::new(chip, victim, page);
-        let data = dev
+        let mut data = dev
             .complete(id)?
             .data
             .ok_or(NoFtlError::Internal("read completion carries no data"))?;
-        let oob = dev.read_oob(old)?;
+        let mut oob = dev.read_oob(old)?;
+        // The migration already holds the full image in memory: offer it
+        // to the installed rewriter, which may re-encode the page (e.g.
+        // under a newer [N×M] scheme) at zero extra flash I/O.
+        if let RewriterSlot(Some(rw)) = &self.rewriter {
+            if rw.rewrite_for_migration(self.id, lba, &mut data, &mut oob) {
+                self.stats.gc_rewrites += 1;
+            }
+        }
         // Migrations go through the healed program path too: a fault
         // storm must not abort a collection mid-flight.
         let (new, id) = self.program_healed(dev, local, Lba(lba), &data, IoCtx::background())?;

@@ -59,6 +59,10 @@ pub struct RegionStats {
     /// read batch after a mid-migration error (the drain is best-effort so
     /// the first error can propagate; later failures are counted here).
     pub gc_drain_failures: u64,
+    /// Pages re-encoded in flight by the installed [`crate::PageRewriter`]
+    /// while a GC or wear-leveling migration carried them — scheme
+    /// reconfigurations that cost zero extra flash I/O.
+    pub gc_rewrites: u64,
 }
 
 impl RegionStats {
@@ -120,6 +124,7 @@ impl RegionStats {
         self.delta_fallbacks += other.delta_fallbacks;
         self.scrub_refreshes += other.scrub_refreshes;
         self.gc_drain_failures += other.gc_drain_failures;
+        self.gc_rewrites += other.gc_rewrites;
     }
 
     /// Interval counters `self - earlier` (both cumulative).
@@ -141,6 +146,7 @@ impl RegionStats {
             delta_fallbacks: self.delta_fallbacks.saturating_sub(earlier.delta_fallbacks),
             scrub_refreshes: self.scrub_refreshes.saturating_sub(earlier.scrub_refreshes),
             gc_drain_failures: self.gc_drain_failures.saturating_sub(earlier.gc_drain_failures),
+            gc_rewrites: self.gc_rewrites.saturating_sub(earlier.gc_rewrites),
         }
     }
 }
@@ -188,6 +194,7 @@ mod tests {
             delta_fallbacks: 12,
             scrub_refreshes: 13,
             gc_drain_failures: 14,
+            gc_rewrites: 15,
         };
         let b = RegionStats {
             host_reads: 10,
@@ -204,6 +211,7 @@ mod tests {
             delta_fallbacks: 120,
             scrub_refreshes: 130,
             gc_drain_failures: 140,
+            gc_rewrites: 150,
         };
         a.merge(&b);
         assert_eq!(a.host_reads, 11);
@@ -220,6 +228,7 @@ mod tests {
         assert_eq!(a.delta_fallbacks, 132);
         assert_eq!(a.scrub_refreshes, 143);
         assert_eq!(a.gc_drain_failures, 154);
+        assert_eq!(a.gc_rewrites, 165);
     }
 
     #[test]

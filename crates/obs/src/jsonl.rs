@@ -35,6 +35,8 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::CmdSubmit { .. } => "cmd_submit",
         EventKind::CmdComplete { .. } => "cmd_complete",
         EventKind::StatsReset => "stats_reset",
+        EventKind::SchemeChange { .. } => "scheme_change",
+        EventKind::ProfileSnapshot { .. } => "profile_snapshot",
     }
 }
 
@@ -98,6 +100,21 @@ pub fn event_to_json(event: &ObsEvent) -> Value {
             m.insert("submitted_ns".into(), Value::from(submitted_ns));
             m.insert("start_ns".into(), Value::from(start_ns));
             m.insert("done_ns".into(), Value::from(done_ns));
+        }
+        EventKind::SchemeChange { epoch, old, new } => {
+            m.insert("epoch".into(), Value::from(epoch));
+            m.insert("old_n".into(), Value::from(old.0));
+            m.insert("old_m".into(), Value::from(old.1));
+            m.insert("old_v".into(), Value::from(old.2));
+            m.insert("new_n".into(), Value::from(new.0));
+            m.insert("new_m".into(), Value::from(new.1));
+            m.insert("new_v".into(), Value::from(new.2));
+        }
+        EventKind::ProfileSnapshot { observations, body_p50, body_p95, meta_p99 } => {
+            m.insert("observations".into(), Value::from(observations));
+            m.insert("body_p50".into(), Value::from(body_p50));
+            m.insert("body_p95".into(), Value::from(body_p95));
+            m.insert("meta_p99".into(), Value::from(meta_p99));
         }
         _ => {}
     }
@@ -257,6 +274,42 @@ mod tests {
         assert_eq!(last["kind"], "trace_end");
         assert_eq!(last["written"], 3);
         assert_eq!(last["dropped"], 0);
+    }
+
+    #[test]
+    fn adaptive_events_inline_payloads() {
+        let change = ObsEvent {
+            seq: 0,
+            t_ns: 5,
+            region: Some(2),
+            lba: None,
+            kind: EventKind::SchemeChange { epoch: 3, old: (2, 3, 12), new: (2, 24, 12) },
+        };
+        let v = event_to_json(&change);
+        assert_eq!(v["kind"], "scheme_change");
+        assert_eq!(v["epoch"], 3);
+        assert_eq!(v["old_m"], 3);
+        assert_eq!(v["new_m"], 24);
+        assert_eq!(v["region"], 2);
+
+        let prof = ObsEvent {
+            seq: 1,
+            t_ns: 6,
+            region: Some(2),
+            lba: None,
+            kind: EventKind::ProfileSnapshot {
+                observations: 400,
+                body_p50: 3,
+                body_p95: 24,
+                meta_p99: 9,
+            },
+        };
+        let v = event_to_json(&prof);
+        assert_eq!(v["kind"], "profile_snapshot");
+        assert_eq!(v["observations"], 400);
+        assert_eq!(v["body_p50"], 3);
+        assert_eq!(v["body_p95"], 24);
+        assert_eq!(v["meta_p99"], 9);
     }
 
     #[test]

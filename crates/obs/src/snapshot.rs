@@ -312,6 +312,9 @@ fn engine_json(e: &EngineStats) -> Value {
     m.insert("ecc_verified".into(), Value::from(e.ecc_verified));
     m.insert("read_retries".into(), Value::from(e.read_retries));
     m.insert("recovery_page_rebuilds".into(), Value::from(e.recovery_page_rebuilds));
+    m.insert("retune_epochs".into(), Value::from(e.retune_epochs));
+    m.insert("scheme_changes".into(), Value::from(e.scheme_changes));
+    m.insert("scheme_upgrades".into(), Value::from(e.scheme_upgrades));
     Value::Object(m)
 }
 
@@ -340,6 +343,7 @@ fn region_json(r: &RegionStats) -> Value {
     m.insert("delta_fallbacks".into(), Value::from(r.delta_fallbacks));
     m.insert("scrub_refreshes".into(), Value::from(r.scrub_refreshes));
     m.insert("gc_drain_failures".into(), Value::from(r.gc_drain_failures));
+    m.insert("gc_rewrites".into(), Value::from(r.gc_rewrites));
     Value::Object(m)
 }
 

@@ -1,6 +1,6 @@
 //! Shared benchmark machinery: system sizing, the run loop and the report.
 
-use ipa_core::NxM;
+use ipa_core::{AdvisorGoal, NxM};
 use ipa_engine::{
     ClientPool, Database, DbConfig, EngineStats, InterleavedClient, LockPolicy, PoolConfig,
     PoolRunReport, Result, Schedule,
@@ -67,6 +67,17 @@ pub struct SystemConfig {
     /// Row-lock conflict policy. Serial runs keep no-wait; multi-client
     /// runs switch to wait-die.
     pub lock_policy: LockPolicy,
+    /// Online-advisor re-tune period on the simulated clock (0 = static
+    /// schemes, the default — traces are bit-identical to a build without
+    /// the adaptive machinery).
+    pub advisor_epoch_ns: u64,
+    /// Tuning goal of the online advisor.
+    pub advisor_goal: AdvisorGoal,
+    /// Minimum predicted-hit-rate gain before a scheme change commits.
+    pub advisor_hysteresis: f64,
+    /// Minimum profile samples in an epoch before a region is evaluated
+    /// (smaller = faster phase detection, noisier recommendations).
+    pub advisor_min_observations: u64,
 }
 
 impl SystemConfig {
@@ -91,6 +102,10 @@ impl SystemConfig {
             group_commit_timeout_ns: 0,
             log_force_ns: 0,
             lock_policy: LockPolicy::NoWait,
+            advisor_epoch_ns: 0,
+            advisor_goal: AdvisorGoal::Longevity,
+            advisor_hysteresis: 0.05,
+            advisor_min_observations: 64,
         }
     }
 
@@ -122,6 +137,10 @@ impl SystemConfig {
             group_commit_timeout_ns: 0,
             log_force_ns: 0,
             lock_policy: LockPolicy::NoWait,
+            advisor_epoch_ns: 0,
+            advisor_goal: AdvisorGoal::Longevity,
+            advisor_hysteresis: 0.05,
+            advisor_min_observations: 64,
         }
     }
 
@@ -172,13 +191,17 @@ impl SystemConfig {
             .single_region(self.ipa_mode, op_eff)
             .build()?;
         let buffer_frames = ((estimated_pages as f64 * self.buffer_fraction) as usize).max(16);
-        let db_cfg = if self.eager {
+        let mut db_cfg = if self.eager {
             DbConfig::eager(buffer_frames)
         } else {
             DbConfig::non_eager(buffer_frames)
         }
         .with_group_commit(self.group_commit_batch, self.group_commit_timeout_ns)
         .with_log_force_ns(self.log_force_ns);
+        db_cfg.advisor_epoch_ns = self.advisor_epoch_ns;
+        db_cfg.advisor_goal = self.advisor_goal;
+        db_cfg.advisor_hysteresis = self.advisor_hysteresis;
+        db_cfg.advisor_min_observations = self.advisor_min_observations;
         Database::builder(ftl_cfg)
             .scheme(self.scheme)
             .config(db_cfg)

@@ -16,6 +16,9 @@
 //! * [`linkbench::LinkBench`] — a social-graph store (nodes ~90 B payload,
 //!   associations ~12 B, half empty) with the 10-operation LinkBench mix at
 //!   a 2.19:1 read:write ratio; updates up to ~125 gross bytes (Figure 10).
+//! * [`phases::PhaseShift`] — a synthetic phase-shifting update workload
+//!   (the update-size CDF rotates every `phase_len` transactions) built to
+//!   exercise the online adaptive `[N×M]` re-tuning of the engine.
 //!
 //! [`driver`] provides the shared machinery: deterministic run loop with
 //! background-work ticks, simulated-clock accounting, system sizing
@@ -28,6 +31,7 @@
 
 pub mod driver;
 pub mod linkbench;
+pub mod phases;
 pub mod tatp;
 pub mod tpcb;
 pub mod tpcc;
@@ -37,6 +41,7 @@ pub use driver::{
     MultiRunReport, MultiRunner, Platform, RunReport, Runner, SystemConfig, Workload,
 };
 pub use linkbench::LinkBench;
+pub use phases::PhaseShift;
 pub use tatp::Tatp;
 pub use tpcb::{SharedTpcB, TpcB, TpcBClient};
 pub use tpcc::TpcC;

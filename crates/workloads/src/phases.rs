@@ -1,0 +1,228 @@
+//! Phase-shifting update workload for the online adaptive IPA experiments.
+//!
+//! The working set is a single heap of fixed-size rows; every transaction
+//! updates exactly `k` bytes of one uniformly-chosen row, where `k` swaps
+//! between configured sizes every `phase_len` transactions. A small-update
+//! phase (TPC-C-like 3-byte numeric patches) alternating with a
+//! wide-update phase (LinkBench-like 24-byte payload rewrites) shifts the
+//! update-size CDF underneath a fixed `[N×M]` scheme — exactly the regime
+//! the online advisor's re-tune epochs are meant to track.
+//!
+//! Updates always touch the same field window of a row and bump every byte
+//! by one, so each flush of a touched page carries a body-change footprint
+//! equal to the phase's update size regardless of how many transactions
+//! hit the page between evictions. That keeps the observed update-size
+//! percentiles sharp, which makes per-phase advisor recommendations (and
+//! the oracle comparison of the `adaptive_ipa` harness) reproducible.
+
+use ipa_engine::{Database, Result, Rid};
+use rand::rngs::StdRng;
+
+use crate::driver::Workload;
+use crate::util::{uniform, Record};
+
+/// Default row size (bytes).
+const ROW_REC: usize = 64;
+/// Byte offset of the mutable field window inside each row. The largest
+/// configured update size must fit between here and the row end.
+pub const FIELD_OFF: usize = 16;
+
+/// Phase-shifting uniform-update workload.
+pub struct PhaseShift {
+    /// Number of rows in the heap.
+    pub rows: u64,
+    /// Transactions per phase before the update size rotates.
+    pub phase_len: u64,
+    /// Update sizes (bytes) cycled phase by phase.
+    pub update_sizes: Vec<usize>,
+    row_bytes: usize,
+    heap: u32,
+    rids: Vec<Rid>,
+    executed: u64,
+}
+
+impl PhaseShift {
+    /// A workload cycling through `update_sizes`, rotating every
+    /// `phase_len` transactions.
+    pub fn new(rows: u64, phase_len: u64, update_sizes: Vec<usize>) -> Self {
+        assert!(!update_sizes.is_empty(), "at least one update size");
+        assert!(phase_len > 0, "phase length must be positive");
+        let row_bytes = ROW_REC;
+        for &k in &update_sizes {
+            assert!(k > 0 && FIELD_OFF + k <= row_bytes, "update size {k} outside the row");
+        }
+        PhaseShift {
+            rows,
+            phase_len,
+            update_sizes,
+            row_bytes,
+            heap: 0,
+            rids: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Override the row size. Larger rows leave per-page slack, which a
+    /// scheme change needs when the new delta area is wider than the one
+    /// the pages were packed under (relayout of a byte-tight page fails
+    /// and the page just keeps its old scheme).
+    pub fn with_row_bytes(mut self, row_bytes: usize) -> Self {
+        for &k in &self.update_sizes {
+            assert!(FIELD_OFF + k <= row_bytes, "update size {k} outside the row");
+        }
+        self.row_bytes = row_bytes;
+        self
+    }
+
+    /// A single-phase instance: every update is `bytes` wide. The oracle
+    /// arm of the `adaptive_ipa` harness runs one of these per phase, each
+    /// under the scheme best for that phase.
+    pub fn constant(rows: u64, bytes: usize) -> Self {
+        PhaseShift::new(rows, u64::MAX, vec![bytes])
+    }
+
+    /// Index of the phase the *next* transaction executes in.
+    pub fn phase(&self) -> usize {
+        ((self.executed / self.phase_len) as usize) % self.update_sizes.len()
+    }
+
+    /// Update size (bytes) of the *next* transaction.
+    pub fn current_update_size(&self) -> usize {
+        self.update_sizes[self.phase()]
+    }
+}
+
+impl Workload for PhaseShift {
+    fn name(&self) -> &'static str {
+        "PhaseShift"
+    }
+
+    fn estimated_pages(&self, page_size: usize) -> u64 {
+        let usable = (page_size - 160) as u64;
+        let rows_per_page = (usable / (self.row_bytes as u64 + 4)).max(1);
+        self.rows / rows_per_page + 2
+    }
+
+    fn growth_factor(&self) -> f64 {
+        // Pure update workload: no inserts after setup.
+        1.2
+    }
+
+    fn setup(&mut self, db: &mut Database, _rng: &mut StdRng) -> Result<()> {
+        self.heap = db.create_heap(0);
+        let mut row = 0u64;
+        while row < self.rows {
+            let mut tx = db.txn();
+            for _ in 0..1000.min(self.rows - row) {
+                let mut rec = Record::new(self.row_bytes);
+                rec.put_u64(0, row);
+                self.rids.push(tx.heap_insert(self.heap, &rec.0)?);
+                row += 1;
+            }
+            tx.commit()?;
+        }
+        Ok(())
+    }
+
+    fn transaction(&mut self, db: &mut Database, rng: &mut StdRng) -> Result<()> {
+        let k = self.current_update_size();
+        let row = uniform(rng, 0, self.rows - 1);
+        let rid = self.rids[row as usize];
+        let mut tx = db.txn();
+        let mut buf = tx.heap_read(self.heap, rid)?;
+        // Bump every byte of the field window: each of the k bytes is
+        // guaranteed to differ from the flash image, so the page's
+        // distinct-changed-byte count is exactly the phase's update size.
+        for b in &mut buf[FIELD_OFF..FIELD_OFF + k] {
+            *b = b.wrapping_add(1);
+        }
+        tx.heap_update(self.heap, rid, &buf)?;
+        tx.commit()?;
+        self.executed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::NxM;
+    use rand::SeedableRng;
+
+    use crate::driver::{Runner, SystemConfig};
+
+    fn small_config(scheme: NxM) -> SystemConfig {
+        let mut cfg = SystemConfig::emulator(scheme, 0.10);
+        cfg.page_size = 1024;
+        cfg.cpu_ns_per_txn = 50_000;
+        cfg
+    }
+
+    #[test]
+    fn phase_rotation_by_transaction_count() {
+        let mut w = PhaseShift::new(100, 10, vec![3, 24]);
+        assert_eq!(w.phase(), 0);
+        w.executed = 9;
+        assert_eq!(w.current_update_size(), 3);
+        w.executed = 10;
+        assert_eq!(w.current_update_size(), 24);
+        w.executed = 20;
+        assert_eq!(w.phase(), 0);
+    }
+
+    #[test]
+    fn constant_never_rotates() {
+        let mut w = PhaseShift::constant(100, 24);
+        w.executed = u64::MAX / 2;
+        assert_eq!(w.current_update_size(), 24);
+    }
+
+    #[test]
+    fn update_footprint_matches_phase_size() {
+        let cfg = small_config(NxM::tpcc());
+        let mut w = PhaseShift::new(400, 50, vec![3, 24]);
+        let mut db = cfg.build_for(&w).expect("build");
+        let runner = Runner::new(11);
+        runner.setup(&mut db, &mut w).expect("setup");
+        runner.run(&mut db, &mut w, 0, 200).expect("run");
+        db.flush_all().expect("flush");
+        // Small phase updates (3 bytes) fit the [2x3] scheme, the wide
+        // phase forces out-of-place flushes, so both kinds occurred.
+        let s = db.stats();
+        assert!(s.ipa_flushes > 0, "small-phase flushes append in place");
+        assert!(s.oop_flushes > 0, "wide-phase flushes fall back out-of-place");
+        // Profile percentiles reflect the two-mode update distribution.
+        // A flush can fold several row updates of one page, so small-phase
+        // samples are small multiples of 3 while wide-phase samples are at
+        // least one 24-byte footprint.
+        let p = db.profile(0);
+        assert!(p.observations() > 0);
+        let p25 = p.body_percentile(25.0);
+        assert!((3..24).contains(&p25), "low percentile in the small mode, got {p25}");
+        assert!(p.body_percentile(95.0) >= 24, "high percentile reaches the wide mode");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let cfg = small_config(NxM::tpcc());
+            let mut w = PhaseShift::new(200, 25, vec![3, 24]);
+            let mut db = cfg.build_for(&w).expect("build");
+            let runner = Runner::new(7);
+            runner.setup(&mut db, &mut w).expect("setup");
+            let r = runner.run(&mut db, &mut w, 10, 100).expect("run");
+            (r.commits, r.engine.ipa_flushes, r.engine.oop_flushes, r.engine.gross_written_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seed_reaches_workload_rng() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(2);
+        let w = PhaseShift::new(1000, 10, vec![3]);
+        let a: Vec<u64> = (0..16).map(|_| uniform(&mut r1, 0, w.rows - 1)).collect();
+        let b: Vec<u64> = (0..16).map(|_| uniform(&mut r2, 0, w.rows - 1)).collect();
+        assert_ne!(a, b);
+    }
+}
