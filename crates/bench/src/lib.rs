@@ -27,6 +27,7 @@
 //! | `fault_storm`         | §7 — fault injection + self-healing under TPC-B |
 //! | `group_commit_sweep`  | K clients × batch × queue depth group commit |
 //! | `adaptive_ipa`        | online re-tuning vs static schemes vs per-phase oracle |
+//! | `restart_latency`     | checkpoint-bounded restart vs full log scan |
 //!
 //! Scales are simulation-sized (the substrate is a simulator, not the
 //! authors' 50 GB testbed); set `IPA_BENCH_SCALE=2` (or higher) to grow

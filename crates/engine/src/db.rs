@@ -92,6 +92,16 @@ pub struct DbConfig {
     /// Minimum eviction observations a region's profile must hold before
     /// an epoch evaluates it (unevaluated profiles keep accumulating).
     pub advisor_min_observations: u64,
+    /// Periodic fuzzy-checkpoint interval on the simulated clock:
+    /// [`Database::background_work`] takes a checkpoint once this much
+    /// simulated time has passed since the previous one. Unlike the
+    /// checkpoint inside log reclamation, periodic checkpoints do *not*
+    /// force-flush dirty pages first, so their dirty-page table carries
+    /// real information and restart redo can start at its minimum recLSN.
+    /// `0` (the default) disables periodic checkpointing entirely — the
+    /// engine behaves event-for-event identically to the
+    /// pre-checkpointing engine.
+    pub checkpoint_interval_ns: u64,
 }
 
 impl DbConfig {
@@ -111,6 +121,7 @@ impl DbConfig {
             advisor_goal: AdvisorGoal::Longevity,
             advisor_hysteresis: 0.05,
             advisor_min_observations: 64,
+            checkpoint_interval_ns: 0,
         }
     }
 
@@ -131,6 +142,7 @@ impl DbConfig {
             advisor_goal: AdvisorGoal::Longevity,
             advisor_hysteresis: 0.05,
             advisor_min_observations: 64,
+            checkpoint_interval_ns: 0,
         }
     }
 
@@ -153,6 +165,13 @@ impl DbConfig {
     pub fn with_adaptive(mut self, epoch_ns: u64, goal: AdvisorGoal) -> Self {
         self.advisor_epoch_ns = epoch_ns;
         self.advisor_goal = goal;
+        self
+    }
+
+    /// Enable periodic fuzzy checkpoints every `interval_ns` of simulated
+    /// time (builder-style helper).
+    pub fn with_checkpoints(mut self, interval_ns: u64) -> Self {
+        self.checkpoint_interval_ns = interval_ns;
         self
     }
 }
@@ -332,6 +351,9 @@ pub struct Database {
     oob_size: usize,
     /// Online adaptive IPA state; `None` when `advisor_epoch_ns == 0`.
     adaptive: Option<AdaptiveState>,
+    /// Simulated-clock time of the most recent checkpoint (periodic or
+    /// reclamation-driven); the periodic-checkpoint epoch anchor.
+    last_checkpoint_ns: u64,
 }
 
 impl std::fmt::Debug for Database {
@@ -415,6 +437,7 @@ impl Database {
             gcommit: GroupCommitState::default(),
             oob_size,
             adaptive,
+            last_checkpoint_ns: 0,
         })
     }
 
@@ -558,6 +581,23 @@ impl Database {
         if let Some(state) = &self.adaptive {
             state.dir.resident().remove(&(pid.region as u32, pid.lba.0));
         }
+    }
+
+    /// Forget every buffer-resident page in the scheme directory (crash
+    /// simulation: the pool is gone, so nothing is resident — a stale set
+    /// would make the GC-migration rewriter skip re-encoding pages it
+    /// wrongly believes are buffered).
+    pub(crate) fn clear_resident_tracking(&self) {
+        if let Some(state) = &self.adaptive {
+            state.dir.resident().clear();
+        }
+    }
+
+    /// Number of `(region, lba)` pairs the adaptive scheme directory
+    /// currently believes are buffer-resident (0 when adaptive mode is
+    /// off). Test/diagnostic aid.
+    pub fn resident_tracking_len(&self) -> usize {
+        self.adaptive.as_ref().map_or(0, |s| s.dir.resident().len())
     }
 
     /// Drop a page: trim on flash, forget in the buffer, recycle the LBA.
@@ -905,8 +945,26 @@ impl Database {
         if self.wal.used_fraction() >= self.config.log_reclaim_threshold {
             self.reclaim_log_space()?;
         }
+        self.maybe_checkpoint()?;
         self.maybe_retune();
         Ok(())
+    }
+
+    /// Periodic fuzzy checkpoint: once `checkpoint_interval_ns` of
+    /// simulated time has passed since the last checkpoint, take one —
+    /// *without* flushing dirty pages first (unlike log reclamation), so
+    /// the recorded dirty-page table bounds restart redo. `0` keeps the
+    /// feature dormant: no clock read feeds back into engine behaviour and
+    /// the trace stays event-for-event identical to the interval-0 engine.
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.config.checkpoint_interval_ns == 0 {
+            return Ok(());
+        }
+        let now = self.ftl.device().clock().now_ns();
+        if now.saturating_sub(self.last_checkpoint_ns) < self.config.checkpoint_interval_ns {
+            return Ok(());
+        }
+        self.checkpoint()
     }
 
     /// Adaptive-IPA re-tune epoch: when `advisor_epoch_ns` of simulated
@@ -987,30 +1045,57 @@ impl Database {
         self.ftl.close_span(span);
         staged?;
         self.checkpoint()?;
-        let keep = self
+        // Oldest record still needed for undo: active transactions, and
+        // — crucially — *parked* group commits. A parked transaction is
+        // already finished in the transaction table (its locks are
+        // released), but until the batch force acknowledges it, its
+        // records are the only evidence of what it did: truncating them
+        // would let stolen page writes of an unacknowledged commit survive
+        // a crash with no history to redo or undo against.
+        let active_keep = self
             .txns
             .snapshot()
             .iter()
             .filter_map(|(tx, _)| {
-                let first = self.first_lsn_of(*tx);
+                let first = self.first_lsn_from(self.txns.last_lsn(*tx));
                 if first.is_null() {
                     None
                 } else {
                     Some(first)
                 }
             })
-            .min()
-            .unwrap_or(Lsn(self.wal.head().0));
-        // Keep the checkpoint pair itself.
-        let ckpt_begin = Lsn(self.wal.last_checkpoint().map_or(1, |l| l.0.saturating_sub(1)));
+            .min();
+        let parked_keep = self
+            .gcommit
+            .parked
+            .iter()
+            .filter_map(|p| {
+                let first = self.first_lsn_from(p.lsn);
+                if first.is_null() {
+                    None
+                } else {
+                    Some(first)
+                }
+            })
+            .min();
+        let keep = match (active_keep, parked_keep) {
+            (Some(a), Some(p)) => a.min(p),
+            (Some(a), None) => a,
+            (None, Some(p)) => p,
+            (None, None) => Lsn(self.wal.head().0),
+        };
+        // Keep the checkpoint pair itself. The Begin and End LSNs are not
+        // adjacent in general (fuzzy checkpoints interleave with regular
+        // records), so the WAL tracks the pair — truncate to the Begin.
+        let ckpt_begin = self.wal.last_checkpoint_begin().unwrap_or(Lsn(1));
         self.wal.truncate_to(keep.min(ckpt_begin));
         self.stats.log_reclaims += 1;
         Ok(())
     }
 
-    fn first_lsn_of(&self, tx: crate::txn::TxId) -> Lsn {
-        // Walk the undo chain to its head.
-        let mut lsn = self.txns.last_lsn(tx);
+    /// Head of the undo chain that ends at `lsn` (the transaction's first
+    /// retained record). Null in, null out.
+    fn first_lsn_from(&self, mut lsn: Lsn) -> Lsn {
         let mut first = lsn;
         while let Some(rec) = self.wal.get(lsn) {
             first = rec.lsn;
@@ -1028,9 +1113,22 @@ impl Database {
         self.wal.flush_to(head);
     }
 
-    /// Take a fuzzy checkpoint.
+    /// Newest appended LSN — the retained-log length a full-scan restart
+    /// would have to walk (diagnostics and the restart-latency bench).
+    pub fn wal_head(&self) -> Lsn {
+        self.wal.head()
+    }
+
+    /// Take a fuzzy checkpoint: a `BeginCheckpoint`/`EndCheckpoint` record
+    /// pair whose End carries the active-transaction table and the
+    /// dirty-page table (each dirty frame's recLSN). Restart analysis
+    /// starts at the Begin of the last complete pair and redo at the
+    /// dirty-page table's minimum recLSN.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
+        if self.ftl.observing() {
+            self.ftl.emit(EventKind::CheckpointBegin, None, None);
+        }
         let dirty: Vec<(PageId, Lsn)> = self
             .pool
             .dirty_indices()
@@ -1041,9 +1139,15 @@ impl Database {
             })
             .collect();
         let active = self.txns.snapshot();
+        let counts = (active.len() as u32, dirty.len() as u32);
         let end = self.wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active, dirty });
         self.wal.flush_to(end);
         self.stats.checkpoints += 1;
+        self.last_checkpoint_ns = self.ftl.device().clock().now_ns();
+        if self.ftl.observing() {
+            let kind = EventKind::CheckpointEnd { active: counts.0, dirty: counts.1 };
+            self.ftl.emit(kind, None, None);
+        }
         Ok(())
     }
 
@@ -1537,7 +1641,7 @@ pub(crate) mod tests {
         assert_eq!(a.lba, b.lba, "freed lba is reused");
     }
 
-    fn adaptive_test_db(epoch_ns: u64, frames: usize) -> Database {
+    pub(crate) fn adaptive_test_db(epoch_ns: u64, frames: usize) -> Database {
         let mut flash = FlashConfig::small_slc();
         flash.geometry.blocks_per_chip = 64;
         flash.geometry.pages_per_block = 16;
@@ -1699,6 +1803,48 @@ pub(crate) mod tests {
         let baseline = drive_mixed(test_db(NxM::tpcc(), 4));
         let adaptive = drive_mixed(adaptive_test_db(u64::MAX, 4));
         assert_eq!(baseline, adaptive);
+    }
+
+    pub(crate) fn checkpoint_test_db(interval_ns: u64, frames: usize) -> Database {
+        let mut flash = FlashConfig::small_slc();
+        flash.geometry.blocks_per_chip = 64;
+        flash.geometry.pages_per_block = 16;
+        flash.geometry.page_size = 1024;
+        let cfg = NoFtlConfig::single_region(flash, IpaMode::Slc, 0.2);
+        Database::open(cfg, &[NxM::tpcc()], DbConfig::eager(frames).with_checkpoints(interval_ns))
+            .unwrap()
+    }
+
+    #[test]
+    fn dormant_checkpointing_is_trace_identical() {
+        // `checkpoint_interval_ns = 0` must leave the engine untouched, and
+        // an armed interval that never elapses must be indistinguishable
+        // from it: same trace tape, same I/O accounting, no log growth.
+        let baseline = drive_mixed(checkpoint_test_db(0, 4));
+        let armed = drive_mixed(checkpoint_test_db(u64::MAX, 4));
+        assert_eq!(baseline, armed);
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_on_the_simulated_clock() {
+        let mut db = checkpoint_test_db(1_000, 4);
+        let pid = db.new_page(0).unwrap();
+        let slot = db.with_page_mut(pid, |p, t| Ok(p.insert_tuple(&[1u8; 32], t)?)).unwrap();
+        db.flush_page(pid).unwrap();
+        for round in 0..8u8 {
+            db.with_page_mut(pid, |p, t| {
+                let mut v = p.tuple(slot)?.to_vec();
+                v.fill(round);
+                p.update_tuple(slot, &v, t)?;
+                Ok(())
+            })
+            .unwrap();
+            db.flush_page(pid).unwrap();
+            db.background_work().unwrap();
+        }
+        assert!(db.stats().checkpoints >= 2, "simulated clock drives periodic checkpoints");
+        let (begin, end) = db.wal.last_checkpoint_pair().expect("a complete pair is tracked");
+        assert!(begin < end, "Begin precedes End");
     }
 
     #[test]

@@ -27,8 +27,26 @@ use crate::Result;
 
 /// Roll back one active transaction (normal abort path and restart undo).
 pub(crate) fn rollback(db: &mut Database, tx: TxId) -> Result<()> {
+    rollback_budgeted(db, tx, &mut None).map(|_| ())
+}
+
+/// Roll back one transaction, appending at most the budgeted number of
+/// CLRs when a budget is given (crash-during-recovery fault injection —
+/// `None` means unlimited). Returns the CLRs appended and whether the
+/// rollback ran to completion. A partial rollback leaves the transaction's
+/// undo chain ending in its CLRs, so a rerun restart resumes at the last
+/// CLR's `undo_next` — repeating history, never re-undoing undone work.
+pub(crate) fn rollback_budgeted(
+    db: &mut Database,
+    tx: TxId,
+    budget: &mut Option<u64>,
+) -> Result<(u64, bool)> {
+    let mut clrs = 0u64;
     let mut cursor = db.txns.last_lsn(tx);
     while !cursor.is_null() {
+        if matches!(budget, Some(0)) {
+            return Ok((clrs, false));
+        }
         let Some(rec) = db.wal.get(cursor).cloned() else { break };
         match rec.payload {
             LogPayload::Clr { undo_next, .. } => {
@@ -48,12 +66,16 @@ pub(crate) fn rollback(db: &mut Database, tx: TxId) -> Result<()> {
                         },
                     )?;
                     apply_action(db, clr_lsn, &action, false)?;
+                    clrs += 1;
+                    if let Some(b) = budget.as_mut() {
+                        *b -= 1;
+                    }
                 }
                 cursor = rec.prev;
             }
         }
     }
-    Ok(())
+    Ok((clrs, true))
 }
 
 /// The logical/physical inverse of a loggable action (None for records
@@ -250,6 +272,12 @@ impl Database {
     /// contents (including ISPP-appended delta records) survive.
     pub fn simulate_crash(&mut self) {
         self.pool.clear();
+        // The adaptive scheme directory mirrors the pool's residency for
+        // the GC-migration rewriter; a crash empties the pool, so the
+        // mirror must empty too — stale entries would make the rewriter
+        // treat vanished pages as still buffered and skip re-encoding
+        // them during migrations.
+        self.clear_resident_tracking();
         self.wal.lose_unflushed();
         self.locks = crate::lock::LockManager::new();
         // Parked group commits lose their unforced Commit records (they
@@ -262,30 +290,86 @@ impl Database {
         }
     }
 
-    /// ARIES restart: analysis, redo, undo.
+    /// ARIES restart: analysis, redo, undo — checkpoint-bounded. Analysis
+    /// starts at the last complete checkpoint's Begin LSN, seeds losers
+    /// from the checkpoint's active-transaction table and a dirty-page
+    /// table (DPT) from its `dirty` entries; redo starts at the DPT's
+    /// minimum recLSN and skips records whose target page is absent from
+    /// the DPT or below its recLSN (the PageLSN comparison stays as the
+    /// safety net). Restart cost is proportional to work since the last
+    /// checkpoint, not to retained log size.
     ///
-    /// The whole restart runs under one root `Recovery` trace span, so
-    /// every page rebuild and flush it triggers is attributed to it.
+    /// The whole restart runs under one root `Recovery` trace span with a
+    /// child span per phase, so every page rebuild and flush it triggers
+    /// is attributed to it.
     pub fn recover(&mut self) -> Result<()> {
+        self.restart(true, None)
+    }
+
+    /// Full-scan restart: identical to [`Database::recover`] but ignores
+    /// checkpoints — analysis starts at the log tail and redo revisits
+    /// every retained record, exactly the pre-checkpoint-bounded engine.
+    /// The oracle baseline for bounded-restart equivalence tests and the
+    /// `∞` checkpoint-interval arm of the `restart_latency` bench.
+    pub fn recover_unbounded(&mut self) -> Result<()> {
+        self.restart(false, None)
+    }
+
+    /// Fault injection: run restart but crash-stop the undo pass after
+    /// `clr_budget` compensation records, forcing the log so the CLRs are
+    /// durable, and return with the interrupted losers still unfinished.
+    /// Callers follow with [`Database::simulate_crash`] and a full
+    /// [`Database::recover`] to exercise crash-during-recovery.
+    pub fn recover_interrupted(&mut self, clr_budget: u64) -> Result<()> {
+        self.restart(true, Some(clr_budget))
+    }
+
+    fn restart(&mut self, bounded: bool, undo_budget: Option<u64>) -> Result<()> {
         let span = self.ftl.open_span_under(ipa_noftl::SpanCategory::Recovery, None);
-        let result = self.recover_inner();
+        let result = self.recover_inner(bounded, undo_budget, span);
         self.ftl.close_span(span);
         result
     }
 
-    fn recover_inner(&mut self) -> Result<()> {
+    fn recover_inner(
+        &mut self,
+        bounded: bool,
+        mut undo_budget: Option<u64>,
+        root: ipa_noftl::SpanId,
+    ) -> Result<()> {
+        let t0 = self.ftl.device().clock().now_ns();
         // --- Analysis ---
-        let start = self.wal.tail();
+        let phase_span = self.ftl.open_span_under(ipa_noftl::SpanCategory::Recovery, Some(root));
+        // The last *complete* checkpoint, validated against the retained
+        // log (the pair tracker already invalidates truncated or
+        // unflushed checkpoints; the payload check is belt and braces).
+        let ckpt = if bounded { self.wal.last_checkpoint_pair() } else { None };
+        let ckpt = ckpt.filter(|&(begin, end)| {
+            self.wal.get(begin).is_some()
+                && matches!(
+                    self.wal.get(end).map(|r| &r.payload),
+                    Some(LogPayload::EndCheckpoint { .. })
+                )
+        });
+        let start = ckpt.map_or(self.wal.tail(), |(begin, _)| begin);
         let mut losers: std::collections::BTreeMap<TxId, Lsn> = std::collections::BTreeMap::new();
+        // Dirty-page table: page -> recLSN (earliest record that may not
+        // be reflected on flash). Seeded from the checkpoint's `dirty`
+        // entries, augmented by every page action analysis scans.
+        let mut dpt: std::collections::BTreeMap<PageId, Lsn> = std::collections::BTreeMap::new();
         let records: Vec<_> = self.wal.iter_from(start).cloned().collect();
         for rec in &records {
             match &rec.payload {
                 LogPayload::Commit { tx } | LogPayload::Abort { tx } => {
                     losers.remove(tx);
                 }
-                LogPayload::EndCheckpoint { active, .. } => {
+                LogPayload::EndCheckpoint { active, dirty } => {
                     for (tx, last) in active {
                         losers.entry(*tx).or_insert(*last);
+                    }
+                    for (page, rec_lsn) in dirty {
+                        let e = dpt.entry(*page).or_insert(*rec_lsn);
+                        *e = (*e).min(*rec_lsn);
                     }
                 }
                 other => {
@@ -294,47 +378,140 @@ impl Database {
                     }
                 }
             }
+            let touched = match &rec.payload {
+                LogPayload::Clr { action, .. } => redo_page_of(action),
+                payload => redo_page_of(payload),
+            };
+            if let Some(page) = touched {
+                dpt.entry(page).or_insert(rec.lsn);
+            }
         }
+        self.stats.analysis_records += records.len() as u64;
+        if self.ftl.observing() {
+            let kind = ipa_noftl::EventKind::RecoveryPhase {
+                phase: ipa_noftl::RecoveryPhaseKind::Analysis,
+                records: records.len() as u64,
+            };
+            self.ftl.emit(kind, None, None);
+        }
+        self.ftl.close_span(phase_span);
         // --- Redo: repeat history ---
-        for rec in &records {
-            match &rec.payload {
+        let phase_span = self.ftl.open_span_under(ipa_noftl::SpanCategory::Recovery, Some(root));
+        // Bounded restart with a usable checkpoint: redo starts at the
+        // DPT's minimum recLSN (a NULL recLSN — a fresh page that never
+        // reached flash — clamps the scan to the log tail) and consults
+        // the DPT before touching any page. Without one, redo revisits
+        // every analyzed record behind the PageLSN guard, as before.
+        let use_dpt = ckpt.is_some();
+        let redo_start = if use_dpt {
+            dpt.values().copied().min().map_or(start, |m| m.min(start))
+        } else {
+            start
+        };
+        if use_dpt && redo_start > self.wal.tail() {
+            // Index-root replay below the redo window: root pointers are
+            // in-memory catalog state, not pages, so the DPT cannot bound
+            // them. Replaying every retained RootChange — cheap pointer
+            // writes, no page I/O — keeps bounded restart bit-identical
+            // to the full scan (the redo loop handles the rest in order).
+            let roots: Vec<(u32, PageId)> = self
+                .wal
+                .iter_from(self.wal.tail())
+                .take_while(|r| r.lsn < redo_start)
+                .filter_map(|r| match &r.payload {
+                    LogPayload::RootChange { index, new_root, .. } => Some((*index, *new_root)),
+                    _ => None,
+                })
+                .collect();
+            for (index, new_root) in roots {
+                self.indexes[index as usize].root = new_root;
+            }
+        }
+        let redo_records: Vec<_> = if redo_start < start {
+            self.wal.iter_from(redo_start).cloned().collect()
+        } else {
+            records
+        };
+        let mut applied = 0u64;
+        for rec in &redo_records {
+            let action: Option<&LogPayload> = match &rec.payload {
                 // CLRs redo their compensation — but only page-level
                 // actions; index compensations were already logged as
                 // physical PageWrite records of their own.
-                LogPayload::Clr { action, .. } => {
-                    if let a @ (LogPayload::Update { .. }
+                LogPayload::Clr { action, .. } => match action.as_ref() {
+                    a @ (LogPayload::Update { .. }
                     | LogPayload::Insert { .. }
                     | LogPayload::Delete { .. }
-                    | LogPayload::Undelete { .. }) = action.as_ref()
-                    {
-                        apply_action_healed(self, rec.lsn, a, true)?
-                    }
-                }
+                    | LogPayload::Undelete { .. }) => Some(a),
+                    _ => None,
+                },
                 payload @ (LogPayload::Update { .. }
                 | LogPayload::Insert { .. }
                 | LogPayload::Delete { .. }
                 | LogPayload::Undelete { .. }
-                | LogPayload::PageWrite { .. }) => {
-                    apply_action_healed(self, rec.lsn, payload, true)?
-                }
+                | LogPayload::PageWrite { .. }) => Some(payload),
                 LogPayload::RootChange { index, new_root, .. } => {
                     self.indexes[*index as usize].root = *new_root;
+                    None
                 }
                 // Logical index records are undo-only.
-                LogPayload::IndexInsert { .. } | LogPayload::IndexDelete { .. } => {}
-                _ => {}
+                _ => None,
+            };
+            let Some(action) = action else { continue };
+            if use_dpt {
+                // Skip rule: a page absent from the DPT was clean at the
+                // checkpoint and untouched since — its flash image is
+                // current. A record below the page's recLSN predates the
+                // frame's last clean->dirty transition — already on flash.
+                match redo_page_of(action).and_then(|p| dpt.get(&p)) {
+                    Some(rec_lsn) if rec.lsn >= *rec_lsn => {}
+                    _ => {
+                        self.stats.redo_skipped += 1;
+                        continue;
+                    }
+                }
             }
+            apply_action_healed(self, rec.lsn, action, true)?;
+            applied += 1;
         }
+        self.stats.redo_applied += applied;
+        if self.ftl.observing() {
+            let kind = ipa_noftl::EventKind::RecoveryPhase {
+                phase: ipa_noftl::RecoveryPhaseKind::Redo,
+                records: applied,
+            };
+            self.ftl.emit(kind, None, None);
+        }
+        self.ftl.close_span(phase_span);
         // --- Undo losers --- (BTreeMap iteration is TxId-ordered; undo
         // runs youngest-first, so walk it in reverse.)
+        let phase_span = self.ftl.open_span_under(ipa_noftl::SpanCategory::Recovery, Some(root));
+        let mut clrs = 0u64;
         for (tx, last) in losers.into_iter().rev() {
             self.txns.register_recovered(tx, last);
-            rollback(self, tx)?;
+            let (appended, done) = rollback_budgeted(self, tx, &mut undo_budget)?;
+            clrs += appended;
+            if !done {
+                // Injected crash-stop: make the CLRs durable and leave
+                // this loser (and any older ones) unfinished — exactly
+                // the state a crash inside the undo pass would leave.
+                self.force_log();
+                break;
+            }
             let lsn = self.log_for_tx(tx, LogPayload::Abort { tx })?;
             self.wal.flush_to(lsn);
             self.txns.finish(tx);
             self.stats.aborts += 1;
         }
+        if self.ftl.observing() {
+            let kind = ipa_noftl::EventKind::RecoveryPhase {
+                phase: ipa_noftl::RecoveryPhaseKind::Undo,
+                records: clrs,
+            };
+            self.ftl.emit(kind, None, None);
+        }
+        self.ftl.close_span(phase_span);
+        self.stats.recovery_ns += self.ftl.device().clock().now_ns().saturating_sub(t0);
         Ok(())
     }
 }
@@ -343,6 +520,7 @@ impl Database {
 mod tests {
     use crate::db::tests::test_db;
     use crate::error::EngineError;
+    use crate::wal::Lsn;
     use ipa_core::NxM;
 
     #[test]
@@ -593,5 +771,252 @@ mod tests {
             );
         }
         assert_eq!(db.group_commit_pending(), 0, "crash clears the stage");
+    }
+
+    #[test]
+    fn reclaim_preserves_parked_group_commit_history() {
+        // A parked (unforced) group commit is *finished* in the
+        // transaction table, so log-space reclamation keyed on active
+        // transactions alone would truncate its records. The page steal
+        // below forces the WAL prefix (WAL-before-data), so after a crash
+        // the txn is a loser whose undo depends on exactly those records
+        // — losing them would let the update survive unacknowledged.
+        let mut db = test_db(NxM::tpcc(), 32);
+        let heap = db.create_heap(0);
+        let mut seed = db.txn();
+        let rid = seed.heap_insert(heap, &[0u8; 4]).unwrap();
+        seed.commit().unwrap();
+        db.flush_all().unwrap();
+        db.force_log();
+
+        db.config.group_commit_batch = 4;
+        let before = db.wal.head();
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[9u8; 4]).unwrap();
+        tx.commit().unwrap(); // parks — batch never fills
+        assert_eq!(db.group_commit_pending(), 1);
+        db.flush_all().unwrap(); // steal: forces the log, then writes the page
+
+        db.reclaim_log_space().unwrap();
+        let parked_first = Lsn(before.0 + 1);
+        assert!(
+            db.wal.get(parked_first).is_some(),
+            "reclaim must retain the parked txn's records (old keep, computed from \
+             active transactions only, truncated them)"
+        );
+
+        // Reclaim's own checkpoint forced the log, so the parked Commit is
+        // durable: after a crash the transaction is a *winner* and its
+        // retained records let redo reproduce it exactly — not a torn
+        // half-applied update with no history to decide either way.
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![9u8; 4], "atomic across the crash");
+        assert_eq!(db.group_commit_pending(), 0);
+    }
+
+    #[test]
+    fn crash_clears_scheme_residency_tracking() {
+        // The adaptive scheme directory mirrors buffer-pool residency for
+        // the GC-migration rewriter. A crash empties the pool; stale
+        // mirror entries would make the rewriter skip re-encoding pages
+        // it believes are still buffered.
+        let mut db = crate::db::tests::adaptive_test_db(u64::MAX, 16);
+        let heap = db.create_heap(0);
+        let mut tx = db.txn();
+        let rid = tx.heap_insert(heap, &[4u8; 16]).unwrap();
+        tx.commit().unwrap();
+        db.flush_all().unwrap();
+        assert!(db.resident_tracking_len() > 0, "buffered pages are mirrored");
+
+        db.simulate_crash();
+        assert_eq!(db.resident_tracking_len(), 0, "crash empties the residency mirror");
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![4u8; 16]);
+    }
+
+    #[test]
+    fn second_crash_during_undo_converges() {
+        // Crash-during-recovery: the first restart is interrupted mid-undo
+        // (after its CLRs are forced), the machine crashes again, and a
+        // rerun restart must converge — CLR `undo_next` chains mean undone
+        // work is never re-undone, history just repeats.
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let mut seed = db.txn();
+        let rid = seed.heap_insert(heap, &[1u8; 8]).unwrap();
+        seed.commit().unwrap();
+        db.flush_all().unwrap();
+        db.force_log();
+
+        // Loser with three updates; log forced, pages stolen.
+        let mut tx = db.txn();
+        tx.heap_update(heap, rid, &[2u8; 8]).unwrap();
+        tx.heap_update(heap, rid, &[3u8; 8]).unwrap();
+        tx.heap_update(heap, rid, &[4u8; 8]).unwrap();
+        let _loser = tx.park();
+        db.flush_all().unwrap();
+        db.force_log();
+
+        db.simulate_crash();
+        // First restart dies after a single CLR (which it forces).
+        db.recover_interrupted(1).unwrap();
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1u8; 8], "rerun converges");
+        // A third run is a no-op fixpoint.
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(rid).unwrap(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn bounded_restart_skips_clean_history() {
+        // One page stays dirty across the checkpoint (its recLSN drags the
+        // redo window back before the Begin), while a batch of other pages
+        // is flushed clean. The rescanned window contains those clean
+        // pages' records; the dirty-page table proves them current on
+        // flash, so bounded redo skips them.
+        let mut db = test_db(NxM::tpcc(), 16);
+        let heap = db.create_heap(0);
+        let cold_heap = db.create_heap(0); // separate heap: cold inserts
+        let mut tx = db.txn();
+        let hot = tx.heap_insert(heap, &[7u8; 8]).unwrap();
+        tx.commit().unwrap(); // `hot`'s page stays dirty — early recLSN
+
+        let mut tx = db.txn();
+        let mut cold = Vec::new();
+        for i in 0..8u8 {
+            cold.push(tx.heap_insert(cold_heap, &[i; 300]).unwrap());
+        }
+        tx.commit().unwrap();
+        let mut cold_pages: Vec<_> = cold.iter().map(|r| r.page).collect();
+        cold_pages.dedup();
+        assert!(cold_pages.len() >= 2, "300-byte tuples span several pages");
+        for pid in &cold_pages {
+            db.flush_page(*pid).unwrap(); // clean on flash; `hot` stays dirty
+        }
+        db.checkpoint().unwrap(); // DPT = { hot's page -> early recLSN }
+
+        let mut tx = db.txn();
+        tx.heap_update(heap, hot, &[99u8; 8]).unwrap();
+        tx.commit().unwrap();
+
+        db.simulate_crash();
+        db.recover().unwrap();
+        assert_eq!(db.heap_read_unlocked(hot).unwrap(), vec![99u8; 8]);
+        for (i, rid) in cold.iter().enumerate() {
+            assert_eq!(db.heap_read_unlocked(*rid).unwrap(), vec![i as u8; 300]);
+        }
+        let s = db.stats();
+        assert!(s.redo_skipped > 0, "clean cold pages' records are skipped, not replayed");
+        assert!(s.analysis_records <= 8, "analysis is bounded by the checkpoint");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn bounded_restart_matches_full_scan_oracle(
+            seed in 1u64..u64::MAX,
+            ops in 10usize..48,
+        ) {
+            // Two engines run a byte-identical randomized history —
+            // committed balance updates, index churn, page steals,
+            // periodic checkpoints on the simulated clock, one parked
+            // loser — then crash at the same point. One restarts
+            // checkpoint-bounded, the other with the full-scan oracle.
+            // Recovered state must match exactly.
+            let run = |bounded: bool| {
+                let mut db = crate::db::tests::checkpoint_test_db(10_000, 16);
+                let heap = db.create_heap(0);
+                let idx = db.create_index(0).unwrap();
+                let mut rng = seed;
+                let mut next = move || {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    rng
+                };
+                let mut tx = db.txn();
+                let mut rids = Vec::new();
+                for i in 0..6u8 {
+                    rids.push(tx.heap_insert(heap, &[i; 16]).unwrap());
+                }
+                let loser_rid = tx.heap_insert(heap, &[0xAA; 16]).unwrap();
+                tx.commit().unwrap();
+                db.flush_all().unwrap();
+                db.force_log();
+
+                let mut inserted: Vec<u64> = Vec::new();
+                let mut loser_parked = false;
+                for _ in 0..ops {
+                    match next() % 10 {
+                        0..=4 => {
+                            let a = (next() % 6) as usize;
+                            let fill = (next() % 251) as u8;
+                            let mut tx = db.txn();
+                            tx.heap_update(heap, rids[a], &[fill; 16]).unwrap();
+                            tx.commit().unwrap();
+                        }
+                        5 | 6 => {
+                            let k = next() % 32;
+                            let v = next();
+                            if !inserted.contains(&k) {
+                                let mut tx = db.txn();
+                                tx.index_insert(idx, k, v).unwrap();
+                                tx.commit().unwrap();
+                                inserted.push(k);
+                            }
+                        }
+                        7 if !inserted.is_empty() => {
+                            let k = inserted.remove((next() % inserted.len() as u64) as usize);
+                            let mut tx = db.txn();
+                            tx.index_delete(idx, k).unwrap();
+                            tx.commit().unwrap();
+                        }
+                        8 if !loser_parked => {
+                            // One loser, on its own account (it keeps its
+                            // lock until the crash).
+                            loser_parked = true;
+                            let fill = (next() % 251) as u8;
+                            let mut tx = db.txn();
+                            tx.heap_update(heap, loser_rid, &[fill; 16]).unwrap();
+                            let _ = tx.park();
+                            db.force_log(); // undo history survives the crash
+                        }
+                        _ => {
+                            db.flush_all().unwrap(); // steal
+                        }
+                    }
+                    db.background_work().unwrap();
+                }
+
+                db.simulate_crash();
+                if bounded {
+                    db.recover().unwrap();
+                } else {
+                    db.recover_unbounded().unwrap();
+                }
+                let balances: Vec<Vec<u8>> = rids
+                    .iter()
+                    .chain(std::iter::once(&loser_rid))
+                    .map(|r| db.heap_read_unlocked(*r).unwrap())
+                    .collect();
+                let keys: Vec<Option<u64>> =
+                    (0..32).map(|k| db.index_lookup(idx, k).unwrap()).collect();
+                (balances, keys, db.stats().checkpoints, db.stats().redo_applied)
+            };
+            let (bal, idx_state, ckpts, bounded_redo) = run(true);
+            let (oracle_bal, oracle_idx, _, oracle_redo) = run(false);
+            prop_assert_eq!(bal, oracle_bal);
+            prop_assert_eq!(idx_state, oracle_idx);
+            // When checkpoints fired, bounded restart never replays more
+            // than the oracle.
+            if ckpts > 0 {
+                prop_assert!(bounded_redo <= oracle_redo);
+            }
+        }
     }
 }

@@ -94,6 +94,18 @@ pub struct EngineStats {
     /// Resident pages re-laid-out to their region's current scheme on the
     /// flush path after a scheme change (adaptive IPA).
     pub scheme_upgrades: u64,
+    /// Simulated nanoseconds spent inside the most recent restart
+    /// (analysis + redo + undo). Cumulative across restarts, like every
+    /// other counter; a single-crash run reads it directly as MTTR.
+    pub recovery_ns: u64,
+    /// Log records scanned by restart analysis (from the checkpoint's
+    /// Begin LSN, or the log tail when no checkpoint is usable).
+    pub analysis_records: u64,
+    /// Redo actions actually re-applied during restart.
+    pub redo_applied: u64,
+    /// Redo actions skipped by the dirty-page-table filter (target page
+    /// absent from the DPT, or record LSN below the page's recLSN).
+    pub redo_skipped: u64,
 }
 
 impl EngineStats {
@@ -167,6 +179,10 @@ impl EngineStats {
             retune_epochs: self.retune_epochs.saturating_sub(earlier.retune_epochs),
             scheme_changes: self.scheme_changes.saturating_sub(earlier.scheme_changes),
             scheme_upgrades: self.scheme_upgrades.saturating_sub(earlier.scheme_upgrades),
+            recovery_ns: self.recovery_ns.saturating_sub(earlier.recovery_ns),
+            analysis_records: self.analysis_records.saturating_sub(earlier.analysis_records),
+            redo_applied: self.redo_applied.saturating_sub(earlier.redo_applied),
+            redo_skipped: self.redo_skipped.saturating_sub(earlier.redo_skipped),
         }
     }
 }

@@ -219,7 +219,14 @@ pub struct Wal {
     flushed: Lsn,
     used_bytes: usize,
     capacity_bytes: usize,
-    last_checkpoint: Option<Lsn>,
+    /// Begin/End LSN pair of the most recent *complete* checkpoint, while
+    /// both records are retained and durable-consistent. Fuzzy checkpoints
+    /// interleave with regular traffic, so the two LSNs are in general not
+    /// adjacent — restart must scan from the Begin, and truncation must
+    /// keep the Begin, not `end - 1`.
+    last_checkpoint: Option<(Lsn, Lsn)>,
+    /// Begin LSN of a checkpoint whose End has not been appended yet.
+    pending_begin: Option<Lsn>,
 }
 
 impl Wal {
@@ -233,6 +240,7 @@ impl Wal {
             used_bytes: 0,
             capacity_bytes,
             last_checkpoint: None,
+            pending_begin: None,
         }
     }
 
@@ -241,8 +249,14 @@ impl Wal {
         let lsn = Lsn(self.next);
         self.next += 1;
         self.used_bytes += payload.size_bytes();
-        if matches!(payload, LogPayload::EndCheckpoint { .. }) {
-            self.last_checkpoint = Some(lsn);
+        match payload {
+            LogPayload::BeginCheckpoint => self.pending_begin = Some(lsn),
+            LogPayload::EndCheckpoint { .. } => {
+                // A lone End (no Begin retained) forms a degenerate pair.
+                let begin = self.pending_begin.take().unwrap_or(lsn);
+                self.last_checkpoint = Some((begin, lsn));
+            }
+            _ => {}
         }
         self.records.push(LogRecord { lsn, prev, payload });
         lsn
@@ -287,8 +301,21 @@ impl Wal {
         self.used_bytes
     }
 
-    /// LSN of the most recent completed checkpoint, if retained.
+    /// End LSN of the most recent completed checkpoint, if retained.
     pub fn last_checkpoint(&self) -> Option<Lsn> {
+        self.last_checkpoint.map(|(_, end)| end)
+    }
+
+    /// Begin LSN of the most recent completed checkpoint, if retained.
+    /// Restart analysis starts here; log reclamation must never truncate
+    /// past it (the Begin and End are not adjacent under fuzzy
+    /// checkpointing, so `end - 1` is wrong in both roles).
+    pub fn last_checkpoint_begin(&self) -> Option<Lsn> {
+        self.last_checkpoint.map(|(begin, _)| begin)
+    }
+
+    /// Begin/End LSN pair of the most recent completed checkpoint.
+    pub fn last_checkpoint_pair(&self) -> Option<(Lsn, Lsn)> {
         self.last_checkpoint
     }
 
@@ -319,8 +346,14 @@ impl Wal {
         self.records.drain(..keep_from);
         self.used_bytes -= dropped;
         self.tail = lsn;
-        if self.last_checkpoint.is_some_and(|c| c < lsn) {
+        // A checkpoint is only usable while its Begin is retained:
+        // truncating *to* the Begin keeps it, truncating past it loses the
+        // records restart analysis would have to scan.
+        if self.last_checkpoint.is_some_and(|(begin, _)| begin < lsn) {
             self.last_checkpoint = None;
+        }
+        if self.pending_begin.is_some_and(|b| b < lsn) {
+            self.pending_begin = None;
         }
     }
 
@@ -333,8 +366,13 @@ impl Wal {
         self.records.truncate(keep);
         self.used_bytes -= lost;
         self.next = self.flushed.0.max(self.tail.0.saturating_sub(1)) + 1;
-        if self.last_checkpoint.is_some_and(|c| c > self.flushed) {
+        // A checkpoint whose End never reached stable storage does not
+        // exist after the crash; an unflushed pending Begin likewise.
+        if self.last_checkpoint.is_some_and(|(_, end)| end > self.flushed) {
             self.last_checkpoint = None;
+        }
+        if self.pending_begin.is_some_and(|b| b > self.flushed) {
+            self.pending_begin = None;
         }
     }
 }
@@ -405,12 +443,41 @@ mod tests {
     #[test]
     fn checkpoint_lsn_tracked() {
         let mut wal = Wal::new(1 << 20);
-        wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
+        let begin = wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
+        // Fuzzy: regular records land between Begin and End.
+        wal.append(Lsn::NULL, upd(1));
+        wal.append(Lsn::NULL, upd(2));
         let end =
             wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active: vec![], dirty: vec![] });
         assert_eq!(wal.last_checkpoint(), Some(end));
-        wal.truncate_to(Lsn(end.0 + 1));
+        assert_eq!(wal.last_checkpoint_begin(), Some(begin));
+        assert_eq!(wal.last_checkpoint_pair(), Some((begin, end)));
+        // Truncating *to* the Begin keeps the checkpoint usable...
+        wal.truncate_to(begin);
+        assert_eq!(wal.last_checkpoint_pair(), Some((begin, end)));
+        // ...truncating past it does not.
+        wal.truncate_to(Lsn(begin.0 + 1));
         assert_eq!(wal.last_checkpoint(), None);
+        assert_eq!(wal.last_checkpoint_begin(), None);
+    }
+
+    #[test]
+    fn crash_invalidates_unflushed_checkpoint() {
+        let mut wal = Wal::new(1 << 20);
+        let begin = wal.append(Lsn::NULL, LogPayload::BeginCheckpoint);
+        wal.append(Lsn::NULL, upd(1));
+        wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active: vec![], dirty: vec![] });
+        // End never reached stable storage: the pair must not survive.
+        wal.flush_to(begin);
+        wal.lose_unflushed();
+        assert_eq!(wal.last_checkpoint_pair(), None);
+        // A lone End after the crash must not pair with the stale
+        // pre-crash Begin — it forms a degenerate self-pair instead
+        // (scanning from the End itself is exactly right for it).
+        let end2 =
+            wal.append(Lsn::NULL, LogPayload::EndCheckpoint { active: vec![], dirty: vec![] });
+        assert_eq!(end2, Lsn(begin.0 + 1), "appends continue after the surviving prefix");
+        assert_eq!(wal.last_checkpoint_pair(), Some((end2, end2)));
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub use device::{FlashConfig, FlashDevice, OpOrigin, OpResult, WearHistogram};
 pub use error::FlashError;
 pub use fault::{FaultOp, FaultPlan, ScriptedFault};
 pub use geometry::{CellType, FlashGeometry, PageKind, Ppa};
-pub use obs::{EventKind, ObsCtx, ObsEvent, Observer, OpClass, SpanCategory, SpanId};
+pub use obs::{
+    EventKind, ObsCtx, ObsEvent, Observer, OpClass, RecoveryPhaseKind, SpanCategory, SpanId,
+};
 pub use oob::{OobArea, OobLayout, Section};
 pub use page::{PageData, PageState};
 pub use reliability::{ReadOutcome, ReliabilityConfig};

@@ -233,6 +233,50 @@ pub enum EventKind {
         /// 99th-percentile changed metadata bytes per eviction.
         meta_p99: u32,
     },
+    /// The engine began a fuzzy checkpoint (the `BeginCheckpoint` log
+    /// record was appended; dirty pages keep flushing concurrently).
+    CheckpointBegin,
+    /// The engine completed a fuzzy checkpoint: the `EndCheckpoint` log
+    /// record carrying the active-transaction table and the dirty-page
+    /// table was appended and forced.
+    CheckpointEnd {
+        /// Active transactions captured in the checkpoint.
+        active: u32,
+        /// Dirty pages captured in the checkpoint's dirty-page table.
+        dirty: u32,
+    },
+    /// A restart phase (analysis / redo / undo) finished, with the record
+    /// count that phase processed. Emitted under the `Recovery` span.
+    RecoveryPhase {
+        /// Which ARIES phase finished.
+        phase: RecoveryPhaseKind,
+        /// Log records the phase scanned (analysis), applied (redo) or
+        /// compensated (undo).
+        records: u64,
+    },
+}
+
+/// The three ARIES restart phases, for [`EventKind::RecoveryPhase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPhaseKind {
+    /// Forward scan from the checkpoint's Begin LSN rebuilding the
+    /// transaction table and dirty-page table.
+    Analysis,
+    /// History repetition from the dirty-page table's minimum recLSN.
+    Redo,
+    /// Loser-transaction rollback via compensation records.
+    Undo,
+}
+
+impl RecoveryPhaseKind {
+    /// Stable lower-case name for sinks and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPhaseKind::Analysis => "analysis",
+            RecoveryPhaseKind::Redo => "redo",
+            RecoveryPhaseKind::Undo => "undo",
+        }
+    }
 }
 
 /// One trace event.

@@ -56,7 +56,7 @@ pub use stats::{HeatSummary, RegionStats};
 // import `ipa_flash` directly — the L003 layering lint enforces this.
 pub use ipa_flash::{
     CmdId, Completion, EventKind, FaultOp, FaultPlan, FlashConfig, ObsEvent, Observer, OpClass,
-    OpOrigin, OpResult, ScriptedFault, SpanCategory, SpanId, WearHistogram,
+    OpOrigin, OpResult, RecoveryPhaseKind, ScriptedFault, SpanCategory, SpanId, WearHistogram,
 };
 
 /// Crate-wide result alias.

@@ -37,6 +37,9 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::StatsReset => "stats_reset",
         EventKind::SchemeChange { .. } => "scheme_change",
         EventKind::ProfileSnapshot { .. } => "profile_snapshot",
+        EventKind::CheckpointBegin => "checkpoint_begin",
+        EventKind::CheckpointEnd { .. } => "checkpoint_end",
+        EventKind::RecoveryPhase { .. } => "recovery_phase",
     }
 }
 
@@ -115,6 +118,14 @@ pub fn event_to_json(event: &ObsEvent) -> Value {
             m.insert("body_p50".into(), Value::from(body_p50));
             m.insert("body_p95".into(), Value::from(body_p95));
             m.insert("meta_p99".into(), Value::from(meta_p99));
+        }
+        EventKind::CheckpointEnd { active, dirty } => {
+            m.insert("active".into(), Value::from(active));
+            m.insert("dirty".into(), Value::from(dirty));
+        }
+        EventKind::RecoveryPhase { phase, records } => {
+            m.insert("phase".into(), Value::from(phase.name()));
+            m.insert("records".into(), Value::from(records));
         }
         _ => {}
     }
@@ -310,6 +321,40 @@ mod tests {
         assert_eq!(v["body_p50"], 3);
         assert_eq!(v["body_p95"], 24);
         assert_eq!(v["meta_p99"], 9);
+    }
+
+    #[test]
+    fn checkpoint_and_recovery_events_inline_payloads() {
+        let begin =
+            ObsEvent { seq: 0, t_ns: 1, region: None, lba: None, kind: EventKind::CheckpointBegin };
+        assert_eq!(event_to_json(&begin)["kind"], "checkpoint_begin");
+
+        let end = ObsEvent {
+            seq: 1,
+            t_ns: 2,
+            region: None,
+            lba: None,
+            kind: EventKind::CheckpointEnd { active: 3, dirty: 17 },
+        };
+        let v = event_to_json(&end);
+        assert_eq!(v["kind"], "checkpoint_end");
+        assert_eq!(v["active"], 3);
+        assert_eq!(v["dirty"], 17);
+
+        let phase = ObsEvent {
+            seq: 2,
+            t_ns: 3,
+            region: None,
+            lba: None,
+            kind: EventKind::RecoveryPhase {
+                phase: ipa_flash::RecoveryPhaseKind::Redo,
+                records: 42,
+            },
+        };
+        let v = event_to_json(&phase);
+        assert_eq!(v["kind"], "recovery_phase");
+        assert_eq!(v["phase"], "redo");
+        assert_eq!(v["records"], 42);
     }
 
     #[test]

@@ -315,6 +315,10 @@ fn engine_json(e: &EngineStats) -> Value {
     m.insert("retune_epochs".into(), Value::from(e.retune_epochs));
     m.insert("scheme_changes".into(), Value::from(e.scheme_changes));
     m.insert("scheme_upgrades".into(), Value::from(e.scheme_upgrades));
+    m.insert("recovery_ns".into(), Value::from(e.recovery_ns));
+    m.insert("analysis_records".into(), Value::from(e.analysis_records));
+    m.insert("redo_applied".into(), Value::from(e.redo_applied));
+    m.insert("redo_skipped".into(), Value::from(e.redo_skipped));
     Value::Object(m)
 }
 

@@ -78,6 +78,9 @@ pub struct SystemConfig {
     /// Minimum profile samples in an epoch before a region is evaluated
     /// (smaller = faster phase detection, noisier recommendations).
     pub advisor_min_observations: u64,
+    /// Fuzzy-checkpoint period on the simulated clock (0 = no periodic
+    /// checkpoints, the default — restart scans the whole retained log).
+    pub checkpoint_interval_ns: u64,
 }
 
 impl SystemConfig {
@@ -106,6 +109,7 @@ impl SystemConfig {
             advisor_goal: AdvisorGoal::Longevity,
             advisor_hysteresis: 0.05,
             advisor_min_observations: 64,
+            checkpoint_interval_ns: 0,
         }
     }
 
@@ -141,6 +145,7 @@ impl SystemConfig {
             advisor_goal: AdvisorGoal::Longevity,
             advisor_hysteresis: 0.05,
             advisor_min_observations: 64,
+            checkpoint_interval_ns: 0,
         }
     }
 
@@ -202,6 +207,7 @@ impl SystemConfig {
         db_cfg.advisor_goal = self.advisor_goal;
         db_cfg.advisor_hysteresis = self.advisor_hysteresis;
         db_cfg.advisor_min_observations = self.advisor_min_observations;
+        db_cfg.checkpoint_interval_ns = self.checkpoint_interval_ns;
         Database::builder(ftl_cfg)
             .scheme(self.scheme)
             .config(db_cfg)

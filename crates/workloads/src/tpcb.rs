@@ -120,6 +120,25 @@ impl TpcB {
         }
         Ok(expected)
     }
+
+    /// Every balance in deterministic order — branches, tellers, then
+    /// accounts by id. The state-equality probe of the restart
+    /// experiments: two engines that recovered the same history must
+    /// produce identical vectors, not merely identical sums.
+    pub fn balance_vector(&self, db: &mut Database) -> Result<Vec<i32>> {
+        let mut v = Vec::new();
+        for rid in self.branch_rids.iter().chain(self.teller_rids.iter()) {
+            v.push(Record::get_i32(&db.heap_read_unlocked(*rid)?, BALANCE_OFF));
+        }
+        for aid in 0..self.accounts() {
+            let encoded = db
+                .index_lookup(self.account_index, aid)?
+                .ok_or(ipa_engine::EngineError::Internal("account vanished from index"))?;
+            let rid = Rid::decode(0, encoded);
+            v.push(Record::get_i32(&db.heap_read_unlocked(rid)?, BALANCE_OFF));
+        }
+        Ok(v)
+    }
 }
 
 impl Workload for TpcB {
